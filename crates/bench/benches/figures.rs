@@ -1,0 +1,133 @@
+//! Criterion benches tracking every experimental figure of the paper
+//! (7–12) at reduced scale — one bench point per (figure, x-value,
+//! algorithm). The `figures` binary regenerates the full printed tables;
+//! these benches exist to catch performance regressions per commit.
+//!
+//! Scale: |P| = 5K (20K for the cardinality sweep), |S| = |Q| = 50, so
+//! one full `cargo bench` pass stays in the minutes range while keeping
+//! the paper's cost ordering (MQP < MWK < MQWK) visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wqrtq_bench::harness::{prepare, run_algorithm, Algorithm, Prepared};
+use wqrtq_bench::params::{Config, DatasetKind, Profile};
+
+fn bench_config(base: Config) -> Config {
+    Config {
+        n: 5_000,
+        sample_size: 50,
+        target_rank: 101,
+        ..base
+    }
+}
+
+fn bench_point(c: &mut Criterion, group: &str, x: String, prep: &Prepared) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    for algo in Algorithm::ALL {
+        g.bench_with_input(BenchmarkId::new(algo.name(), &x), &algo, |b, &algo| {
+            b.iter(|| run_algorithm(prep, algo))
+        });
+    }
+    g.finish();
+}
+
+fn fig07_dimensionality(c: &mut Criterion) {
+    for d in [2usize, 3, 4, 5] {
+        let mut cfg = bench_config(Config::default_for(
+            DatasetKind::Independent,
+            Profile::Quick,
+        ));
+        cfg.dim = d;
+        let prep = prepare(&cfg);
+        bench_point(c, "fig07_dimensionality", format!("d{d}"), &prep);
+    }
+}
+
+fn fig08_cardinality(c: &mut Criterion) {
+    for n in [2_000usize, 5_000, 10_000, 20_000] {
+        let mut cfg = bench_config(Config::default_for(
+            DatasetKind::Independent,
+            Profile::Quick,
+        ));
+        cfg.n = n;
+        let prep = prepare(&cfg);
+        bench_point(c, "fig08_cardinality", format!("n{n}"), &prep);
+    }
+}
+
+fn fig09_k(c: &mut Criterion) {
+    for k in [10usize, 30, 50] {
+        let mut cfg = bench_config(Config::default_for(
+            DatasetKind::Anticorrelated,
+            Profile::Quick,
+        ));
+        cfg.k = k;
+        let prep = prepare(&cfg);
+        bench_point(c, "fig09_k", format!("k{k}"), &prep);
+    }
+}
+
+fn fig10_rank(c: &mut Criterion) {
+    for rank in [11usize, 101, 1001] {
+        let mut cfg = bench_config(Config::default_for(
+            DatasetKind::Independent,
+            Profile::Quick,
+        ));
+        cfg.target_rank = rank;
+        let prep = prepare(&cfg);
+        bench_point(c, "fig10_rank", format!("r{rank}"), &prep);
+    }
+}
+
+fn fig11_wm(c: &mut Criterion) {
+    for m in [1usize, 3, 5] {
+        let mut cfg = bench_config(Config::default_for(
+            DatasetKind::Independent,
+            Profile::Quick,
+        ));
+        cfg.num_why_not = m;
+        let prep = prepare(&cfg);
+        bench_point(c, "fig11_wm", format!("m{m}"), &prep);
+    }
+}
+
+fn fig12_sample_size(c: &mut Criterion) {
+    for s in [25usize, 50, 100, 200] {
+        let mut cfg = bench_config(Config::default_for(
+            DatasetKind::Independent,
+            Profile::Quick,
+        ));
+        cfg.sample_size = s;
+        let prep = prepare(&cfg);
+        bench_point(c, "fig12_sample_size", format!("s{s}"), &prep);
+    }
+}
+
+fn fig09_real_surrogates(c: &mut Criterion) {
+    // The Household/NBA panels of Figures 9–12 at their default point.
+    for kind in [DatasetKind::Household, DatasetKind::Nba] {
+        let cfg = bench_config(Config::default_for(kind, Profile::Quick));
+        let prep = prepare(&cfg);
+        bench_point(
+            c,
+            "fig09_real_surrogates",
+            kind.name().replace('-', "_"),
+            &prep,
+        );
+    }
+}
+
+criterion_group!(
+    figures,
+    fig07_dimensionality,
+    fig08_cardinality,
+    fig09_k,
+    fig10_rank,
+    fig11_wm,
+    fig12_sample_size,
+    fig09_real_surrogates,
+);
+criterion_main!(figures);

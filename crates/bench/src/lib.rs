@@ -1,0 +1,14 @@
+//! Benchmark harness for the WQRTQ experimental study (§5 of the paper).
+//!
+//! [`params`] encodes Table 1 (parameter ranges and defaults) plus the
+//! run profiles; [`harness`] prepares workloads and measures the three
+//! refinement algorithms. The `figures` binary regenerates every
+//! experimental figure (7–12) as a printed table; the Criterion benches
+//! in `benches/` track the same configurations at reduced scale plus the
+//! design-choice ablations called out in DESIGN.md.
+
+pub mod harness;
+pub mod params;
+
+pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
+pub use params::{Config, DatasetKind, Profile};

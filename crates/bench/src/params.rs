@@ -1,0 +1,180 @@
+//! Table 1 of the paper: parameter ranges and default values.
+//!
+//! | Parameter                     | Range                        | Default |
+//! |-------------------------------|------------------------------|---------|
+//! | Dimensionality d              | 2, 3, 4, 5                   | 3       |
+//! | Dataset cardinality |P|       | 10K … 1000K                  | 100K    |
+//! | k                             | 10 … 50                      | 10      |
+//! | Actual ranking of q under Wm  | 11, 101, 501, 1001           | 101     |
+//! | |Wm|                          | 1 … 5                        | 1       |
+//! | Sample size                   | 100 … 1600                   | 800     |
+//!
+//! α = β = γ = λ = 0.5 throughout (§5.1).
+
+/// Which dataset a configuration runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Uniform independent attributes (synthetic).
+    Independent,
+    /// Anti-correlated attributes (synthetic).
+    Anticorrelated,
+    /// Household surrogate (127K × 6 when unscaled).
+    Household,
+    /// NBA surrogate (17,264 × 13 when unscaled).
+    Nba,
+}
+
+impl DatasetKind {
+    /// Display name used in figure tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Independent => "Independent",
+            DatasetKind::Anticorrelated => "Anti-correlated",
+            DatasetKind::Household => "Household",
+            DatasetKind::Nba => "NBA",
+        }
+    }
+
+    /// The four datasets of Figures 9–12, in the paper's panel order.
+    pub fn figure_panels() -> [DatasetKind; 4] {
+        [
+            DatasetKind::Household,
+            DatasetKind::Nba,
+            DatasetKind::Independent,
+            DatasetKind::Anticorrelated,
+        ]
+    }
+}
+
+/// Scale profile for a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced scale for CI/laptops: |P| capped, |S| = |Q| = 200. Shapes
+    /// are preserved (every cost term scales multiplicatively); absolute
+    /// numbers are smaller. See DESIGN.md.
+    Quick,
+    /// The paper's Table-1 grid.
+    Paper,
+}
+
+impl Profile {
+    /// Default dataset cardinality under this profile.
+    pub fn default_cardinality(self) -> usize {
+        match self {
+            Profile::Quick => 50_000,
+            Profile::Paper => 100_000,
+        }
+    }
+
+    /// Cardinality sweep of Figure 8.
+    pub fn cardinality_sweep(self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![10_000, 50_000, 100_000, 200_000],
+            Profile::Paper => vec![10_000, 50_000, 100_000, 500_000, 1_000_000],
+        }
+    }
+
+    /// Default sample size (|S|, and |Q| for MQWK).
+    pub fn default_sample_size(self) -> usize {
+        match self {
+            Profile::Quick => 200,
+            Profile::Paper => 800,
+        }
+    }
+
+    /// Sample-size sweep of Figure 12.
+    pub fn sample_size_sweep(self) -> Vec<usize> {
+        vec![100, 200, 400, 800, 1600]
+    }
+
+    /// Cardinality used for the Figure-12 sweep (reduced under Quick so
+    /// the |S| = 1600 MQWK point stays affordable).
+    pub fn fig12_cardinality(self) -> usize {
+        match self {
+            Profile::Quick => 10_000,
+            Profile::Paper => 100_000,
+        }
+    }
+}
+
+/// One experiment configuration (a point on a figure's x-axis).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Dataset cardinality |P| (ignored for the fixed-size real-data
+    /// surrogates under the Paper profile).
+    pub n: usize,
+    /// Dimensionality d (synthetic datasets only; surrogates fix it).
+    pub dim: usize,
+    /// The reverse top-k parameter.
+    pub k: usize,
+    /// Target actual rank of q under Wm (Table 1 row 4).
+    pub target_rank: usize,
+    /// |Wm|.
+    pub num_why_not: usize,
+    /// Sample size |S| (= |Q|).
+    pub sample_size: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// The Table-1 default configuration on a dataset, under a profile.
+    pub fn default_for(dataset: DatasetKind, profile: Profile) -> Self {
+        Self {
+            dataset,
+            n: profile.default_cardinality(),
+            dim: 3,
+            k: 10,
+            target_rank: 101,
+            num_why_not: 1,
+            sample_size: profile.default_sample_size(),
+            seed: 2015,
+        }
+    }
+
+    /// Effective dimensionality after accounting for fixed-dimension
+    /// surrogates.
+    pub fn effective_dim(&self) -> usize {
+        match self.dataset {
+            DatasetKind::Household => wqrtq_data::realistic::HOUSEHOLD_DIM,
+            DatasetKind::Nba => wqrtq_data::realistic::NBA_DIM,
+            _ => self.dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let c = Config::default_for(DatasetKind::Independent, Profile::Paper);
+        assert_eq!(c.dim, 3);
+        assert_eq!(c.n, 100_000);
+        assert_eq!(c.k, 10);
+        assert_eq!(c.target_rank, 101);
+        assert_eq!(c.num_why_not, 1);
+        assert_eq!(c.sample_size, 800);
+    }
+
+    #[test]
+    fn quick_profile_is_smaller() {
+        assert!(Profile::Quick.default_cardinality() < Profile::Paper.default_cardinality());
+        assert!(Profile::Quick.default_sample_size() < Profile::Paper.default_sample_size());
+        assert_eq!(Profile::Paper.cardinality_sweep().last(), Some(&1_000_000));
+    }
+
+    #[test]
+    fn surrogates_fix_dimensionality() {
+        let mut c = Config::default_for(DatasetKind::Nba, Profile::Quick);
+        c.dim = 3;
+        assert_eq!(c.effective_dim(), 13);
+        c.dataset = DatasetKind::Household;
+        assert_eq!(c.effective_dim(), 6);
+        c.dataset = DatasetKind::Anticorrelated;
+        assert_eq!(c.effective_dim(), 3);
+    }
+}

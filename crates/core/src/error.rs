@@ -1,0 +1,87 @@
+//! Error types for why-not processing.
+
+use std::fmt;
+
+/// Failures surfaced by the why-not algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WhyNotError {
+    /// The why-not set was empty.
+    EmptyWhyNot,
+    /// A supposed why-not vector already has `q` in its top-k result
+    /// (so there is nothing to refine for it).
+    NotWhyNot {
+        /// Index of the offending vector within `Wm`.
+        index: usize,
+        /// The actual rank of `q` under that vector.
+        rank: usize,
+        /// The query's `k`.
+        k: usize,
+    },
+    /// A weighting vector's dimensionality does not match the dataset.
+    DimensionMismatch {
+        /// Expected dimensionality (the dataset's).
+        expected: usize,
+        /// Offending dimensionality.
+        got: usize,
+    },
+    /// The dataset has fewer than `k` points, so top-k-th points (and the
+    /// safe region) are undefined.
+    DatasetSmallerThanK {
+        /// Number of indexed points.
+        len: usize,
+        /// The query's `k`.
+        k: usize,
+    },
+    /// The quadratic program could not be solved numerically.
+    QpFailure(String),
+}
+
+impl fmt::Display for WhyNotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhyNotError::EmptyWhyNot => write!(f, "the why-not weighting vector set is empty"),
+            WhyNotError::NotWhyNot { index, rank, k } => write!(
+                f,
+                "weighting vector #{index} is not a why-not vector: q ranks {rank} ≤ k = {k}"
+            ),
+            WhyNotError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            WhyNotError::DatasetSmallerThanK { len, k } => {
+                write!(f, "dataset of {len} points is smaller than k = {k}")
+            }
+            WhyNotError::QpFailure(msg) => write!(f, "quadratic programming failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WhyNotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = WhyNotError::NotWhyNot {
+            index: 2,
+            rank: 3,
+            k: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("#2") && s.contains("3") && s.contains("5"));
+        assert!(WhyNotError::EmptyWhyNot.to_string().contains("empty"));
+        assert!(WhyNotError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("expected 3"));
+        assert!(WhyNotError::DatasetSmallerThanK { len: 4, k: 9 }
+            .to_string()
+            .contains("k = 9"));
+        assert!(WhyNotError::QpFailure("nope".into())
+            .to_string()
+            .contains("nope"));
+    }
+}

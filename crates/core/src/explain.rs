@@ -1,0 +1,126 @@
+//! The first aspect of a why-not answer: *why* is the weighting vector
+//! missing from the reverse top-k result?
+//!
+//! Per the paper (§3): a why-not vector `w` is excluded because more than
+//! `k − 1` points score strictly better than `q` under `w`; those points
+//! are the answer. We report them with a progressive (best-first) top-k
+//! scan that stops as soon as `q`'s score is reached, exactly as the
+//! paper suggests using progressive top-k algorithms.
+
+use wqrtq_geom::score;
+use wqrtq_rtree::RTree;
+
+/// A data point responsible for excluding a why-not weighting vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Culprit {
+    /// Point id in the indexed dataset.
+    pub id: u32,
+    /// Its score under the why-not vector (strictly below `q`'s).
+    pub score: f64,
+    /// Its coordinates.
+    pub coords: Vec<f64>,
+}
+
+/// The explanation for one why-not weighting vector.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Points scoring strictly better than `q`, in ascending score order,
+    /// truncated to the requested limit.
+    pub culprits: Vec<Culprit>,
+    /// The actual rank of `q` under the vector (`culprits.len() + 1` when
+    /// not truncated).
+    pub rank: usize,
+    /// Whether the culprit list was truncated by the limit.
+    pub truncated: bool,
+}
+
+/// Explains why `q` is not in `TOPk(w)` by listing the points that
+/// outrank it. `limit` bounds the number of returned culprits (the rank
+/// is still exact); pass `usize::MAX` for all of them.
+pub fn explain(tree: &RTree, w: &[f64], q: &[f64], limit: usize) -> Explanation {
+    let sq = score(w, q);
+    let mut culprits = Vec::new();
+    let mut rank = 1usize;
+    let mut truncated = false;
+    let mut bf = tree.best_first(w);
+    while let Some(p) = bf.next_entry() {
+        if p.score >= sq {
+            break;
+        }
+        rank += 1;
+        if culprits.len() < limit {
+            culprits.push(Culprit {
+                id: p.id,
+                score: p.score,
+                coords: p.coords.to_vec(),
+            });
+        } else {
+            truncated = true;
+        }
+    }
+    Explanation {
+        culprits,
+        rank,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig_tree() -> RTree {
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        RTree::bulk_load(2, &pts)
+    }
+
+    #[test]
+    fn kevin_is_excluded_by_p1_p2_p4() {
+        // §3: "for w1 in Figure 1, there are three points, i.e., p1, p2,
+        // and p4, with scores smaller than that of q".
+        let t = fig_tree();
+        let e = explain(&t, &[0.1, 0.9], &[4.0, 4.0], usize::MAX);
+        let ids: Vec<u32> = e.culprits.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![0, 1, 3]); // ascending score: 1.1, 3.3, 3.6
+        assert_eq!(e.rank, 4);
+        assert!(!e.truncated);
+    }
+
+    #[test]
+    fn julia_is_excluded_by_p3_p1_p7() {
+        let t = fig_tree();
+        let e = explain(&t, &[0.9, 0.1], &[4.0, 4.0], usize::MAX);
+        let ids: Vec<u32> = e.culprits.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![2, 0, 6]); // scores 1.8 < 1.9 < 3.4
+        assert_eq!(e.rank, 4);
+    }
+
+    #[test]
+    fn member_vector_has_no_culprits_beyond_its_rank() {
+        let t = fig_tree();
+        let e = explain(&t, &[0.5, 0.5], &[4.0, 4.0], usize::MAX);
+        assert_eq!(e.rank, 2);
+        assert_eq!(e.culprits.len(), 1);
+        assert_eq!(e.culprits[0].id, 0);
+    }
+
+    #[test]
+    fn limit_truncates_but_rank_stays_exact() {
+        let t = fig_tree();
+        let e = explain(&t, &[0.1, 0.9], &[4.0, 4.0], 1);
+        assert_eq!(e.culprits.len(), 1);
+        assert_eq!(e.rank, 4);
+        assert!(e.truncated);
+    }
+
+    #[test]
+    fn scores_are_ascending_and_below_q() {
+        let t = fig_tree();
+        let e = explain(&t, &[0.3, 0.7], &[4.0, 4.0], usize::MAX);
+        let sq = 0.3 * 4.0 + 0.7 * 4.0;
+        assert!(e.culprits.windows(2).all(|w| w[0].score <= w[1].score));
+        assert!(e.culprits.iter().all(|c| c.score < sq));
+    }
+}

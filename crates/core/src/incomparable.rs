@@ -1,0 +1,210 @@
+//! The dominance frontier and the MQWK *reuse* technique (§4.4).
+//!
+//! `FindIncom` classifies the dataset relative to a query point into
+//! dominators `D`, incomparable points `I`, and (pruned) points dominated
+//! by `q`. The rank of `q` under any strictly positive weighting vector
+//! follows from `D` and `I` alone:
+//! `rank = 1 + |D| + |{p ∈ I : f(w, p) < f(w, q)}|`.
+//!
+//! MQWK evaluates many sampled query points `q′ ⪯ q`. Because `q′`
+//! dominates `q`, every point dominated by `q` stays dominated by `q′`,
+//! so one R-tree traversal for the original `q` yields a *frontier*
+//! (`D ∪ I`) that is a superset of every sample's frontier and can be
+//! re-classified per sample without touching the index again — the
+//! paper's reuse technique (revised `FindIncom`, §4.4).
+
+use wqrtq_geom::{dominates, score};
+use wqrtq_rtree::{search::DominanceSplit, RTree};
+
+/// The classified frontier of a query point: everything needed to rank
+/// that point under arbitrary (positive) weighting vectors without the
+/// R-tree.
+#[derive(Clone, Debug)]
+pub struct DominanceFrontier {
+    dim: usize,
+    q: Vec<f64>,
+    /// Flat `|D| × dim` coordinates of points dominating `q` (they beat
+    /// it under every strictly positive weight).
+    dominating: Vec<f64>,
+    /// Flat `|I| × dim` coordinates of the incomparable points.
+    incomparable: Vec<f64>,
+}
+
+impl DominanceFrontier {
+    /// Runs `FindIncom` against the index and captures the result.
+    pub fn from_tree(tree: &RTree, q: &[f64]) -> Self {
+        let split = tree.split_by_dominance(q);
+        Self::from_split(tree.dim(), q, &split)
+    }
+
+    /// Builds from a pre-computed dominance split.
+    pub fn from_split(dim: usize, q: &[f64], split: &DominanceSplit) -> Self {
+        Self {
+            dim,
+            q: q.to_vec(),
+            dominating: split.dominating_coords.clone(),
+            incomparable: split.incomparable_coords.clone(),
+        }
+    }
+
+    /// Re-classifies this frontier for a new query point `q′ ⪯ q`
+    /// (component-wise) — the reuse path of MQWK. Correct because every
+    /// point dominated by `q` is also dominated by `q′`, so only the
+    /// frontier members need a fresh dominance test.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `q′` does not dominate-or-equal `q`.
+    pub fn reclassify(&self, q_prime: &[f64]) -> DominanceFrontier {
+        debug_assert!(
+            q_prime.iter().zip(&self.q).all(|(a, b)| a <= b),
+            "reuse requires q′ ⪯ q"
+        );
+        let dim = self.dim;
+        let mut dominating = Vec::new();
+        let mut incomparable = Vec::new();
+        {
+            let mut scan = |p: &[f64]| {
+                if dominates(p, q_prime) {
+                    dominating.extend_from_slice(p);
+                } else if !dominates(q_prime, p) {
+                    incomparable.extend_from_slice(p);
+                }
+            };
+            for i in 0..self.num_incomparable() {
+                scan(&self.incomparable[i * dim..(i + 1) * dim]);
+            }
+            for i in 0..self.num_dominating() {
+                scan(&self.dominating[i * dim..(i + 1) * dim]);
+            }
+        }
+        DominanceFrontier {
+            dim,
+            q: q_prime.to_vec(),
+            dominating,
+            incomparable,
+        }
+    }
+
+    /// `|D|`.
+    pub fn num_dominating(&self) -> usize {
+        self.dominating.len() / self.dim
+    }
+
+    /// `|I|`.
+    pub fn num_incomparable(&self) -> usize {
+        self.incomparable.len() / self.dim
+    }
+
+    /// The query point this frontier is relative to.
+    pub fn q(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// Coordinates of the `i`-th incomparable point.
+    pub fn incomparable_point(&self, i: usize) -> &[f64] {
+        &self.incomparable[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The possible rank range of `q`: `[|D| + 1, |D| + |I| + 1]` (§4.3).
+    pub fn rank_range(&self) -> (usize, usize) {
+        (
+            self.num_dominating() + 1,
+            self.num_dominating() + self.num_incomparable() + 1,
+        )
+    }
+
+    /// Exact rank of `q` under a strictly positive weighting vector,
+    /// computed from `D` and `I` only (Algorithm 2, lines 4–9).
+    pub fn rank_under(&self, w: &[f64]) -> usize {
+        let sq = score(w, &self.q);
+        let dim = self.dim;
+        let n = self.num_incomparable();
+        let mut better = 0usize;
+        for i in 0..n {
+            if score(w, &self.incomparable[i * dim..(i + 1) * dim]) < sq {
+                better += 1;
+            }
+        }
+        self.num_dominating() + better + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqrtq_query::rank::rank_of_point;
+
+    fn fig_tree() -> RTree {
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        RTree::bulk_load(2, &pts)
+    }
+
+    #[test]
+    fn figure_2a_frontier() {
+        let f = DominanceFrontier::from_tree(&fig_tree(), &[4.0, 4.0]);
+        assert_eq!(f.num_dominating(), 1); // p1
+        assert_eq!(f.num_incomparable(), 4); // p2, p3, p4, p7
+        assert_eq!(f.rank_range(), (2, 6));
+    }
+
+    #[test]
+    fn frontier_rank_matches_tree_rank() {
+        let tree = fig_tree();
+        let q = [4.0, 4.0];
+        let f = DominanceFrontier::from_tree(&tree, &q);
+        for w in [[0.1, 0.9], [0.3, 0.7], [0.5, 0.5], [0.9, 0.1], [0.25, 0.75]] {
+            assert_eq!(
+                f.rank_under(&w),
+                rank_of_point(&tree, &w, &q),
+                "weight {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reclassify_matches_fresh_traversal() {
+        let tree = fig_tree();
+        let base = DominanceFrontier::from_tree(&tree, &[4.0, 4.0]);
+        for q_prime in [[3.5, 3.8], [3.0, 3.0], [4.0, 2.0], [0.5, 0.5], [4.0, 4.0]] {
+            let reused = base.reclassify(&q_prime);
+            let fresh = DominanceFrontier::from_tree(&tree, &q_prime);
+            assert_eq!(
+                reused.num_dominating(),
+                fresh.num_dominating(),
+                "D mismatch at {q_prime:?}"
+            );
+            assert_eq!(
+                reused.num_incomparable(),
+                fresh.num_incomparable(),
+                "I mismatch at {q_prime:?}"
+            );
+            for w in [[0.2, 0.8], [0.6, 0.4]] {
+                assert_eq!(reused.rank_under(&w), fresh.rank_under(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_range_brackets_every_weight() {
+        let tree = fig_tree();
+        let f = DominanceFrontier::from_tree(&tree, &[4.0, 4.0]);
+        let (lo, hi) = f.rank_range();
+        for i in 1..20 {
+            let x = i as f64 / 20.0;
+            let r = f.rank_under(&[x, 1.0 - x]);
+            assert!((lo..=hi).contains(&r), "rank {r} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn moving_query_to_origin_dominates_everything() {
+        let tree = fig_tree();
+        let base = DominanceFrontier::from_tree(&tree, &[4.0, 4.0]);
+        let f = base.reclassify(&[0.0, 0.0]);
+        assert_eq!(f.num_dominating(), 0);
+        assert_eq!(f.num_incomparable(), 0);
+        assert_eq!(f.rank_under(&[0.5, 0.5]), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! MWK — Modifying `Wm` and `k` (Algorithm 2 of the paper).
+//!
+//! MWK refines customer preferences instead of the product: it finds a
+//! modified why-not set `Wm′` and parameter `k′` with minimum penalty
+//! (Eq. 4) such that `q ∈ TOPk′(w′)` for every `w′ ∈ Wm′`.
+//!
+//! Pipeline, following the paper:
+//!
+//! 1. `FindIncom` — classify the dataset into dominators `D` and
+//!    incomparable points `I` (one pruned R-tree traversal);
+//! 2. ranks of `q` under the original vectors give `k′max` (Lemma 4);
+//! 3. sample `|S|` weighting vectors from the tie hyperplanes of `I`
+//!    (§4.3, the only places optimal replacements can live);
+//! 4. sort candidates by the rank of `q` and scan once, maintaining the
+//!    candidate set `CW` and keeping the best `(Wm′, k′)` (Lemmas 5–6).
+//!
+//! One deliberate strengthening over the paper's pseudo-code: the
+//! original why-not vectors are added to the candidate pool (with their
+//! known ranks). This lets the scan keep an original vector unchanged
+//! whenever the running `k′` already covers its rank — a candidate family
+//! Algorithm 2 as printed cannot reach — and subsumes its line-11
+//! initialisation `(Wm, k′max)` as the pool's tail. The returned penalty
+//! is therefore never worse than the paper's.
+
+use crate::error::WhyNotError;
+use crate::incomparable::DominanceFrontier;
+use crate::penalty::{preference_penalty, Tolerances};
+use crate::sampling::WeightSampler;
+use wqrtq_geom::Weight;
+use wqrtq_rtree::RTree;
+
+/// Result of the MWK refinement.
+#[derive(Clone, Debug)]
+pub struct MwkResult {
+    /// The refined why-not vectors `Wm′` (aligned with the input order).
+    pub refined: Vec<Weight>,
+    /// The refined parameter `k′`.
+    pub k_prime: usize,
+    /// Penalty of the refinement (Eq. 4).
+    pub penalty: f64,
+    /// `k′max` — the worst actual rank of `q` under the original vectors
+    /// (Lemma 4), used as the `Δk` normaliser.
+    pub k_max: usize,
+    /// Actual rank of `q` under each original why-not vector.
+    pub actual_ranks: Vec<usize>,
+    /// Candidate weighting vectors examined (samples + originals after
+    /// the Lemma-4 cut).
+    pub candidates_examined: usize,
+}
+
+/// Runs MWK against an indexed dataset.
+pub fn mwk(
+    tree: &RTree,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+    sample_size: usize,
+    tol: &Tolerances,
+    seed: u64,
+) -> Result<MwkResult, WhyNotError> {
+    if why_not.is_empty() {
+        return Err(WhyNotError::EmptyWhyNot);
+    }
+    if q.len() != tree.dim() {
+        return Err(WhyNotError::DimensionMismatch {
+            expected: tree.dim(),
+            got: q.len(),
+        });
+    }
+    for w in why_not {
+        if w.dim() != tree.dim() {
+            return Err(WhyNotError::DimensionMismatch {
+                expected: tree.dim(),
+                got: w.dim(),
+            });
+        }
+    }
+    let frontier = DominanceFrontier::from_tree(tree, q);
+    Ok(mwk_with_frontier(
+        &frontier,
+        k,
+        why_not,
+        sample_size,
+        tol,
+        seed,
+    ))
+}
+
+/// MWK over a pre-computed dominance frontier — the entry point used by
+/// MQWK's reuse technique (the frontier carries the query point).
+pub fn mwk_with_frontier(
+    frontier: &DominanceFrontier,
+    k: usize,
+    why_not: &[Weight],
+    sample_size: usize,
+    tol: &Tolerances,
+    seed: u64,
+) -> MwkResult {
+    assert!(!why_not.is_empty(), "why-not set must be non-empty");
+    let m = why_not.len();
+
+    // Ranks of q under the originals (Algorithm 2 lines 7–9) and k′max.
+    let ranks: Vec<usize> = why_not.iter().map(|w| frontier.rank_under(w)).collect();
+    let k_max = ranks.iter().copied().max().expect("non-empty ranks");
+
+    // Nothing to do: every vector already admits q (possible for sampled
+    // query points inside MQWK).
+    if k_max <= k {
+        return MwkResult {
+            refined: why_not.to_vec(),
+            k_prime: k,
+            penalty: 0.0,
+            k_max,
+            actual_ranks: ranks,
+            candidates_examined: 0,
+        };
+    }
+
+    // Candidate pool: hyperplane samples (line 3) plus the originals.
+    let mut sampler = WeightSampler::new(frontier, why_not, seed);
+    let mut pool: Vec<(Weight, usize)> = sampler
+        .sample(sample_size)
+        .into_iter()
+        .map(|w| {
+            let r = frontier.rank_under(&w);
+            (w, r)
+        })
+        .collect();
+    for (w, &r) in why_not.iter().zip(&ranks) {
+        pool.push((w.clone(), r));
+    }
+    // Lemma 4: candidates ranked beyond k′max cannot improve the answer.
+    pool.retain(|(_, r)| *r <= k_max);
+    // Sort by rank of q (line 6).
+    pool.sort_by_key(|(_, r)| *r);
+    let candidates_examined = pool.len();
+
+    // Baseline candidate: keep Wm, raise k to k′max (line 11) — penalty α.
+    let mut best_refined = why_not.to_vec();
+    let mut best_k = k_max;
+    let mut best_pen = preference_penalty(tol, why_not, why_not, k, k_max, k_max);
+
+    // Scan (lines 12–18, Lemma 6): CW starts as the lowest-ranked
+    // candidate replicated across positions.
+    debug_assert!(!pool.is_empty(), "pool contains at least the originals");
+    let (first, first_rank) = (&pool[0].0, pool[0].1);
+    let mut cw: Vec<Weight> = vec![first.clone(); m];
+    let mut cw_dist: Vec<f64> = why_not.iter().map(|w| w.distance(first)).collect();
+    {
+        let k_cand = first_rank.max(k);
+        let pen = preference_penalty(tol, why_not, &cw, k, k_cand, k_max);
+        if pen < best_pen {
+            best_pen = pen;
+            best_k = k_cand;
+            best_refined = cw.clone();
+        }
+    }
+    for (ws, rs) in pool.iter().skip(1) {
+        let mut updated = false;
+        for i in 0..m {
+            let d = why_not[i].distance(ws);
+            if d < cw_dist[i] {
+                cw[i] = ws.clone();
+                cw_dist[i] = d;
+                updated = true;
+            }
+        }
+        if updated {
+            // Pool is rank-sorted, so the max rank inside CW is `rs`.
+            let k_cand = (*rs).max(k);
+            let pen = preference_penalty(tol, why_not, &cw, k, k_cand, k_max);
+            if pen < best_pen {
+                best_pen = pen;
+                best_k = k_cand;
+                best_refined = cw.clone();
+            }
+        }
+    }
+
+    MwkResult {
+        refined: best_refined,
+        k_prime: best_k,
+        penalty: best_pen,
+        k_max,
+        actual_ranks: ranks,
+        candidates_examined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqrtq_query::rank::rank_of_point;
+
+    fn fig_tree() -> RTree {
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        RTree::bulk_load(2, &pts)
+    }
+
+    fn kevin_julia() -> Vec<Weight> {
+        vec![Weight::new(vec![0.1, 0.9]), Weight::new(vec![0.9, 0.1])]
+    }
+
+    fn verify(tree: &RTree, q: &[f64], res: &MwkResult) {
+        for w in &res.refined {
+            let r = rank_of_point(tree, w, q);
+            assert!(
+                r <= res.k_prime,
+                "refined vector {w:?} ranks {r} > k′ = {}",
+                res.k_prime
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_ranks_and_kmax() {
+        let tree = fig_tree();
+        let res = mwk(
+            &tree,
+            &[4.0, 4.0],
+            3,
+            &kevin_julia(),
+            200,
+            &Tolerances::paper_default(),
+            7,
+        )
+        .unwrap();
+        // §4.3: ranks of q under w1 and w4 are both 4 → k′max = 4.
+        assert_eq!(res.actual_ranks, vec![4, 4]);
+        assert_eq!(res.k_max, 4);
+        verify(&tree, &[4.0, 4.0], &res);
+    }
+
+    #[test]
+    fn beats_the_k_only_candidate_on_paper_example() {
+        // The paper's §4.3 example: modifying the vectors beats modifying
+        // k alone (penalty 0.5); the best refinement costs ≈ 0.108 with
+        // the exact tie weights (1/6, 5/6) and (3/4, 1/4).
+        let tree = fig_tree();
+        let res = mwk(
+            &tree,
+            &[4.0, 4.0],
+            3,
+            &kevin_julia(),
+            400,
+            &Tolerances::paper_default(),
+            11,
+        )
+        .unwrap();
+        assert!(res.penalty < 0.5, "penalty {}", res.penalty);
+        assert!(res.penalty < 0.15, "penalty {}", res.penalty);
+        verify(&tree, &[4.0, 4.0], &res);
+    }
+
+    #[test]
+    fn exact_optimum_reachable_in_2d() {
+        // In 2-D the tie hyperplanes are single points, so with enough
+        // samples MWK finds the analytically optimal refinement:
+        // Kevin → (1/6, 5/6) (Δ = 0.0667·√2), Julia → (3/4, 1/4)
+        // (Δ = 0.15·√2), k unchanged.
+        let tree = fig_tree();
+        let res = mwk(
+            &tree,
+            &[4.0, 4.0],
+            3,
+            &kevin_julia(),
+            800,
+            &Tolerances::paper_default(),
+            3,
+        )
+        .unwrap();
+        let expected = 0.5 * ((0.1f64 - 1.0 / 6.0).abs() + 0.15) * std::f64::consts::SQRT_2
+            / std::f64::consts::SQRT_2;
+        assert!(
+            (res.penalty - expected).abs() < 1e-6,
+            "penalty {} vs expected {expected}",
+            res.penalty
+        );
+        assert_eq!(res.k_prime, 3);
+        verify(&tree, &[4.0, 4.0], &res);
+    }
+
+    #[test]
+    fn zero_samples_still_returns_valid_answer() {
+        // With no samples the pool holds only the originals: the answer
+        // degenerates to the paper's line-11 candidate (Wm, k′max).
+        let tree = fig_tree();
+        let res = mwk(
+            &tree,
+            &[4.0, 4.0],
+            3,
+            &kevin_julia(),
+            0,
+            &Tolerances::paper_default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(res.k_prime, 4);
+        assert_eq!(res.refined[0].as_slice(), kevin_julia()[0].as_slice());
+        assert!((res.penalty - 0.5).abs() < 1e-12);
+        verify(&tree, &[4.0, 4.0], &res);
+    }
+
+    #[test]
+    fn penalty_never_increases_with_sample_size() {
+        // Larger |S| supersets the candidate space statistically; penalty
+        // trends down (paper Fig. 12). Check monotone-ish behaviour on a
+        // fixed ladder of seeds.
+        let tree = fig_tree();
+        let tol = Tolerances::paper_default();
+        let p100 = mwk(&tree, &[4.0, 4.0], 3, &kevin_julia(), 100, &tol, 5)
+            .unwrap()
+            .penalty;
+        let p1600 = mwk(&tree, &[4.0, 4.0], 3, &kevin_julia(), 1600, &tol, 5)
+            .unwrap()
+            .penalty;
+        assert!(p1600 <= p100 + 1e-9, "p100 = {p100}, p1600 = {p1600}");
+    }
+
+    #[test]
+    fn not_why_not_vectors_cost_nothing() {
+        // Tony and Anna are already in the result: MWK must return the
+        // identity refinement with zero penalty.
+        let tree = fig_tree();
+        let members = vec![Weight::new(vec![0.5, 0.5]), Weight::new(vec![0.3, 0.7])];
+        let res = mwk(
+            &tree,
+            &[4.0, 4.0],
+            3,
+            &members,
+            100,
+            &Tolerances::paper_default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(res.penalty, 0.0);
+        assert_eq!(res.k_prime, 3);
+    }
+
+    #[test]
+    fn mixed_member_and_why_not_set() {
+        // Kevin (why-not) + Tony (member): the optimal answer keeps Tony
+        // untouched.
+        let tree = fig_tree();
+        let mixed = vec![Weight::new(vec![0.1, 0.9]), Weight::new(vec![0.5, 0.5])];
+        let res = mwk(
+            &tree,
+            &[4.0, 4.0],
+            3,
+            &mixed,
+            400,
+            &Tolerances::paper_default(),
+            9,
+        )
+        .unwrap();
+        verify(&tree, &[4.0, 4.0], &res);
+        assert_eq!(
+            res.refined[1].as_slice(),
+            mixed[1].as_slice(),
+            "member vector should stay unchanged"
+        );
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        let tree = fig_tree();
+        let tol = Tolerances::paper_default();
+        assert!(matches!(
+            mwk(&tree, &[4.0, 4.0], 3, &[], 10, &tol, 1),
+            Err(WhyNotError::EmptyWhyNot)
+        ));
+        assert!(matches!(
+            mwk(&tree, &[4.0], 3, &kevin_julia(), 10, &tol, 1),
+            Err(WhyNotError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tree = fig_tree();
+        let tol = Tolerances::paper_default();
+        let a = mwk(&tree, &[4.0, 4.0], 3, &kevin_julia(), 300, &tol, 21).unwrap();
+        let b = mwk(&tree, &[4.0, 4.0], 3, &kevin_julia(), 300, &tol, 21).unwrap();
+        assert_eq!(a.penalty, b.penalty);
+        assert_eq!(a.k_prime, b.k_prime);
+    }
+}

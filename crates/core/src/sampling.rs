@@ -1,0 +1,474 @@
+//! Sampling machinery for MWK and MQWK (§4.3–4.4).
+//!
+//! **Weight samples.** For a fixed target rank, the optimal modified
+//! weighting vector lies on one of the hyperplanes
+//! `{w : w·(p − q) = 0}` for `p` incomparable with `q`, intersected with
+//! the weight simplex (§4.3, citing \[14\]). The paper further narrows the
+//! sample space to vectors that "approximate the minimum `|w − wᵢ|`" —
+//! for one hyperplane that minimiser is the *projection* of the why-not
+//! vector `wᵢ` onto it. The sampler therefore draws, per sample:
+//!
+//! * with high probability, the projection of a (random) why-not anchor
+//!   onto the tie hyperplane of a point currently *beating* `q` under
+//!   that anchor (crossing such a hyperplane is what improves `q`'s
+//!   rank), optionally jittered along the hyperplane for diversity;
+//! * otherwise an exploration draw: a feasible point of a random
+//!   incomparable hyperplane, randomised by hit-and-run steps.
+//!
+//! Every sample is nudged `ε` into the closed "`p` does not beat `q`"
+//! side so downstream exact-arithmetic rank computations agree with the
+//! paper's tie semantics (`f(w,q) ≤ f(w,p)` keeps `q` in).
+//!
+//! **Query-point samples.** MQWK samples candidate query points from the
+//! box `(qmin, q)` where `qmin` is the MQP optimum — any point outside
+//! that box is provably dominated by an endpoint solution (§4.4).
+
+use crate::incomparable::DominanceFrontier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wqrtq_geom::{score, Weight};
+
+/// Samples weighting vectors from the union of the `I`-hyperplanes of a
+/// dominance frontier, anchored at the why-not vectors.
+#[derive(Debug)]
+pub struct WeightSampler<'a> {
+    frontier: &'a DominanceFrontier,
+    anchors: Vec<Weight>,
+    /// Per anchor: indices of incomparable points beating `q` under it.
+    culprits: Vec<Vec<u32>>,
+    rng: StdRng,
+    /// Number of hit-and-run randomisation steps per exploration sample.
+    mix_steps: usize,
+}
+
+impl<'a> WeightSampler<'a> {
+    /// Creates a sampler over the frontier's incomparable hyperplanes,
+    /// anchored at `why_not` (the vectors whose neighbourhood matters).
+    pub fn new(frontier: &'a DominanceFrontier, why_not: &[Weight], seed: u64) -> Self {
+        let culprits = why_not
+            .iter()
+            .map(|w| {
+                let sq = score(w, frontier.q());
+                (0..frontier.num_incomparable() as u32)
+                    .filter(|&i| score(w, frontier.incomparable_point(i as usize)) < sq)
+                    .collect()
+            })
+            .collect();
+        Self {
+            frontier,
+            anchors: why_not.to_vec(),
+            culprits,
+            rng: StdRng::seed_from_u64(seed),
+            mix_steps: 6,
+        }
+    }
+
+    /// Draws up to `n` sample weighting vectors. Returns fewer (possibly
+    /// zero) when the frontier has no incomparable points or degenerate
+    /// hyperplanes are hit repeatedly.
+    pub fn sample(&mut self, n: usize) -> Vec<Weight> {
+        let m = self.frontier.num_incomparable();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut failures = 0;
+        while out.len() < n && failures < 8 * n + 64 {
+            let drew = if !self.anchors.is_empty() && self.rng.gen::<f64>() < 0.75 {
+                self.sample_projection()
+            } else {
+                let idx = self.rng.gen_range(0..m);
+                let p = self.frontier.incomparable_point(idx).to_vec();
+                self.sample_on_plane(&p)
+            };
+            match drew {
+                Some(w) => out.push(w),
+                None => failures += 1,
+            }
+        }
+        out
+    }
+
+    /// Projection draw: project a random anchor onto the tie hyperplane
+    /// of one of its culprit points — the minimal move neutralising that
+    /// point (and every nearer one).
+    fn sample_projection(&mut self) -> Option<Weight> {
+        let a_idx = self.rng.gen_range(0..self.anchors.len());
+        let culprits = &self.culprits[a_idx];
+        if culprits.is_empty() {
+            return None;
+        }
+        let p_idx = culprits[self.rng.gen_range(0..culprits.len())] as usize;
+        let p = self.frontier.incomparable_point(p_idx);
+        let q = self.frontier.q();
+        let dim = q.len();
+        let delta: Vec<f64> = p.iter().zip(q).map(|(x, y)| x - y).collect();
+        let anchor = self.anchors[a_idx].as_slice().to_vec();
+
+        // Projection within the Σw = 1 plane: w = a − μ·δ̃ with
+        // δ̃ = δ − mean(δ)·1 and μ = (a·δ)/(δ̃·δ̃).
+        let dmean = delta.iter().sum::<f64>() / dim as f64;
+        let dtilde: Vec<f64> = delta.iter().map(|d| d - dmean).collect();
+        let dd: f64 = dtilde.iter().map(|d| d * d).sum();
+        if dd < 1e-18 {
+            return None;
+        }
+        let mu = wqrtq_geom::dot(&anchor, &delta) / dd;
+        let mut w: Vec<f64> = anchor
+            .iter()
+            .zip(&dtilde)
+            .map(|(ai, di)| ai - mu * di)
+            .collect();
+
+        // Optional jitter along the hyperplane for diversity (d > 2).
+        if dim > 2 && self.rng.gen::<f64>() < 0.5 {
+            if let Some(dir) = self.tangent_direction(&delta) {
+                let (lo, hi) = step_range(&w, &dir);
+                let lo = lo.max(-0.15);
+                let hi = hi.min(0.15);
+                if hi > lo {
+                    let t = self.rng.gen_range(lo..hi);
+                    for (wk, dk) in w.iter_mut().zip(&dir) {
+                        *wk += t * dk;
+                    }
+                }
+            }
+        }
+
+        self.finish_sample(w, &delta)
+    }
+
+    /// Exploration draw: a feasible point of `{w ∈ simplex : w·δ = 0}`
+    /// randomised by hit-and-run.
+    fn sample_on_plane(&mut self, p: &[f64]) -> Option<Weight> {
+        let q = self.frontier.q();
+        let dim = q.len();
+        let delta: Vec<f64> = p.iter().zip(q).map(|(a, b)| a - b).collect();
+        // Feasible construction: one index where p is better (δ < 0) and
+        // one where it is worse (δ > 0); incomparability guarantees both
+        // exist (up to ties, which we skip).
+        let neg: Vec<usize> = (0..dim).filter(|&i| delta[i] < -1e-12).collect();
+        let pos: Vec<usize> = (0..dim).filter(|&i| delta[i] > 1e-12).collect();
+        if neg.is_empty() || pos.is_empty() {
+            return None;
+        }
+        let i = neg[self.rng.gen_range(0..neg.len())];
+        let j = pos[self.rng.gen_range(0..pos.len())];
+        // w = t·e_i + (1−t)·e_j with t·δ_i + (1−t)·δ_j = 0.
+        let t = delta[j] / (delta[j] - delta[i]);
+        let mut w = vec![0.0; dim];
+        w[i] = t;
+        w[j] = 1.0 - t;
+
+        // Hit-and-run inside {w ≥ 0, Σw = 1, w·δ = 0} for d > 2.
+        if dim > 2 {
+            for _ in 0..self.mix_steps {
+                if let Some(d) = self.tangent_direction(&delta) {
+                    let (lo, hi) = step_range(&w, &d);
+                    if hi > lo {
+                        let t = self.rng.gen_range(lo..hi);
+                        for (wk, dk) in w.iter_mut().zip(&d) {
+                            *wk = (*wk + t * dk).max(0.0);
+                        }
+                        let s: f64 = w.iter().sum();
+                        for wk in &mut w {
+                            *wk /= s;
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_sample(w, &delta)
+    }
+
+    /// Clamps to the simplex and nudges ε into the closed "p does not
+    /// beat q" side (w·δ ≥ 0). Mathematically the tie itself keeps q in
+    /// (the paper's ≤ semantics); the nudge makes exact-arithmetic rank
+    /// computations agree under floating point. Its 1e-9 magnitude is far
+    /// above rounding noise and far below any observable penalty.
+    fn finish_sample(&mut self, mut w: Vec<f64>, delta: &[f64]) -> Option<Weight> {
+        let dim = delta.len();
+        for x in &mut w {
+            if !x.is_finite() {
+                return None;
+            }
+            *x = x.max(0.0);
+        }
+        let s: f64 = w.iter().sum();
+        if s <= 0.0 {
+            return None;
+        }
+        for x in &mut w {
+            *x /= s;
+        }
+        // Clamping may have pushed w off the hyperplane to the beating
+        // side; correct by projecting the violation out, then nudge.
+        let dmean = delta.iter().sum::<f64>() / dim as f64;
+        let dtilde: Vec<f64> = delta.iter().map(|d| d - dmean).collect();
+        let dd: f64 = dtilde.iter().map(|d| d * d).sum();
+        if dd < 1e-18 {
+            return None;
+        }
+        let viol = wqrtq_geom::dot(&w, delta);
+        if viol < 0.0 {
+            let mu = viol / dd;
+            for (wk, dk) in w.iter_mut().zip(&dtilde) {
+                *wk = (*wk - mu * dk).max(0.0);
+            }
+        }
+        for (wk, dk) in w.iter_mut().zip(&dtilde) {
+            *wk = (*wk + 1e-9 * dk).max(0.0);
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return None;
+        }
+        Some(Weight::normalized(w))
+    }
+
+    /// A random direction in the tangent space `{v : Σv = 0, v·δ = 0}`.
+    fn tangent_direction(&mut self, delta: &[f64]) -> Option<Vec<f64>> {
+        let dim = delta.len();
+        let mut v: Vec<f64> = (0..dim).map(|_| self.rng.gen::<f64>() - 0.5).collect();
+        // Project out the all-ones direction.
+        let mean = v.iter().sum::<f64>() / dim as f64;
+        for x in &mut v {
+            *x -= mean;
+        }
+        // Project out δ (within the Σ=0 subspace: remove δ's mean first).
+        let dmean = delta.iter().sum::<f64>() / dim as f64;
+        let dproj: Vec<f64> = delta.iter().map(|d| d - dmean).collect();
+        let dd: f64 = dproj.iter().map(|d| d * d).sum();
+        if dd < 1e-18 {
+            return None;
+        }
+        let vd: f64 = v.iter().zip(&dproj).map(|(a, b)| a * b).sum();
+        for (x, d) in v.iter_mut().zip(&dproj) {
+            *x -= vd / dd * d;
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            None
+        } else {
+            Some(v.into_iter().map(|x| x / norm).collect())
+        }
+    }
+}
+
+/// The range of `t` keeping `w + t·d ≥ 0`.
+fn step_range(w: &[f64], d: &[f64]) -> (f64, f64) {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for (wi, di) in w.iter().zip(d) {
+        if *di > 1e-15 {
+            lo = lo.max(-wi / di);
+        } else if *di < -1e-15 {
+            hi = hi.min(-wi / di);
+        }
+    }
+    (lo.max(-1e3), hi.min(1e3))
+}
+
+/// Samples `n` candidate query points uniformly from the open box
+/// `(qmin, q)` — the qualified sample space of MQWK (§4.4).
+pub fn sample_query_points(qmin: &[f64], q: &[f64], n: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert_eq!(qmin.len(), q.len(), "dimension mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            qmin.iter()
+                .zip(q)
+                .map(|(lo, hi)| {
+                    if hi > lo {
+                        rng.gen_range(*lo..*hi)
+                    } else {
+                        *lo
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wqrtq_geom::score;
+    use wqrtq_rtree::RTree;
+
+    fn fig_frontier() -> DominanceFrontier {
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        let tree = RTree::bulk_load(2, &pts);
+        DominanceFrontier::from_tree(&tree, &[4.0, 4.0])
+    }
+
+    fn kevin_julia() -> Vec<Weight> {
+        vec![Weight::new(vec![0.1, 0.9]), Weight::new(vec![0.9, 0.1])]
+    }
+
+    #[test]
+    fn samples_lie_on_tie_hyperplanes_2d() {
+        let f = fig_frontier();
+        let mut s = WeightSampler::new(&f, &kevin_julia(), 42);
+        let ws = s.sample(50);
+        assert!(!ws.is_empty());
+        for w in &ws {
+            // Each sample ties q with SOME incomparable point.
+            let sq = score(w, f.q());
+            let tied = (0..f.num_incomparable())
+                .any(|i| (score(w, f.incomparable_point(i)) - sq).abs() < 1e-6);
+            assert!(tied, "sample {w:?} ties no incomparable point");
+        }
+    }
+
+    #[test]
+    fn samples_never_land_on_beating_side() {
+        // The ε-nudge guarantees the tying point does not beat q.
+        let f = fig_frontier();
+        let mut s = WeightSampler::new(&f, &kevin_julia(), 8);
+        for w in s.sample(100) {
+            let sq = score(&w, f.q());
+            let near_tie_beats = (0..f.num_incomparable()).any(|i| {
+                let sp = score(&w, f.incomparable_point(i));
+                (sp - sq).abs() < 1e-6 && sp < sq
+            });
+            assert!(!near_tie_beats, "sample {w:?} has its tie point beating q");
+        }
+    }
+
+    #[test]
+    fn paper_tie_weights_are_reachable() {
+        // p4=(9,3) ties q=(4,4) at w=(1/6,5/6); p7=(3,7) at w=(3/4,1/4)
+        // (Figure 2(b) landmarks B and C). With anchored projection both
+        // appear quickly: they are the projections of Kevin and Julia.
+        let f = fig_frontier();
+        let mut s = WeightSampler::new(&f, &kevin_julia(), 7);
+        let ws = s.sample(200);
+        let found_b = ws.iter().any(|w| (w[0] - 1.0 / 6.0).abs() < 1e-6);
+        let found_c = ws.iter().any(|w| (w[0] - 0.75).abs() < 1e-6);
+        assert!(found_b, "tie weight of p4 never sampled");
+        assert!(found_c, "tie weight of p7 never sampled");
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let f = fig_frontier();
+        let anchors = kevin_julia();
+        let a: Vec<Vec<f64>> = WeightSampler::new(&f, &anchors, 5)
+            .sample(20)
+            .into_iter()
+            .map(|w| w.into_vec())
+            .collect();
+        let b: Vec<Vec<f64>> = WeightSampler::new(&f, &anchors, 5)
+            .sample(20)
+            .into_iter()
+            .map(|w| w.into_vec())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_frontier_yields_no_samples() {
+        let pts = vec![0.1, 0.1, 0.2, 0.2]; // both points dominate q: I = ∅
+        let tree = RTree::bulk_load(2, &pts);
+        let f = DominanceFrontier::from_tree(&tree, &[5.0, 5.0]);
+        assert_eq!(f.num_incomparable(), 0);
+        let mut s = WeightSampler::new(&f, &kevin_julia(), 1);
+        assert!(s.sample(10).is_empty());
+    }
+
+    #[test]
+    fn three_d_samples_satisfy_constraints() {
+        // 3-D: projections and hit-and-run must keep samples on the
+        // simplex ∩ (some tie hyperplane).
+        let pts = vec![
+            5.0, 1.0, 9.0, //
+            1.0, 8.0, 4.0, //
+            9.0, 5.0, 1.0, //
+            2.0, 9.0, 9.0, //
+        ];
+        let tree = RTree::bulk_load(3, &pts);
+        let q = [4.0, 4.0, 4.0];
+        let f = DominanceFrontier::from_tree(&tree, &q);
+        assert!(f.num_incomparable() > 0);
+        let anchors = vec![Weight::new(vec![0.2, 0.3, 0.5])];
+        let mut s = WeightSampler::new(&f, &anchors, 11);
+        let ws = s.sample(100);
+        assert!(ws.len() >= 50);
+        for w in &ws {
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+            let sq = score(w, &q);
+            let tied = (0..f.num_incomparable())
+                .any(|i| (score(w, f.incomparable_point(i)) - sq).abs() < 1e-5);
+            assert!(tied, "3-D sample {w:?} lies on no tie hyperplane");
+        }
+    }
+
+    #[test]
+    fn projections_cluster_near_their_anchor() {
+        // The §4.3 quality requirement: samples should approximate the
+        // minimum |w − wi|. Anchored projections must on average sit far
+        // closer to the anchor than blind feasible-point construction.
+        let pts: Vec<f64> = (0..400)
+            .flat_map(|i| {
+                let a = (i as f64 * 0.7919) % 1.0 * 10.0;
+                let b = (i as f64 * 0.3617) % 1.0 * 10.0;
+                let c = (i as f64 * 0.5387) % 1.0 * 10.0;
+                [a, b, c]
+            })
+            .collect();
+        let tree = RTree::bulk_load(3, &pts);
+        let q = [3.0, 3.0, 3.0];
+        let f = DominanceFrontier::from_tree(&tree, &q);
+        let anchor = Weight::new(vec![0.6, 0.3, 0.1]);
+        let mut anchored = WeightSampler::new(&f, std::slice::from_ref(&anchor), 3);
+        let mut blind = WeightSampler::new(&f, &[], 3);
+        let mean_dist = |ws: &[Weight]| {
+            ws.iter().map(|w| anchor.distance(w)).sum::<f64>() / ws.len().max(1) as f64
+        };
+        let da = mean_dist(&anchored.sample(200));
+        let db = mean_dist(&blind.sample(200));
+        assert!(
+            da < 0.7 * db,
+            "anchored mean distance {da} should be well below blind {db}"
+        );
+    }
+
+    #[test]
+    fn three_d_hit_and_run_actually_mixes() {
+        // Exploration samples from one hyperplane should differ — the
+        // polytope has positive dimension for d = 3.
+        let pts = vec![5.0, 1.0, 9.0];
+        let tree = RTree::bulk_load(3, &pts);
+        let f = DominanceFrontier::from_tree(&tree, &[4.0, 4.0, 4.0]);
+        let mut s = WeightSampler::new(&f, &[], 3);
+        let ws = s.sample(20);
+        assert_eq!(ws.len(), 20);
+        let first = ws[0].as_slice().to_vec();
+        assert!(
+            ws.iter().any(|w| {
+                w.as_slice()
+                    .iter()
+                    .zip(&first)
+                    .any(|(a, b)| (a - b).abs() > 1e-6)
+            }),
+            "all 20 samples identical — hit-and-run not mixing"
+        );
+    }
+
+    #[test]
+    fn query_point_samples_stay_in_box() {
+        let qmin = [1.0, 2.0, 3.0];
+        let q = [2.0, 2.0, 5.0]; // middle dim degenerate
+        let samples = sample_query_points(&qmin, &q, 64, 9);
+        assert_eq!(samples.len(), 64);
+        for s in &samples {
+            assert!(s[0] >= 1.0 && s[0] <= 2.0);
+            assert_eq!(s[1], 2.0);
+            assert!(s[2] >= 3.0 && s[2] <= 5.0);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The paper's Figure 1 running example.
+//!
+//! Seven competitor computers `p1…p7` (price, heat production), the query
+//! computer `q = (4, 4)` (Apple), and four customers' weighting vectors.
+//! Smaller values are better in both dimensions. The reverse top-3 query
+//! of `q` returns Tony and Anna; Kevin and Julia are the natural why-not
+//! weighting vectors of the paper's §1 narrative.
+
+use wqrtq_geom::{Point, Weight};
+
+/// The bundled example data of the paper's Figure 1.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// Competitor computers `p1…p7` (price, heat).
+    pub products: Vec<Point>,
+    /// Competitor brand names aligned with `products`.
+    pub product_names: Vec<&'static str>,
+    /// Customer weighting vectors (price weight, heat weight).
+    pub customers: Vec<Weight>,
+    /// Customer names aligned with `customers`.
+    pub customer_names: Vec<&'static str>,
+    /// The query computer `q = (4, 4)` — Apple's new model.
+    pub apple: Point,
+}
+
+/// Index of Kevin in [`Figure1::customers`].
+pub const KEVIN: usize = 0;
+/// Index of Tony in [`Figure1::customers`].
+pub const TONY: usize = 1;
+/// Index of Anna in [`Figure1::customers`].
+pub const ANNA: usize = 2;
+/// Index of Julia in [`Figure1::customers`].
+pub const JULIA: usize = 3;
+
+/// Builds the example dataset.
+pub fn dataset() -> Figure1 {
+    Figure1 {
+        products: vec![
+            Point::from([2.0, 1.0]), // p1
+            Point::from([6.0, 3.0]), // p2
+            Point::from([1.0, 9.0]), // p3
+            Point::from([9.0, 3.0]), // p4
+            Point::from([7.0, 5.0]), // p5
+            Point::from([5.0, 8.0]), // p6
+            Point::from([3.0, 7.0]), // p7
+        ],
+        product_names: vec!["Dell", "Sony", "HP", "Acer", "IBM", "ASUS", "NEC"],
+        customers: vec![
+            Weight::new(vec![0.1, 0.9]), // Kevin
+            Weight::new(vec![0.5, 0.5]), // Tony
+            Weight::new(vec![0.3, 0.7]), // Anna
+            Weight::new(vec![0.9, 0.1]), // Julia
+        ],
+        customer_names: vec!["Kevin", "Tony", "Anna", "Julia"],
+        apple: Point::from([4.0, 4.0]),
+    }
+}
+
+impl Figure1 {
+    /// The products as a flat row-major coordinate buffer (for R-tree
+    /// construction).
+    pub fn flat_products(&self) -> Vec<f64> {
+        self.products
+            .iter()
+            .flat_map(|p| p.coords().to_vec())
+            .collect()
+    }
+
+    /// The paper's why-not weighting vectors: Kevin and Julia.
+    pub fn why_not_customers(&self) -> Vec<Weight> {
+        vec![self.customers[KEVIN].clone(), self.customers[JULIA].clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_alignment() {
+        let f = dataset();
+        assert_eq!(f.products.len(), 7);
+        assert_eq!(f.product_names.len(), 7);
+        assert_eq!(f.customers.len(), 4);
+        assert_eq!(f.customer_names.len(), 4);
+        assert_eq!(f.apple.coords(), &[4.0, 4.0]);
+        assert_eq!(f.customer_names[KEVIN], "Kevin");
+        assert_eq!(f.customer_names[JULIA], "Julia");
+    }
+
+    #[test]
+    fn figure_1c_scores_reproduced() {
+        // Spot-check the printed score table of Figure 1(c).
+        let f = dataset();
+        let kevin = &f.customers[KEVIN];
+        let expected = [1.1, 3.3, 8.2, 3.6, 5.2, 7.7, 6.6];
+        for (p, e) in f.products.iter().zip(expected) {
+            assert!((kevin.score(p) - e).abs() < 1e-12);
+        }
+        let julia = &f.customers[JULIA];
+        let expected = [1.9, 5.7, 1.8, 8.4, 6.8, 5.3, 3.4];
+        for (p, e) in f.products.iter().zip(expected) {
+            assert!((julia.score(p) - e).abs() < 1e-12);
+        }
+        // q scores 4.0 for every customer.
+        for c in &f.customers {
+            assert!((c.score(&f.apple) - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flat_products_round_trip() {
+        let f = dataset();
+        let flat = f.flat_products();
+        assert_eq!(flat.len(), 14);
+        assert_eq!(&flat[0..2], &[2.0, 1.0]);
+        assert_eq!(&flat[12..14], &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn why_not_customers_are_kevin_and_julia() {
+        let f = dataset();
+        let wn = f.why_not_customers();
+        assert_eq!(wn[0].as_slice(), &[0.1, 0.9]);
+        assert_eq!(wn[1].as_slice(), &[0.9, 0.1]);
+    }
+}

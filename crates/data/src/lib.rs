@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Datasets and workloads for the WQRTQ experiments.
+//!
+//! * [`figure1`] — the paper's running example (seven computers, four
+//!   customers), used by tests, examples and documentation;
+//! * [`synthetic`] — the Independent / Anti-correlated generators of the
+//!   experimental study (§5.1), plus correlated and clustered variants;
+//! * [`realistic`] — surrogate generators matching the cardinality,
+//!   dimensionality and correlation structure of the paper's NBA (17K ×
+//!   13) and Household (127K × 6) real datasets, which are not publicly
+//!   redistributable (see DESIGN.md, substitution table);
+//! * [`workload`] — builds why-not cases with a controlled *actual rank of
+//!   q under Wm*, the workload knob of Figure 10.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod figure1;
+pub mod realistic;
+pub mod synthetic;
+pub mod workload;
+
+pub use figure1::Figure1;
+pub use realistic::{household_like, nba_like};
+pub use synthetic::{anticorrelated, clustered, correlated, independent, Dataset};
+pub use workload::{WhyNotCase, WorkloadSpec};

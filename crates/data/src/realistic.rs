@@ -1,0 +1,204 @@
+//! Surrogates for the paper's real datasets.
+//!
+//! The paper evaluates on two real datasets that we cannot redistribute:
+//!
+//! * **NBA** — 17K player-season tuples with 13 statistical categories;
+//! * **Household** — 127K tuples of six expenditure shares of American
+//!   families' annual income.
+//!
+//! The WQRTQ algorithms touch data only through linear scores, dominance
+//! tests and MBR bounds, so the properties that drive performance are
+//! cardinality, dimensionality, value range and the correlation structure
+//! — which these generators match (see DESIGN.md, substitution table):
+//! NBA statistics are positively correlated through latent player quality
+//! with per-category skew; Household shares are clustered compositions
+//! that sum to one.
+
+use crate::synthetic::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cardinality of the NBA surrogate (the paper reports "17K").
+pub const NBA_N: usize = 17_264;
+/// Dimensionality of the NBA surrogate.
+pub const NBA_DIM: usize = 13;
+/// Cardinality of the Household surrogate (the paper reports "127K").
+pub const HOUSEHOLD_N: usize = 127_000;
+/// Dimensionality of the Household surrogate.
+pub const HOUSEHOLD_DIM: usize = 6;
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// NBA-like data: 17,264 × 13, minimisation convention (0 = best possible
+/// season for that category). A latent player-quality factor induces
+/// positive cross-category correlation; per-category exponents skew the
+/// marginals the way counting stats are skewed (many average seasons, few
+/// stellar ones).
+pub fn nba_like(seed: u64) -> Dataset {
+    nba_like_scaled(NBA_N, seed)
+}
+
+/// [`nba_like`] with an explicit cardinality (for quick test profiles).
+pub fn nba_like_scaled(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-category skew exponents and noise levels (points, rebounds,
+    // assists, steals, blocks, …): higher exponent = more right-skew.
+    let skew: [f64; NBA_DIM] = [
+        2.2, 2.0, 2.4, 2.8, 3.0, 1.8, 2.0, 2.6, 2.2, 1.6, 2.4, 2.0, 1.9,
+    ];
+    let mut coords = Vec::with_capacity(n * NBA_DIM);
+    for _ in 0..n {
+        // Latent quality: most players mediocre, a thin elite tail.
+        let quality: f64 = rng.gen::<f64>().powf(0.6);
+        for s in skew {
+            // Category performance in [0, 1], 1 = best.
+            let cat = (quality * rng.gen::<f64>().powf(1.0 / s) + 0.08 * normal(&mut rng))
+                .clamp(0.0, 1.0);
+            // Minimisation convention: smaller = better.
+            coords.push(1.0 - cat);
+        }
+    }
+    Dataset {
+        coords,
+        dim: NBA_DIM,
+    }
+}
+
+/// Household-like data: 127,000 × 6 expenditure shares that are
+/// non-negative and sum to one, drawn from a handful of household-profile
+/// clusters (renters, homeowners, commuters, …).
+pub fn household_like(seed: u64) -> Dataset {
+    household_like_scaled(HOUSEHOLD_N, seed)
+}
+
+/// [`household_like`] with an explicit cardinality.
+pub fn household_like_scaled(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Six expenditure categories: gas, electricity, water, heating fuel,
+    // rent/mortgage share, other utilities. Profiles are Dirichlet-like
+    // concentration vectors.
+    let profiles: [[f64; HOUSEHOLD_DIM]; 5] = [
+        [4.0, 6.0, 2.0, 3.0, 14.0, 3.0],
+        [7.0, 5.0, 2.5, 6.0, 8.0, 3.5],
+        [3.0, 7.0, 3.0, 2.0, 18.0, 4.0],
+        [9.0, 4.0, 2.0, 7.0, 6.0, 4.0],
+        [5.0, 5.0, 2.5, 4.0, 11.0, 4.5],
+    ];
+    let mut coords = Vec::with_capacity(n * HOUSEHOLD_DIM);
+    for _ in 0..n {
+        let profile = &profiles[rng.gen_range(0..profiles.len())];
+        // Gamma(α, 1) samples via Marsaglia–Tsang need α ≥ 1 here (all
+        // concentrations above are ≥ 2), normalised to a composition.
+        let mut shares = [0.0f64; HOUSEHOLD_DIM];
+        let mut total = 0.0;
+        for (x, &alpha) in shares.iter_mut().zip(profile) {
+            *x = gamma_sample(&mut rng, alpha);
+            total += *x;
+        }
+        for x in shares {
+            coords.push(x / total);
+        }
+    }
+    Dataset {
+        coords,
+        dim: HOUSEHOLD_DIM,
+    }
+}
+
+/// Marsaglia–Tsang Gamma(α, 1) sampler for α ≥ 1.
+fn gamma_sample(rng: &mut StdRng, alpha: f64) -> f64 {
+    debug_assert!(alpha >= 1.0);
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nba_shape_and_range() {
+        let ds = nba_like_scaled(2000, 5);
+        assert_eq!(ds.dim, NBA_DIM);
+        assert_eq!(ds.len(), 2000);
+        assert!(ds.coords.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn nba_full_cardinality_constant() {
+        assert_eq!(NBA_N, 17_264);
+        assert_eq!(HOUSEHOLD_N, 127_000);
+    }
+
+    #[test]
+    fn nba_categories_are_positively_correlated() {
+        // Latent quality should induce positive correlation between any
+        // two categories (as real per-player stats are).
+        let ds = nba_like_scaled(4000, 6);
+        let n = ds.len();
+        let (a, b) = (0usize, 7usize);
+        let ma: f64 = (0..n).map(|i| ds.point(i)[a]).sum::<f64>() / n as f64;
+        let mb: f64 = (0..n).map(|i| ds.point(i)[b]).sum::<f64>() / n as f64;
+        let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+        for i in 0..n {
+            let xa = ds.point(i)[a] - ma;
+            let xb = ds.point(i)[b] - mb;
+            cov += xa * xb;
+            va += xa * xa;
+            vb += xb * xb;
+        }
+        let r = cov / (va.sqrt() * vb.sqrt());
+        assert!(r > 0.3, "correlation {r}");
+    }
+
+    #[test]
+    fn household_rows_are_compositions() {
+        let ds = household_like_scaled(1000, 7);
+        assert_eq!(ds.dim, HOUSEHOLD_DIM);
+        for i in 0..ds.len() {
+            let s: f64 = ds.point(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+            assert!(ds.point(i).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            nba_like_scaled(100, 3).coords,
+            nba_like_scaled(100, 3).coords
+        );
+        assert_eq!(
+            household_like_scaled(100, 3).coords,
+            household_like_scaled(100, 3).coords
+        );
+        assert_ne!(
+            household_like_scaled(100, 3).coords,
+            household_like_scaled(100, 4).coords
+        );
+    }
+
+    #[test]
+    fn gamma_sampler_mean_is_alpha() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let alpha = 5.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, alpha)).sum::<f64>() / n as f64;
+        assert!((mean - alpha).abs() < 0.15, "mean {mean}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Synthetic dataset generators (paper §5.1).
+//!
+//! * **Independent** — every attribute uniform in `[0, 1]`, independently;
+//! * **Anti-correlated** — points concentrated around the hyperplane
+//!   `Σ x[i] ≈ d/2`: a point good in one dimension is bad in the others
+//!   (the hard case for dominance-based pruning, as in the paper's
+//!   figures);
+//! * **Correlated** — a shared latent quality drives all attributes;
+//! * **Clustered** — Gaussian blobs around random centres.
+//!
+//! All values lie in `[0, 1]` and smaller is better, matching the paper's
+//! scoring convention.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset: flat row-major coordinates plus its shape.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Row-major `n × dim` coordinate buffer.
+    pub coords: Vec<f64>,
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+impl Dataset {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Standard-normal sample via Box–Muller (rand 0.8 ships no normal
+/// distribution without the `rand_distr` crate).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniform independent attributes.
+pub fn independent(n: usize, dim: usize, seed: u64) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords = (0..n * dim).map(|_| rng.gen::<f64>()).collect();
+    Dataset { coords, dim }
+}
+
+/// Anti-correlated attributes: each point is a random composition of a
+/// total budget `c ≈ d/2`, so excelling in one dimension costs the others.
+pub fn anticorrelated(n: usize, dim: usize, seed: u64) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n * dim);
+    let mut point = vec![0.0f64; dim];
+    for _ in 0..n {
+        loop {
+            let c = 0.5 * dim as f64 + 0.15 * dim as f64 * normal(&mut rng);
+            if c <= 0.0 {
+                continue;
+            }
+            // Random composition via exponential spacings.
+            let mut total = 0.0;
+            for x in point.iter_mut() {
+                let e = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+                *x = e;
+                total += e;
+            }
+            let scale = c / total;
+            if point.iter().all(|x| x * scale <= 1.0) {
+                for x in point.iter_mut() {
+                    *x *= scale;
+                }
+                break;
+            }
+        }
+        coords.extend_from_slice(&point);
+    }
+    Dataset { coords, dim }
+}
+
+/// Correlated attributes: a latent per-point quality `u` plus small
+/// independent noise, clamped to `[0, 1]`.
+pub fn correlated(n: usize, dim: usize, seed: u64) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        for _ in 0..dim {
+            let v = u + 0.12 * normal(&mut rng);
+            coords.push(v.clamp(0.0, 1.0));
+        }
+    }
+    Dataset { coords, dim }
+}
+
+/// Clustered attributes: `clusters` Gaussian blobs with σ = 0.05.
+///
+/// # Panics
+/// Panics if `clusters == 0`.
+pub fn clustered(n: usize, dim: usize, clusters: usize, seed: u64) -> Dataset {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.1..0.9)).collect())
+        .collect();
+    let mut coords = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..clusters)];
+        for cj in c {
+            coords.push((cj + 0.05 * normal(&mut rng)).clamp(0.0, 1.0));
+        }
+    }
+    Dataset { coords, dim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_pairwise_correlation(ds: &Dataset) -> f64 {
+        // Average Pearson correlation over dimension pairs.
+        let n = ds.len();
+        let d = ds.dim;
+        let mut means = vec![0.0; d];
+        for i in 0..n {
+            for (m, x) in means.iter_mut().zip(ds.point(i)) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        let mut acc = 0.0;
+        let mut pairs = 0;
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+                for i in 0..n {
+                    let xa = ds.point(i)[a] - means[a];
+                    let xb = ds.point(i)[b] - means[b];
+                    cov += xa * xb;
+                    va += xa * xa;
+                    vb += xb * xb;
+                }
+                acc += cov / (va.sqrt() * vb.sqrt());
+                pairs += 1;
+            }
+        }
+        acc / pairs as f64
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        for ds in [
+            independent(500, 3, 1),
+            anticorrelated(500, 3, 2),
+            correlated(500, 3, 3),
+            clustered(500, 3, 4, 4),
+        ] {
+            assert_eq!(ds.len(), 500);
+            assert_eq!(ds.dim, 3);
+            assert!(!ds.is_empty());
+            assert!(ds.coords.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = independent(100, 4, 9);
+        let b = independent(100, 4, 9);
+        let c = independent(100, 4, 10);
+        assert_eq!(a.coords, b.coords);
+        assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn anticorrelated_has_negative_correlation() {
+        let ds = anticorrelated(3000, 2, 7);
+        let r = mean_pairwise_correlation(&ds);
+        assert!(r < -0.3, "expected strong anti-correlation, got {r}");
+    }
+
+    #[test]
+    fn correlated_has_positive_correlation() {
+        let ds = correlated(3000, 3, 8);
+        let r = mean_pairwise_correlation(&ds);
+        assert!(r > 0.5, "expected strong correlation, got {r}");
+    }
+
+    #[test]
+    fn independent_has_near_zero_correlation() {
+        let ds = independent(3000, 3, 11);
+        let r = mean_pairwise_correlation(&ds);
+        assert!(r.abs() < 0.1, "expected ~0 correlation, got {r}");
+    }
+
+    #[test]
+    fn anticorrelated_budget_is_concentrated() {
+        let ds = anticorrelated(2000, 4, 12);
+        let mut sums: Vec<f64> = (0..ds.len())
+            .map(|i| ds.point(i).iter().sum::<f64>())
+            .collect();
+        sums.sort_by(f64::total_cmp);
+        let median = sums[sums.len() / 2];
+        assert!((median - 2.0).abs() < 0.35, "median budget {median}");
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let ds = independent(0, 3, 1);
+        assert!(ds.is_empty());
+        assert_eq!(ds.len(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Hyperplanes in data and weight space.
+//!
+//! Two hyperplane families appear in the paper:
+//!
+//! * **Score hyperplanes** `H(w, p) = {x : w·x = w·p}` in *data space*
+//!   (Lemma 1): points below have smaller scores than `p` under `w`.
+//! * **Sampling hyperplanes** `{w : w·(p − q) = 0}` in *weight space*
+//!   (§4.3): the weights under which a point `p` incomparable with `q` ties
+//!   with `q`. MWK samples candidate weights from these, intersected with
+//!   the simplex.
+
+use crate::dot;
+
+/// The hyperplane `{x : normal·x = offset}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hyperplane {
+    normal: Box<[f64]>,
+    offset: f64,
+}
+
+/// Which side of a hyperplane a point lies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// `normal·x < offset` — "below" (strictly better score in Lemma 1).
+    Below,
+    /// `normal·x = offset` (within tolerance).
+    On,
+    /// `normal·x > offset` — "above".
+    Above,
+}
+
+impl Hyperplane {
+    /// Creates a hyperplane from its normal and offset.
+    ///
+    /// # Panics
+    /// Panics if the normal is empty, non-finite, or the zero vector.
+    pub fn new(normal: impl Into<Vec<f64>>, offset: f64) -> Self {
+        let normal: Vec<f64> = normal.into();
+        assert!(!normal.is_empty(), "normal needs at least one dimension");
+        assert!(
+            normal.iter().all(|x| x.is_finite()) && offset.is_finite(),
+            "hyperplane coefficients must be finite"
+        );
+        assert!(
+            normal.iter().any(|x| *x != 0.0),
+            "normal must not be the zero vector"
+        );
+        Self {
+            normal: normal.into_boxed_slice(),
+            offset,
+        }
+    }
+
+    /// The score hyperplane `H(w, p)` of Lemma 1: all points scoring
+    /// exactly `f(w, p)` under `w`.
+    pub fn score_plane(w: &[f64], p: &[f64]) -> Self {
+        Self::new(w.to_vec(), dot(w, p))
+    }
+
+    /// The weight-space sampling hyperplane for a point `p` incomparable
+    /// with `q`: `{w : w·(p − q) = 0}` (§4.3 of the paper).
+    ///
+    /// # Panics
+    /// Panics if `p == q` (zero normal).
+    pub fn weight_space_plane(p: &[f64], q: &[f64]) -> Self {
+        assert_eq!(p.len(), q.len(), "dimension mismatch");
+        let normal: Vec<f64> = p.iter().zip(q).map(|(a, b)| a - b).collect();
+        Self::new(normal, 0.0)
+    }
+
+    /// Normal vector.
+    #[inline]
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// Offset term.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Signed evaluation `normal·x − offset`.
+    #[inline]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        dot(&self.normal, x) - self.offset
+    }
+
+    /// Classifies `x` against the plane with tolerance `tol`.
+    pub fn side_with_tol(&self, x: &[f64], tol: f64) -> Side {
+        let v = self.eval(x);
+        if v < -tol {
+            Side::Below
+        } else if v > tol {
+            Side::Above
+        } else {
+            Side::On
+        }
+    }
+
+    /// Classifies `x` against the plane with the crate default tolerance.
+    pub fn side(&self, x: &[f64]) -> Side {
+        self.side_with_tol(x, crate::EPS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_1_score_plane_classification() {
+        // Figure 5(a): H(w2, p3) with w2 = Tony = (0.5, 0.5), p3 = (1, 9).
+        // p1=(2,1) lies below, p5=(7,5) above, p7=(3,7) on the plane.
+        let w2 = [0.5, 0.5];
+        let p3 = [1.0, 9.0];
+        let h = Hyperplane::score_plane(&w2, &p3);
+        assert_eq!(h.side(&[2.0, 1.0]), Side::Below);
+        assert_eq!(h.side(&[7.0, 5.0]), Side::Above);
+        assert_eq!(h.side(&[3.0, 7.0]), Side::On);
+        // Consistency with Figure 1(c): scores 1.5 < 5 (= p3) < 6.
+        assert!((h.offset() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_space_plane_zeroes_tie_weights() {
+        // p = (9, 3), q = (4, 4): tie when 5·w0 − 1·w1 = 0, i.e. w = (1/6, 5/6).
+        let h = Hyperplane::weight_space_plane(&[9.0, 3.0], &[4.0, 4.0]);
+        assert_eq!(h.normal(), &[5.0, -1.0]);
+        assert_eq!(h.side(&[1.0 / 6.0, 5.0 / 6.0]), Side::On);
+        // Heavier price weight: p scores worse than q -> above.
+        assert_eq!(h.side(&[0.5, 0.5]), Side::Above);
+    }
+
+    #[test]
+    fn eval_is_signed_distance_scaled_by_normal_norm() {
+        let h = Hyperplane::new(vec![0.0, 2.0], 4.0);
+        assert_eq!(h.eval(&[10.0, 2.0]), 0.0);
+        assert_eq!(h.eval(&[0.0, 3.0]), 2.0);
+        assert_eq!(h.eval(&[0.0, 1.0]), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn zero_normal_panics() {
+        let _ = Hyperplane::new(vec![0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    fn side_with_tol_respects_tolerance() {
+        let h = Hyperplane::new(vec![1.0], 1.0);
+        assert_eq!(h.side_with_tol(&[1.0 + 1e-12], 1e-9), Side::On);
+        assert_eq!(h.side_with_tol(&[1.0 + 1e-6], 1e-9), Side::Above);
+    }
+}

@@ -1,0 +1,250 @@
+//! Data points and dominance relations.
+//!
+//! Throughout the paper (and this workspace) **smaller coordinate values are
+//! preferable**: a point `a` *dominates* `b` when `a` is no worse in every
+//! dimension and strictly better in at least one. Dominance drives the
+//! `FindIncom` routine of MWK (Algorithm 2), which classifies the dataset
+//! into points dominating the query `q`, points dominated by `q`, and
+//! points *incomparable* with `q`.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// An owned d-dimensional data point.
+///
+/// `Point` is a thin wrapper over its coordinates; it dereferences to
+/// `[f64]` so that all slice-based helpers (scores, dominance, distances)
+/// apply directly.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords` is empty or contains a non-finite value.
+    pub fn new(coords: impl Into<Vec<f64>>) -> Self {
+        let coords: Vec<f64> = coords.into();
+        assert!(!coords.is_empty(), "a point needs at least one dimension");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        Self {
+            coords: coords.into_boxed_slice(),
+        }
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Consumes the point, returning its coordinates.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.coords.into_vec()
+    }
+}
+
+impl Deref for Point {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        &self.coords
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(v: Vec<f64>) -> Self {
+        Point::new(v)
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for Point {
+    fn from(v: [f64; N]) -> Self {
+        Point::new(v.to_vec())
+    }
+}
+
+/// The dominance relationship between two points (smaller is better).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dominance {
+    /// `a` dominates `b`: `a ≤ b` component-wise with at least one strict.
+    Dominates,
+    /// `b` dominates `a`.
+    DominatedBy,
+    /// `a` and `b` are identical.
+    Equal,
+    /// Neither dominates the other.
+    Incomparable,
+}
+
+/// Returns `true` when `a` dominates `b` (minimisation convention):
+/// `a[i] ≤ b[i]` for all `i` and `a[j] < b[j]` for some `j`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Returns `true` when neither point dominates the other and they differ.
+#[inline]
+pub fn incomparable(a: &[f64], b: &[f64]) -> bool {
+    dominance(a, b) == Dominance::Incomparable
+}
+
+/// Full three-way dominance classification of `a` versus `b`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dominance(a: &[f64], b: &[f64]) -> Dominance {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn point_construction_and_access() {
+        let p = Point::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0]);
+        assert_eq!(p[1], 2.0);
+        let p2: Point = [4.0, 4.0].into();
+        assert_eq!(p2.dim(), 2);
+        assert_eq!(p.clone().into_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_point_panics() {
+        let _ = Point::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_point_panics() {
+        let _ = Point::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn dominance_cases() {
+        // Paper Figure 2(a): q=(4,4) is dominated by p1=(2,1) and
+        // incomparable with p3=(1,9).
+        let q = [4.0, 4.0];
+        let p1 = [2.0, 1.0];
+        let p3 = [1.0, 9.0];
+        assert!(dominates(&p1, &q));
+        assert!(!dominates(&q, &p1));
+        assert_eq!(dominance(&q, &p1), Dominance::DominatedBy);
+        assert_eq!(dominance(&p1, &q), Dominance::Dominates);
+        assert_eq!(dominance(&q, &p3), Dominance::Incomparable);
+        assert!(incomparable(&q, &p3));
+        assert_eq!(dominance(&q, &q), Dominance::Equal);
+        assert!(!incomparable(&q, &q));
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 2.5]));
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric_on_example() {
+        let a = [0.0, 5.0, 2.0];
+        let b = [1.0, 5.0, 3.0];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    proptest! {
+        #[test]
+        fn dominance_classification_consistent(
+            (a, b) in (1usize..6).prop_flat_map(|d| (
+                proptest::collection::vec(0.0f64..100.0, d),
+                proptest::collection::vec(0.0f64..100.0, d),
+            )),
+        ) {
+            let d = dominance(&a, &b);
+            match d {
+                Dominance::Dominates => {
+                    prop_assert!(dominates(&a, &b));
+                    prop_assert!(!dominates(&b, &a));
+                }
+                Dominance::DominatedBy => {
+                    prop_assert!(dominates(&b, &a));
+                    prop_assert!(!dominates(&a, &b));
+                }
+                Dominance::Equal => prop_assert_eq!(&a, &b),
+                Dominance::Incomparable => {
+                    prop_assert!(!dominates(&a, &b));
+                    prop_assert!(!dominates(&b, &a));
+                    prop_assert_ne!(&a, &b);
+                }
+            }
+        }
+
+        #[test]
+        fn dominance_flips_under_swap(
+            a in proptest::collection::vec(0.0f64..100.0, 3),
+            b in proptest::collection::vec(0.0f64..100.0, 3),
+        ) {
+            let ab = dominance(&a, &b);
+            let ba = dominance(&b, &a);
+            let expected = match ab {
+                Dominance::Dominates => Dominance::DominatedBy,
+                Dominance::DominatedBy => Dominance::Dominates,
+                other => other,
+            };
+            prop_assert_eq!(ba, expected);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Exact convex-region computation in two dimensions.
+//!
+//! The paper notes (§4.2) that computing a safe region exactly — as an
+//! intersection of half-spaces — "does not scale well with dimensionality",
+//! which motivates the quadratic-programming formulation of MQP. In 2-D,
+//! however, the intersection *is* cheap (Sutherland–Hodgman clipping), and
+//! we implement it both as an independent validation oracle for the QP
+//! solver and to reproduce Figure 5(b) exactly.
+
+use crate::halfspace::HalfSpace;
+use crate::EPS;
+
+/// A convex polygon with counter-clockwise vertices; possibly empty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon2d {
+    vertices: Vec<[f64; 2]>,
+}
+
+impl Polygon2d {
+    /// The empty polygon.
+    pub fn empty() -> Self {
+        Self {
+            vertices: Vec::new(),
+        }
+    }
+
+    /// Creates a polygon from counter-clockwise vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than three vertices are supplied or any coordinate
+    /// is non-finite.
+    pub fn new(vertices: Vec<[f64; 2]>) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least 3 vertices");
+        assert!(
+            vertices
+                .iter()
+                .all(|v| v[0].is_finite() && v[1].is_finite()),
+            "vertices must be finite"
+        );
+        Self { vertices }
+    }
+
+    /// The axis-aligned rectangle `[lo, hi]` as a polygon.
+    ///
+    /// # Panics
+    /// Panics unless `lo ≤ hi` component-wise with positive extent.
+    pub fn rect(lo: [f64; 2], hi: [f64; 2]) -> Self {
+        assert!(lo[0] < hi[0] && lo[1] < hi[1], "rectangle must have extent");
+        Self::new(vec![
+            [lo[0], lo[1]],
+            [hi[0], lo[1]],
+            [hi[0], hi[1]],
+            [lo[0], hi[1]],
+        ])
+    }
+
+    /// The polygon's vertices (counter-clockwise, empty if degenerate).
+    pub fn vertices(&self) -> &[[f64; 2]] {
+        &self.vertices
+    }
+
+    /// Whether the intersection became empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Clips the polygon against a half-space (Sutherland–Hodgman).
+    ///
+    /// # Panics
+    /// Panics if the half-space is not two-dimensional.
+    pub fn clip(&self, hs: &HalfSpace) -> Polygon2d {
+        assert_eq!(hs.dim(), 2, "half-space must be 2-D");
+        if self.is_empty() {
+            return Polygon2d::empty();
+        }
+        let n = self.vertices.len();
+        let mut out: Vec<[f64; 2]> = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let nxt = self.vertices[(i + 1) % n];
+            let cur_in = hs.contains_with_tol(&cur, EPS);
+            let nxt_in = hs.contains_with_tol(&nxt, EPS);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                if let Some(x) = intersect_edge(cur, nxt, hs) {
+                    out.push(x);
+                }
+            }
+        }
+        dedup_close(&mut out);
+        if out.len() < 3 {
+            Polygon2d::empty()
+        } else {
+            Polygon2d { vertices: out }
+        }
+    }
+
+    /// Intersects the polygon with every half-space in turn.
+    pub fn clip_all<'a>(&self, spaces: impl IntoIterator<Item = &'a HalfSpace>) -> Polygon2d {
+        let mut poly = self.clone();
+        for hs in spaces {
+            poly = poly.clip(hs);
+            if poly.is_empty() {
+                break;
+            }
+        }
+        poly
+    }
+
+    /// Signed area (positive for counter-clockwise orientation).
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a[0] * b[1] - b[0] * a[1];
+        }
+        acc / 2.0
+    }
+
+    /// Point-in-convex-polygon test (boundary counts as inside).
+    pub fn contains(&self, p: [f64; 2]) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]);
+            if cross < -1e-7 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The point of the polygon closest (Euclidean) to `p`, or `None` for
+    /// the empty polygon. This is the geometric answer to "modify q with
+    /// minimum penalty" when the polygon is the safe region.
+    pub fn closest_point(&self, p: [f64; 2]) -> Option<[f64; 2]> {
+        if self.is_empty() {
+            return None;
+        }
+        if self.contains(p) {
+            return Some(p);
+        }
+        let n = self.vertices.len();
+        let mut best = self.vertices[0];
+        let mut best_d = f64::INFINITY;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = closest_on_segment(a, b, p);
+            let d = (c[0] - p[0]).powi(2) + (c[1] - p[1]).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Intersection of the segment `a → b` with the boundary of `hs`.
+fn intersect_edge(a: [f64; 2], b: [f64; 2], hs: &HalfSpace) -> Option<[f64; 2]> {
+    let sa = hs.slack(&a);
+    let sb = hs.slack(&b);
+    let denom = sa - sb;
+    if denom.abs() < 1e-15 {
+        return None;
+    }
+    let t = (sa / denom).clamp(0.0, 1.0);
+    Some([a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1])])
+}
+
+/// Removes consecutive near-duplicate vertices produced by clipping.
+fn dedup_close(v: &mut Vec<[f64; 2]>) {
+    if v.len() < 2 {
+        return;
+    }
+    let mut out: Vec<[f64; 2]> = Vec::with_capacity(v.len());
+    for &p in v.iter() {
+        if let Some(&last) = out.last() {
+            if (last[0] - p[0]).abs() < 1e-9 && (last[1] - p[1]).abs() < 1e-9 {
+                continue;
+            }
+        }
+        out.push(p);
+    }
+    if out.len() >= 2 {
+        let first = out[0];
+        let last = *out.last().unwrap();
+        if (first[0] - last[0]).abs() < 1e-9 && (first[1] - last[1]).abs() < 1e-9 {
+            out.pop();
+        }
+    }
+    *v = out;
+}
+
+/// Closest point on segment `a → b` to `p`.
+fn closest_on_segment(a: [f64; 2], b: [f64; 2], p: [f64; 2]) -> [f64; 2] {
+    let ab = [b[0] - a[0], b[1] - a[1]];
+    let len2 = ab[0] * ab[0] + ab[1] * ab[1];
+    if len2 < 1e-18 {
+        return a;
+    }
+    let t = (((p[0] - a[0]) * ab[0] + (p[1] - a[1]) * ab[1]) / len2).clamp(0.0, 1.0);
+    [a[0] + t * ab[0], a[1] + t * ab[1]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_square() -> Polygon2d {
+        Polygon2d::rect([0.0, 0.0], [1.0, 1.0])
+    }
+
+    #[test]
+    fn rect_has_expected_area_and_vertices() {
+        let r = Polygon2d::rect([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(r.vertices().len(), 4);
+        assert!((r.area() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_keeps_inside_half() {
+        // x ≤ 0.5 keeps the left half of the unit square.
+        let hs = HalfSpace::new(vec![1.0, 0.0], 0.5);
+        let half = unit_square().clip(&hs);
+        assert!((half.area() - 0.5).abs() < 1e-9);
+        assert!(half.contains([0.25, 0.5]));
+        assert!(!half.contains([0.75, 0.5]));
+    }
+
+    #[test]
+    fn clip_to_empty() {
+        let hs = HalfSpace::new(vec![1.0, 0.0], -1.0); // x ≤ −1
+        let poly = unit_square().clip(&hs);
+        assert!(poly.is_empty());
+        assert_eq!(poly.area(), 0.0);
+        assert_eq!(poly.closest_point([0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn clip_diagonal_produces_triangle() {
+        // x + y ≤ 1 cuts the unit square into a triangle of area 1/2.
+        let hs = HalfSpace::new(vec![1.0, 1.0], 1.0);
+        let tri = unit_square().clip(&hs);
+        assert_eq!(tri.vertices().len(), 3);
+        assert!((tri.area() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_all_intersects_multiple() {
+        let spaces = [
+            HalfSpace::new(vec![1.0, 0.0], 0.6),   // x ≤ 0.6
+            HalfSpace::new(vec![-1.0, 0.0], -0.4), // x ≥ 0.4
+        ];
+        let strip = unit_square().clip_all(spaces.iter());
+        assert!((strip.area() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closest_point_inside_is_identity() {
+        let sq = unit_square();
+        assert_eq!(sq.closest_point([0.5, 0.5]), Some([0.5, 0.5]));
+    }
+
+    #[test]
+    fn closest_point_projects_to_edge_and_corner() {
+        let sq = unit_square();
+        let e = sq.closest_point([0.5, 2.0]).unwrap();
+        assert!((e[0] - 0.5).abs() < 1e-9 && (e[1] - 1.0).abs() < 1e-9);
+        let c = sq.closest_point([2.0, 2.0]).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-9 && (c[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_5b_safe_region_quadrilateral() {
+        // Safe region of q=(4,4) for Wm = {w1=Kevin(0.1,0.9), w4=Julia(0.9,0.1)}
+        // with k=3: top 3rd points are p4=(9,3) for w1 and p7=(3,7) for w4
+        // (per the paper's Figure 5(b)). SR(q) = HS(w1,p4) ∩ HS(w4,p7) ∩ [0,q].
+        let hs1 = HalfSpace::below_score_plane(&[0.1, 0.9], &[9.0, 3.0]); // ≤ 3.6
+        let hs4 = HalfSpace::below_score_plane(&[0.9, 0.1], &[3.0, 7.0]); // ≤ 3.4
+        let region = Polygon2d::rect([0.0, 0.0], [4.0, 4.0]).clip_all([&hs1, &hs4]);
+        assert!(!region.is_empty());
+        // The paper's refined q'' = (2.5, 3.5) lies in the safe region, and
+        // the original q=(4,4) does not.
+        assert!(region.contains([2.5, 3.5]));
+        assert!(!region.contains([4.0, 4.0]));
+        // Every vertex satisfies both score constraints.
+        for v in region.vertices() {
+            assert!(0.1 * v[0] + 0.9 * v[1] <= 3.6 + 1e-9);
+            assert!(0.9 * v[0] + 0.1 * v[1] <= 3.4 + 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn clipping_never_grows_area(
+            nx in -1.0f64..1.0, ny in -1.0f64..1.0, off in -0.5f64..1.5,
+        ) {
+            prop_assume!(nx.abs() > 1e-3 || ny.abs() > 1e-3);
+            let hs = HalfSpace::new(vec![nx, ny], off);
+            let before = unit_square();
+            let after = before.clip(&hs);
+            prop_assert!(after.area() <= before.area() + 1e-9);
+        }
+
+        #[test]
+        fn clipped_vertices_satisfy_half_space(
+            nx in -1.0f64..1.0, ny in -1.0f64..1.0, off in -0.5f64..1.5,
+        ) {
+            prop_assume!(nx.abs() > 1e-3 || ny.abs() > 1e-3);
+            let hs = HalfSpace::new(vec![nx, ny], off);
+            let after = unit_square().clip(&hs);
+            for v in after.vertices() {
+                prop_assert!(hs.contains_with_tol(v, 1e-6));
+            }
+        }
+
+        #[test]
+        fn closest_point_is_no_farther_than_vertices(
+            px in -2.0f64..3.0, py in -2.0f64..3.0,
+        ) {
+            let sq = unit_square();
+            let c = sq.closest_point([px, py]).unwrap();
+            let dc = (c[0]-px).powi(2) + (c[1]-py).powi(2);
+            for v in sq.vertices() {
+                let dv = (v[0]-px).powi(2) + (v[1]-py).powi(2);
+                prop_assert!(dc <= dv + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Cholesky factorisation of symmetric positive-definite systems.
+//!
+//! The interior-point QP solver repeatedly solves reduced KKT systems
+//! `(H + Gᵀ·D·G)·Δx = r` whose matrix is SPD by construction but can become
+//! ill-conditioned as the barrier parameter shrinks. [`Cholesky::factor`]
+//! therefore retries with growing diagonal regularisation (Tikhonov jitter)
+//! before giving up — standard practice in IPM implementations.
+
+use crate::matrix::Matrix;
+
+/// Error returned when a matrix is not positive definite even after
+/// regularisation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite;
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// A lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors an SPD matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "matrix must be square");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factors `A + εI`, growing `ε` geometrically from `jitter0` until the
+    /// factorisation succeeds (at most `tries` attempts).
+    pub fn factor_regularized(
+        a: &Matrix,
+        jitter0: f64,
+        tries: u32,
+    ) -> Result<Self, NotPositiveDefinite> {
+        if let Ok(c) = Self::factor(a) {
+            return Ok(c);
+        }
+        let scale = a.norm_inf().max(1.0);
+        let mut jitter = jitter0 * scale;
+        for _ in 0..tries {
+            let mut reg = a.clone();
+            reg.add_diag(jitter);
+            if let Ok(c) = Self::factor(&reg) {
+                return Ok(c);
+            }
+            jitter *= 10.0;
+        }
+        Err(NotPositiveDefinite)
+    }
+
+    /// Solves `A·x = b` via forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factor size.
+    #[allow(clippy::needless_range_loop)] // triangular indexing is clearer
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Forward: L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factor_identity() {
+        let c = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert_eq!(c.solve(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn factor_known_spd() {
+        // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, √2]].
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.l()[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((c.l()[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((c.l()[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-12);
+        let x = c.solve(&[2.0, 3.0]);
+        let r = a.matvec(&x);
+        assert!((r[0] - 2.0).abs() < 1e-10 && (r[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!(matches!(Cholesky::factor(&a), Err(NotPositiveDefinite)));
+    }
+
+    #[test]
+    fn regularization_rescues_singular_matrix() {
+        // Rank-1 PSD matrix: plain Cholesky fails, jitter succeeds.
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        assert!(Cholesky::factor(&a).is_err());
+        let c = Cholesky::factor_regularized(&a, 1e-10, 12).unwrap();
+        let x = c.solve(&[1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn regularization_gives_up_eventually() {
+        // Strongly indefinite: even large jitter within `tries` fails.
+        let a = Matrix::from_rows(2, 2, vec![-1e12, 0.0, 0.0, -1e12]);
+        assert!(Cholesky::factor_regularized(&a, 1e-12, 2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn solve_recovers_solution_of_random_spd(
+            m in proptest::collection::vec(-2.0f64..2.0, 9),
+            x_true in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // Build SPD as BᵀB + I.
+            let b = Matrix::from_rows(3, 3, m);
+            let mut a = b.transpose().matmul(&b);
+            a.add_diag(1.0);
+            let rhs = a.matvec(&x_true);
+            let c = Cholesky::factor(&a).unwrap();
+            let x = c.solve(&rhs);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-6, "xi={xi} ti={ti}");
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! LU factorisation with partial pivoting for general square systems.
+//!
+//! Used where symmetry is not guaranteed (e.g. validating QP KKT systems in
+//! tests) and as a fallback solver.
+
+use crate::matrix::Matrix;
+
+/// Error returned for (numerically) singular matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Singular;
+
+impl std::fmt::Display for Singular {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for Singular {}
+
+/// A packed LU factorisation `P·A = L·U`.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a general square matrix with partial pivoting.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn factor(a: &Matrix) -> Result<Self, Singular> {
+        assert_eq!(a.rows(), a.cols(), "matrix must be square");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for col in 0..n {
+            // Pivot selection.
+            let mut pivot = col;
+            let mut best = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = lu[(r, col)].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-14 {
+                return Err(Singular);
+            }
+            if pivot != col {
+                perm.swap(pivot, col);
+                sign = -sign;
+                for c in 0..n {
+                    let tmp = lu[(pivot, c)];
+                    lu[(pivot, c)] = lu[(col, c)];
+                    lu[(col, c)] = tmp;
+                }
+            }
+            // Elimination.
+            let d = lu[(col, col)];
+            for r in (col + 1)..n {
+                let f = lu[(r, col)] / d;
+                lu[(r, col)] = f;
+                for c in (col + 1)..n {
+                    let v = lu[(col, c)];
+                    lu[(r, c)] -= f * v;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factor size.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Apply permutation, then forward substitution (unit lower).
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            for k in 0..i {
+                let f = self.lu[(i, k)];
+                y[i] -= f * y[k];
+            }
+        }
+        // Backward substitution (upper).
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let f = self.lu[(i, k)];
+                y[i] -= f * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_small_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[7.0, 9.0]);
+        assert_eq!(x, vec![9.0, 7.0]);
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(Lu::factor(&a), Err(Singular)));
+    }
+
+    #[test]
+    fn determinant_of_identity() {
+        let lu = Lu::factor(&Matrix::identity(4)).unwrap();
+        assert_eq!(lu.det(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_is_identity(
+            m in proptest::collection::vec(-3.0f64..3.0, 16),
+            b in proptest::collection::vec(-5.0f64..5.0, 4),
+        ) {
+            let mut a = Matrix::from_rows(4, 4, m);
+            a.add_diag(5.0); // keep well-conditioned
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve(&b);
+            let r = a.matvec(&x);
+            for (ri, bi) in r.iter().zip(&b) {
+                prop_assert!((ri - bi).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Dense row-major matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or any entry is non-finite.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "matrix entries must be finite"
+        );
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// A diagonal matrix from the given entries.
+    pub fn diag(entries: &[f64]) -> Self {
+        let n = entries.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows).map(|r| crate::dot(self.row(r), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            crate::axpy(xr, self.row(r), &mut out);
+        }
+        out
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// `AᵀDA` for a diagonal `D` given by `d` — the reduced-KKT update of
+    /// the interior-point method, computed without materialising `D`.
+    ///
+    /// # Panics
+    /// Panics if `d.len() != rows`.
+    pub fn t_diag_self(&self, d: &[f64]) -> Matrix {
+        assert_eq!(d.len(), self.rows, "dimension mismatch");
+        let n = self.cols;
+        let mut out = Matrix::zeros(n, n);
+        for (r, &dr) in d.iter().enumerate() {
+            if dr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for i in 0..n {
+                let s = dr * row[i];
+                if s == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += s * row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "column mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_rows(self.rows, self.cols, data)
+    }
+
+    /// Adds `v` to every diagonal entry (in place).
+    ///
+    /// # Panics
+    /// Panics unless the matrix is square.
+    pub fn add_diag(&mut self, v: f64) {
+        assert_eq!(self.rows, self.cols, "matrix must be square");
+        for i in 0..self.rows {
+            self[(i, i)] += v;
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_inf(&self) -> f64 {
+        crate::norm_inf(&self.data)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        let i = Matrix::identity(3);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(1, 2)], 0.0);
+        let d = Matrix::diag(&[2.0, 5.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 5.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_rows_length_check() {
+        let _ = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(c[(0, 1)], 1.0);
+        assert_eq!(c[(1, 0)], 4.0);
+        assert_eq!(c[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn t_diag_self_matches_explicit_product() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 0.0, 2.0, 1.0, 0.0, 3.0]);
+        let d = [2.0, 0.5, 1.0];
+        let fast = a.t_diag_self(&d);
+        let explicit = a.transpose().matmul(&Matrix::diag(&d)).matmul(&a);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((fast[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_add_diag() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let c = a.add(&b);
+        assert_eq!(c[(0, 0)], 2.0);
+        a.add_diag(3.0);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matvec_t_is_transpose_matvec(
+            data in proptest::collection::vec(-10.0f64..10.0, 12),
+            x in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let a = Matrix::from_rows(3, 4, data);
+            let lhs = a.matvec_t(&x);
+            let rhs = a.transpose().matvec(&x);
+            for (l, r) in lhs.iter().zip(&rhs) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn matmul_identity_is_noop(
+            data in proptest::collection::vec(-10.0f64..10.0, 9),
+        ) {
+            let a = Matrix::from_rows(3, 3, data);
+            let i = Matrix::identity(3);
+            let prod = a.matmul(&i);
+            for r in 0..3 {
+                for c in 0..3 {
+                    prop_assert!((prod[(r, c)] - a[(r, c)]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Convex quadratic programming for WQRTQ.
+//!
+//! MQP (Algorithm 1 of the paper) finds the refined query point `q′` with
+//! minimum penalty by solving
+//!
+//! ```text
+//! minimize   ½·xᵀH·x + cᵀx        (H = 2I, c = −2q  ⇒  ‖x − q‖²)
+//! subject to G·x ≤ h              (one row per why-not weighting vector)
+//!            lb ≤ x ≤ ub          (0 ≤ q′ ≤ q)
+//! ```
+//!
+//! The paper uses the interior path-following primal–dual algorithm of
+//! Monteiro & Adler (their reference \[26\]); this crate implements the same
+//! family: an infeasible-start primal–dual interior-point method with a
+//! centring parameter and fraction-to-the-boundary steps, using the
+//! Cholesky kernel from `wqrtq-linalg` for the reduced KKT systems.
+
+pub mod problem;
+pub mod solver;
+
+pub use problem::QpProblem;
+pub use solver::{solve, QpError, QpSolution, QpStatus, SolverOptions};

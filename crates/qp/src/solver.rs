@@ -1,0 +1,365 @@
+//! Infeasible-start primal–dual interior-point method for convex QP.
+//!
+//! Solves `min ½xᵀHx + cᵀx  s.t.  Gx ≤ h` (bounds folded into `G`) by
+//! following the central path of the log-barrier reformulation — the same
+//! algorithmic family as the paper's QuadProg reference (Monteiro & Adler,
+//! *Interior path following primal–dual algorithms, part II: convex
+//! quadratic programming*, Math. Program. 44, 1989).
+//!
+//! Per iteration the method solves one reduced KKT system
+//! `(H + Gᵀ·diag(λ/s)·G)·Δx = r` via Cholesky, then takes a damped Newton
+//! step that keeps the slacks `s` and multipliers `λ` strictly positive
+//! (fraction-to-the-boundary rule).
+
+use crate::problem::QpProblem;
+use wqrtq_linalg::{dot, norm_inf, Cholesky, Matrix};
+
+/// Tunables for the interior-point iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Maximum Newton iterations.
+    pub max_iter: u32,
+    /// Convergence tolerance on KKT residuals and duality gap.
+    pub tol: f64,
+    /// Centring parameter σ ∈ (0, 1): fraction of the current duality gap
+    /// targeted by the next step.
+    pub sigma: f64,
+    /// Fraction-to-the-boundary damping (close to but below 1).
+    pub boundary_frac: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            tol: 1e-9,
+            sigma: 0.2,
+            boundary_frac: 0.95,
+        }
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QpStatus {
+    /// All KKT conditions hold within tolerance.
+    Optimal,
+    /// Iteration budget exhausted; the returned point is the best iterate.
+    MaxIterations,
+}
+
+/// A solver result.
+#[derive(Clone, Debug)]
+pub struct QpSolution {
+    /// The (approximately) optimal point.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: u32,
+    /// Termination status.
+    pub status: QpStatus,
+    /// Maximum primal constraint violation at `x`.
+    pub max_violation: f64,
+    /// Final complementarity gap `sᵀλ / m`.
+    pub gap: f64,
+}
+
+/// Failure modes surfaced to callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QpError {
+    /// The reduced KKT system could not be factored even with
+    /// regularisation (H not PSD or pathological constraints).
+    NumericalFailure,
+}
+
+impl std::fmt::Display for QpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpError::NumericalFailure => write!(f, "KKT system could not be factored"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {}
+
+/// Solves a convex QP with the default options.
+pub fn solve(problem: &QpProblem) -> Result<QpSolution, QpError> {
+    solve_with(problem, SolverOptions::default())
+}
+
+/// Solves a convex QP with explicit options.
+pub fn solve_with(problem: &QpProblem, opts: SolverOptions) -> Result<QpSolution, QpError> {
+    let n = problem.dim();
+    let (g, h) = problem.canonical_constraints();
+    let m = g.rows();
+
+    // Starting point: interior of the box for x; positive slacks and
+    // multipliers regardless of primal feasibility (infeasible start).
+    let mut x = problem.interior_start();
+    let gx = g.matvec(&x);
+    let mut s: Vec<f64> = h
+        .iter()
+        .zip(&gx)
+        .map(|(hi, gi)| (hi - gi).max(1.0))
+        .collect();
+    let mut lambda = vec![1.0; m];
+
+    let mut iterations = 0;
+    let mut status = QpStatus::MaxIterations;
+
+    for iter in 0..opts.max_iter {
+        iterations = iter + 1;
+
+        // Residuals.
+        let hx = problem.h().matvec(&x);
+        let gt_lambda = g.matvec_t(&lambda);
+        let r_dual: Vec<f64> = (0..n)
+            .map(|i| hx[i] + problem.c()[i] + gt_lambda[i])
+            .collect();
+        let gx = g.matvec(&x);
+        let r_prim: Vec<f64> = (0..m).map(|i| gx[i] + s[i] - h[i]).collect();
+        let mu = dot(&s, &lambda) / m as f64;
+
+        if norm_inf(&r_dual) < opts.tol && norm_inf(&r_prim) < opts.tol && mu < opts.tol {
+            status = QpStatus::Optimal;
+            break;
+        }
+
+        // Reduced KKT matrix M = H + Gᵀ·diag(λ/s)·G.
+        let d: Vec<f64> = lambda.iter().zip(&s).map(|(l, si)| l / si).collect();
+        let mut kkt = problem.h().add(&g.t_diag_self(&d));
+        let rhs = reduced_rhs(problem, &g, &r_dual, &r_prim, &s, &lambda, opts.sigma * mu);
+        let chol = match Cholesky::factor_regularized(&kkt, 1e-12, 14) {
+            Ok(c) => c,
+            Err(_) => {
+                // One more, heavier, attempt before reporting failure.
+                kkt.add_diag(1e-8 * kkt.norm_inf().max(1.0));
+                Cholesky::factor_regularized(&kkt, 1e-8, 10)
+                    .map_err(|_| QpError::NumericalFailure)?
+            }
+        };
+        let dx = chol.solve(&rhs);
+
+        // Back-substitute: Δs = −r_prim − G·Δx; Δλ from complementarity.
+        let g_dx = g.matvec(&dx);
+        let ds: Vec<f64> = (0..m).map(|i| -r_prim[i] - g_dx[i]).collect();
+        let target = opts.sigma * mu;
+        let dlambda: Vec<f64> = (0..m)
+            .map(|i| (target - lambda[i] * s[i] - lambda[i] * ds[i]) / s[i])
+            .collect();
+
+        // Fraction-to-the-boundary step length.
+        let mut alpha: f64 = 1.0;
+        for i in 0..m {
+            if ds[i] < 0.0 {
+                alpha = alpha.min(-s[i] / ds[i]);
+            }
+            if dlambda[i] < 0.0 {
+                alpha = alpha.min(-lambda[i] / dlambda[i]);
+            }
+        }
+        alpha = (alpha * opts.boundary_frac).min(1.0);
+
+        for i in 0..n {
+            x[i] += alpha * dx[i];
+        }
+        for i in 0..m {
+            s[i] += alpha * ds[i];
+            lambda[i] += alpha * dlambda[i];
+        }
+    }
+
+    let gap = dot(&s, &lambda) / m as f64;
+    Ok(QpSolution {
+        objective: problem.objective(&x),
+        max_violation: problem.max_violation(&x),
+        x,
+        iterations,
+        status,
+        gap,
+    })
+}
+
+/// Right-hand side of the reduced KKT system:
+/// `−r_dual + Gᵀ·diag(1/s)·(σμ·e − Λ·S·e − Λ·(−r_prim))` rearranged so that
+/// the elimination above is exact.
+fn reduced_rhs(
+    problem: &QpProblem,
+    g: &Matrix,
+    r_dual: &[f64],
+    r_prim: &[f64],
+    s: &[f64],
+    lambda: &[f64],
+    target: f64,
+) -> Vec<f64> {
+    let _ = problem;
+    let m = s.len();
+    // Eliminating Δs and Δλ from the Newton system gives
+    // (H + GᵀDG)·Δx = −r_dual + Gᵀ·w with w_i = (r_cent,i − λ_i·r_prim,i)/s_i
+    // and r_cent,i = λ_i·s_i − σμ.
+    let w: Vec<f64> = (0..m)
+        .map(|i| (lambda[i] * s[i] - target - lambda[i] * r_prim[i]) / s[i])
+        .collect();
+    let gt_w = g.matvec_t(&w);
+    r_dual.iter().zip(&gt_w).map(|(rd, gw)| -rd + gw).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn projection_onto_box() {
+        // Closest point to (5, −3) in [0,1]² is (1, 0).
+        let mut p = QpProblem::least_change(&[5.0, -3.0]);
+        p.set_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.status, QpStatus::Optimal);
+        assert_close(&sol.x, &[1.0, 0.0], 1e-6);
+        assert!(sol.max_violation < 1e-8);
+    }
+
+    #[test]
+    fn projection_onto_half_space() {
+        // Closest point to (1, 1) under x + y ≤ 1 is (0.5, 0.5).
+        let mut p = QpProblem::least_change(&[1.0, 1.0]);
+        p.add_inequality(vec![1.0, 1.0], 1.0);
+        p.set_bounds(vec![-10.0, -10.0], vec![10.0, 10.0]);
+        let sol = solve(&p).unwrap();
+        assert_close(&sol.x, &[0.5, 0.5], 1e-6);
+    }
+
+    #[test]
+    fn inactive_constraints_leave_target_unchanged() {
+        let mut p = QpProblem::least_change(&[0.25, 0.75]);
+        p.add_inequality(vec![1.0, 1.0], 5.0);
+        p.set_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let sol = solve(&p).unwrap();
+        assert_close(&sol.x, &[0.25, 0.75], 1e-6);
+        assert!(sol.objective < -0.625 + 1e-6); // ‖x−q‖² − ‖q‖² at optimum
+    }
+
+    #[test]
+    fn paper_figure_5b_refinement() {
+        // Safe region constraints of Figure 5(b): f(w1, x) ≤ f(w1, p4)=3.6
+        // and f(w4, x) ≤ f(w4, p7)=3.4 with w1=(0.1,0.9), w4=(0.9,0.1),
+        // box [0, q] with q=(4,4). Analytic optimum: both constraints
+        // active → q′ = (3.375, 3.625).
+        let mut p = QpProblem::least_change(&[4.0, 4.0]);
+        p.add_inequality(vec![0.1, 0.9], 3.6);
+        p.add_inequality(vec![0.9, 0.1], 3.4);
+        p.set_bounds(vec![0.0, 0.0], vec![4.0, 4.0]);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.status, QpStatus::Optimal);
+        assert_close(&sol.x, &[3.375, 3.625], 1e-6);
+    }
+
+    #[test]
+    fn degenerate_box_pins_variables() {
+        // lb = ub forces x exactly.
+        let mut p = QpProblem::least_change(&[9.0, 9.0]);
+        p.set_bounds(vec![2.0, 3.0], vec![2.0, 3.0]);
+        let sol = solve(&p).unwrap();
+        assert_close(&sol.x, &[2.0, 3.0], 1e-5);
+    }
+
+    #[test]
+    fn redundant_constraints_are_harmless() {
+        let mut p = QpProblem::least_change(&[2.0, 2.0]);
+        for _ in 0..8 {
+            p.add_inequality(vec![1.0, 0.0], 1.0); // x0 ≤ 1, repeated
+        }
+        p.set_bounds(vec![0.0, 0.0], vec![5.0, 5.0]);
+        let sol = solve(&p).unwrap();
+        assert_close(&sol.x, &[1.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn higher_dimensional_projection() {
+        // Project (2,2,2,2,2) onto the simplex-ish region Σx ≤ 1, x ≥ 0:
+        // optimum spreads equally: x = (0.2, 0.2, 0.2, 0.2, 0.2).
+        let mut p = QpProblem::least_change(&[2.0; 5]);
+        p.add_inequality(vec![1.0; 5], 1.0);
+        p.set_bounds(vec![0.0; 5], vec![10.0; 5]);
+        let sol = solve(&p).unwrap();
+        assert_close(&sol.x, &[0.2; 5], 1e-6);
+    }
+
+    #[test]
+    fn kkt_stationarity_holds_at_reported_optimum() {
+        let mut p = QpProblem::least_change(&[3.0, 1.0, 2.0]);
+        p.add_inequality(vec![1.0, 1.0, 1.0], 2.0);
+        p.add_inequality(vec![1.0, 0.0, 0.0], 0.8);
+        p.set_bounds(vec![0.0; 3], vec![3.0; 3]);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.status, QpStatus::Optimal);
+        assert!(sol.max_violation < 1e-8);
+        assert!(sol.gap < 1e-8);
+        // Optimality sanity: perturbations inside the feasible set do not
+        // materially improve the objective.
+        let deltas = [
+            [0.01, 0.0, 0.0],
+            [-0.01, 0.0, 0.0],
+            [0.0, 0.01, -0.01],
+            [0.0, -0.01, 0.01],
+        ];
+        for d in deltas {
+            let y: Vec<f64> = sol.x.iter().zip(d).map(|(xi, di)| xi + di).collect();
+            if p.max_violation(&y) <= 1e-12 {
+                assert!(p.objective(&y) >= sol.objective - 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn general_spd_objective_not_just_least_change() {
+        // H = [[4, 1], [1, 3]], c = (−1, −2), x + y ≤ 0.6, x, y ≥ 0.
+        // Verified against a fine grid search.
+        let h = wqrtq_linalg::Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
+        let mut p = QpProblem::new(h, vec![-1.0, -2.0]);
+        p.add_inequality(vec![1.0, 1.0], 0.6);
+        p.set_bounds(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let sol = solve(&p).unwrap();
+        assert_eq!(sol.status, QpStatus::Optimal);
+        let mut best = f64::INFINITY;
+        let mut arg = [0.0, 0.0];
+        for i in 0..=600 {
+            for j in 0..=(600 - i) {
+                let x = [i as f64 / 1000.0, j as f64 / 1000.0];
+                let v = p.objective(&x);
+                if v < best {
+                    best = v;
+                    arg = x;
+                }
+            }
+        }
+        assert!(
+            sol.objective <= best + 1e-6,
+            "{} vs grid {best}",
+            sol.objective
+        );
+        assert_close(&sol.x, &arg, 2e-3);
+    }
+
+    #[test]
+    fn options_control_iteration_budget() {
+        let mut p = QpProblem::least_change(&[1.0, 1.0]);
+        p.add_inequality(vec![1.0, 1.0], 1.0);
+        p.set_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let opts = SolverOptions {
+            max_iter: 2,
+            ..Default::default()
+        };
+        let sol = solve_with(&p, opts).unwrap();
+        assert_eq!(sol.status, QpStatus::MaxIterations);
+        assert_eq!(sol.iterations, 2);
+    }
+}

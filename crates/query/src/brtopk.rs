@@ -1,0 +1,233 @@
+//! Bichromatic reverse top-k queries (Definition 3 of the paper).
+//!
+//! Given products `P`, customer weighting vectors `W`, a query product `q`
+//! and `k`, return every `w ∈ W` with `q ∈ TOPk(w)`.
+//!
+//! Two implementations:
+//!
+//! * [`bichromatic_reverse_topk_naive`] — an independent rank test per
+//!   weight over the raw points (the correctness oracle);
+//! * [`bichromatic_reverse_topk_rta`] — the RTA strategy of Vlachou et
+//!   al. \[31\]: weights are processed in similarity order and the top-k
+//!   *buffer* of the previous weight provides a threshold test that
+//!   rejects most non-result weights without touching the index.
+
+use crate::rank::is_in_topk;
+use wqrtq_geom::{score, Point, Weight};
+use wqrtq_rtree::RTree;
+
+/// Work counters exposed by the RTA implementation for the ablation
+/// benchmarks (`ablation_rta_vs_naive`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RtaStats {
+    /// Weights rejected purely by the reused top-k buffer.
+    pub buffer_prunes: usize,
+    /// Weights that needed an index probe.
+    pub tree_verifications: usize,
+}
+
+/// Naive bichromatic reverse top-k: a full rank scan per weight.
+/// Returns the indices (into `weights`) of the qualifying vectors, in
+/// ascending order.
+pub fn bichromatic_reverse_topk_naive(
+    points: &[Point],
+    weights: &[Weight],
+    q: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, w) in weights.iter().enumerate() {
+        let sq = w.score(q);
+        let better = points.iter().filter(|p| w.score(p) < sq).count();
+        if better < k {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// RTA-style bichromatic reverse top-k over an R-tree.
+/// Returns qualifying indices in ascending order.
+pub fn bichromatic_reverse_topk_rta(
+    tree: &RTree,
+    weights: &[Weight],
+    q: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    bichromatic_reverse_topk_rta_with_stats(tree, weights, q, k).0
+}
+
+/// [`bichromatic_reverse_topk_rta`] with pruning statistics.
+pub fn bichromatic_reverse_topk_rta_with_stats(
+    tree: &RTree,
+    weights: &[Weight],
+    q: &[f64],
+    k: usize,
+) -> (Vec<usize>, RtaStats) {
+    let mut stats = RtaStats::default();
+    if weights.is_empty() || k == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Process weights in similarity order so adjacent buffers transfer
+    // well; remember the original indices for the answer.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        weights[a]
+            .as_slice()
+            .iter()
+            .zip(weights[b].as_slice())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut result = Vec::new();
+    // Buffer: coordinates of the previous weight's top-k points.
+    let mut buffer: Vec<Vec<f64>> = Vec::new();
+
+    for &idx in &order {
+        let w = &weights[idx];
+        let sq = w.score(q);
+
+        // Threshold test: if k buffered points already beat q under this
+        // weight, q cannot be in TOPk(w) — no index work needed.
+        if buffer.len() >= k {
+            let better = buffer.iter().filter(|p| score(w, p) < sq).count();
+            if better >= k {
+                stats.buffer_prunes += 1;
+                continue;
+            }
+        }
+
+        stats.tree_verifications += 1;
+        if is_in_topk(tree, w, q, k) {
+            result.push(idx);
+        }
+        // Refresh the buffer with this weight's exact top-k.
+        buffer.clear();
+        let mut bf = tree.best_first(w);
+        for _ in 0..k {
+            match bf.next_entry() {
+                Some(r) => buffer.push(r.coords.to_vec()),
+                None => break,
+            }
+        }
+    }
+
+    result.sort_unstable();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fig_products() -> Vec<Point> {
+        [
+            [2.0, 1.0],
+            [6.0, 3.0],
+            [1.0, 9.0],
+            [9.0, 3.0],
+            [7.0, 5.0],
+            [5.0, 8.0],
+            [3.0, 7.0],
+        ]
+        .into_iter()
+        .map(Point::from)
+        .collect()
+    }
+
+    fn fig_customers() -> Vec<Weight> {
+        vec![
+            Weight::new(vec![0.1, 0.9]), // Kevin
+            Weight::new(vec![0.5, 0.5]), // Tony
+            Weight::new(vec![0.3, 0.7]), // Anna
+            Weight::new(vec![0.9, 0.1]), // Julia
+        ]
+    }
+
+    fn fig_tree() -> RTree {
+        let flat: Vec<f64> = fig_products()
+            .iter()
+            .flat_map(|p| p.coords().to_vec())
+            .collect();
+        RTree::bulk_load(2, &flat)
+    }
+
+    #[test]
+    fn paper_example_brtop3_is_tony_and_anna() {
+        let res = bichromatic_reverse_topk_naive(&fig_products(), &fig_customers(), &[4.0, 4.0], 3);
+        assert_eq!(res, vec![1, 2]); // Tony, Anna
+    }
+
+    #[test]
+    fn rta_matches_naive_on_paper_example() {
+        let (res, stats) =
+            bichromatic_reverse_topk_rta_with_stats(&fig_tree(), &fig_customers(), &[4.0, 4.0], 3);
+        assert_eq!(res, vec![1, 2]);
+        assert_eq!(stats.buffer_prunes + stats.tree_verifications, 4);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everyone() {
+        let res =
+            bichromatic_reverse_topk_naive(&fig_products(), &fig_customers(), &[4.0, 4.0], 100);
+        assert_eq!(res, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_weights_and_k_zero() {
+        assert!(bichromatic_reverse_topk_naive(&fig_products(), &[], &[4.0, 4.0], 3).is_empty());
+        let res = bichromatic_reverse_topk_rta(&fig_tree(), &fig_customers(), &[4.0, 4.0], 0);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn rta_prunes_with_many_similar_weights() {
+        // A dense fan of weights on a dataset where q is far from the top:
+        // most weights should be rejected by the buffer alone.
+        let mut pts = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..500 {
+            for _ in 0..2 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                pts.push((state >> 11) as f64 / (1u64 << 53) as f64);
+            }
+        }
+        let tree = RTree::bulk_load(2, &pts);
+        let weights: Vec<Weight> = (1..100)
+            .map(|i| Weight::from_first_2d(i as f64 / 100.0))
+            .collect();
+        let q = [0.9, 0.9]; // dominated by many points: never in top-k
+        let (res, stats) = bichromatic_reverse_topk_rta_with_stats(&tree, &weights, &q, 5);
+        assert!(res.is_empty());
+        assert!(
+            stats.buffer_prunes > stats.tree_verifications,
+            "expected buffer to do most of the work: {stats:?}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn rta_equals_naive(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 5..120),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            k in 1usize..8,
+            nw in 1usize..12,
+        ) {
+            let points: Vec<Point> = pts.iter().map(|(a, b)| Point::from([*a, *b])).collect();
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let weights: Vec<Weight> = (0..nw)
+                .map(|i| Weight::from_first_2d((i as f64 + 0.5) / nw as f64))
+                .collect();
+            let qv = [q.0, q.1];
+            let naive = bichromatic_reverse_topk_naive(&points, &weights, &qv, k);
+            let rta = bichromatic_reverse_topk_rta(&tree, &weights, &qv, k);
+            prop_assert_eq!(naive, rta);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Top-k and reverse top-k query processing.
+//!
+//! Implements the query classes the paper builds on (its Definitions 1–3):
+//!
+//! * [`topk`] — top-k queries, both branch-and-bound over the R-tree (the
+//!   I/O-optimal BRS strategy \[29\]) and a linear-scan baseline;
+//! * [`rank`] — the *rank* of a query point under a weighting vector
+//!   (`1 + #points strictly better`), the predicate behind every reverse
+//!   top-k decision;
+//! * [`brtopk`] — **bichromatic** reverse top-k (Definition 3): which of
+//!   the known customer weighting vectors put `q` in their top-k. Includes
+//!   the RTA-style algorithm with threshold-buffer reuse \[31\] and a naive
+//!   per-weight baseline;
+//! * [`mrtopk`] — **monochromatic** reverse top-k (Definition 2) in two
+//!   dimensions, computing the exact qualifying weight intervals by a
+//!   plane sweep (the segment `BC` of the paper's Figure 2).
+
+pub mod brtopk;
+pub mod cache;
+pub mod mrtopk;
+pub mod mrtopk_nd;
+pub mod rank;
+pub mod ta;
+pub mod topk;
+
+pub use brtopk::{bichromatic_reverse_topk_naive, bichromatic_reverse_topk_rta, RtaStats};
+pub use cache::TopkViewCache;
+pub use mrtopk::{monochromatic_reverse_topk_2d, WeightInterval};
+pub use mrtopk_nd::{monochromatic_reverse_topk_sampled, MrtopkEstimate};
+pub use rank::{is_in_topk, rank_of_point, rank_of_point_scan};
+pub use ta::{SortedLists, TaStats};
+pub use topk::{kth_point, topk, topk_scan, KthPoint};

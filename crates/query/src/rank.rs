@@ -1,0 +1,136 @@
+//! Rank queries: where would `q` place under a weighting vector?
+//!
+//! `rank(q, w) = 1 + |{p ∈ P : f(w, p) < f(w, q)}|`, so `q ∈ TOPk(w)` iff
+//! `rank(q, w) ≤ k` — the membership rule of Definitions 2/3 with the
+//! paper's tie semantics (`f(w, q) ≤ f(w, p)` keeps `q` in on a tie).
+
+use wqrtq_geom::score;
+use wqrtq_rtree::RTree;
+
+/// Exact rank of `q` under `w` using counted R-tree pruning.
+pub fn rank_of_point(tree: &RTree, w: &[f64], q: &[f64]) -> usize {
+    let s = score(w, q);
+    tree.count_score_below(w, s, true) + 1
+}
+
+/// Linear-scan rank baseline over a flat `n × dim` buffer.
+///
+/// # Panics
+/// Panics if the buffer length is not a multiple of `w.len()`.
+pub fn rank_of_point_scan(points: &[f64], w: &[f64], q: &[f64]) -> usize {
+    let dim = w.len();
+    assert_eq!(points.len() % dim, 0, "coordinate buffer length mismatch");
+    let s = score(w, q);
+    let n = points.len() / dim;
+    let mut count = 0;
+    for i in 0..n {
+        if score(w, &points[i * dim..(i + 1) * dim]) < s {
+            count += 1;
+        }
+    }
+    count + 1
+}
+
+/// Decides `q ∈ TOPk(w)` without computing the exact rank: the counting
+/// traversal stops descending as soon as `k` better points are known.
+pub fn is_in_topk(tree: &RTree, w: &[f64], q: &[f64], k: usize) -> bool {
+    if k == 0 {
+        return false;
+    }
+    let s = score(w, q);
+    tree.count_score_below_capped(w, s, true, k) < k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fig_points() -> Vec<f64> {
+        vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ]
+    }
+
+    #[test]
+    fn ranks_match_figure_1c() {
+        let pts = fig_points();
+        let t = RTree::bulk_load(2, &pts);
+        let q = [4.0, 4.0];
+        // Kevin (0.1,0.9): p1,p2,p4 better → rank 4 (why-not!).
+        assert_eq!(rank_of_point(&t, &[0.1, 0.9], &q), 4);
+        // Tony (0.5,0.5): only p1 (1.5) beats q (4.0); p2 scores 4.5.
+        // TOP3(w2) = {p1, q, p2} per Figure 1(c) → rank 2 → in BRTOP3.
+        assert_eq!(rank_of_point(&t, &[0.5, 0.5], &q), 2);
+        // Anna (0.3,0.7): scores 1.3,3.9,6.6,4.8,5.6,7.1,5.8 vs q=4 → rank 3.
+        assert_eq!(rank_of_point(&t, &[0.3, 0.7], &q), 3);
+        // Julia (0.9,0.1): p1,p3,p7 better → rank 4 (why-not!).
+        assert_eq!(rank_of_point(&t, &[0.9, 0.1], &q), 4);
+    }
+
+    #[test]
+    fn membership_matches_paper_reverse_top3() {
+        let t = RTree::bulk_load(2, &fig_points());
+        let q = [4.0, 4.0];
+        assert!(!is_in_topk(&t, &[0.1, 0.9], &q, 3)); // Kevin
+        assert!(is_in_topk(&t, &[0.5, 0.5], &q, 3)); // Tony
+        assert!(is_in_topk(&t, &[0.3, 0.7], &q, 3)); // Anna
+        assert!(!is_in_topk(&t, &[0.9, 0.1], &q, 3)); // Julia
+                                                      // Everyone admits q at k = 4 (Lemma 4: k'max = 4 in the example).
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.3, 0.7], [0.9, 0.1]] {
+            assert!(is_in_topk(&t, &w, &q, 4));
+        }
+    }
+
+    #[test]
+    fn tie_keeps_query_in_topk() {
+        // A point tying with q does not push q out (≤ semantics).
+        let pts = vec![1.0, 1.0, 2.0, 2.0];
+        let t = RTree::bulk_load(2, &pts);
+        let q = [2.0, 2.0]; // ties with the second point under any weight
+        assert_eq!(rank_of_point(&t, &[0.5, 0.5], &q), 2);
+        assert!(is_in_topk(&t, &[0.5, 0.5], &q, 2));
+    }
+
+    #[test]
+    fn k_zero_is_never_member() {
+        let t = RTree::bulk_load(2, &fig_points());
+        assert!(!is_in_topk(&t, &[0.5, 0.5], &[0.0, 0.0], 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn tree_rank_matches_scan(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..300),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            raw in (0.01f64..1.0, 0.01f64..1.0),
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let t = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let s = raw.0 + raw.1;
+            let w = [raw.0 / s, raw.1 / s];
+            let qv = [q.0, q.1];
+            prop_assert_eq!(
+                rank_of_point(&t, &w, &qv),
+                rank_of_point_scan(&flat, &w, &qv)
+            );
+        }
+
+        #[test]
+        fn membership_consistent_with_rank(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..200),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            k in 1usize..12,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let t = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let w = [0.4, 0.6];
+            let qv = [q.0, q.1];
+            prop_assert_eq!(
+                is_in_topk(&t, &w, &qv, k),
+                rank_of_point(&t, &w, &qv) <= k
+            );
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The Threshold Algorithm (TA) over per-dimension sorted lists — the
+//! classic alternative top-k engine the paper's related work surveys
+//! (§2: Onion, PREFER, LPTA all belong to this sorted-access family,
+//! with BRS \[29\] being the R-tree branch-and-bound alternative this
+//! crate uses by default).
+//!
+//! TA maintains one list per dimension, sorted ascending (smaller is
+//! better). It round-robins *sorted accesses* across the lists, resolves
+//! each newly seen point with a *random access* to its full coordinates,
+//! and stops once the k-th best score seen is no worse than the
+//! threshold `T = Σ wᵢ·(last value seen in list i)` — no unseen point
+//! can beat `T`. The `ablation_brs_vs_ta` bench compares the two engines.
+
+use std::collections::BinaryHeap;
+use wqrtq_geom::score;
+use wqrtq_rtree::OrdF64;
+
+/// A per-dimension sorted-list index (the TA access structure).
+#[derive(Clone, Debug)]
+pub struct SortedLists {
+    dim: usize,
+    /// Flat row-major coordinates for random access.
+    coords: Vec<f64>,
+    /// Per dimension: point ids ordered by ascending coordinate.
+    lists: Vec<Vec<u32>>,
+}
+
+/// Work counters for one TA run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaStats {
+    /// Sorted accesses performed (list positions consumed).
+    pub sorted_accesses: usize,
+    /// Random accesses performed (distinct points scored).
+    pub random_accesses: usize,
+}
+
+impl SortedLists {
+    /// Builds the index over a flat `n × dim` buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dim` or `dim`
+    /// is zero.
+    pub fn new(points: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(points.len() % dim, 0, "coordinate buffer length mismatch");
+        let n = points.len() / dim;
+        let mut lists = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            ids.sort_by(|&a, &b| {
+                points[a as usize * dim + d].total_cmp(&points[b as usize * dim + d])
+            });
+            lists.push(ids);
+        }
+        Self {
+            dim,
+            coords: points.to_vec(),
+            lists,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinates of a point.
+    #[inline]
+    pub fn point(&self, id: u32) -> &[f64] {
+        let i = id as usize;
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// `TOPk(w)` via the threshold algorithm. Results are in ascending
+    /// score order (ties broken by id for determinism).
+    ///
+    /// # Panics
+    /// Panics if `w.len() != dim`.
+    pub fn topk(&self, w: &[f64], k: usize) -> Vec<(u32, f64)> {
+        self.topk_with_stats(w, k).0
+    }
+
+    /// [`SortedLists::topk`] with access counters.
+    pub fn topk_with_stats(&self, w: &[f64], k: usize) -> (Vec<(u32, f64)>, TaStats) {
+        assert_eq!(w.len(), self.dim, "weight dimension mismatch");
+        let n = self.len();
+        let k = k.min(n);
+        let mut stats = TaStats::default();
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+
+        let mut seen = vec![false; n];
+        // Max-heap of the current k best: (score, id) with largest on top.
+        let mut best: BinaryHeap<(OrdF64, u32)> = BinaryHeap::new();
+        let mut depth = 0usize;
+        'outer: while depth < n {
+            // One round of sorted accesses at this depth.
+            for (d, list) in self.lists.iter().enumerate() {
+                // Dimensions with zero weight contribute nothing to the
+                // threshold and can be skipped entirely.
+                if w[d] == 0.0 {
+                    continue;
+                }
+                let id = list[depth];
+                stats.sorted_accesses += 1;
+                if !seen[id as usize] {
+                    seen[id as usize] = true;
+                    stats.random_accesses += 1;
+                    let s = score(w, self.point(id));
+                    if best.len() < k {
+                        best.push((OrdF64(s), id));
+                    } else if let Some(&(OrdF64(worst), _)) = best.peek() {
+                        if s < worst {
+                            best.pop();
+                            best.push((OrdF64(s), id));
+                        }
+                    }
+                }
+            }
+            depth += 1;
+            // Threshold: the best score any unseen point could attain.
+            let threshold: f64 = (0..self.dim)
+                .filter(|&d| w[d] > 0.0)
+                .map(|d| {
+                    let id = self.lists[d][depth - 1];
+                    w[d] * self.coords[id as usize * self.dim + d]
+                })
+                .sum();
+            if best.len() == k {
+                if let Some(&(OrdF64(worst), _)) = best.peek() {
+                    if worst <= threshold {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<(u32, f64)> = best.into_iter().map(|(OrdF64(s), id)| (id, s)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::topk_scan;
+    use proptest::prelude::*;
+
+    fn fig_points() -> Vec<f64> {
+        vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ]
+    }
+
+    #[test]
+    fn ta_matches_figure_1_topk() {
+        let ta = SortedLists::new(&fig_points(), 2);
+        let ids: Vec<u32> = ta.topk(&[0.1, 0.9], 3).iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![0, 1, 3]); // p1, p2, p4 (paper §3)
+    }
+
+    #[test]
+    fn ta_matches_scan_on_paper_data() {
+        let pts = fig_points();
+        let ta = SortedLists::new(&pts, 2);
+        for k in 0..=7 {
+            let a = ta.topk(&[0.4, 0.6], k);
+            let b = topk_scan(&pts, &[0.4, 0.6], k);
+            let sa: Vec<f64> = a.iter().map(|(_, s)| *s).collect();
+            let sb: Vec<f64> = b.iter().map(|(_, s)| *s).collect();
+            assert_eq!(sa, sb, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn ta_terminates_early_on_selective_queries() {
+        // 5 000 points, k = 5: TA should resolve far fewer than n points.
+        let mut pts = Vec::new();
+        let mut state = 7u64;
+        for _ in 0..5_000 {
+            for _ in 0..3 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                pts.push((state >> 11) as f64 / (1u64 << 53) as f64);
+            }
+        }
+        let ta = SortedLists::new(&pts, 3);
+        let (res, stats) = ta.topk_with_stats(&[0.3, 0.3, 0.4], 5);
+        assert_eq!(res.len(), 5);
+        assert!(
+            stats.random_accesses < 2_500,
+            "TA did {} random accesses of 5000 points",
+            stats.random_accesses
+        );
+        // Cross-check against the scan baseline.
+        let brute = topk_scan(&pts, &[0.3, 0.3, 0.4], 5);
+        for (a, b) in res.iter().zip(&brute) {
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_weight_dimensions_are_skipped() {
+        let pts = fig_points();
+        let ta = SortedLists::new(&pts, 2);
+        let (res, stats) = ta.topk_with_stats(&[1.0, 0.0], 2);
+        // Only the price list is accessed.
+        assert!(stats.sorted_accesses <= 2 * 7);
+        let ids: Vec<u32> = res.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![2, 0]); // p3 (price 1), p1 (price 2)
+    }
+
+    #[test]
+    fn k_larger_than_dataset() {
+        let ta = SortedLists::new(&fig_points(), 2);
+        assert_eq!(ta.topk(&[0.5, 0.5], 100).len(), 7);
+        assert!(ta.topk(&[0.5, 0.5], 0).is_empty());
+    }
+
+    #[test]
+    fn empty_index() {
+        let ta = SortedLists::new(&[], 2);
+        assert!(ta.is_empty());
+        assert!(ta.topk(&[0.5, 0.5], 3).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn ta_always_matches_scan(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..200),
+            raw in (0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..15,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b, c)| [*a, *b, *c]).collect();
+            let ta = SortedLists::new(&flat, 3);
+            let s = raw.0 + raw.1 + raw.2;
+            let w = [raw.0 / s, raw.1 / s, raw.2 / s];
+            let a = ta.topk(&w, k);
+            let b = topk_scan(&flat, &w, k);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x.1 - y.1).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Top-k queries (Definition 1 of the paper).
+//!
+//! `TOPk(w)` is the set of `k` points with the smallest scores under `w`.
+//! The branch-and-bound implementation rides the R-tree's best-first
+//! traversal (BRS \[29\]); the scan implementation is the baseline used to
+//! cross-check it and to quantify the index's benefit in the ablation
+//! benchmarks.
+
+use wqrtq_geom::score;
+use wqrtq_rtree::RTree;
+
+/// The top `k`-th point of a weighting vector — the constraint generator
+/// of MQP (Lemma 2/3: a refined `q′` with `f(w, q′) ≤ f(w, p_k)` enters
+/// `TOPk(w)`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KthPoint {
+    /// Point id in the indexed dataset.
+    pub id: u32,
+    /// Its score under the weighting vector.
+    pub score: f64,
+    /// Its coordinates.
+    pub coords: Vec<f64>,
+}
+
+/// Returns the `(id, score)` pairs of `TOPk(w)` in ascending score order
+/// using best-first search. Returns fewer than `k` entries when the
+/// dataset is smaller than `k`.
+pub fn topk(tree: &RTree, w: &[f64], k: usize) -> Vec<(u32, f64)> {
+    tree.best_first(w).take(k).collect()
+}
+
+/// Linear-scan top-k baseline over a flat `n × dim` buffer.
+///
+/// # Panics
+/// Panics if the buffer length is not a multiple of `w.len()`.
+pub fn topk_scan(points: &[f64], w: &[f64], k: usize) -> Vec<(u32, f64)> {
+    let dim = w.len();
+    assert_eq!(points.len() % dim, 0, "coordinate buffer length mismatch");
+    let n = points.len() / dim;
+    let mut scored: Vec<(u32, f64)> = (0..n)
+        .map(|i| (i as u32, score(w, &points[i * dim..(i + 1) * dim])))
+        .collect();
+    // Partial selection: full sort is fine at the sizes this baseline is
+    // benchmarked on, and keeps ties deterministic (by id).
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Finds the top `k`-th point under `w` (1-based: `k = 1` is the best
+/// point). Returns `None` when the dataset has fewer than `k` points.
+pub fn kth_point(tree: &RTree, w: &[f64], k: usize) -> Option<KthPoint> {
+    assert!(k >= 1, "k must be at least 1");
+    let mut it = tree.best_first(w);
+    let mut last = None;
+    for _ in 0..k {
+        last = Some(it.next_entry()?);
+    }
+    last.map(|r| KthPoint {
+        id: r.id,
+        score: r.score,
+        coords: r.coords.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fig_points() -> Vec<f64> {
+        vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ]
+    }
+
+    #[test]
+    fn top3_for_kevin_matches_paper() {
+        // §3: TOP3(w1) = {p1, p2, p4} for Kevin = (0.1, 0.9).
+        let t = RTree::bulk_load(2, &fig_points());
+        let ids: Vec<u32> = topk(&t, &[0.1, 0.9], 3).iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn scan_and_tree_agree_on_paper_data() {
+        let pts = fig_points();
+        let t = RTree::bulk_load(2, &pts);
+        for k in 1..=7 {
+            let a = topk(&t, &[0.3, 0.7], k);
+            let b = topk_scan(&pts, &[0.3, 0.7], k);
+            let sa: Vec<f64> = a.iter().map(|(_, s)| *s).collect();
+            let sb: Vec<f64> = b.iter().map(|(_, s)| *s).collect();
+            assert_eq!(sa, sb, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn kth_point_is_last_of_topk() {
+        let pts = fig_points();
+        let t = RTree::bulk_load(2, &pts);
+        // Kevin's top 3rd point is p4 = (9, 3) with score 3.6 (Fig. 5(b)).
+        let p = kth_point(&t, &[0.1, 0.9], 3).unwrap();
+        assert_eq!(p.id, 3);
+        assert!((p.score - 3.6).abs() < 1e-12);
+        assert_eq!(p.coords, vec![9.0, 3.0]);
+    }
+
+    #[test]
+    fn kth_point_beyond_dataset_is_none() {
+        let t = RTree::bulk_load(2, &fig_points());
+        assert!(kth_point(&t, &[0.5, 0.5], 8).is_none());
+        assert!(kth_point(&t, &[0.5, 0.5], 7).is_some());
+    }
+
+    #[test]
+    fn topk_with_k_zero_is_empty() {
+        let t = RTree::bulk_load(2, &fig_points());
+        assert!(topk(&t, &[0.5, 0.5], 0).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn tree_topk_matches_scan_scores(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..250),
+            raw in (0.01f64..1.0, 0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..20,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b, c)| [*a, *b, *c]).collect();
+            let t = RTree::bulk_load_with_fanout(3, &flat, 8);
+            let s = raw.0 + raw.1 + raw.2;
+            let w = [raw.0 / s, raw.1 / s, raw.2 / s];
+            let a = topk(&t, &w, k);
+            let b = topk_scan(&flat, &w, k);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x.1 - y.1).abs() < 1e-9);
+            }
+        }
+    }
+}

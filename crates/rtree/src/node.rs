@@ -1,0 +1,137 @@
+//! R-tree node representation.
+//!
+//! Nodes live in a flat arena indexed by [`NodeId`]; leaves store point
+//! ids alongside a flattened coordinate buffer for cache-friendly scans,
+//! and every node caches the number of points beneath it so that counting
+//! queries can take whole subtrees in O(1).
+
+use wqrtq_geom::Mbr;
+
+/// Index of a node in the tree arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An R-tree node: either a leaf holding data points or an internal node
+/// holding child references.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A leaf bucket of data points.
+    Leaf {
+        /// Bounding box of the stored points.
+        mbr: Mbr,
+        /// Caller-provided point identifiers.
+        ids: Vec<u32>,
+        /// Row-major coordinates, `ids.len() × dim`.
+        coords: Vec<f64>,
+    },
+    /// An internal routing node.
+    Internal {
+        /// Bounding box of all children.
+        mbr: Mbr,
+        /// Child node ids.
+        children: Vec<NodeId>,
+        /// Total number of points in the subtree.
+        count: usize,
+    },
+}
+
+impl Node {
+    /// The node's bounding box.
+    pub fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => mbr,
+        }
+    }
+
+    /// Number of points under this node.
+    pub fn count(&self) -> usize {
+        match self {
+            Node::Leaf { ids, .. } => ids.len(),
+            Node::Internal { count, .. } => *count,
+        }
+    }
+
+    /// Number of direct entries (points or children).
+    pub fn num_entries(&self) -> usize {
+        match self {
+            Node::Leaf { ids, .. } => ids.len(),
+            Node::Internal { children, .. } => children.len(),
+        }
+    }
+
+    /// Whether this is a leaf node.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// An empty leaf of the given dimensionality.
+    pub(crate) fn empty_leaf(dim: usize) -> Self {
+        Node::Leaf {
+            mbr: Mbr::empty(dim),
+            ids: Vec::new(),
+            coords: Vec::new(),
+        }
+    }
+
+    /// Coordinates of the `slot`-th point in a leaf.
+    ///
+    /// # Panics
+    /// Panics if called on an internal node or with an out-of-range slot.
+    #[inline]
+    pub fn point(&self, slot: usize, dim: usize) -> &[f64] {
+        match self {
+            Node::Leaf { coords, .. } => &coords[slot * dim..(slot + 1) * dim],
+            Node::Internal { .. } => panic!("point() called on internal node"),
+        }
+    }
+
+    /// Recomputes a leaf MBR from scratch.
+    pub fn recompute_leaf_mbr(&mut self, dim: usize) {
+        if let Node::Leaf { mbr, ids, coords } = self {
+            let mut fresh = Mbr::empty(dim);
+            for slot in 0..ids.len() {
+                fresh.expand(&coords[slot * dim..(slot + 1) * dim]);
+            }
+            *mbr = fresh;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_accessors() {
+        let mut leaf = Node::empty_leaf(2);
+        if let Node::Leaf { ids, coords, .. } = &mut leaf {
+            ids.extend([7, 9]);
+            coords.extend([1.0, 2.0, 3.0, 4.0]);
+        }
+        leaf.recompute_leaf_mbr(2);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.count(), 2);
+        assert_eq!(leaf.num_entries(), 2);
+        assert_eq!(leaf.point(1, 2), &[3.0, 4.0]);
+        assert_eq!(leaf.mbr().lo(), &[1.0, 2.0]);
+        assert_eq!(leaf.mbr().hi(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "internal node")]
+    fn point_on_internal_panics() {
+        let n = Node::Internal {
+            mbr: Mbr::from_point(&[0.0]),
+            children: vec![],
+            count: 0,
+        };
+        let _ = n.point(0, 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! Branch-and-bound traversals: best-first ranking, counted rank queries,
+//! and the dominance split behind `FindIncom`.
+
+use crate::node::{Node, NodeId};
+use crate::tree::RTree;
+use crate::OrdF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wqrtq_geom::{dominates, score};
+
+/// A point produced by [`BestFirst`] in ascending score order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedPoint<'a> {
+    /// The point's caller-assigned id.
+    pub id: u32,
+    /// Its score under the traversal's weighting vector.
+    pub score: f64,
+    /// Its coordinates (borrowed from the tree).
+    pub coords: &'a [f64],
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum HeapItem {
+    Node(NodeId),
+    Point { leaf: NodeId, slot: u32, id: u32 },
+}
+
+/// Best-first traversal under a linear scoring function — the incremental
+/// ranking engine of the BRS top-k algorithm. Each call to `next` returns
+/// the unvisited point with the globally smallest score, so taking the
+/// first `k` elements yields `TOPk(w)` and scanning until the query point
+/// would appear yields its exact rank.
+pub struct BestFirst<'a> {
+    tree: &'a RTree,
+    weight: Vec<f64>,
+    heap: BinaryHeap<Reverse<(OrdF64, HeapItem)>>,
+}
+
+impl<'a> BestFirst<'a> {
+    fn new(tree: &'a RTree, weight: Vec<f64>) -> Self {
+        assert_eq!(weight.len(), tree.dim(), "weight dimension mismatch");
+        let mut heap = BinaryHeap::new();
+        if !tree.is_empty() {
+            let root = tree.root_id();
+            let bound = tree.node(root).mbr().min_score(&weight);
+            heap.push(Reverse((OrdF64(bound), HeapItem::Node(root))));
+        }
+        Self { tree, weight, heap }
+    }
+
+    /// Returns the next point in ascending score order, with coordinates.
+    pub fn next_entry(&mut self) -> Option<RankedPoint<'a>> {
+        let dim = self.tree.dim();
+        while let Some(Reverse((OrdF64(bound), item))) = self.heap.pop() {
+            match item {
+                HeapItem::Point { leaf, slot, id } => {
+                    let coords = self.tree.node(leaf).point(slot as usize, dim);
+                    return Some(RankedPoint {
+                        id,
+                        score: bound,
+                        coords,
+                    });
+                }
+                HeapItem::Node(node_id) => match self.tree.node(node_id) {
+                    Node::Leaf { ids, coords, .. } => {
+                        for (slot, &id) in ids.iter().enumerate() {
+                            let p = &coords[slot * dim..(slot + 1) * dim];
+                            let s = score(&self.weight, p);
+                            self.heap.push(Reverse((
+                                OrdF64(s),
+                                HeapItem::Point {
+                                    leaf: node_id,
+                                    slot: slot as u32,
+                                    id,
+                                },
+                            )));
+                        }
+                    }
+                    Node::Internal { children, .. } => {
+                        for &c in children {
+                            let b = self.tree.node(c).mbr().min_score(&self.weight);
+                            self.heap.push(Reverse((OrdF64(b), HeapItem::Node(c))));
+                        }
+                    }
+                },
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for BestFirst<'_> {
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        self.next_entry().map(|r| (r.id, r.score))
+    }
+}
+
+/// The `FindIncom` classification of a dataset relative to a query point:
+/// the set `D` of points dominating `q` and the set `I` of points
+/// incomparable with `q` (points dominated by `q` are pruned away, whole
+/// subtrees at a time).
+#[derive(Clone, Debug, Default)]
+pub struct DominanceSplit {
+    /// Ids of points dominating `q`.
+    pub dominating_ids: Vec<u32>,
+    /// Flat `|D| × dim` coordinates of the dominating points.
+    pub dominating_coords: Vec<f64>,
+    /// Ids of points incomparable with `q`.
+    pub incomparable_ids: Vec<u32>,
+    /// Flat `|I| × dim` coordinates of the incomparable points.
+    pub incomparable_coords: Vec<f64>,
+}
+
+impl DominanceSplit {
+    /// `|D|`.
+    pub fn num_dominating(&self) -> usize {
+        self.dominating_ids.len()
+    }
+
+    /// `|I|`.
+    pub fn num_incomparable(&self) -> usize {
+        self.incomparable_ids.len()
+    }
+}
+
+impl RTree {
+    /// Starts a best-first (ascending score) traversal under `weight`.
+    pub fn best_first(&self, weight: &[f64]) -> BestFirst<'_> {
+        BestFirst::new(self, weight.to_vec())
+    }
+
+    /// Counts points whose score under `weight` is below `threshold`
+    /// (strictly below when `strict`, else `≤`). Sub-trees entirely below
+    /// contribute their cached counts; sub-trees entirely above are pruned.
+    pub fn count_score_below(&self, weight: &[f64], threshold: f64, strict: bool) -> usize {
+        self.count_score_below_capped(weight, threshold, strict, usize::MAX)
+    }
+
+    /// Like [`RTree::count_score_below`] but stops descending once the
+    /// count reaches `cap` (the returned value may exceed `cap` by the
+    /// size of the last counted subtree). Used for "is the rank ≤ k?"
+    /// tests that don't need exact counts.
+    pub fn count_score_below_capped(
+        &self,
+        weight: &[f64],
+        threshold: f64,
+        strict: bool,
+        cap: usize,
+    ) -> usize {
+        assert_eq!(weight.len(), self.dim(), "weight dimension mismatch");
+        if self.is_empty() {
+            return 0;
+        }
+        let mut count = 0usize;
+        let mut stack = vec![self.root_id()];
+        let dim = self.dim();
+        while let Some(node_id) = stack.pop() {
+            if count >= cap {
+                break;
+            }
+            let node = self.node(node_id);
+            let mbr = node.mbr();
+            if mbr.is_empty() {
+                continue;
+            }
+            let lo = mbr.min_score(weight);
+            let hi = mbr.max_score(weight);
+            let below = |s: f64| {
+                if strict {
+                    s < threshold
+                } else {
+                    s <= threshold
+                }
+            };
+            if !below(lo) {
+                continue; // entire subtree at-or-above the threshold
+            }
+            if below(hi) {
+                count += node.count(); // entire subtree below
+                continue;
+            }
+            match node {
+                Node::Leaf { ids, coords, .. } => {
+                    for slot in 0..ids.len() {
+                        let p = &coords[slot * dim..(slot + 1) * dim];
+                        if below(score(weight, p)) {
+                            count += 1;
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => stack.extend(children.iter().copied()),
+            }
+        }
+        count
+    }
+
+    /// The `FindIncom` traversal (Algorithm 2 of the paper, lines 20–29):
+    /// classifies all points not dominated by `q` into dominating (`D`)
+    /// and incomparable (`I`) sets, pruning every subtree whose MBR is
+    /// entirely dominated by `q`.
+    pub fn split_by_dominance(&self, q: &[f64]) -> DominanceSplit {
+        assert_eq!(q.len(), self.dim(), "query dimension mismatch");
+        let mut out = DominanceSplit::default();
+        if self.is_empty() {
+            return out;
+        }
+        let dim = self.dim();
+        let mut stack = vec![self.root_id()];
+        while let Some(node_id) = stack.pop() {
+            let node = self.node(node_id);
+            let mbr = node.mbr();
+            if mbr.is_empty() || mbr.entirely_dominated_by(q) {
+                continue;
+            }
+            match node {
+                Node::Leaf { ids, coords, .. } => {
+                    for (slot, &id) in ids.iter().enumerate() {
+                        let p = &coords[slot * dim..(slot + 1) * dim];
+                        if dominates(p, q) {
+                            out.dominating_ids.push(id);
+                            out.dominating_coords.extend_from_slice(p);
+                        } else if !dominates(q, p) {
+                            out.incomparable_ids.push(id);
+                            out.incomparable_coords.extend_from_slice(p);
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => stack.extend(children.iter().copied()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The paper's Figure 1/2 dataset (price, heat).
+    fn fig_points() -> Vec<f64> {
+        vec![
+            2.0, 1.0, // p1
+            6.0, 3.0, // p2
+            1.0, 9.0, // p3
+            9.0, 3.0, // p4
+            7.0, 5.0, // p5
+            5.0, 8.0, // p6
+            3.0, 7.0, // p7
+        ]
+    }
+
+    fn scatter(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut v = Vec::with_capacity(n * dim);
+        let mut state = seed | 1;
+        for _ in 0..n * dim {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            v.push((state >> 11) as f64 / (1u64 << 53) as f64 * 10.0);
+        }
+        v
+    }
+
+    #[test]
+    fn best_first_reproduces_figure_1c_for_tony() {
+        // Tony = (0.5, 0.5): ranking p1(1.5) < p2(4.5) < p3,p7(5.0) < p5(6.0)…
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let order: Vec<(u32, f64)> = t.best_first(&[0.5, 0.5]).collect();
+        assert_eq!(order.len(), 7);
+        assert_eq!(order[0], (0, 1.5)); // p1
+        assert_eq!(order[1], (1, 4.5)); // p2
+        let scores: Vec<f64> = order.iter().map(|(_, s)| *s).collect();
+        assert!(scores.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn best_first_scores_are_globally_sorted() {
+        let pts = scatter(500, 3, 7);
+        let t = RTree::bulk_load_with_fanout(3, &pts, 8);
+        let w = [0.2, 0.3, 0.5];
+        let ranked: Vec<(u32, f64)> = t.best_first(&w).collect();
+        assert_eq!(ranked.len(), 500);
+        // Matches brute force ordering of scores.
+        let mut brute: Vec<f64> = (0..500)
+            .map(|i| score(&w, &pts[i * 3..i * 3 + 3]))
+            .collect();
+        brute.sort_by(f64::total_cmp);
+        for (r, b) in ranked.iter().zip(&brute) {
+            assert!((r.1 - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_first_entry_exposes_coords() {
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let mut bf = t.best_first(&[0.5, 0.5]);
+        let first = bf.next_entry().unwrap();
+        assert_eq!(first.coords, &[2.0, 1.0]);
+        assert_eq!(first.id, 0);
+    }
+
+    #[test]
+    fn best_first_on_empty_tree() {
+        let t = RTree::new(2, 8);
+        assert_eq!(t.best_first(&[0.5, 0.5]).next(), None);
+    }
+
+    #[test]
+    fn count_below_matches_figure_1() {
+        // Under Kevin = (0.1, 0.9), scores: 1.1, 3.3, 8.2, 3.6, 5.2, 7.7, 6.6.
+        // Points strictly below q's score 4.0: p1, p2, p4 → 3 (why q is not
+        // in Kevin's top-3: rank 4).
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        assert_eq!(t.count_score_below(&[0.1, 0.9], 4.0, true), 3);
+        // Non-strict at a tie threshold: p3 scores exactly 8.2.
+        assert_eq!(t.count_score_below(&[0.1, 0.9], 8.2, false), 7);
+        assert_eq!(t.count_score_below(&[0.1, 0.9], 8.2, true), 6);
+    }
+
+    #[test]
+    fn count_below_capped_stops_early_but_never_undercounts() {
+        let pts = scatter(1000, 2, 11);
+        let t = RTree::bulk_load_with_fanout(2, &pts, 16);
+        let w = [0.6, 0.4];
+        let exact = t.count_score_below(&w, 5.0, true);
+        let capped = t.count_score_below_capped(&w, 5.0, true, 10);
+        assert!(capped >= 10.min(exact));
+        assert!(capped <= exact);
+    }
+
+    #[test]
+    fn dominance_split_matches_figure_2a() {
+        // q = (4,4): p1=(2,1) dominates q; p2, p3, p4, p7 are incomparable;
+        // p5=(7,5) and p6=(5,8) are dominated by q.
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let mut split = t.split_by_dominance(&[4.0, 4.0]);
+        split.dominating_ids.sort();
+        split.incomparable_ids.sort();
+        assert_eq!(split.dominating_ids, vec![0]);
+        assert_eq!(split.incomparable_ids, vec![1, 2, 3, 6]);
+        assert_eq!(split.num_dominating(), 1);
+        assert_eq!(split.num_incomparable(), 4);
+        assert_eq!(split.dominating_coords, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn dominance_split_equal_point_counts_as_incomparable() {
+        // The paper's FindIncom adds any point not dominated by q to I;
+        // a point equal to q is not dominated, so it lands in I.
+        let mut pts = fig_points();
+        pts.extend([4.0, 4.0]);
+        let t = RTree::bulk_load_with_fanout(2, &pts, 4);
+        let split = t.split_by_dominance(&[4.0, 4.0]);
+        assert!(split.incomparable_ids.contains(&7));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn count_below_matches_brute_force(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..300),
+            wraw in (0.01f64..1.0, 0.01f64..1.0),
+            threshold in 0.0f64..20.0,
+            strict in proptest::bool::ANY,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let t = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let sum = wraw.0 + wraw.1;
+            let w = [wraw.0 / sum, wraw.1 / sum];
+            let brute = pts.iter().filter(|(a, b)| {
+                let s = w[0] * a + w[1] * b;
+                if strict { s < threshold } else { s <= threshold }
+            }).count();
+            prop_assert_eq!(t.count_score_below(&w, threshold, strict), brute);
+        }
+
+        #[test]
+        fn dominance_split_matches_brute_force(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..200),
+            q in (0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0),
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b, c)| [*a, *b, *c]).collect();
+            let t = RTree::bulk_load_with_fanout(3, &flat, 8);
+            let qv = [q.0, q.1, q.2];
+            let mut split = t.split_by_dominance(&qv);
+            split.dominating_ids.sort();
+            split.incomparable_ids.sort();
+            let mut brute_d = Vec::new();
+            let mut brute_i = Vec::new();
+            for (i, (a, b, c)) in pts.iter().enumerate() {
+                let p = [*a, *b, *c];
+                if dominates(&p, &qv) {
+                    brute_d.push(i as u32);
+                } else if !dominates(&qv, &p) {
+                    brute_i.push(i as u32);
+                }
+            }
+            prop_assert_eq!(split.dominating_ids, brute_d);
+            prop_assert_eq!(split.incomparable_ids, brute_i);
+        }
+
+        #[test]
+        fn best_first_is_a_permutation_in_score_order(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..150),
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let t = RTree::bulk_load_with_fanout(2, &flat, 4);
+            let w = [0.3, 0.7];
+            let ranked: Vec<(u32, f64)> = t.best_first(&w).collect();
+            prop_assert_eq!(ranked.len(), pts.len());
+            let mut ids: Vec<u32> = ranked.iter().map(|(i, _)| *i).collect();
+            ids.sort();
+            prop_assert!(ids.iter().enumerate().all(|(i, &id)| id == i as u32));
+            prop_assert!(ranked.windows(2).all(|w2| w2[0].1 <= w2[1].1));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Traversal instrumentation.
+//!
+//! The paper's cost models (Theorems 1–3) are expressed in node accesses
+//! (`|RT|` terms). These counted variants of the query primitives let
+//! tests and benches verify that branch-and-bound really prunes — e.g.
+//! that a selective rank query touches a small fraction of the tree —
+//! instead of trusting wall-clock alone.
+
+use crate::node::Node;
+use crate::tree::RTree;
+use wqrtq_geom::score;
+
+/// Node-access counters for one traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Internal nodes visited.
+    pub internal_visited: usize,
+    /// Leaf nodes visited.
+    pub leaves_visited: usize,
+    /// Subtrees accepted wholesale via their cached counts.
+    pub subtrees_counted: usize,
+    /// Subtrees pruned without descending.
+    pub subtrees_pruned: usize,
+}
+
+impl TraversalStats {
+    /// Total node accesses.
+    pub fn nodes_visited(&self) -> usize {
+        self.internal_visited + self.leaves_visited
+    }
+}
+
+impl RTree {
+    /// [`RTree::count_score_below`] with node-access counters.
+    pub fn count_score_below_stats(
+        &self,
+        weight: &[f64],
+        threshold: f64,
+        strict: bool,
+    ) -> (usize, TraversalStats) {
+        assert_eq!(weight.len(), self.dim(), "weight dimension mismatch");
+        let mut stats = TraversalStats::default();
+        if self.is_empty() {
+            return (0, stats);
+        }
+        let mut count = 0usize;
+        let mut stack = vec![self.root_id()];
+        let dim = self.dim();
+        while let Some(node_id) = stack.pop() {
+            let node = self.node(node_id);
+            let mbr = node.mbr();
+            if mbr.is_empty() {
+                continue;
+            }
+            let lo = mbr.min_score(weight);
+            let hi = mbr.max_score(weight);
+            let below = |s: f64| {
+                if strict {
+                    s < threshold
+                } else {
+                    s <= threshold
+                }
+            };
+            if !below(lo) {
+                stats.subtrees_pruned += 1;
+                continue;
+            }
+            if below(hi) {
+                stats.subtrees_counted += 1;
+                count += node.count();
+                continue;
+            }
+            match node {
+                Node::Leaf { ids, coords, .. } => {
+                    stats.leaves_visited += 1;
+                    for slot in 0..ids.len() {
+                        let p = &coords[slot * dim..(slot + 1) * dim];
+                        if below(score(weight, p)) {
+                            count += 1;
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    stats.internal_visited += 1;
+                    stack.extend(children.iter().copied());
+                }
+            }
+        }
+        (count, stats)
+    }
+
+    /// [`RTree::split_by_dominance`]-style traversal counting only the
+    /// node accesses (the `FindIncom` cost of Theorem 2).
+    pub fn dominance_traversal_stats(&self, q: &[f64]) -> TraversalStats {
+        assert_eq!(q.len(), self.dim(), "query dimension mismatch");
+        let mut stats = TraversalStats::default();
+        if self.is_empty() {
+            return stats;
+        }
+        let mut stack = vec![self.root_id()];
+        while let Some(node_id) = stack.pop() {
+            let node = self.node(node_id);
+            let mbr = node.mbr();
+            if mbr.is_empty() || mbr.entirely_dominated_by(q) {
+                stats.subtrees_pruned += 1;
+                continue;
+            }
+            match node {
+                Node::Leaf { .. } => stats.leaves_visited += 1,
+                Node::Internal { children, .. } => {
+                    stats.internal_visited += 1;
+                    stack.extend(children.iter().copied());
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut v = Vec::with_capacity(n * dim);
+        let mut state = seed | 1;
+        for _ in 0..n * dim {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            v.push((state >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        v
+    }
+
+    #[test]
+    fn counted_variant_matches_plain_count() {
+        let pts = scatter(5_000, 3, 3);
+        let t = RTree::bulk_load_with_fanout(3, &pts, 16);
+        let w = [0.2, 0.5, 0.3];
+        for threshold in [0.05, 0.2, 0.5, 1.2] {
+            let plain = t.count_score_below(&w, threshold, true);
+            let (counted, _) = t.count_score_below_stats(&w, threshold, true);
+            assert_eq!(plain, counted, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn selective_queries_touch_few_nodes() {
+        // A tight threshold must visit a small fraction of the tree —
+        // the branch-and-bound claim behind Theorem 1's |RT| factor.
+        let pts = scatter(20_000, 3, 7);
+        let t = RTree::bulk_load_with_fanout(3, &pts, 32);
+        let w = [1.0 / 3.0; 3];
+        let (_, stats) = t.count_score_below_stats(&w, 0.08, true);
+        assert!(
+            stats.nodes_visited() < t.node_count() / 5,
+            "visited {} of {} nodes",
+            stats.nodes_visited(),
+            t.node_count()
+        );
+        assert!(stats.subtrees_pruned > 0);
+    }
+
+    #[test]
+    fn unselective_queries_count_subtrees_wholesale() {
+        let pts = scatter(20_000, 2, 9);
+        let t = RTree::bulk_load_with_fanout(2, &pts, 32);
+        // Threshold above every score: everything counted via subtrees.
+        let (count, stats) = t.count_score_below_stats(&[0.5, 0.5], 10.0, true);
+        assert_eq!(count, 20_000);
+        assert_eq!(stats.leaves_visited, 0);
+        assert_eq!(stats.subtrees_counted, 1); // the root itself
+    }
+
+    #[test]
+    fn dominance_pruning_skips_dominated_subtrees() {
+        let pts = scatter(20_000, 3, 11);
+        let t = RTree::bulk_load_with_fanout(3, &pts, 32);
+        // A very good query point dominates most of the data.
+        let stats = t.dominance_traversal_stats(&[0.05, 0.05, 0.05]);
+        assert!(
+            stats.subtrees_pruned > 0,
+            "expected pruned subtrees: {stats:?}"
+        );
+        assert!(stats.nodes_visited() < t.node_count());
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let t = RTree::new(2, 8);
+        let (c, s) = t.count_score_below_stats(&[0.5, 0.5], 1.0, true);
+        assert_eq!(c, 0);
+        assert_eq!(s, TraversalStats::default());
+        assert_eq!(s.nodes_visited(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # WQRTQ — Why-not Questions on Reverse Top-k Queries
+//!
+//! A Rust reproduction of *Gao, Liu, Chen, Zheng, Zhou: "Answering Why-not
+//! Questions on Reverse Top-k Queries", PVLDB 8(7), 2015*.
+//!
+//! Given a reverse top-k query (monochromatic or bichromatic) whose result
+//! does not contain a set of expected weighting vectors `Wm`, this library
+//!
+//! 1. **explains** which data points are responsible for the omission, and
+//! 2. **refines** the query with minimum penalty so that the refined result
+//!    contains `Wm`, via three strategies:
+//!    * [`core::mqp`] — modify the query point `q` (safe region + QP),
+//!    * [`core::mwk`] — modify `Wm` and `k` (hyperplane sampling),
+//!    * [`core::mqwk`] — modify `q`, `Wm` and `k` simultaneously.
+//!
+//! The facade crate re-exports every sub-crate under a stable path. See the
+//! README for a quick start and `DESIGN.md` for the architecture.
+//!
+//! ```
+//! use wqrtq::data::figure1;
+//! use wqrtq::query::brtopk::bichromatic_reverse_topk_naive;
+//!
+//! let example = figure1::dataset();
+//! let res = bichromatic_reverse_topk_naive(
+//!     &example.products, &example.customers, example.apple.coords(), 3);
+//! // Tony and Anna rank Apple among their top-3 (paper §1).
+//! assert_eq!(res, vec![1, 2]);
+//! ```
+
+pub use wqrtq_core as core;
+pub use wqrtq_data as data;
+pub use wqrtq_geom as geom;
+pub use wqrtq_linalg as linalg;
+pub use wqrtq_qp as qp;
+pub use wqrtq_query as query;
+pub use wqrtq_rtree as rtree;
+
+pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
+pub use wqrtq_geom::{Point, Weight};

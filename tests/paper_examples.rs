@@ -1,0 +1,181 @@
+//! End-to-end reproduction of every worked example in the paper's text
+//! (Figures 1, 2, 5 and the §4 penalty examples), exercised through the
+//! public facade.
+
+use wqrtq::core::framework::{RefinedQuery, Wqrtq};
+use wqrtq::core::mqp::mqp;
+use wqrtq::core::mqwk::mqwk;
+use wqrtq::core::mwk::mwk;
+use wqrtq::core::penalty::Tolerances;
+use wqrtq::core::safe_region::SafeRegion;
+use wqrtq::data::figure1;
+use wqrtq::query::brtopk::{bichromatic_reverse_topk_naive, bichromatic_reverse_topk_rta};
+use wqrtq::query::mrtopk::monochromatic_reverse_topk_2d;
+use wqrtq::query::rank::rank_of_point;
+use wqrtq::query::topk::topk;
+use wqrtq::rtree::RTree;
+
+fn setup() -> (figure1::Figure1, RTree) {
+    let data = figure1::dataset();
+    let tree = RTree::bulk_load(2, &data.flat_products());
+    (data, tree)
+}
+
+#[test]
+fn section_3_top3_for_kevin() {
+    // "TOP3(w1) = {p1, p2, p4}".
+    let (data, tree) = setup();
+    let ids: Vec<u32> = topk(&tree, &data.customers[figure1::KEVIN], 3)
+        .iter()
+        .map(|(i, _)| *i)
+        .collect();
+    assert_eq!(ids, vec![0, 1, 3]);
+}
+
+#[test]
+fn section_1_reverse_top3_returns_tony_and_anna() {
+    let (data, tree) = setup();
+    let q = data.apple.coords();
+    let naive = bichromatic_reverse_topk_naive(&data.products, &data.customers, q, 3);
+    let rta = bichromatic_reverse_topk_rta(&tree, &data.customers, q, 3);
+    assert_eq!(naive, vec![figure1::TONY, figure1::ANNA]);
+    assert_eq!(rta, naive);
+}
+
+#[test]
+fn figure_2_monochromatic_segment() {
+    // MRTOP3(q) = the segment BC: weights (x, 1−x) for x ∈ [1/6, 3/4].
+    let (data, _) = setup();
+    let iv = monochromatic_reverse_topk_2d(&data.flat_products(), data.apple.coords(), 3);
+    assert_eq!(iv.len(), 1);
+    assert!((iv[0].lo - 1.0 / 6.0).abs() < 1e-9);
+    assert!((iv[0].hi - 0.75).abs() < 1e-9);
+}
+
+#[test]
+fn section_3_ranks_of_q_in_figure_1c() {
+    let (data, tree) = setup();
+    let q = data.apple.coords();
+    let ranks: Vec<usize> = data
+        .customers
+        .iter()
+        .map(|w| rank_of_point(&tree, w, q))
+        .collect();
+    // Kevin 4, Tony 2, Anna 3, Julia 4 (from the printed score table).
+    assert_eq!(ranks, vec![4, 2, 3, 4]);
+}
+
+#[test]
+fn figure_5b_safe_region_and_mqp_optimum() {
+    let (data, tree) = setup();
+    let why_not = data.why_not_customers();
+    let q = data.apple.coords();
+    let sr = SafeRegion::build(&tree, q, 3, &why_not).unwrap();
+    // Thresholds from top 3rd points p4 (Kevin) and p7 (Julia).
+    assert!((sr.thresholds()[0] - 3.6).abs() < 1e-12);
+    assert!((sr.thresholds()[1] - 3.4).abs() < 1e-12);
+    // Paper's q″ = (2.5, 3.5) is inside SR(q).
+    assert!(sr.contains(&[2.5, 3.5]));
+    // MQP finds the closest safe point, beating both hand examples.
+    let res = mqp(&tree, q, 3, &why_not).unwrap();
+    assert!(res.penalty < 0.279 && res.penalty > 0.12);
+    assert!(sr.contains(&res.q_prime));
+}
+
+#[test]
+#[allow(clippy::approx_constant)] // 0.318 is the paper's printed penalty, not π⁻¹
+fn section_4_2_hand_refinements_work_but_cost_more() {
+    // q′(3, 2.5) and q″(2.5, 3.5) both fix the why-not question per the
+    // paper; verify and compare penalties 0.318 / 0.279.
+    let (data, tree) = setup();
+    let why_not = data.why_not_customers();
+    for (q_hand, pen) in [([3.0, 2.5], 0.318), ([2.5, 3.5], 0.279)] {
+        for w in &why_not {
+            assert!(rank_of_point(&tree, w, &q_hand) <= 3);
+        }
+        let actual = wqrtq::core::penalty::query_point_penalty(&[4.0, 4.0], &q_hand);
+        assert!((actual - pen).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn section_4_3_example_candidates() {
+    // The paper's two §4.3 candidates: modify the vectors (≈ 0.115 with
+    // its printed values) or modify k to 4 (exactly 0.5). MWK must beat
+    // or match the better of the two.
+    let (data, tree) = setup();
+    let why_not = data.why_not_customers();
+    let res = mwk(
+        &tree,
+        data.apple.coords(),
+        3,
+        &why_not,
+        800,
+        &Tolerances::paper_default(),
+        1,
+    )
+    .unwrap();
+    assert_eq!(res.k_max, 4); // ranks 4 and 4 (Lemma 4 example)
+    assert!(res.penalty <= 0.115 + 1e-6, "penalty {}", res.penalty);
+}
+
+#[test]
+fn section_4_4_example_tuple() {
+    // The paper's illustrative tuple costs 0.06; MQWK does at least as
+    // well and its winner is a genuine compromise.
+    let (data, tree) = setup();
+    let why_not = data.why_not_customers();
+    let res = mqwk(
+        &tree,
+        data.apple.coords(),
+        3,
+        &why_not,
+        800,
+        800,
+        &Tolerances::paper_default(),
+        3,
+    )
+    .unwrap();
+    assert!(res.penalty <= 0.0605, "penalty {}", res.penalty);
+    for w in &res.refined {
+        assert!(rank_of_point(&tree, w, &res.q_prime) <= res.k_prime);
+    }
+}
+
+#[test]
+fn facade_end_to_end_matches_paper_ordering() {
+    // Across the three solutions the paper's running example orders
+    // penalties MQWK < MWK < MQP.
+    let (data, tree) = setup();
+    let wqrtq = Wqrtq::new(&tree, data.apple.coords(), 3).unwrap();
+    let why_not = data.why_not_customers();
+    let answers = wqrtq.all_refinements(&why_not, 800, 800, 7).unwrap();
+    assert!(matches!(
+        answers[0].refined,
+        RefinedQuery::Everything { .. }
+    ));
+    assert!(matches!(
+        answers[1].refined,
+        RefinedQuery::Preferences { .. }
+    ));
+    assert!(matches!(
+        answers[2].refined,
+        RefinedQuery::QueryPoint { .. }
+    ));
+    for a in &answers {
+        assert!(wqrtq.verify(&why_not, a));
+    }
+}
+
+#[test]
+fn explanations_match_section_3() {
+    // "for w1 … p1, p2, and p4 … thus w1 is not inside the reverse
+    // top-3 query result".
+    let (data, tree) = setup();
+    let wqrtq = Wqrtq::new(&tree, data.apple.coords(), 3).unwrap();
+    let e = wqrtq.explain(&data.customers[figure1::KEVIN], usize::MAX);
+    let mut ids: Vec<u32> = e.culprits.iter().map(|c| c.id).collect();
+    ids.sort();
+    assert_eq!(ids, vec![0, 1, 3]);
+    assert_eq!(e.rank, 4);
+}
