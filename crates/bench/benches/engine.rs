@@ -1,0 +1,30 @@
+//! Per-commit regression bench for the serving subsystem: one small
+//! mixed stream served batched (engine) vs sequentially against a shared
+//! index vs naively (index rebuilt per call). The `engine_bench` binary
+//! produces the full JSON comparison; these points exist so `cargo
+//! bench` catches serving-path regressions alongside the algorithm
+//! ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use wqrtq_bench::engine_bench::{compare, EngineBenchConfig};
+
+fn serving_strategies(c: &mut Criterion) {
+    let cfg = EngineBenchConfig {
+        n: 5_000,
+        dim: 3,
+        batch: 32,
+        rounds: 2,
+        workers: 4,
+        seed: 2015,
+    };
+    let mut g = c.benchmark_group("engine_serving");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    g.bench_function("full_comparison", |b| b.iter(|| compare(&cfg)));
+    g.finish();
+}
+
+criterion_group!(engine, serving_strategies);
+criterion_main!(engine);

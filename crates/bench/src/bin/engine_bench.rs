@@ -1,0 +1,71 @@
+//! Batched-engine vs sequential serving throughput, as a JSON report.
+//!
+//! ```text
+//! cargo run --release -p wqrtq-bench --bin engine_bench
+//! cargo run --release -p wqrtq-bench --bin engine_bench -- --n 50000 --batch 128 --out BENCH_engine.json
+//! ```
+
+use std::io::Write;
+use wqrtq_bench::engine_bench::{compare, EngineBenchConfig};
+
+fn main() {
+    let mut cfg = EngineBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => cfg.n = value("--n").parse().expect("--n takes an integer"),
+            "--dim" => cfg.dim = value("--dim").parse().expect("--dim takes an integer"),
+            "--batch" => cfg.batch = value("--batch").parse().expect("--batch takes an integer"),
+            "--rounds" => {
+                cfg.rounds = value("--rounds")
+                    .parse()
+                    .expect("--rounds takes an integer")
+            }
+            "--workers" => {
+                cfg.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes an integer")
+            }
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: engine_bench [--n N] [--dim D] [--batch B] [--rounds R] \
+                     [--workers W] [--seed S] [--out FILE]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!(
+        "engine bench: |P| = {}, d = {}, {} × {} requests + repeat pass, {} workers",
+        cfg.n, cfg.dim, cfg.rounds, cfg.batch, cfg.workers
+    );
+    let report = compare(&cfg);
+    eprintln!(
+        "sequential naive  : {:>10.1} req/s\n\
+         sequential shared : {:>10.1} req/s\n\
+         batched engine    : {:>10.1} req/s  (cache hit rate {:.1}%, speedup vs naive {:.1}×)",
+        report.sequential_naive.rps(),
+        report.sequential_shared.rps(),
+        report.batched_engine.rps(),
+        100.0 * report.cache_hit_rate,
+        report.speedup_vs_naive(),
+    );
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            writeln!(f, "{json}").expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -1,0 +1,318 @@
+//! Batched-engine vs sequential-naive serving comparison.
+//!
+//! Three ways to serve the same mixed request stream:
+//!
+//! * **sequential naive** — the one-shot library pattern: every call
+//!   rebuilds the R-tree index before querying (what ad-hoc invocations
+//!   of the pre-engine entry points amounted to);
+//! * **sequential shared** — direct library calls against one pre-built
+//!   index (isolates the index-reuse win from pooling/caching);
+//! * **batched engine** — `Engine::submit_batch` over the worker pool
+//!   with the epoch-keyed result cache.
+//!
+//! The binary `engine_bench` runs the comparison and emits a JSON report
+//! (`scripts/bench.sh` writes it to `BENCH_engine.json`).
+
+use std::time::{Duration, Instant};
+use wqrtq_core::explain;
+use wqrtq_data::synthetic::independent;
+use wqrtq_engine::{Engine, Request, Response};
+use wqrtq_geom::Weight;
+use wqrtq_query::brtopk::bichromatic_reverse_topk_rta;
+use wqrtq_query::topk::topk;
+use wqrtq_rtree::RTree;
+
+/// Workload shape for the comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineBenchConfig {
+    /// Dataset cardinality.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Requests per batch.
+    pub batch: usize,
+    /// Batches served (distinct request streams, then one repeat pass).
+    pub rounds: usize,
+    /// Worker threads for the engine side.
+    pub workers: usize,
+    /// Dataset / workload seed.
+    pub seed: u64,
+}
+
+impl Default for EngineBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            dim: 3,
+            batch: 64,
+            rounds: 4,
+            workers: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            seed: 2015,
+        }
+    }
+}
+
+/// One serving strategy's measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Requests served.
+    pub requests: usize,
+    /// Wall-clock for the whole stream.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Requests per second.
+    pub fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The comparison report.
+#[derive(Clone, Debug)]
+pub struct EngineComparison {
+    /// Configuration measured.
+    pub config: EngineBenchConfig,
+    /// One-shot calls, index rebuilt per request.
+    pub sequential_naive: Throughput,
+    /// One-shot calls against a pre-built index.
+    pub sequential_shared: Throughput,
+    /// `Engine::submit_batch` over the pool with caching.
+    pub batched_engine: Throughput,
+    /// Cache hit rate observed on the engine side.
+    pub cache_hit_rate: f64,
+}
+
+impl EngineComparison {
+    /// batched / naive speedup.
+    pub fn speedup_vs_naive(&self) -> f64 {
+        self.batched_engine.rps() / self.sequential_naive.rps().max(1e-12)
+    }
+
+    /// The report as a JSON object (hand-rolled; std-only workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"engine_batched_vs_sequential\",\n",
+                "  \"config\": {{\"n\": {}, \"dim\": {}, \"batch\": {}, \"rounds\": {}, \"workers\": {}, \"seed\": {}}},\n",
+                "  \"sequential_naive\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"sequential_shared\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"batched_engine\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"cache_hit_rate\": {:.4},\n",
+                "  \"speedup_vs_naive\": {:.2}\n",
+                "}}"
+            ),
+            self.config.n,
+            self.config.dim,
+            self.config.batch,
+            self.config.rounds,
+            self.config.workers,
+            self.config.seed,
+            self.sequential_naive.requests,
+            self.sequential_naive.elapsed.as_secs_f64(),
+            self.sequential_naive.rps(),
+            self.sequential_shared.requests,
+            self.sequential_shared.elapsed.as_secs_f64(),
+            self.sequential_shared.rps(),
+            self.batched_engine.requests,
+            self.batched_engine.elapsed.as_secs_f64(),
+            self.batched_engine.rps(),
+            self.cache_hit_rate,
+            self.speedup_vs_naive(),
+        )
+    }
+}
+
+/// The mixed request stream: mostly top-k probes with periodic why-not
+/// explanations and bichromatic reverse top-k calls, `rounds` distinct
+/// batches followed by one repeated batch (the cache's best case — and a
+/// no-op for the baselines, which recompute it).
+pub fn request_stream(cfg: &EngineBenchConfig) -> Vec<Vec<Request>> {
+    let mut batches: Vec<Vec<Request>> = (0..cfg.rounds)
+        .map(|round| {
+            (0..cfg.batch)
+                .map(|i| {
+                    let t = (round * cfg.batch + i) as f64 / (cfg.rounds * cfg.batch) as f64;
+                    let w = stream_weight(cfg.dim, t);
+                    match i % 8 {
+                        6 => Request::WhyNotExplain {
+                            dataset: "bench".into(),
+                            weight: w,
+                            q: vec![0.35; cfg.dim],
+                            limit: 16,
+                        },
+                        7 => Request::ReverseTopKBi {
+                            dataset: "bench".into(),
+                            weights: wqrtq_engine::WeightSet::Named("population".into()),
+                            q: vec![0.2; cfg.dim],
+                            k: 10,
+                        },
+                        _ => Request::TopK {
+                            dataset: "bench".into(),
+                            weight: w,
+                            k: 10,
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    batches.push(batches[0].clone()); // repeat pass
+    batches
+}
+
+fn stream_weight(dim: usize, t: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..dim)
+        .map(|j| 0.15 + 0.7 * ((t * 7.3 + j as f64 * 1.7).sin() * 0.5 + 0.5))
+        .collect();
+    let s: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= s;
+    }
+    w
+}
+
+fn population(dim: usize) -> Vec<Weight> {
+    (0..40)
+        .map(|i| Weight::normalized(stream_weight(dim, i as f64 / 40.0)))
+        .collect()
+}
+
+/// Serves the stream with direct library calls. `rebuild_per_call`
+/// selects the naive (rebuild) or shared (pre-built) baseline.
+fn run_sequential(cfg: &EngineBenchConfig, coords: &[f64], rebuild_per_call: bool) -> Throughput {
+    let prebuilt = if rebuild_per_call {
+        None
+    } else {
+        Some(RTree::bulk_load(cfg.dim, coords))
+    };
+    let pop = population(cfg.dim);
+    let mut served = 0usize;
+    let mut sink = 0usize; // keep results observable
+    let start = Instant::now();
+    for batch in request_stream(cfg) {
+        for request in batch {
+            let rebuilt;
+            let tree = match &prebuilt {
+                Some(t) => t,
+                None => {
+                    rebuilt = RTree::bulk_load(cfg.dim, coords);
+                    &rebuilt
+                }
+            };
+            match request {
+                Request::TopK { weight, k, .. } => sink += topk(tree, &weight, k).len(),
+                Request::WhyNotExplain {
+                    weight, q, limit, ..
+                } => sink += explain(tree, &weight, &q, limit).rank,
+                Request::ReverseTopKBi { q, k, .. } => {
+                    sink += bichromatic_reverse_topk_rta(tree, &pop, &q, k).len()
+                }
+                other => unreachable!("stream only emits 3 kinds, got {other:?}"),
+            }
+            served += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    Throughput {
+        requests: served,
+        elapsed,
+    }
+}
+
+/// Serves the stream through the engine.
+fn run_batched(cfg: &EngineBenchConfig, coords: &[f64]) -> (Throughput, f64) {
+    let engine = Engine::builder()
+        .workers(cfg.workers)
+        .cache_capacity(2 * cfg.batch * cfg.rounds)
+        .build();
+    engine
+        .register_dataset("bench", cfg.dim, coords.to_vec())
+        .expect("register bench dataset");
+    engine
+        .register_weights("population", population(cfg.dim))
+        .expect("register population");
+    // Warm the lazy index outside the timed region, as the baselines'
+    // pre-built variant does (the naive baseline pays it per call).
+    engine.catalog().handle("bench").expect("warm index");
+    let mut served = 0usize;
+    let start = Instant::now();
+    for batch in request_stream(cfg) {
+        let responses = engine.submit_batch(batch);
+        assert!(
+            responses.iter().all(|r| !matches!(r, Response::Error(_))),
+            "bench stream must serve cleanly"
+        );
+        served += responses.len();
+    }
+    let elapsed = start.elapsed();
+    let hit_rate = engine.metrics().cache.hit_rate();
+    (
+        Throughput {
+            requests: served,
+            elapsed,
+        },
+        hit_rate,
+    )
+}
+
+/// Runs the full comparison.
+pub fn compare(cfg: &EngineBenchConfig) -> EngineComparison {
+    let ds = independent(cfg.n, cfg.dim, cfg.seed);
+    let sequential_naive = run_sequential(cfg, &ds.coords, true);
+    let sequential_shared = run_sequential(cfg, &ds.coords, false);
+    let (batched_engine, cache_hit_rate) = run_batched(cfg, &ds.coords);
+    EngineComparison {
+        config: *cfg,
+        sequential_naive,
+        sequential_shared,
+        batched_engine,
+        cache_hit_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EngineBenchConfig {
+        EngineBenchConfig {
+            n: 2_000,
+            dim: 3,
+            batch: 16,
+            rounds: 2,
+            workers: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn stream_shape_and_repeat_pass() {
+        let cfg = tiny();
+        let batches = request_stream(&cfg);
+        assert_eq!(batches.len(), cfg.rounds + 1);
+        assert!(batches.iter().all(|b| b.len() == cfg.batch));
+        assert_eq!(
+            batches[0], batches[cfg.rounds],
+            "last batch repeats the first"
+        );
+    }
+
+    #[test]
+    fn batched_engine_beats_naive_and_report_is_json_shaped() {
+        let c = compare(&tiny());
+        assert_eq!(c.sequential_naive.requests, c.batched_engine.requests);
+        assert!(
+            c.speedup_vs_naive() > 1.0,
+            "engine must out-serve per-call index rebuilds: {:?}",
+            c
+        );
+        assert!(c.cache_hit_rate > 0.0, "repeat pass must hit the cache");
+        let json = c.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"speedup_vs_naive\""));
+        assert!(json.contains("\"batched_engine\""));
+    }
+}

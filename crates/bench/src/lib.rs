@@ -7,8 +7,10 @@
 //! in `benches/` track the same configurations at reduced scale plus the
 //! design-choice ablations called out in DESIGN.md.
 
+pub mod engine_bench;
 pub mod harness;
 pub mod params;
 
+pub use engine_bench::{compare, EngineBenchConfig, EngineComparison};
 pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
 pub use params::{Config, DatasetKind, Profile};

@@ -38,6 +38,18 @@ pub struct Explanation {
 /// outrank it. `limit` bounds the number of returned culprits (the rank
 /// is still exact); pass `usize::MAX` for all of them.
 pub fn explain(tree: &RTree, w: &[f64], q: &[f64], limit: usize) -> Explanation {
+    explain_with_stats(tree, w, q, limit).0
+}
+
+/// [`explain`], additionally reporting the number of index nodes the
+/// progressive scan expanded (the `|RT|` cost term) — used by serving
+/// layers for per-request metrics.
+pub fn explain_with_stats(
+    tree: &RTree,
+    w: &[f64],
+    q: &[f64],
+    limit: usize,
+) -> (Explanation, usize) {
     let sq = score(w, q);
     let mut culprits = Vec::new();
     let mut rank = 1usize;
@@ -58,11 +70,14 @@ pub fn explain(tree: &RTree, w: &[f64], q: &[f64], limit: usize) -> Explanation 
             truncated = true;
         }
     }
-    Explanation {
-        culprits,
-        rank,
-        truncated,
-    }
+    (
+        Explanation {
+            culprits,
+            rank,
+            truncated,
+        },
+        bf.nodes_visited(),
+    )
 }
 
 #[cfg(test)]

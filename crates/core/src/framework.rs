@@ -13,6 +13,7 @@ use crate::mqp::mqp;
 use crate::mqwk::mqwk;
 use crate::mwk::mwk;
 use crate::penalty::Tolerances;
+use std::borrow::Borrow;
 use wqrtq_geom::Weight;
 use wqrtq_query::rank::{is_in_topk, rank_of_point};
 use wqrtq_rtree::RTree;
@@ -53,25 +54,31 @@ pub struct WqrtqAnswer {
 }
 
 /// The WQRTQ facade: a reverse top-k query under why-not investigation.
+///
+/// Generic over how the pre-built index is held (`T: Borrow<RTree>`), so
+/// one-shot callers keep passing `&RTree` while long-lived serving layers
+/// (the `wqrtq-engine` worker pool) hand in a shared `Arc<RTree>` — the
+/// index is built once, never per call.
 #[derive(Clone, Debug)]
-pub struct Wqrtq<'a> {
-    tree: &'a RTree,
+pub struct Wqrtq<T: Borrow<RTree>> {
+    tree: T,
     q: Vec<f64>,
     k: usize,
     tol: Tolerances,
 }
 
-impl<'a> Wqrtq<'a> {
-    /// Wraps a query. `tree` indexes the product dataset `P`; `q` is the
-    /// query point and `k` the original parameter.
+impl<T: Borrow<RTree>> Wqrtq<T> {
+    /// Wraps a query. `tree` is the pre-built index over the product
+    /// dataset `P` (borrowed or shared); `q` is the query point and `k`
+    /// the original parameter.
     ///
     /// # Errors
     /// Returns [`WhyNotError::DimensionMismatch`] when `q` does not match
     /// the dataset.
-    pub fn new(tree: &'a RTree, q: &[f64], k: usize) -> Result<Self, WhyNotError> {
-        if q.len() != tree.dim() {
+    pub fn new(tree: T, q: &[f64], k: usize) -> Result<Self, WhyNotError> {
+        if q.len() != tree.borrow().dim() {
             return Err(WhyNotError::DimensionMismatch {
-                expected: tree.dim(),
+                expected: tree.borrow().dim(),
                 got: q.len(),
             });
         }
@@ -81,6 +88,11 @@ impl<'a> Wqrtq<'a> {
             k,
             tol: Tolerances::paper_default(),
         })
+    }
+
+    /// The wrapped index.
+    pub fn tree(&self) -> &RTree {
+        self.tree.borrow()
     }
 
     /// Overrides the default (paper) tolerances α, β, γ, λ.
@@ -110,13 +122,13 @@ impl<'a> Wqrtq<'a> {
         }
         let mut ranks = Vec::with_capacity(why_not.len());
         for (i, w) in why_not.iter().enumerate() {
-            if w.dim() != self.tree.dim() {
+            if w.dim() != self.tree().dim() {
                 return Err(WhyNotError::DimensionMismatch {
-                    expected: self.tree.dim(),
+                    expected: self.tree().dim(),
                     got: w.dim(),
                 });
             }
-            let r = rank_of_point(self.tree, w, &self.q);
+            let r = rank_of_point(self.tree(), w, &self.q);
             if r <= self.k {
                 return Err(WhyNotError::NotWhyNot {
                     index: i,
@@ -132,7 +144,7 @@ impl<'a> Wqrtq<'a> {
     /// Aspect 1: why is `w` not in the reverse top-k result? Lists the
     /// culprit points (§3).
     pub fn explain(&self, w: &Weight, limit: usize) -> Explanation {
-        explain(self.tree, w, &self.q, limit)
+        explain(self.tree(), w, &self.q, limit)
     }
 
     /// Splits a bichromatic weight population `W` into
@@ -140,8 +152,12 @@ impl<'a> Wqrtq<'a> {
     /// of *valid why-not inputs* per Definition 5. Indices refer to
     /// `weights`.
     pub fn partition_population(&self, weights: &[Weight]) -> (Vec<usize>, Vec<usize>) {
-        let members =
-            wqrtq_query::brtopk::bichromatic_reverse_topk_rta(self.tree, weights, &self.q, self.k);
+        let members = wqrtq_query::brtopk::bichromatic_reverse_topk_rta(
+            self.tree(),
+            weights,
+            &self.q,
+            self.k,
+        );
         let mut in_result = vec![false; weights.len()];
         for &i in &members {
             in_result[i] = true;
@@ -153,7 +169,7 @@ impl<'a> Wqrtq<'a> {
     /// Solution 1: modify the query point (MQP).
     pub fn modify_query(&self, why_not: &[Weight]) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
-        let res = mqp(self.tree, &self.q, self.k, why_not)?;
+        let res = mqp(self.tree(), &self.q, self.k, why_not)?;
         Ok(WqrtqAnswer {
             refined: RefinedQuery::QueryPoint {
                 q_prime: res.q_prime,
@@ -171,7 +187,7 @@ impl<'a> Wqrtq<'a> {
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
         let res = mwk(
-            self.tree,
+            self.tree(),
             &self.q,
             self.k,
             why_not,
@@ -222,7 +238,7 @@ impl<'a> Wqrtq<'a> {
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
         let res = mqwk(
-            self.tree,
+            self.tree(),
             &self.q,
             self.k,
             why_not,
@@ -266,20 +282,20 @@ impl<'a> Wqrtq<'a> {
         match &answer.refined {
             RefinedQuery::QueryPoint { q_prime } => why_not
                 .iter()
-                .all(|w| is_in_topk(self.tree, w, q_prime, self.k)),
+                .all(|w| is_in_topk(self.tree(), w, q_prime, self.k)),
             RefinedQuery::Preferences {
                 why_not: refined,
                 k,
             } => refined
                 .iter()
-                .all(|w| is_in_topk(self.tree, w, &self.q, *k)),
+                .all(|w| is_in_topk(self.tree(), w, &self.q, *k)),
             RefinedQuery::Everything {
                 q_prime,
                 why_not: refined,
                 k,
             } => refined
                 .iter()
-                .all(|w| is_in_topk(self.tree, w, q_prime, *k)),
+                .all(|w| is_in_topk(self.tree(), w, q_prime, *k)),
         }
     }
 }

@@ -39,7 +39,7 @@ pub mod sampling;
 
 pub use error::WhyNotError;
 pub use exact2d::{mwk_exact_2d, Exact2dResult};
-pub use explain::{explain, Explanation};
+pub use explain::{explain, explain_with_stats, Explanation};
 pub use framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 pub use incomparable::DominanceFrontier;
 pub use mqp::{mqp, MqpResult};

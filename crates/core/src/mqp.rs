@@ -68,12 +68,25 @@ pub fn mqp(
     let sol = solve(&problem).map_err(|e| WhyNotError::QpFailure(e.to_string()))?;
 
     // Clamp infinitesimal constraint slack from the interior-point method
-    // back onto the box.
+    // back onto the box, and snap coordinates that converged to the lower
+    // bound exactly onto it: interior-point iterates stop ~1e-12 short of
+    // the boundary, but rank ties at the k-th score are decided by exact
+    // comparison, so a q′ hovering above a score-0 tie group would stay
+    // outranked by it (degenerate workloads where the k-th threshold is
+    // exactly zero). Snapping down can only decrease scores, so the ≤
+    // constraints stay satisfied.
     let q_prime: Vec<f64> = sol
         .x
         .iter()
         .zip(q)
-        .map(|(xi, qi)| xi.clamp(0.0, *qi))
+        .map(|(xi, qi)| {
+            let x = xi.clamp(0.0, *qi);
+            if x < 1e-9 * qi.max(1.0) {
+                0.0
+            } else {
+                x
+            }
+        })
         .collect();
 
     Ok(MqpResult {

@@ -64,24 +64,30 @@ pub fn anticorrelated(n: usize, dim: usize, seed: u64) -> Dataset {
     let mut coords = Vec::with_capacity(n * dim);
     let mut point = vec![0.0f64; dim];
     for _ in 0..n {
-        loop {
+        'point: loop {
             let c = 0.5 * dim as f64 + 0.15 * dim as f64 * normal(&mut rng);
-            if c <= 0.0 {
+            if c <= 0.0 || c >= dim as f64 {
                 continue;
             }
-            // Random composition via exponential spacings.
-            let mut total = 0.0;
-            for x in point.iter_mut() {
-                let e = -rng.gen_range(f64::EPSILON..1.0f64).ln();
-                *x = e;
-                total += e;
-            }
-            let scale = c / total;
-            if point.iter().all(|x| x * scale <= 1.0) {
+            // Retry the composition with the budget held fixed: redrawing
+            // `c` on rejection would skew accepted budgets low (large
+            // budgets are harder to fit inside the unit box), distorting
+            // the Σx ≈ d/2 concentration the generator promises.
+            for _ in 0..64 {
+                // Random composition via exponential spacings.
+                let mut total = 0.0;
                 for x in point.iter_mut() {
-                    *x *= scale;
+                    let e = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+                    *x = e;
+                    total += e;
                 }
-                break;
+                let scale = c / total;
+                if point.iter().all(|x| x * scale <= 1.0) {
+                    for x in point.iter_mut() {
+                        *x *= scale;
+                    }
+                    break 'point;
+                }
             }
         }
         coords.extend_from_slice(&point);

@@ -102,7 +102,8 @@ pub fn build_case(tree: &RTree, spec: &WorkloadSpec, seed: u64) -> WhyNotCase {
     let mut rng = StdRng::seed_from_u64(seed);
     let dim = tree.dim();
 
-    let lo = (((spec.target_rank as f64) * (1.0 - spec.rank_tolerance)) as usize).max(spec.k + 1);
+    let lo = ((spec.target_rank as f64) * (1.0 - spec.rank_tolerance)).ceil() as usize;
+    let lo = lo.max(spec.k + 1);
     let hi = ((spec.target_rank as f64) * (1.0 + spec.rank_tolerance)).ceil() as usize;
 
     for pivot_attempt in 0..32 {

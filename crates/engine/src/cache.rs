@@ -1,0 +1,227 @@
+//! The engine-level LRU result cache.
+//!
+//! Generalises the per-query `TopkViewCache` of `wqrtq-query` (which
+//! caches top-k *views* to short-circuit one membership predicate) to
+//! whole responses for every request kind: entries are keyed on
+//! `(dataset epoch, request fingerprint)`, so a repeat of an identical
+//! request against an unchanged dataset is answered without touching any
+//! index.
+//!
+//! **Correctness does not depend on eviction.** A mutation bumps the
+//! dataset epoch, so stale entries can never match a new key; explicit
+//! [`ResultCache::evict_dataset`] (called by the engine on mutation) just
+//! reclaims their capacity early.
+
+use crate::request::Response;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cache key: dataset epoch + request content fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Epoch of the request's dataset at execution time.
+    pub epoch: u64,
+    /// [`crate::Request::fingerprint`] of the request.
+    pub fingerprint: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    dataset: String,
+    response: Response,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, thread-safe LRU map from request keys to responses.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` responses.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a response, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Response> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let r = entry.response.clone();
+                inner.hits += 1;
+                Some(r)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a response, evicting the least recently used entry when
+    /// full. Error responses are the caller's to filter (the engine does
+    /// not cache them).
+    pub fn insert(&self, key: CacheKey, dataset: &str, response: Response) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                dataset: dataset.to_string(),
+                response,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry belonging to a dataset (any epoch). Returns how
+    /// many were dropped.
+    pub fn evict_dataset(&self, dataset: &str) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let before = inner.map.len();
+        inner.map.retain(|_, e| e.dataset != dataset);
+        before - inner.map.len()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            len: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(epoch: u64, fp: u64) -> CacheKey {
+        CacheKey {
+            epoch,
+            fingerprint: fp,
+        }
+    }
+
+    fn resp(n: usize) -> Response {
+        Response::ReverseTopKBi(vec![n])
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.get(&key(1, 7)), None);
+        c.insert(key(1, 7), "d", resp(1));
+        assert_eq!(c.get(&key(1, 7)), Some(resp(1)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let c = ResultCache::new(4);
+        c.insert(key(1, 7), "d", resp(1));
+        assert_eq!(c.get(&key(2, 7)), None, "new epoch must not see old entry");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let c = ResultCache::new(2);
+        c.insert(key(1, 1), "d", resp(1));
+        c.insert(key(1, 2), "d", resp(2));
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(&key(1, 1)).is_some());
+        c.insert(key(1, 3), "d", resp(3));
+        assert_eq!(c.stats().len, 2);
+        assert!(c.get(&key(1, 1)).is_some());
+        assert!(c.get(&key(1, 2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(1, 3)).is_some());
+    }
+
+    #[test]
+    fn evict_dataset_drops_only_that_dataset() {
+        let c = ResultCache::new(8);
+        c.insert(key(1, 1), "a", resp(1));
+        c.insert(key(1, 2), "a", resp(2));
+        c.insert(key(1, 3), "b", resp(3));
+        assert_eq!(c.evict_dataset("a"), 2);
+        assert_eq!(c.stats().len, 1);
+        assert!(c.get(&key(1, 3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_updates_value_without_eviction() {
+        let c = ResultCache::new(1);
+        c.insert(key(1, 1), "d", resp(1));
+        c.insert(key(1, 1), "d", resp(2));
+        assert_eq!(c.get(&key(1, 1)), Some(resp(2)));
+        assert_eq!(c.stats().len, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ResultCache::new(0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The dataset catalog: named product datasets with lazily built, shared
+//! R-tree indexes, plus named (immutable) customer weight populations.
+//!
+//! Indexes are built once on first use and shared as `Arc<RTree>` across
+//! every worker — the refactored core entry points accept them directly,
+//! so no request ever rebuilds an index. Each dataset carries an
+//! **epoch** that mutation (re-registration, appends) bumps; the result
+//! cache keys on it, so stale entries can never be served after a
+//! mutation, whether or not they have been evicted yet.
+
+use crate::error::EngineError;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use wqrtq_geom::Weight;
+use wqrtq_rtree::RTree;
+
+/// A consistent snapshot of one dataset, handed to workers.
+#[derive(Clone, Debug)]
+pub struct DatasetHandle {
+    /// Flat row-major coordinates (what the index was built from).
+    pub coords: Arc<Vec<f64>>,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Epoch at snapshot time.
+    pub epoch: u64,
+    /// The shared pre-built index.
+    pub index: Arc<RTree>,
+}
+
+#[derive(Debug)]
+struct DatasetEntry {
+    coords: Arc<Vec<f64>>,
+    dim: usize,
+    epoch: u64,
+    /// Built on first use, dropped on mutation.
+    index: Option<Arc<RTree>>,
+}
+
+#[derive(Debug, Default)]
+struct CatalogInner {
+    datasets: HashMap<String, DatasetEntry>,
+    weight_sets: HashMap<String, Arc<Vec<Weight>>>,
+}
+
+/// Thread-safe catalog of datasets and weight populations.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: RwLock<CatalogInner>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a dataset from a flat `n × dim` buffer.
+    /// Replacement bumps the epoch and drops any built index.
+    ///
+    /// # Errors
+    /// [`EngineError::ZeroDimension`] when `dim` is zero,
+    /// [`EngineError::RaggedCoordinates`] when the buffer length is not a
+    /// multiple of `dim`.
+    pub fn register(&self, name: &str, dim: usize, coords: Vec<f64>) -> Result<(), EngineError> {
+        if dim == 0 {
+            return Err(EngineError::ZeroDimension);
+        }
+        if !coords.len().is_multiple_of(dim) {
+            return Err(EngineError::RaggedCoordinates {
+                dim,
+                len: coords.len(),
+            });
+        }
+        let mut inner = self.inner.write().expect("catalog lock");
+        let epoch = inner.datasets.get(name).map_or(1, |e| e.epoch + 1);
+        inner.datasets.insert(
+            name.to_string(),
+            DatasetEntry {
+                coords: Arc::new(coords),
+                dim,
+                epoch,
+                index: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Appends points to a dataset: bumps its epoch and drops the built
+    /// index (rebuilt lazily on next use).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownDataset`] / [`EngineError::RaggedCoordinates`].
+    pub fn append(&self, name: &str, points: &[f64]) -> Result<(), EngineError> {
+        let mut inner = self.inner.write().expect("catalog lock");
+        let entry = inner
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        if !points.len().is_multiple_of(entry.dim) {
+            return Err(EngineError::RaggedCoordinates {
+                dim: entry.dim,
+                len: points.len(),
+            });
+        }
+        let mut coords = Vec::with_capacity(entry.coords.len() + points.len());
+        coords.extend_from_slice(&entry.coords);
+        coords.extend_from_slice(points);
+        entry.coords = Arc::new(coords);
+        entry.epoch += 1;
+        entry.index = None;
+        Ok(())
+    }
+
+    /// Registers an immutable weight population.
+    ///
+    /// # Errors
+    /// [`EngineError::WeightSetExists`] when the name is taken —
+    /// populations are immutable so cached bichromatic results keyed on
+    /// the name can never go stale; register a new name instead.
+    pub fn register_weights(&self, name: &str, weights: Vec<Weight>) -> Result<(), EngineError> {
+        let mut inner = self.inner.write().expect("catalog lock");
+        if inner.weight_sets.contains_key(name) {
+            return Err(EngineError::WeightSetExists(name.to_string()));
+        }
+        inner
+            .weight_sets
+            .insert(name.to_string(), Arc::new(weights));
+        Ok(())
+    }
+
+    /// A registered weight population.
+    pub fn weights(&self, name: &str) -> Result<Arc<Vec<Weight>>, EngineError> {
+        self.inner
+            .read()
+            .expect("catalog lock")
+            .weight_sets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownWeightSet(name.to_string()))
+    }
+
+    /// A consistent dataset snapshot, building the shared index on first
+    /// use. The build itself runs *outside* the catalog lock, so a cold
+    /// multi-million-point dataset never stalls requests against other
+    /// datasets; two racing cold callers may both build, and the first
+    /// to install (at an unchanged epoch) wins.
+    pub fn handle(&self, name: &str) -> Result<DatasetHandle, EngineError> {
+        loop {
+            // Snapshot what to build under the read lock.
+            let (coords, dim, epoch) = {
+                let inner = self.inner.read().expect("catalog lock");
+                let entry = inner
+                    .datasets
+                    .get(name)
+                    .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+                if let Some(index) = &entry.index {
+                    return Ok(DatasetHandle {
+                        coords: entry.coords.clone(),
+                        dim: entry.dim,
+                        epoch: entry.epoch,
+                        index: index.clone(),
+                    });
+                }
+                (entry.coords.clone(), entry.dim, entry.epoch)
+            };
+            let built = Arc::new(RTree::bulk_load(dim, &coords));
+            // Install only if the dataset is still at the snapshotted
+            // epoch; on a concurrent mutation the build is stale — drop
+            // it and retry against the new coordinates.
+            let mut inner = self.inner.write().expect("catalog lock");
+            let entry = inner
+                .datasets
+                .get_mut(name)
+                .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+            if entry.epoch != epoch {
+                continue;
+            }
+            let index = match &entry.index {
+                Some(index) => index.clone(), // another builder won the race
+                None => {
+                    entry.index = Some(built.clone());
+                    built
+                }
+            };
+            return Ok(DatasetHandle {
+                coords: entry.coords.clone(),
+                dim: entry.dim,
+                epoch,
+                index,
+            });
+        }
+    }
+
+    /// Current epoch of a dataset.
+    pub fn epoch(&self, name: &str) -> Result<u64, EngineError> {
+        self.inner
+            .read()
+            .expect("catalog lock")
+            .datasets
+            .get(name)
+            .map(|e| e.epoch)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .read()
+            .expect("catalog lock")
+            .datasets
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Whether a dataset's index is currently built.
+    pub fn is_indexed(&self, name: &str) -> bool {
+        self.inner
+            .read()
+            .expect("catalog lock")
+            .datasets
+            .get(name)
+            .is_some_and(|e| e.index.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Vec<f64> {
+        vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]
+    }
+
+    #[test]
+    fn register_and_lazy_index() {
+        let c = Catalog::new();
+        c.register("sq", 2, unit_square()).unwrap();
+        assert!(!c.is_indexed("sq"));
+        let h = c.handle("sq").unwrap();
+        assert_eq!(h.dim, 2);
+        assert_eq!(h.epoch, 1);
+        assert_eq!(h.index.len(), 4);
+        assert!(c.is_indexed("sq"));
+        // Second handle shares the same index.
+        let h2 = c.handle("sq").unwrap();
+        assert!(Arc::ptr_eq(&h.index, &h2.index));
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_drops_index() {
+        let c = Catalog::new();
+        c.register("sq", 2, unit_square()).unwrap();
+        let h1 = c.handle("sq").unwrap();
+        c.append("sq", &[0.5, 0.5]).unwrap();
+        assert!(!c.is_indexed("sq"));
+        let h2 = c.handle("sq").unwrap();
+        assert_eq!(h2.epoch, 2);
+        assert_eq!(h2.index.len(), 5);
+        // The old handle still sees its consistent snapshot.
+        assert_eq!(h1.epoch, 1);
+        assert_eq!(h1.index.len(), 4);
+    }
+
+    #[test]
+    fn reregister_bumps_epoch() {
+        let c = Catalog::new();
+        c.register("d", 2, unit_square()).unwrap();
+        c.register("d", 3, vec![0.0; 9]).unwrap();
+        assert_eq!(c.epoch("d").unwrap(), 2);
+        assert_eq!(c.handle("d").unwrap().dim, 3);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let c = Catalog::new();
+        assert_eq!(
+            c.handle("nope").unwrap_err(),
+            EngineError::UnknownDataset("nope".into())
+        );
+        assert_eq!(
+            c.register("z", 0, vec![]).unwrap_err(),
+            EngineError::ZeroDimension
+        );
+        assert_eq!(
+            c.register("r", 3, vec![1.0, 2.0]).unwrap_err(),
+            EngineError::RaggedCoordinates { dim: 3, len: 2 }
+        );
+        c.register("d", 2, unit_square()).unwrap();
+        assert_eq!(
+            c.append("d", &[1.0]).unwrap_err(),
+            EngineError::RaggedCoordinates { dim: 2, len: 1 }
+        );
+        assert_eq!(
+            c.append("nope", &[1.0, 1.0]).unwrap_err(),
+            EngineError::UnknownDataset("nope".into())
+        );
+    }
+
+    #[test]
+    fn weight_sets_are_immutable() {
+        let c = Catalog::new();
+        c.register_weights("cust", vec![Weight::new(vec![0.5, 0.5])])
+            .unwrap();
+        assert_eq!(c.weights("cust").unwrap().len(), 1);
+        assert_eq!(
+            c.register_weights("cust", vec![]).unwrap_err(),
+            EngineError::WeightSetExists("cust".into())
+        );
+        assert_eq!(
+            c.weights("nope").unwrap_err(),
+            EngineError::UnknownWeightSet("nope".into())
+        );
+    }
+
+    #[test]
+    fn dataset_names_sorted() {
+        let c = Catalog::new();
+        c.register("b", 1, vec![1.0]).unwrap();
+        c.register("a", 1, vec![2.0]).unwrap();
+        assert_eq!(c.dataset_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

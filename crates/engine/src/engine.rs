@@ -1,0 +1,380 @@
+//! The [`Engine`]: catalog + worker pool + result cache + metrics under
+//! one roof.
+//!
+//! ```
+//! use wqrtq_engine::{Engine, Request, Response};
+//!
+//! let engine = Engine::builder().workers(4).build();
+//! engine
+//!     .register_dataset("products", 2, vec![2.0, 1.0, 6.0, 3.0, 1.0, 9.0])
+//!     .unwrap();
+//! let responses = engine.submit_batch(vec![Request::TopK {
+//!     dataset: "products".into(),
+//!     weight: vec![0.5, 0.5],
+//!     k: 2,
+//! }]);
+//! assert!(matches!(responses[0], Response::TopK(_)));
+//! ```
+
+use crate::cache::ResultCache;
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{Request, Response};
+use crate::worker::{Job, Pool, WorkerContext};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use wqrtq_geom::Weight;
+
+/// Configures an [`Engine`] before it spawns its workers.
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    workers: usize,
+    cache_capacity: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Number of worker threads (default: available parallelism).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Result-cache capacity in entries (default 256).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Spawns the workers and returns the engine.
+    pub fn build(self) -> Engine {
+        let catalog = Arc::new(Catalog::new());
+        let cache = Arc::new(ResultCache::new(self.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let (queue_tx, queue_rx) = mpsc::channel();
+        let pool = Pool::spawn(
+            self.workers,
+            queue_rx,
+            Arc::new(WorkerContext {
+                catalog: catalog.clone(),
+                cache: cache.clone(),
+                metrics: metrics.clone(),
+            }),
+        );
+        Engine {
+            catalog,
+            cache,
+            metrics,
+            queue: Some(queue_tx),
+            pool: Some(pool),
+        }
+    }
+}
+
+/// A concurrent, batched query-serving engine over the WQRTQ query and
+/// why-not algorithms.
+///
+/// Owns a [`Catalog`] of named datasets (lazily indexed, `Arc`-shared), a
+/// fixed worker pool fed through mpsc channels, an LRU [`ResultCache`]
+/// keyed on `(dataset epoch, request fingerprint)`, and per-request
+/// [`Metrics`]. Dropping the engine shuts the pool down cleanly.
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    queue: Option<Sender<Job>>,
+    pool: Option<Pool>,
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with `workers` threads and default cache capacity.
+    pub fn new(workers: usize) -> Self {
+        Self::builder().workers(workers).build()
+    }
+
+    /// Read access to the catalog (names, epochs, handles).
+    ///
+    /// Mutations should go through [`Engine::register_dataset`] /
+    /// [`Engine::append_points`], which also evict the mutated dataset's
+    /// cache entries. (Mutating the catalog directly is still *safe* —
+    /// epoch-keyed cache entries can never serve stale data — it merely
+    /// leaves dead entries for LRU eviction to reclaim.)
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Registers (or replaces) a dataset and evicts its cached results.
+    ///
+    /// # Errors
+    /// See [`Catalog::register`].
+    pub fn register_dataset(
+        &self,
+        name: &str,
+        dim: usize,
+        coords: Vec<f64>,
+    ) -> Result<(), EngineError> {
+        self.catalog.register(name, dim, coords)?;
+        self.cache.evict_dataset(name);
+        Ok(())
+    }
+
+    /// Appends points to a dataset, bumping its epoch and evicting its
+    /// cached results.
+    ///
+    /// # Errors
+    /// See [`Catalog::append`].
+    pub fn append_points(&self, name: &str, points: &[f64]) -> Result<(), EngineError> {
+        self.catalog.append(name, points)?;
+        self.cache.evict_dataset(name);
+        Ok(())
+    }
+
+    /// Registers an immutable customer weight population.
+    ///
+    /// # Errors
+    /// See [`Catalog::register_weights`].
+    pub fn register_weights(&self, name: &str, weights: Vec<Weight>) -> Result<(), EngineError> {
+        self.catalog.register_weights(name, weights)
+    }
+
+    /// Serves one request on the pool.
+    pub fn submit(&self, request: Request) -> Response {
+        self.submit_batch(vec![request])
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Fans a batch across the worker pool and reassembles responses in
+    /// submission order. Responses are deterministic and independent of
+    /// the worker count; failed requests yield [`Response::Error`] in
+    /// their slot without affecting their neighbours.
+    pub fn submit_batch(&self, requests: Vec<Request>) -> Vec<Response> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        self.metrics.record_batch();
+        let n = requests.len();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let queue = self.queue.as_ref().expect("pool alive while engine alive");
+        for (slot, request) in requests.into_iter().enumerate() {
+            queue
+                .send(Job {
+                    slot,
+                    request,
+                    reply: reply_tx.clone(),
+                })
+                .expect("worker pool alive while engine alive");
+        }
+        drop(reply_tx);
+        let mut responses: Vec<Option<Response>> = vec![None; n];
+        for _ in 0..n {
+            match reply_rx.recv() {
+                Ok((slot, response)) => responses[slot] = Some(response),
+                // Unreachable in practice: workers catch panics and the
+                // pool outlives every in-flight batch. Degrade to typed
+                // errors rather than poisoning the whole batch.
+                Err(_) => break,
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Response::Error(EngineError::PoolShutdown.to_string())))
+            .collect()
+    }
+
+    /// Point-in-time metrics (per-kind latency, index-node accesses,
+    /// cache hit rate).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats())
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pool.as_ref().map_or(0, Pool::len)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop; then join.
+        self.queue.take();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RefineStrategy, WeightSet};
+
+    fn figure1_engine(workers: usize) -> Engine {
+        let engine = Engine::builder()
+            .workers(workers)
+            .cache_capacity(32)
+            .build();
+        engine
+            .register_dataset(
+                "products",
+                2,
+                vec![
+                    2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+                ],
+            )
+            .unwrap();
+        engine
+            .register_weights(
+                "customers",
+                vec![
+                    Weight::new(vec![0.1, 0.9]), // Kevin
+                    Weight::new(vec![0.5, 0.5]), // Tony
+                    Weight::new(vec![0.3, 0.7]), // Anna
+                    Weight::new(vec![0.9, 0.1]), // Julia
+                ],
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn serves_every_request_kind_on_the_paper_example() {
+        let engine = figure1_engine(3);
+        let batch = vec![
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![0.5, 0.5],
+                k: 3,
+            },
+            Request::ReverseTopKBi {
+                dataset: "products".into(),
+                weights: WeightSet::Named("customers".into()),
+                q: vec![4.0, 4.0],
+                k: 3,
+            },
+            Request::ReverseTopKMono {
+                dataset: "products".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                samples: 0,
+                seed: 0,
+            },
+            Request::WhyNotExplain {
+                dataset: "products".into(),
+                weight: vec![0.1, 0.9],
+                q: vec![4.0, 4.0],
+                limit: 10,
+            },
+            Request::WhyNotRefine {
+                dataset: "products".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+                strategy: RefineStrategy::Mqp,
+            },
+        ];
+        let responses = engine.submit_batch(batch);
+        assert_eq!(responses.len(), 5);
+        // Paper §1: Tony and Anna (indices 1, 2) have q in their top-3.
+        assert_eq!(responses[1], Response::ReverseTopKBi(vec![1, 2]));
+        // Kevin ranks q 4th, behind three culprits.
+        match &responses[3] {
+            Response::Explanation { rank, culprits, .. } => {
+                assert_eq!(*rank, 4);
+                assert_eq!(culprits.len(), 3);
+            }
+            other => panic!("expected explanation, got {other:?}"),
+        }
+        match &responses[4] {
+            Response::Refinement(r) => {
+                let q_prime = r.q_prime.as_ref().expect("MQP moves q");
+                assert!((q_prime[0] - 3.375).abs() < 1e-5);
+                assert!((q_prime[1] - 3.625).abs() < 1e-5);
+            }
+            other => panic!("expected refinement, got {other:?}"),
+        }
+        assert!(responses.iter().all(|r| !r.is_error()));
+        let m = engine.metrics();
+        assert_eq!(m.total_requests(), 5);
+        assert_eq!(m.batches, 1);
+        assert!(m.total_index_nodes() > 0, "TopK/Explain report index work");
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_dimensions_fail_without_poisoning_the_batch() {
+        let engine = figure1_engine(2);
+        let responses = engine.submit_batch(vec![
+            Request::TopK {
+                dataset: "nope".into(),
+                weight: vec![0.5, 0.5],
+                k: 1,
+            },
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![0.5, 0.5, 0.5],
+                k: 1,
+            },
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![0.5, 0.5],
+                k: 1,
+            },
+        ]);
+        assert!(responses[0].is_error());
+        assert!(responses[1].is_error());
+        assert_eq!(responses[2], Response::TopK(vec![(0, 1.5)]));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let engine = figure1_engine(2);
+        let req = Request::TopK {
+            dataset: "products".into(),
+            weight: vec![0.5, 0.5],
+            k: 3,
+        };
+        let first = engine.submit(req.clone());
+        let second = engine.submit(req);
+        assert_eq!(first, second);
+        let stats = engine.metrics().cache;
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn submit_batch_empty_is_a_noop() {
+        let engine = figure1_engine(1);
+        assert!(engine.submit_batch(Vec::new()).is_empty());
+        assert_eq!(engine.metrics().batches, 0);
+    }
+
+    #[test]
+    fn builder_defaults_and_accessors() {
+        let engine = Engine::new(2);
+        assert_eq!(engine.worker_count(), 2);
+        assert!(engine.catalog().dataset_names().is_empty());
+    }
+}

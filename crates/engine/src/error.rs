@@ -1,0 +1,66 @@
+//! Engine-level errors.
+//!
+//! Request execution never panics the serving loop: failures surface as
+//! [`crate::Response::Error`] carrying one of these (or a library error's
+//! message), so a malformed request in a batch cannot take down its
+//! neighbours.
+
+use std::fmt;
+
+/// Errors raised by the catalog and the serving loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request names a dataset the catalog does not hold.
+    UnknownDataset(String),
+    /// The request names a weight population the catalog does not hold.
+    UnknownWeightSet(String),
+    /// A vector in the request does not match the dataset dimensionality.
+    DimensionMismatch {
+        /// Dataset dimensionality.
+        expected: usize,
+        /// Offending vector length.
+        got: usize,
+    },
+    /// A dataset was registered with dimensionality zero.
+    ZeroDimension,
+    /// A coordinate buffer is not a multiple of the dataset dimensionality.
+    RaggedCoordinates {
+        /// Dataset dimensionality.
+        dim: usize,
+        /// Buffer length.
+        len: usize,
+    },
+    /// A weight population name is already taken (populations are
+    /// immutable once registered; see [`crate::Catalog`]).
+    WeightSetExists(String),
+    /// The worker pool has shut down and can no longer serve requests.
+    PoolShutdown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            EngineError::UnknownWeightSet(name) => write!(f, "unknown weight set `{name}`"),
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            EngineError::ZeroDimension => write!(f, "dataset dimensionality must be positive"),
+            EngineError::RaggedCoordinates { dim, len } => {
+                write!(
+                    f,
+                    "coordinate buffer length {len} is not a multiple of dim {dim}"
+                )
+            }
+            EngineError::WeightSetExists(name) => {
+                write!(
+                    f,
+                    "weight set `{name}` already registered (populations are immutable)"
+                )
+            }
+            EngineError::PoolShutdown => write!(f, "worker pool has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # WQRTQ engine — a concurrent, batched query-serving subsystem
+//!
+//! The library crates answer one query per call; this crate turns them
+//! into a **serving system** for reverse top-k and why-not workloads,
+//! the shape production traffic actually has (many queries against few,
+//! slowly changing datasets — cf. *Indexing Reverse Top-k Queries* and
+//! the PUG provenance engine's cached-state design):
+//!
+//! * [`Catalog`] — named datasets with lazily built, `Arc`-shared R-tree
+//!   indexes and mutation **epochs**; immutable customer weight
+//!   populations;
+//! * [`Request`] / [`Response`] — a typed vocabulary covering top-k,
+//!   mono- and bichromatic reverse top-k, why-not explanation, and all
+//!   three refinement solutions (MQP / MWK / MQWK);
+//! * [`Engine::submit_batch`] — fans a batch across a fixed worker pool
+//!   over mpsc channels and reassembles **ordered** responses; results
+//!   are deterministic and independent of the worker count;
+//! * [`ResultCache`] — an engine-level LRU keyed on `(dataset epoch,
+//!   request fingerprint)`, generalising the query crate's top-k view
+//!   cache to whole responses; epochs make stale hits impossible;
+//! * [`MetricsSnapshot`] — per-kind request counts, latency, index-node
+//!   accesses (via `rtree` traversal counters) and cache hit rate.
+//!
+//! ```
+//! use wqrtq_engine::{Engine, Request, Response};
+//!
+//! let engine = Engine::builder().workers(2).build();
+//! engine.register_dataset("p", 2, vec![0.2, 0.8, 0.5, 0.5, 0.9, 0.1]).unwrap();
+//! let r = engine.submit(Request::TopK {
+//!     dataset: "p".into(),
+//!     weight: vec![0.5, 0.5],
+//!     k: 1,
+//! });
+//! assert_eq!(r, Response::TopK(vec![(0, 0.5)]));
+//! println!("{}", engine.metrics());
+//! ```
+
+mod cache;
+mod catalog;
+mod engine;
+mod error;
+mod metrics;
+mod request;
+mod worker;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use catalog::{Catalog, DatasetHandle};
+pub use engine::{Engine, EngineBuilder};
+pub use error::EngineError;
+pub use metrics::{KindSnapshot, Metrics, MetricsSnapshot};
+pub use request::{RefineStrategy, Refinement, Request, RequestKind, Response, WeightSet};

@@ -1,0 +1,251 @@
+//! Per-request metrics, aggregated lock-free and exposed as a snapshot.
+//!
+//! Workers record one observation per request: latency, index nodes
+//! expanded (the paper's `|RT|` cost term, via `rtree` traversal
+//! counters where the primitive reports them) and whether the result
+//! came from the cache. [`MetricsSnapshot`] is a consistent-enough
+//! point-in-time read for dashboards and tests; cache counters live in
+//! [`crate::ResultCache`] and are merged into the snapshot by the engine.
+
+use crate::cache::CacheStats;
+use crate::request::RequestKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct KindCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    index_nodes: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// Lock-free metric accumulators shared by all workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    kinds: [KindCounters; 5],
+    batches: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request.
+    pub fn record(
+        &self,
+        kind: RequestKind,
+        latency: Duration,
+        index_nodes: usize,
+        cache_hit: bool,
+        error: bool,
+    ) {
+        let c = &self.kinds[kind.index()];
+        let nanos = latency.as_nanos() as u64;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        c.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        c.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        c.index_nodes
+            .fetch_add(index_nodes as u64, Ordering::Relaxed);
+        if cache_hit {
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one submitted batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot, merged with the cache's counters.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let per_kind = RequestKind::ALL
+            .iter()
+            .map(|&kind| {
+                let c = &self.kinds[kind.index()];
+                KindSnapshot {
+                    kind,
+                    requests: c.requests.load(Ordering::Relaxed),
+                    errors: c.errors.load(Ordering::Relaxed),
+                    total_latency: Duration::from_nanos(c.total_nanos.load(Ordering::Relaxed)),
+                    max_latency: Duration::from_nanos(c.max_nanos.load(Ordering::Relaxed)),
+                    index_nodes: c.index_nodes.load(Ordering::Relaxed),
+                    cache_hits: c.cache_hits.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            per_kind,
+            batches: self.batches.load(Ordering::Relaxed),
+            cache,
+        }
+    }
+}
+
+/// Aggregates for one request kind.
+#[derive(Clone, Copy, Debug)]
+pub struct KindSnapshot {
+    /// The kind.
+    pub kind: RequestKind,
+    /// Requests served (including errors and cache hits).
+    pub requests: u64,
+    /// Requests answered with [`crate::Response::Error`].
+    pub errors: u64,
+    /// Summed latency.
+    pub total_latency: Duration,
+    /// Worst single-request latency.
+    pub max_latency: Duration,
+    /// Index nodes expanded (where the primitive reports it; refinement
+    /// requests run composite algorithms and report 0).
+    pub index_nodes: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+}
+
+impl KindSnapshot {
+    /// Mean latency (zero when no requests).
+    pub fn avg_latency(&self) -> Duration {
+        // u64 nanosecond arithmetic: `Duration / u32` would truncate the
+        // divisor (and panic on 2^32 requests).
+        match (self.total_latency.as_nanos() as u64).checked_div(self.requests) {
+            Some(nanos) => Duration::from_nanos(nanos),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Point-in-time engine metrics.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// One row per request kind (fixed order of [`RequestKind::ALL`]).
+    pub per_kind: Vec<KindSnapshot>,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Total requests across kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.requests).sum()
+    }
+
+    /// Total index nodes expanded across kinds.
+    pub fn total_index_nodes(&self) -> u64 {
+        self.per_kind.iter().map(|k| k.index_nodes).sum()
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine metrics: {} requests in {} batches, cache {}/{} hit rate {:.1}% ({} entries)",
+            self.total_requests(),
+            self.batches,
+            self.cache.hits,
+            self.cache.hits + self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.len,
+        )?;
+        writeln!(
+            f,
+            "  {:<16} {:>8} {:>7} {:>12} {:>12} {:>12} {:>10}",
+            "kind", "requests", "errors", "avg latency", "max latency", "index nodes", "cache hits"
+        )?;
+        for k in &self.per_kind {
+            if k.requests == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<16} {:>8} {:>7} {:>12} {:>12} {:>12} {:>10}",
+                k.kind.name(),
+                k.requests,
+                k.errors,
+                format!("{:.1?}", k.avg_latency()),
+                format!("{:.1?}", k.max_latency),
+                k.index_nodes,
+                k.cache_hits,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_cache_stats() -> CacheStats {
+        CacheStats {
+            hits: 0,
+            misses: 0,
+            len: 0,
+            capacity: 8,
+        }
+    }
+
+    #[test]
+    fn record_aggregates_per_kind() {
+        let m = Metrics::new();
+        m.record(
+            RequestKind::TopK,
+            Duration::from_micros(10),
+            5,
+            false,
+            false,
+        );
+        m.record(RequestKind::TopK, Duration::from_micros(30), 7, true, false);
+        m.record(
+            RequestKind::WhyNotRefine,
+            Duration::from_millis(2),
+            0,
+            false,
+            true,
+        );
+        m.record_batch();
+        let s = m.snapshot(empty_cache_stats());
+        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.total_index_nodes(), 12);
+        let topk = &s.per_kind[RequestKind::TopK.index()];
+        assert_eq!(topk.requests, 2);
+        assert_eq!(topk.cache_hits, 1);
+        assert_eq!(topk.avg_latency(), Duration::from_micros(20));
+        assert_eq!(topk.max_latency, Duration::from_micros(30));
+        let refine = &s.per_kind[RequestKind::WhyNotRefine.index()];
+        assert_eq!(refine.errors, 1);
+    }
+
+    #[test]
+    fn display_renders_only_active_kinds() {
+        let m = Metrics::new();
+        m.record(
+            RequestKind::TopK,
+            Duration::from_micros(10),
+            5,
+            false,
+            false,
+        );
+        let text = m.snapshot(empty_cache_stats()).to_string();
+        assert!(text.contains("topk"));
+        assert!(!text.contains("whynot-refine"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot(empty_cache_stats());
+        assert_eq!(s.total_requests(), 0);
+        assert_eq!(s.per_kind[0].avg_latency(), Duration::ZERO);
+    }
+}

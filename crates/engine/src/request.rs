@@ -1,0 +1,450 @@
+//! The typed request/response vocabulary of the engine.
+//!
+//! A [`Request`] names a catalog dataset and one of the query classes the
+//! library implements; a [`Response`] carries plain-data results
+//! (`PartialEq`, so batch determinism is directly assertable). Every
+//! request has a stable [`Request::fingerprint`] — combined with the
+//! dataset's catalog epoch it keys the engine's result cache.
+
+/// The weight population a bichromatic reverse top-k request runs
+/// against.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightSet {
+    /// A population registered in the catalog under this name.
+    Named(String),
+    /// An inline population (each inner vector is one weighting vector).
+    Inline(Vec<Vec<f64>>),
+}
+
+/// Which refinement solution a [`Request::WhyNotRefine`] asks for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RefineStrategy {
+    /// Solution 1 — modify the query point (safe region + QP).
+    Mqp,
+    /// Solution 2 — modify the why-not vectors and `k` (sampling).
+    Mwk {
+        /// Number of weight samples `|S|`.
+        sample_size: usize,
+        /// Sampling seed (determinism is seed-driven).
+        seed: u64,
+    },
+    /// Solution 3 — modify `q`, the vectors and `k` together.
+    Mqwk {
+        /// Number of weight samples `|S|`.
+        sample_size: usize,
+        /// Number of query-point samples `|Q|`.
+        query_samples: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// One unit of work for the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `TOPk(w)` over a catalog dataset.
+    TopK {
+        /// Catalog dataset name.
+        dataset: String,
+        /// The weighting vector.
+        weight: Vec<f64>,
+        /// How many points.
+        k: usize,
+    },
+    /// Monochromatic reverse top-k (Definition 2): which regions of the
+    /// weight space rank `q` in their top-k. Exact intervals in 2-D,
+    /// seeded simplex sampling otherwise.
+    ReverseTopKMono {
+        /// Catalog dataset name.
+        dataset: String,
+        /// The query point.
+        q: Vec<f64>,
+        /// The reverse top-k parameter.
+        k: usize,
+        /// Sample count for the `d > 2` sampled estimate.
+        samples: usize,
+        /// Sampling seed for the `d > 2` estimate.
+        seed: u64,
+    },
+    /// Bichromatic reverse top-k (Definition 3): which customers of a
+    /// weight population rank `q` in their top-k (RTA algorithm).
+    ReverseTopKBi {
+        /// Catalog dataset name.
+        dataset: String,
+        /// The customer population.
+        weights: WeightSet,
+        /// The query point.
+        q: Vec<f64>,
+        /// The reverse top-k parameter.
+        k: usize,
+    },
+    /// Aspect 1 of a why-not answer: the culprit points that outrank `q`
+    /// under a why-not weighting vector.
+    WhyNotExplain {
+        /// Catalog dataset name.
+        dataset: String,
+        /// The why-not weighting vector.
+        weight: Vec<f64>,
+        /// The query point.
+        q: Vec<f64>,
+        /// Maximum culprits returned (the rank stays exact).
+        limit: usize,
+    },
+    /// Aspect 2: refine the query with minimum penalty so the why-not
+    /// vectors appear in the result.
+    WhyNotRefine {
+        /// Catalog dataset name.
+        dataset: String,
+        /// The query point.
+        q: Vec<f64>,
+        /// The original `k`.
+        k: usize,
+        /// The why-not weighting vectors.
+        why_not: Vec<Vec<f64>>,
+        /// Which solution to run.
+        strategy: RefineStrategy,
+    },
+}
+
+/// Request kinds, for metrics bucketing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// [`Request::TopK`].
+    TopK,
+    /// [`Request::ReverseTopKMono`].
+    ReverseTopKMono,
+    /// [`Request::ReverseTopKBi`].
+    ReverseTopKBi,
+    /// [`Request::WhyNotExplain`].
+    WhyNotExplain,
+    /// [`Request::WhyNotRefine`].
+    WhyNotRefine,
+}
+
+impl RequestKind {
+    /// All kinds, in declaration order (metrics table order).
+    pub const ALL: [RequestKind; 5] = [
+        RequestKind::TopK,
+        RequestKind::ReverseTopKMono,
+        RequestKind::ReverseTopKBi,
+        RequestKind::WhyNotExplain,
+        RequestKind::WhyNotRefine,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::TopK => "topk",
+            RequestKind::ReverseTopKMono => "rtopk-mono",
+            RequestKind::ReverseTopKBi => "rtopk-bi",
+            RequestKind::WhyNotExplain => "whynot-explain",
+            RequestKind::WhyNotRefine => "whynot-refine",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RequestKind::TopK => 0,
+            RequestKind::ReverseTopKMono => 1,
+            RequestKind::ReverseTopKBi => 2,
+            RequestKind::WhyNotExplain => 3,
+            RequestKind::WhyNotRefine => 4,
+        }
+    }
+}
+
+impl Request {
+    /// The kind bucket of this request.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::TopK { .. } => RequestKind::TopK,
+            Request::ReverseTopKMono { .. } => RequestKind::ReverseTopKMono,
+            Request::ReverseTopKBi { .. } => RequestKind::ReverseTopKBi,
+            Request::WhyNotExplain { .. } => RequestKind::WhyNotExplain,
+            Request::WhyNotRefine { .. } => RequestKind::WhyNotRefine,
+        }
+    }
+
+    /// The catalog dataset this request runs against.
+    pub fn dataset(&self) -> &str {
+        match self {
+            Request::TopK { dataset, .. }
+            | Request::ReverseTopKMono { dataset, .. }
+            | Request::ReverseTopKBi { dataset, .. }
+            | Request::WhyNotExplain { dataset, .. }
+            | Request::WhyNotRefine { dataset, .. } => dataset,
+        }
+    }
+
+    /// A stable 64-bit content fingerprint (FNV-1a over every field,
+    /// floats by bit pattern). Identical requests always fingerprint
+    /// identically across runs; combined with the dataset epoch this keys
+    /// the result cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        match self {
+            Request::TopK { dataset, weight, k } => {
+                h.write_u64(1);
+                h.write_str(dataset);
+                h.write_floats(weight);
+                h.write_u64(*k as u64);
+            }
+            Request::ReverseTopKMono {
+                dataset,
+                q,
+                k,
+                samples,
+                seed,
+            } => {
+                h.write_u64(2);
+                h.write_str(dataset);
+                h.write_floats(q);
+                h.write_u64(*k as u64);
+                h.write_u64(*samples as u64);
+                h.write_u64(*seed);
+            }
+            Request::ReverseTopKBi {
+                dataset,
+                weights,
+                q,
+                k,
+            } => {
+                h.write_u64(3);
+                h.write_str(dataset);
+                match weights {
+                    WeightSet::Named(name) => {
+                        h.write_u64(1);
+                        h.write_str(name);
+                    }
+                    WeightSet::Inline(ws) => {
+                        h.write_u64(2);
+                        h.write_u64(ws.len() as u64);
+                        for w in ws {
+                            h.write_floats(w);
+                        }
+                    }
+                }
+                h.write_floats(q);
+                h.write_u64(*k as u64);
+            }
+            Request::WhyNotExplain {
+                dataset,
+                weight,
+                q,
+                limit,
+            } => {
+                h.write_u64(4);
+                h.write_str(dataset);
+                h.write_floats(weight);
+                h.write_floats(q);
+                h.write_u64(*limit as u64);
+            }
+            Request::WhyNotRefine {
+                dataset,
+                q,
+                k,
+                why_not,
+                strategy,
+            } => {
+                h.write_u64(5);
+                h.write_str(dataset);
+                h.write_floats(q);
+                h.write_u64(*k as u64);
+                h.write_u64(why_not.len() as u64);
+                for w in why_not {
+                    h.write_floats(w);
+                }
+                match strategy {
+                    RefineStrategy::Mqp => h.write_u64(1),
+                    RefineStrategy::Mwk { sample_size, seed } => {
+                        h.write_u64(2);
+                        h.write_u64(*sample_size as u64);
+                        h.write_u64(*seed);
+                    }
+                    RefineStrategy::Mqwk {
+                        sample_size,
+                        query_samples,
+                        seed,
+                    } => {
+                        h.write_u64(3);
+                        h.write_u64(*sample_size as u64);
+                        h.write_u64(*query_samples as u64);
+                        h.write_u64(*seed);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// A refinement result in plain data (mirrors the core framework's
+/// `RefinedQuery`/`WqrtqAnswer`, with `PartialEq` for determinism tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Refinement {
+    /// The refined query point, when the strategy moved it.
+    pub q_prime: Option<Vec<f64>>,
+    /// The refined why-not vectors, when the strategy moved them.
+    pub why_not: Option<Vec<Vec<f64>>>,
+    /// The refined `k`, when the strategy changed it.
+    pub k: Option<usize>,
+    /// The penalty of the refinement (Eq. 1, 4 or 5).
+    pub penalty: f64,
+}
+
+/// The result of one [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `TOPk(w)` as `(point id, score)` in ascending score order.
+    TopK(Vec<(u32, f64)>),
+    /// Exact 2-D monochromatic result: qualifying `(lo, hi)` intervals of
+    /// the first weight component.
+    MonoExact(Vec<(f64, f64)>),
+    /// Sampled monochromatic estimate for `d > 2`.
+    MonoSampled {
+        /// Estimated fraction of the weight simplex in `MRTOPk(q)`.
+        volume_fraction: f64,
+        /// Samples drawn.
+        samples: usize,
+    },
+    /// Qualifying customer indices (into the request's population).
+    ReverseTopKBi(Vec<usize>),
+    /// Why-not explanation: actual rank plus culprit `(id, score)` pairs.
+    Explanation {
+        /// Actual rank of `q` under the vector.
+        rank: usize,
+        /// Points outranking `q`, ascending by score.
+        culprits: Vec<(u32, f64)>,
+        /// Whether the culprit list hit the request limit.
+        truncated: bool,
+    },
+    /// A minimum-penalty refinement.
+    Refinement(Refinement),
+    /// The request failed; the batch continues.
+    Error(String),
+}
+
+impl Response {
+    /// Whether this response is an error.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error(_))
+    }
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn write_byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_byte(b);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for b in s.bytes() {
+            self.write_byte(b);
+        }
+    }
+
+    fn write_floats(&mut self, xs: &[f64]) {
+        self.write_u64(xs.len() as u64);
+        for x in xs {
+            self.write_u64(x.to_bits());
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topk(dataset: &str, w: &[f64], k: usize) -> Request {
+        Request::TopK {
+            dataset: dataset.into(),
+            weight: w.to_vec(),
+            k,
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let a = topk("products", &[0.3, 0.7], 5);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            topk("products", &[0.3, 0.7], 6).fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            topk("products", &[0.7, 0.3], 5).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), topk("other", &[0.3, 0.7], 5).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_kinds_with_same_payload() {
+        let explain = Request::WhyNotExplain {
+            dataset: "d".into(),
+            weight: vec![0.5, 0.5],
+            q: vec![1.0, 2.0],
+            limit: 3,
+        };
+        let mono = Request::ReverseTopKMono {
+            dataset: "d".into(),
+            q: vec![1.0, 2.0],
+            k: 3,
+            samples: 0,
+            seed: 0,
+        };
+        assert_ne!(explain.fingerprint(), mono.fingerprint());
+    }
+
+    #[test]
+    fn named_and_inline_weight_sets_fingerprint_differently() {
+        let named = Request::ReverseTopKBi {
+            dataset: "d".into(),
+            weights: WeightSet::Named("customers".into()),
+            q: vec![1.0],
+            k: 2,
+        };
+        let inline = Request::ReverseTopKBi {
+            dataset: "d".into(),
+            weights: WeightSet::Inline(vec![vec![1.0]]),
+            q: vec![1.0],
+            k: 2,
+        };
+        assert_ne!(named.fingerprint(), inline.fingerprint());
+    }
+
+    #[test]
+    fn kind_and_dataset_accessors() {
+        let r = topk("p", &[1.0], 1);
+        assert_eq!(r.kind(), RequestKind::TopK);
+        assert_eq!(r.dataset(), "p");
+        assert_eq!(r.kind().name(), "topk");
+        assert_eq!(RequestKind::ALL.len(), 5);
+        for (i, k) in RequestKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn error_predicate() {
+        assert!(Response::Error("x".into()).is_error());
+        assert!(!Response::TopK(vec![]).is_error());
+    }
+}

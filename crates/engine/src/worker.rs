@@ -1,0 +1,317 @@
+//! The worker pool and the request execution path.
+//!
+//! A fixed set of threads drains a shared mpsc work queue. Each job
+//! carries its batch slot and a per-batch reply sender, so the engine
+//! reassembles ordered responses no matter which worker finished first.
+//! Execution is deterministic — every algorithm is seed-driven — which
+//! makes responses independent of the worker count (asserted by the
+//! determinism tests).
+
+use crate::cache::CacheKey;
+use crate::catalog::{Catalog, DatasetHandle};
+use crate::error::EngineError;
+use crate::metrics::Metrics;
+use crate::request::{RefineStrategy, Refinement, Request, Response, WeightSet};
+use crate::ResultCache;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
+use wqrtq_geom::Weight;
+
+/// Shared state every worker executes against.
+#[derive(Debug)]
+pub(crate) struct WorkerContext {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) cache: Arc<ResultCache>,
+    pub(crate) metrics: Arc<Metrics>,
+}
+
+/// One queued request.
+pub(crate) struct Job {
+    pub(crate) slot: usize,
+    pub(crate) request: Request,
+    pub(crate) reply: Sender<(usize, Response)>,
+}
+
+/// The fixed thread pool.
+#[derive(Debug)]
+pub(crate) struct Pool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads draining `queue`.
+    pub(crate) fn spawn(workers: usize, queue: Receiver<Job>, ctx: Arc<WorkerContext>) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let queue = Arc::new(Mutex::new(queue));
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = queue.clone();
+                let ctx = ctx.clone();
+                std::thread::Builder::new()
+                    .name(format!("wqrtq-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &ctx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Waits for every worker to exit (the queue sender must already be
+    /// dropped, otherwise this blocks forever).
+    pub(crate) fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
+    loop {
+        // Hold the queue lock only for the dequeue, never during work.
+        let job = match queue.lock().expect("work queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // engine dropped the sender: shut down
+        };
+        let response = serve(ctx, &job.request);
+        // A dropped reply receiver means the submitter gave up; keep
+        // draining the queue for other batches.
+        let _ = job.reply.send((job.slot, response));
+    }
+}
+
+/// Serves one request: cache probe → execute → cache fill → metrics.
+pub(crate) fn serve(ctx: &WorkerContext, request: &Request) -> Response {
+    let started = Instant::now();
+    let kind = request.kind();
+
+    let handle = match ctx.catalog.handle(request.dataset()) {
+        Ok(h) => h,
+        Err(e) => {
+            let response = Response::Error(e.to_string());
+            ctx.metrics.record(kind, started.elapsed(), 0, false, true);
+            return response;
+        }
+    };
+    let key = CacheKey {
+        epoch: handle.epoch,
+        fingerprint: request.fingerprint(),
+    };
+    if let Some(response) = ctx.cache.get(&key) {
+        ctx.metrics.record(kind, started.elapsed(), 0, true, false);
+        return response;
+    }
+
+    let (response, index_nodes) = catch_unwind(AssertUnwindSafe(|| execute(ctx, &handle, request)))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "request panicked".to_string());
+            (Response::Error(format!("request panicked: {msg}")), 0)
+        });
+
+    if !response.is_error() {
+        ctx.cache.insert(key, request.dataset(), response.clone());
+    }
+    ctx.metrics.record(
+        kind,
+        started.elapsed(),
+        index_nodes,
+        false,
+        response.is_error(),
+    );
+    response
+}
+
+/// Validates a vector against the dataset dimensionality.
+fn check_dim(handle: &DatasetHandle, v: &[f64]) -> Result<(), EngineError> {
+    if v.len() != handle.dim {
+        return Err(EngineError::DimensionMismatch {
+            expected: handle.dim,
+            got: v.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Runs the algorithm behind a request. Returns the response plus the
+/// index nodes expanded (0 where the primitive does not report it).
+fn execute(ctx: &WorkerContext, handle: &DatasetHandle, request: &Request) -> (Response, usize) {
+    match request {
+        Request::TopK { weight, k, .. } => {
+            if let Err(e) = check_dim(handle, weight) {
+                return (Response::Error(e.to_string()), 0);
+            }
+            let mut bf = handle.index.best_first(weight);
+            // Cap the pre-allocation at the dataset size: `k` is
+            // caller-controlled, and an oversized with_capacity would
+            // abort (not unwind) on allocation failure, escaping the
+            // per-request panic isolation.
+            let mut out = Vec::with_capacity((*k).min(handle.index.len()));
+            while out.len() < *k {
+                match bf.next_entry() {
+                    Some(p) => out.push((p.id, p.score)),
+                    None => break,
+                }
+            }
+            let nodes = bf.nodes_visited();
+            (Response::TopK(out), nodes)
+        }
+        Request::ReverseTopKMono {
+            q,
+            k,
+            samples,
+            seed,
+            ..
+        } => {
+            if let Err(e) = check_dim(handle, q) {
+                return (Response::Error(e.to_string()), 0);
+            }
+            if handle.dim == 2 {
+                let intervals =
+                    wqrtq_query::mrtopk::monochromatic_reverse_topk_2d(&handle.coords, q, *k)
+                        .into_iter()
+                        .map(|iv| (iv.lo, iv.hi))
+                        .collect();
+                (Response::MonoExact(intervals), 0)
+            } else {
+                let est = wqrtq_query::mrtopk_nd::monochromatic_reverse_topk_sampled(
+                    &handle.index,
+                    q,
+                    *k,
+                    *samples,
+                    *seed,
+                );
+                (
+                    Response::MonoSampled {
+                        volume_fraction: est.volume_fraction,
+                        samples: est.samples,
+                    },
+                    0,
+                )
+            }
+        }
+        Request::ReverseTopKBi { weights, q, k, .. } => {
+            if let Err(e) = check_dim(handle, q) {
+                return (Response::Error(e.to_string()), 0);
+            }
+            let named;
+            let inline;
+            let population: &[Weight] = match weights {
+                WeightSet::Named(name) => match ctx.catalog.weights(name) {
+                    Ok(ws) => {
+                        named = ws;
+                        &named
+                    }
+                    Err(e) => return (Response::Error(e.to_string()), 0),
+                },
+                WeightSet::Inline(ws) => {
+                    inline = ws
+                        .iter()
+                        .map(|w| Weight::new(w.clone()))
+                        .collect::<Vec<_>>();
+                    &inline
+                }
+            };
+            if let Some(w) = population.iter().find(|w| w.dim() != handle.dim) {
+                let e = EngineError::DimensionMismatch {
+                    expected: handle.dim,
+                    got: w.dim(),
+                };
+                return (Response::Error(e.to_string()), 0);
+            }
+            let members =
+                wqrtq_query::brtopk::bichromatic_reverse_topk_rta(&handle.index, population, q, *k);
+            (Response::ReverseTopKBi(members), 0)
+        }
+        Request::WhyNotExplain {
+            weight, q, limit, ..
+        } => {
+            if let Err(e) = check_dim(handle, weight).and_then(|()| check_dim(handle, q)) {
+                return (Response::Error(e.to_string()), 0);
+            }
+            let (explanation, nodes) =
+                wqrtq_core::explain_with_stats(&handle.index, weight, q, *limit);
+            (
+                Response::Explanation {
+                    rank: explanation.rank,
+                    culprits: explanation
+                        .culprits
+                        .iter()
+                        .map(|c| (c.id, c.score))
+                        .collect(),
+                    truncated: explanation.truncated,
+                },
+                nodes,
+            )
+        }
+        Request::WhyNotRefine {
+            q,
+            k,
+            why_not,
+            strategy,
+            ..
+        } => {
+            let why_not: Vec<Weight> = why_not.iter().map(|w| Weight::new(w.clone())).collect();
+            // The shared pre-built index goes straight into the framework
+            // facade — this is the entry point refactored to take any
+            // `Borrow<RTree>`, so serving never rebuilds an index.
+            let wqrtq = match Wqrtq::new(handle.index.clone(), q, *k) {
+                Ok(w) => w,
+                Err(e) => return (Response::Error(e.to_string()), 0),
+            };
+            let answer = match strategy {
+                RefineStrategy::Mqp => wqrtq.modify_query(&why_not),
+                RefineStrategy::Mwk { sample_size, seed } => {
+                    wqrtq.modify_preferences(&why_not, *sample_size, *seed)
+                }
+                RefineStrategy::Mqwk {
+                    sample_size,
+                    query_samples,
+                    seed,
+                } => wqrtq.modify_all(&why_not, *sample_size, *query_samples, *seed),
+            };
+            match answer {
+                Ok(a) => (Response::Refinement(refinement_from(a)), 0),
+                Err(e) => (Response::Error(e.to_string()), 0),
+            }
+        }
+    }
+}
+
+fn refinement_from(answer: WqrtqAnswer) -> Refinement {
+    let weights_to_raw = |ws: Vec<Weight>| ws.into_iter().map(Weight::into_vec).collect::<Vec<_>>();
+    match answer.refined {
+        RefinedQuery::QueryPoint { q_prime } => Refinement {
+            q_prime: Some(q_prime),
+            why_not: None,
+            k: None,
+            penalty: answer.penalty,
+        },
+        RefinedQuery::Preferences { why_not, k } => Refinement {
+            q_prime: None,
+            why_not: Some(weights_to_raw(why_not)),
+            k: Some(k),
+            penalty: answer.penalty,
+        },
+        RefinedQuery::Everything {
+            q_prime,
+            why_not,
+            k,
+        } => Refinement {
+            q_prime: Some(q_prime),
+            why_not: Some(weights_to_raw(why_not)),
+            k: Some(k),
+            penalty: answer.penalty,
+        },
+    }
+}

@@ -34,6 +34,7 @@ pub struct BestFirst<'a> {
     tree: &'a RTree,
     weight: Vec<f64>,
     heap: BinaryHeap<Reverse<(OrdF64, HeapItem)>>,
+    nodes_visited: usize,
 }
 
 impl<'a> BestFirst<'a> {
@@ -45,7 +46,19 @@ impl<'a> BestFirst<'a> {
             let bound = tree.node(root).mbr().min_score(&weight);
             heap.push(Reverse((OrdF64(bound), HeapItem::Node(root))));
         }
-        Self { tree, weight, heap }
+        Self {
+            tree,
+            weight,
+            heap,
+            nodes_visited: 0,
+        }
+    }
+
+    /// Tree nodes expanded so far — the `|RT|` cost term of the paper's
+    /// theorems, exposed so serving layers can report per-query index
+    /// work without a second traversal.
+    pub fn nodes_visited(&self) -> usize {
+        self.nodes_visited
     }
 
     /// Returns the next point in ascending score order, with coordinates.
@@ -61,28 +74,31 @@ impl<'a> BestFirst<'a> {
                         coords,
                     });
                 }
-                HeapItem::Node(node_id) => match self.tree.node(node_id) {
-                    Node::Leaf { ids, coords, .. } => {
-                        for (slot, &id) in ids.iter().enumerate() {
-                            let p = &coords[slot * dim..(slot + 1) * dim];
-                            let s = score(&self.weight, p);
-                            self.heap.push(Reverse((
-                                OrdF64(s),
-                                HeapItem::Point {
-                                    leaf: node_id,
-                                    slot: slot as u32,
-                                    id,
-                                },
-                            )));
+                HeapItem::Node(node_id) => {
+                    self.nodes_visited += 1;
+                    match self.tree.node(node_id) {
+                        Node::Leaf { ids, coords, .. } => {
+                            for (slot, &id) in ids.iter().enumerate() {
+                                let p = &coords[slot * dim..(slot + 1) * dim];
+                                let s = score(&self.weight, p);
+                                self.heap.push(Reverse((
+                                    OrdF64(s),
+                                    HeapItem::Point {
+                                        leaf: node_id,
+                                        slot: slot as u32,
+                                        id,
+                                    },
+                                )));
+                            }
+                        }
+                        Node::Internal { children, .. } => {
+                            for &c in children {
+                                let b = self.tree.node(c).mbr().min_score(&self.weight);
+                                self.heap.push(Reverse((OrdF64(b), HeapItem::Node(c))));
+                            }
                         }
                     }
-                    Node::Internal { children, .. } => {
-                        for &c in children {
-                            let b = self.tree.node(c).mbr().min_score(&self.weight);
-                            self.heap.push(Reverse((OrdF64(b), HeapItem::Node(c))));
-                        }
-                    }
-                },
+                }
             }
         }
         None

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the engine serving benchmark and emits BENCH_engine.json at the
+# repo root: batched-engine vs sequential (naive rebuild-per-call and
+# shared-index) throughput on the synthetic mixed workload.
+#
+# Usage:
+#   scripts/bench.sh                 # default workload (20K × 3-D)
+#   scripts/bench.sh --n 50000 --batch 128 --workers 8   # overrides
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p wqrtq-bench --bin engine_bench
+cargo run --release -p wqrtq-bench --bin engine_bench -- \
+    --out BENCH_engine.json "$@"
+
+echo "--- BENCH_engine.json ---"
+cat BENCH_engine.json

@@ -29,6 +29,7 @@
 
 pub use wqrtq_core as core;
 pub use wqrtq_data as data;
+pub use wqrtq_engine as engine;
 pub use wqrtq_geom as geom;
 pub use wqrtq_linalg as linalg;
 pub use wqrtq_qp as qp;
@@ -36,4 +37,31 @@ pub use wqrtq_query as query;
 pub use wqrtq_rtree as rtree;
 
 pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
+pub use wqrtq_engine::Engine;
 pub use wqrtq_geom::{Point, Weight};
+
+/// The common imports for serving workloads: the engine with its request
+/// vocabulary, the one-shot framework facade, and the vocabulary types.
+///
+/// ```
+/// use wqrtq::prelude::*;
+///
+/// let engine = Engine::builder().workers(2).build();
+/// engine.register_dataset("p", 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let response = engine.submit(Request::TopK {
+///     dataset: "p".into(),
+///     weight: vec![0.5, 0.5],
+///     k: 1,
+/// });
+/// assert!(!response.is_error());
+/// ```
+pub mod prelude {
+    pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
+    pub use wqrtq_core::penalty::Tolerances;
+    pub use wqrtq_engine::{
+        Engine, EngineBuilder, MetricsSnapshot, RefineStrategy, Request, RequestKind, Response,
+        WeightSet,
+    };
+    pub use wqrtq_geom::{Point, Weight};
+    pub use wqrtq_rtree::RTree;
+}

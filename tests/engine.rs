@@ -1,0 +1,230 @@
+//! Engine subsystem guarantees, exercised through the facade:
+//! worker-count-independent batch results, epoch-driven cache
+//! invalidation, and concurrent shared-index serving.
+
+use wqrtq::data::figure1;
+use wqrtq::data::synthetic::independent;
+use wqrtq::prelude::*;
+
+/// A mixed batch covering every request kind against two datasets.
+fn mixed_batch() -> Vec<Request> {
+    let mut batch = Vec::new();
+    for i in 0..6 {
+        let t = i as f64 / 6.0;
+        batch.push(Request::TopK {
+            dataset: "synthetic".into(),
+            weight: vec![0.2 + 0.6 * t, 0.5 - 0.2 * t, 0.3 - 0.4 * t + 0.4 * t * t],
+            k: 5 + i,
+        });
+        batch.push(Request::WhyNotExplain {
+            dataset: "figure1".into(),
+            weight: vec![0.1 + 0.1 * t, 0.9 - 0.1 * t],
+            q: vec![4.0, 4.0],
+            limit: 8,
+        });
+    }
+    batch.push(Request::ReverseTopKMono {
+        dataset: "figure1".into(),
+        q: vec![4.0, 4.0],
+        k: 3,
+        samples: 0,
+        seed: 0,
+    });
+    batch.push(Request::ReverseTopKMono {
+        dataset: "synthetic".into(),
+        q: vec![0.3, 0.3, 0.3],
+        k: 10,
+        samples: 400,
+        seed: 11,
+    });
+    batch.push(Request::ReverseTopKBi {
+        dataset: "figure1".into(),
+        weights: WeightSet::Named("customers".into()),
+        q: vec![4.0, 4.0],
+        k: 3,
+    });
+    batch.push(Request::ReverseTopKBi {
+        dataset: "figure1".into(),
+        weights: WeightSet::Inline(vec![vec![0.25, 0.75], vec![0.75, 0.25]]),
+        q: vec![4.0, 4.0],
+        k: 4,
+    });
+    for strategy in [
+        RefineStrategy::Mqp,
+        RefineStrategy::Mwk {
+            sample_size: 120,
+            seed: 7,
+        },
+        RefineStrategy::Mqwk {
+            sample_size: 120,
+            query_samples: 60,
+            seed: 7,
+        },
+    ] {
+        batch.push(Request::WhyNotRefine {
+            dataset: "figure1".into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+            strategy,
+        });
+    }
+    // One deliberate failure: responses must stay slot-aligned around it.
+    batch.push(Request::TopK {
+        dataset: "missing".into(),
+        weight: vec![1.0],
+        k: 1,
+    });
+    batch
+}
+
+fn populated_engine(workers: usize) -> Engine {
+    let engine = Engine::builder()
+        .workers(workers)
+        .cache_capacity(64)
+        .build();
+    let fig = figure1::dataset();
+    engine
+        .register_dataset("figure1", 2, fig.flat_products())
+        .unwrap();
+    engine
+        .register_weights("customers", fig.customers.clone())
+        .unwrap();
+    let ds = independent(3_000, 3, 42);
+    engine.register_dataset("synthetic", 3, ds.coords).unwrap();
+    engine
+}
+
+#[test]
+fn batch_responses_are_worker_count_independent() {
+    let baseline = populated_engine(1).submit_batch(mixed_batch());
+    assert_eq!(baseline.len(), mixed_batch().len());
+    // Exactly the deliberate failure errors, nothing else.
+    assert_eq!(baseline.iter().filter(|r| r.is_error()).count(), 1);
+    for workers in [2, 4, 8] {
+        let responses = populated_engine(workers).submit_batch(mixed_batch());
+        assert_eq!(
+            baseline, responses,
+            "responses diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn repeated_batches_are_stable_within_one_engine() {
+    // Same engine, warm cache: the second pass must reproduce the first
+    // (cache hits included) in order.
+    let engine = populated_engine(4);
+    let first = engine.submit_batch(mixed_batch());
+    let second = engine.submit_batch(mixed_batch());
+    assert_eq!(first, second);
+    let m = engine.metrics();
+    assert!(
+        m.cache.hits > 0,
+        "second pass should hit the result cache: {:?}",
+        m.cache
+    );
+}
+
+#[test]
+fn mutation_bumps_epoch_and_evicts_stale_entries() {
+    let engine = populated_engine(2);
+    let req = Request::TopK {
+        dataset: "figure1".into(),
+        weight: vec![0.5, 0.5],
+        k: 3,
+    };
+    let before = engine.submit(req.clone());
+    assert_eq!(engine.catalog().epoch("figure1").unwrap(), 1);
+    assert_eq!(engine.metrics().cache.len, 1);
+
+    // A new dominating product (1, 0.5) must change the top-3.
+    engine.append_points("figure1", &[1.0, 0.5]).unwrap();
+    assert_eq!(engine.catalog().epoch("figure1").unwrap(), 2);
+    assert_eq!(
+        engine.metrics().cache.len,
+        0,
+        "stale entries evicted on mutation"
+    );
+
+    let after = engine.submit(req.clone());
+    assert_ne!(before, after, "post-mutation answer reflects the new point");
+    match &after {
+        Response::TopK(points) => {
+            assert_eq!(points[0].0, 7, "appended point (id 7) now ranks first");
+        }
+        other => panic!("expected TopK, got {other:?}"),
+    }
+    // No stale hit was possible: the epoch moved, so the second submit
+    // was a miss even though the fingerprint is identical.
+    assert_eq!(engine.metrics().cache.hits, 0);
+
+    // Re-registering the dataset bumps the epoch again.
+    engine
+        .register_dataset("figure1", 2, figure1::dataset().flat_products())
+        .unwrap();
+    assert_eq!(engine.catalog().epoch("figure1").unwrap(), 3);
+    let restored = engine.submit(req);
+    assert_eq!(restored, before, "original dataset gives original answer");
+}
+
+#[test]
+fn engine_refinements_match_direct_framework_calls() {
+    // The engine is a serving layer, not a different algorithm: its
+    // refinement responses must equal one-shot Wqrtq calls on the same
+    // pre-built index.
+    let engine = populated_engine(3);
+    let fig = figure1::dataset();
+    let tree = RTree::bulk_load(2, &fig.flat_products());
+    let wqrtq = Wqrtq::new(&tree, &[4.0, 4.0], 3).unwrap();
+    let why_not = vec![Weight::new(vec![0.1, 0.9]), Weight::new(vec![0.9, 0.1])];
+
+    let direct = wqrtq.modify_preferences(&why_not, 120, 7).unwrap();
+    let served = engine.submit(Request::WhyNotRefine {
+        dataset: "figure1".into(),
+        q: vec![4.0, 4.0],
+        k: 3,
+        why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+        strategy: RefineStrategy::Mwk {
+            sample_size: 120,
+            seed: 7,
+        },
+    });
+    match served {
+        Response::Refinement(r) => {
+            assert!((r.penalty - direct.penalty).abs() < 1e-12);
+            match direct.refined {
+                RefinedQuery::Preferences { k, .. } => assert_eq!(r.k, Some(k)),
+                other => panic!("MWK returns Preferences, got {other:?}"),
+            }
+        }
+        other => panic!("expected refinement, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_batches_share_one_index() {
+    // Many threads hammering the same dataset: the index is built once
+    // (lazily) and shared; every answer matches the single-threaded one.
+    let engine = std::sync::Arc::new(populated_engine(4));
+    let expected = engine.submit(Request::TopK {
+        dataset: "synthetic".into(),
+        weight: vec![0.3, 0.3, 0.4],
+        k: 10,
+    });
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                engine.submit(Request::TopK {
+                    dataset: "synthetic".into(),
+                    weight: vec![0.3, 0.3, 0.4],
+                    k: 10,
+                })
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), expected);
+    }
+}
