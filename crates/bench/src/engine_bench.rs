@@ -77,9 +77,14 @@ pub struct EngineComparison {
     pub sequential_naive: Throughput,
     /// One-shot calls against a pre-built index.
     pub sequential_shared: Throughput,
-    /// `Engine::submit_batch` over the pool with caching.
+    /// `Engine::submit_batch` with a single worker (pool + cache, no
+    /// parallelism) — the scaling baseline.
+    pub batched_engine_workers_1: Throughput,
+    /// `Engine::submit_batch` over `config.workers` workers with caching.
     pub batched_engine: Throughput,
-    /// Cache hit rate observed on the engine side.
+    /// Cache hit rate observed on the single-worker engine.
+    pub cache_hit_rate_workers_1: f64,
+    /// Cache hit rate observed on the multi-worker engine.
     pub cache_hit_rate: f64,
 }
 
@@ -87,6 +92,11 @@ impl EngineComparison {
     /// batched / naive speedup.
     pub fn speedup_vs_naive(&self) -> f64 {
         self.batched_engine.rps() / self.sequential_naive.rps().max(1e-12)
+    }
+
+    /// multi-worker / single-worker engine throughput ratio.
+    pub fn worker_scaling(&self) -> f64 {
+        self.batched_engine.rps() / self.batched_engine_workers_1.rps().max(1e-12)
     }
 
     /// The report as a JSON object (hand-rolled; std-only workspace).
@@ -98,9 +108,12 @@ impl EngineComparison {
                 "  \"config\": {{\"n\": {}, \"dim\": {}, \"batch\": {}, \"rounds\": {}, \"workers\": {}, \"seed\": {}}},\n",
                 "  \"sequential_naive\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
                 "  \"sequential_shared\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
-                "  \"batched_engine\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"batched_engine_workers_1\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"batched_engine\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}, \"workers\": {}}},\n",
+                "  \"cache_hit_rate_workers_1\": {:.4},\n",
                 "  \"cache_hit_rate\": {:.4},\n",
-                "  \"speedup_vs_naive\": {:.2}\n",
+                "  \"speedup_vs_naive\": {:.2},\n",
+                "  \"worker_scaling\": {:.2}\n",
                 "}}"
             ),
             self.config.n,
@@ -115,11 +128,17 @@ impl EngineComparison {
             self.sequential_shared.requests,
             self.sequential_shared.elapsed.as_secs_f64(),
             self.sequential_shared.rps(),
+            self.batched_engine_workers_1.requests,
+            self.batched_engine_workers_1.elapsed.as_secs_f64(),
+            self.batched_engine_workers_1.rps(),
             self.batched_engine.requests,
             self.batched_engine.elapsed.as_secs_f64(),
             self.batched_engine.rps(),
+            self.config.workers,
+            self.cache_hit_rate_workers_1,
             self.cache_hit_rate,
             self.speedup_vs_naive(),
+            self.worker_scaling(),
         )
     }
 }
@@ -222,10 +241,10 @@ fn run_sequential(cfg: &EngineBenchConfig, coords: &[f64], rebuild_per_call: boo
     }
 }
 
-/// Serves the stream through the engine.
-fn run_batched(cfg: &EngineBenchConfig, coords: &[f64]) -> (Throughput, f64) {
+/// Serves the stream through an engine with `workers` threads.
+fn run_batched(cfg: &EngineBenchConfig, coords: &[f64], workers: usize) -> (Throughput, f64) {
     let engine = Engine::builder()
-        .workers(cfg.workers)
+        .workers(workers)
         .cache_capacity(2 * cfg.batch * cfg.rounds)
         .build();
     engine
@@ -263,12 +282,15 @@ pub fn compare(cfg: &EngineBenchConfig) -> EngineComparison {
     let ds = independent(cfg.n, cfg.dim, cfg.seed);
     let sequential_naive = run_sequential(cfg, &ds.coords, true);
     let sequential_shared = run_sequential(cfg, &ds.coords, false);
-    let (batched_engine, cache_hit_rate) = run_batched(cfg, &ds.coords);
+    let (batched_engine_workers_1, cache_hit_rate_workers_1) = run_batched(cfg, &ds.coords, 1);
+    let (batched_engine, cache_hit_rate) = run_batched(cfg, &ds.coords, cfg.workers);
     EngineComparison {
         config: *cfg,
         sequential_naive,
         sequential_shared,
+        batched_engine_workers_1,
         batched_engine,
+        cache_hit_rate_workers_1,
         cache_hit_rate,
     }
 }
@@ -314,5 +336,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"speedup_vs_naive\""));
         assert!(json.contains("\"batched_engine\""));
+        assert!(json.contains("\"batched_engine_workers_1\""));
+        assert!(json.contains("\"worker_scaling\""));
     }
 }

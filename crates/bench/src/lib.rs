@@ -10,7 +10,9 @@
 pub mod engine_bench;
 pub mod harness;
 pub mod params;
+pub mod rank_bench;
 
 pub use engine_bench::{compare, EngineBenchConfig, EngineComparison};
 pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
 pub use params::{Config, DatasetKind, Profile};
+pub use rank_bench::{RankBenchConfig, RankComparison};

@@ -15,8 +15,8 @@ use crate::mwk::mwk;
 use crate::penalty::Tolerances;
 use std::borrow::Borrow;
 use wqrtq_geom::Weight;
-use wqrtq_query::rank::{is_in_topk, rank_of_point};
-use wqrtq_rtree::RTree;
+use wqrtq_query::rank::{is_in_topk_scratch, rank_of_point};
+use wqrtq_rtree::{ProbeScratch, RTree};
 
 /// A refined reverse top-k query, as returned by the framework.
 #[derive(Clone, Debug)]
@@ -279,23 +279,24 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
     /// (refined) why-not vector must contain the (refined) query point in
     /// its (refined) top-k.
     pub fn verify(&self, why_not: &[Weight], answer: &WqrtqAnswer) -> bool {
+        // One probe scratch serves every membership test in the loop —
+        // the traversal queue allocates once, not per vector.
+        let mut scratch = ProbeScratch::new();
+        let mut all_in = |ws: &[Weight], q: &[f64], k: usize| {
+            ws.iter()
+                .all(|w| is_in_topk_scratch(self.tree(), w, q, k, &mut scratch))
+        };
         match &answer.refined {
-            RefinedQuery::QueryPoint { q_prime } => why_not
-                .iter()
-                .all(|w| is_in_topk(self.tree(), w, q_prime, self.k)),
+            RefinedQuery::QueryPoint { q_prime } => all_in(why_not, q_prime, self.k),
             RefinedQuery::Preferences {
                 why_not: refined,
                 k,
-            } => refined
-                .iter()
-                .all(|w| is_in_topk(self.tree(), w, &self.q, *k)),
+            } => all_in(refined, &self.q, *k),
             RefinedQuery::Everything {
                 q_prime,
                 why_not: refined,
                 k,
-            } => refined
-                .iter()
-                .all(|w| is_in_topk(self.tree(), w, q_prime, *k)),
+            } => all_in(refined, q_prime, *k),
         }
     }
 }

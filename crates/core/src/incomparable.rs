@@ -13,7 +13,7 @@
 //! re-classified per sample without touching the index again — the
 //! paper's reuse technique (revised `FindIncom`, §4.4).
 
-use wqrtq_geom::{dominates, score};
+use wqrtq_geom::{dominates, score, FlatPoints};
 use wqrtq_rtree::{search::DominanceSplit, RTree};
 
 /// The classified frontier of a query point: everything needed to rank
@@ -28,6 +28,10 @@ pub struct DominanceFrontier {
     dominating: Vec<f64>,
     /// Flat `|I| × dim` coordinates of the incomparable points.
     incomparable: Vec<f64>,
+    /// Column-major mirror of `incomparable` feeding the fused count
+    /// kernel — `rank_under` runs in inner loops of MWK/MQWK (one call
+    /// per sampled weight), so the scan layout matters.
+    incomparable_cols: FlatPoints,
 }
 
 impl DominanceFrontier {
@@ -39,11 +43,22 @@ impl DominanceFrontier {
 
     /// Builds from a pre-computed dominance split.
     pub fn from_split(dim: usize, q: &[f64], split: &DominanceSplit) -> Self {
+        Self::from_parts(
+            dim,
+            q.to_vec(),
+            split.dominating_coords.clone(),
+            split.incomparable_coords.clone(),
+        )
+    }
+
+    fn from_parts(dim: usize, q: Vec<f64>, dominating: Vec<f64>, incomparable: Vec<f64>) -> Self {
+        let incomparable_cols = FlatPoints::from_row_major(dim, &incomparable);
         Self {
             dim,
-            q: q.to_vec(),
-            dominating: split.dominating_coords.clone(),
-            incomparable: split.incomparable_coords.clone(),
+            q,
+            dominating,
+            incomparable,
+            incomparable_cols,
         }
     }
 
@@ -77,12 +92,7 @@ impl DominanceFrontier {
                 scan(&self.dominating[i * dim..(i + 1) * dim]);
             }
         }
-        DominanceFrontier {
-            dim,
-            q: q_prime.to_vec(),
-            dominating,
-            incomparable,
-        }
+        DominanceFrontier::from_parts(dim, q_prime.to_vec(), dominating, incomparable)
     }
 
     /// `|D|`.
@@ -114,18 +124,19 @@ impl DominanceFrontier {
     }
 
     /// Exact rank of `q` under a strictly positive weighting vector,
-    /// computed from `D` and `I` only (Algorithm 2, lines 4–9).
+    /// computed from `D` and `I` only (Algorithm 2, lines 4–9), via the
+    /// fused column-major count kernel.
     pub fn rank_under(&self, w: &[f64]) -> usize {
         let sq = score(w, &self.q);
-        let dim = self.dim;
-        let n = self.num_incomparable();
-        let mut better = 0usize;
-        for i in 0..n {
-            if score(w, &self.incomparable[i * dim..(i + 1) * dim]) < sq {
-                better += 1;
-            }
-        }
-        self.num_dominating() + better + 1
+        self.num_dominating() + self.incomparable_cols.count_better_than(w, sq) + 1
+    }
+
+    /// Fused score kernel over the incomparable set: writes `f(w, I_i)`
+    /// for every incomparable point into `out` (capacity reused). The
+    /// weight sampler uses this to find each anchor's culprits in one
+    /// sequential sweep instead of a strided per-point loop.
+    pub fn incomparable_scores_into(&self, w: &[f64], out: &mut Vec<f64>) {
+        self.incomparable_cols.scores_into(w, out);
     }
 }
 

@@ -45,12 +45,17 @@ impl<'a> WeightSampler<'a> {
     /// Creates a sampler over the frontier's incomparable hyperplanes,
     /// anchored at `why_not` (the vectors whose neighbourhood matters).
     pub fn new(frontier: &'a DominanceFrontier, why_not: &[Weight], seed: u64) -> Self {
+        let mut scores = Vec::new();
         let culprits = why_not
             .iter()
             .map(|w| {
                 let sq = score(w, frontier.q());
-                (0..frontier.num_incomparable() as u32)
-                    .filter(|&i| score(w, frontier.incomparable_point(i as usize)) < sq)
+                frontier.incomparable_scores_into(w, &mut scores);
+                scores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| s < sq)
+                    .map(|(i, _)| i as u32)
                     .collect()
             })
             .collect();

@@ -11,7 +11,7 @@
 use crate::error::EngineError;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
-use wqrtq_geom::Weight;
+use wqrtq_geom::{FlatPoints, Weight};
 use wqrtq_rtree::RTree;
 
 /// A consistent snapshot of one dataset, handed to workers.
@@ -25,6 +25,9 @@ pub struct DatasetHandle {
     pub epoch: u64,
     /// The shared pre-built index.
     pub index: Arc<RTree>,
+    /// Column-major mirror of the coordinates for the fused flat-scan
+    /// kernels, built together with the index and shared the same way.
+    pub flat: Arc<FlatPoints>,
 }
 
 #[derive(Debug)]
@@ -33,7 +36,7 @@ struct DatasetEntry {
     dim: usize,
     epoch: u64,
     /// Built on first use, dropped on mutation.
-    index: Option<Arc<RTree>>,
+    index: Option<(Arc<RTree>, Arc<FlatPoints>)>,
 }
 
 #[derive(Debug, Default)]
@@ -153,17 +156,21 @@ impl Catalog {
                     .datasets
                     .get(name)
                     .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
-                if let Some(index) = &entry.index {
+                if let Some((index, flat)) = &entry.index {
                     return Ok(DatasetHandle {
                         coords: entry.coords.clone(),
                         dim: entry.dim,
                         epoch: entry.epoch,
                         index: index.clone(),
+                        flat: flat.clone(),
                     });
                 }
                 (entry.coords.clone(), entry.dim, entry.epoch)
             };
-            let built = Arc::new(RTree::bulk_load(dim, &coords));
+            let built = (
+                Arc::new(RTree::bulk_load(dim, &coords)),
+                Arc::new(FlatPoints::from_row_major(dim, &coords)),
+            );
             // Install only if the dataset is still at the snapshotted
             // epoch; on a concurrent mutation the build is stale — drop
             // it and retry against the new coordinates.
@@ -175,8 +182,8 @@ impl Catalog {
             if entry.epoch != epoch {
                 continue;
             }
-            let index = match &entry.index {
-                Some(index) => index.clone(), // another builder won the race
+            let (index, flat) = match &entry.index {
+                Some(pair) => pair.clone(), // another builder won the race
                 None => {
                     entry.index = Some(built.clone());
                     built
@@ -187,6 +194,7 @@ impl Catalog {
                 dim: entry.dim,
                 epoch,
                 index,
+                flat,
             });
         }
     }

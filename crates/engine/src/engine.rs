@@ -31,6 +31,7 @@ use wqrtq_geom::Weight;
 pub struct EngineBuilder {
     workers: usize,
     cache_capacity: usize,
+    shard_limit: usize,
 }
 
 impl Default for EngineBuilder {
@@ -38,6 +39,7 @@ impl Default for EngineBuilder {
         Self {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 256,
+            shard_limit: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -63,6 +65,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Maximum shards a single bichromatic request fans into (default:
+    /// the machine's available parallelism). Oversubscribing a CPU-bound
+    /// scan beyond the physical cores only adds synchronisation
+    /// overhead, so the default never does; raise it explicitly to force
+    /// the parallel path (tests, oversubscription experiments).
+    ///
+    /// # Panics
+    /// Panics if `limit` is zero.
+    pub fn shard_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "shard limit must be positive");
+        self.shard_limit = limit;
+        self
+    }
+
     /// Spawns the workers and returns the engine.
     pub fn build(self) -> Engine {
         let catalog = Arc::new(Catalog::new());
@@ -76,6 +92,11 @@ impl EngineBuilder {
                 catalog: catalog.clone(),
                 cache: cache.clone(),
                 metrics: metrics.clone(),
+                // Workers re-enter the queue to fan one large bichromatic
+                // request across the pool as claimable shards.
+                queue: queue_tx.clone(),
+                pool_size: self.workers,
+                shard_limit: self.shard_limit,
             }),
         );
         Engine {
@@ -181,7 +202,7 @@ impl Engine {
         let queue = self.queue.as_ref().expect("pool alive while engine alive");
         for (slot, request) in requests.into_iter().enumerate() {
             queue
-                .send(Job {
+                .send(Job::Serve {
                     slot,
                     request,
                     reply: reply_tx.clone(),
@@ -219,9 +240,15 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Closing the queue ends every worker's recv loop; then join.
-        self.queue.take();
-        if let Some(pool) = self.pool.take() {
+        // Workers hold their own queue sender (for shard fan-out), so
+        // dropping ours never disconnects the channel; orderly shutdown
+        // is one sentinel per worker. The queue is FIFO, so all
+        // previously submitted work drains first.
+        if let (Some(queue), Some(pool)) = (self.queue.take(), self.pool.take()) {
+            for _ in 0..pool.len() {
+                let _ = queue.send(Job::Shutdown);
+            }
+            drop(queue);
             pool.join();
         }
     }
@@ -376,5 +403,100 @@ mod tests {
         let engine = Engine::new(2);
         assert_eq!(engine.worker_count(), 2);
         assert!(engine.catalog().dataset_names().is_empty());
+    }
+
+    fn scatter(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut v = Vec::with_capacity(n * dim);
+        let mut state = seed | 1;
+        for _ in 0..n * dim {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            v.push((state >> 11) as f64 / (1u64 << 53) as f64 * 10.0);
+        }
+        v
+    }
+
+    fn big_population(m: usize) -> Vec<Vec<f64>> {
+        (0..m)
+            .map(|i| {
+                let x = 0.05 + 0.9 * (i as f64 / m as f64);
+                vec![x, 1.0 - x]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn large_bichromatic_request_is_sharded_across_the_pool() {
+        let coords = scatter(4000, 2, 42);
+        let population = big_population(400);
+        let request = Request::ReverseTopKBi {
+            dataset: "d".into(),
+            weights: WeightSet::Inline(population),
+            q: vec![3.0, 3.5],
+            k: 10,
+        };
+
+        // Reference: single worker (sequential path, no sharding).
+        let solo = Engine::builder().workers(1).build();
+        solo.register_dataset("d", 2, coords.clone()).unwrap();
+        let expected = solo.submit(request.clone());
+        assert!(matches!(expected, Response::ReverseTopKBi(_)));
+        assert_eq!(solo.metrics().sharded_requests, 0);
+
+        // Multi-worker engine must fan the same request into shards and
+        // produce the identical response. The explicit shard limit
+        // forces the parallel path even on single-core CI machines
+        // (where the adaptive default would stay sequential).
+        let pooled = Engine::builder().workers(4).shard_limit(4).build();
+        pooled.register_dataset("d", 2, coords).unwrap();
+        let got = pooled.submit(request);
+        assert_eq!(got, expected);
+        let m = pooled.metrics();
+        assert_eq!(m.sharded_requests, 1);
+        assert!(
+            m.parallel_shards >= 2,
+            "400 weights on 4 workers must split: {m:?}"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_tracked() {
+        // Needs a dataset big enough for the RTA path (small ones are
+        // answered by the flat scan, which uses no worker scratch).
+        let engine = Engine::builder().workers(1).build();
+        engine
+            .register_dataset("d", 2, scatter(3000, 2, 5))
+            .unwrap();
+        // Distinct bichromatic requests keep the worker busy on its own
+        // scratch; from the second one on, the buffers are warm.
+        for i in 0..5 {
+            let q = 3.0 + i as f64 * 0.1;
+            let r = engine.submit(Request::ReverseTopKBi {
+                dataset: "d".into(),
+                weights: WeightSet::Inline(big_population(8)),
+                q: vec![q, q],
+                k: 3,
+            });
+            assert!(!r.is_error());
+        }
+        let m = engine.metrics();
+        assert!(
+            m.scratch_reuses >= 3,
+            "warm scratch must be reused across requests: {m:?}"
+        );
+    }
+
+    #[test]
+    fn small_datasets_answer_bichromatic_via_flat_scan() {
+        // The paper example (7 points) takes the fused flat-scan path;
+        // it must agree with the RTA answer bit for bit.
+        let engine = figure1_engine(2);
+        let r = engine.submit(Request::ReverseTopKBi {
+            dataset: "products".into(),
+            weights: WeightSet::Named("customers".into()),
+            q: vec![4.0, 4.0],
+            k: 3,
+        });
+        assert_eq!(r, Response::ReverseTopKBi(vec![1, 2])); // Tony, Anna
+        assert_eq!(engine.metrics().scratch_reuses, 0);
     }
 }

@@ -27,6 +27,14 @@ struct KindCounters {
 pub struct Metrics {
     kinds: [KindCounters; 5],
     batches: AtomicU64,
+    /// Requests served with a warm per-worker scratch (buffers reused
+    /// instead of allocated) — the zero-allocation hot path's health
+    /// signal.
+    scratch_reuses: AtomicU64,
+    /// RTA shards executed for parallelised bichromatic requests.
+    parallel_shards: AtomicU64,
+    /// Bichromatic requests that were fanned across the worker pool.
+    sharded_requests: AtomicU64,
 }
 
 impl Metrics {
@@ -64,6 +72,17 @@ impl Metrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request served on a warm (reused) worker scratch.
+    pub fn record_scratch_reuse(&self) {
+        self.scratch_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one bichromatic request fanned into `shards` pool shards.
+    pub fn record_sharded_request(&self, shards: u64) {
+        self.sharded_requests.fetch_add(1, Ordering::Relaxed);
+        self.parallel_shards.fetch_add(shards, Ordering::Relaxed);
+    }
+
     /// A point-in-time snapshot, merged with the cache's counters.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
         let per_kind = RequestKind::ALL
@@ -84,6 +103,9 @@ impl Metrics {
         MetricsSnapshot {
             per_kind,
             batches: self.batches.load(Ordering::Relaxed),
+            scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
+            parallel_shards: self.parallel_shards.load(Ordering::Relaxed),
+            sharded_requests: self.sharded_requests.load(Ordering::Relaxed),
             cache,
         }
     }
@@ -128,6 +150,13 @@ pub struct MetricsSnapshot {
     pub per_kind: Vec<KindSnapshot>,
     /// Batches submitted.
     pub batches: u64,
+    /// Requests served on a warm (reused) per-worker scratch — each one
+    /// is a request that allocated no fresh score/probe buffers.
+    pub scratch_reuses: u64,
+    /// RTA shards executed for pool-parallelised bichromatic requests.
+    pub parallel_shards: u64,
+    /// Bichromatic requests fanned across the worker pool.
+    pub sharded_requests: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
 }
@@ -155,6 +184,11 @@ impl std::fmt::Display for MetricsSnapshot {
             self.cache.hits + self.cache.misses,
             100.0 * self.cache.hit_rate(),
             self.cache.len,
+        )?;
+        writeln!(
+            f,
+            "  scratch reuse {} requests, {} bichromatic requests sharded into {} pool shards",
+            self.scratch_reuses, self.sharded_requests, self.parallel_shards,
         )?;
         writeln!(
             f,

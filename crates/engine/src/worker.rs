@@ -1,11 +1,28 @@
-//! The worker pool and the request execution path.
+//! The worker pool, per-worker scratch, and the request execution path.
 //!
-//! A fixed set of threads drains a shared mpsc work queue. Each job
-//! carries its batch slot and a per-batch reply sender, so the engine
-//! reassembles ordered responses no matter which worker finished first.
-//! Execution is deterministic — every algorithm is seed-driven — which
-//! makes responses independent of the worker count (asserted by the
-//! determinism tests).
+//! A fixed set of threads drains a shared mpsc work queue. Two job kinds
+//! flow through it:
+//!
+//! * [`Job::Serve`] — one request of a batch, carrying its slot and a
+//!   per-batch reply sender so the engine reassembles ordered responses
+//!   no matter which worker finished first;
+//! * [`Job::Shard`] — one shard of a *single* large bichromatic reverse
+//!   top-k request. The worker serving such a request splits the
+//!   similarity-sorted weight order into contiguous chunks, enqueues one
+//!   shard job per chunk, then claims and executes unclaimed shards
+//!   itself until none remain. Shards are claimed through an atomic
+//!   counter, so the origin worker can always finish the whole request
+//!   alone — idle workers merely accelerate it, and the scheme cannot
+//!   deadlock even when every worker is an origin simultaneously.
+//!
+//! Each worker owns a [`WorkerScratch`] — the RTA culprit pool, probe
+//! queue and score buffers live across requests, so the steady-state hot
+//! path performs no per-request allocations (tracked by the
+//! `scratch_reuses` metric).
+//!
+//! Execution is deterministic — every algorithm is seed-driven and shard
+//! verdicts are independent — which makes responses identical for any
+//! worker count (asserted by the determinism tests).
 
 use crate::cache::CacheKey;
 use crate::catalog::{Catalog, DatasetHandle};
@@ -14,12 +31,20 @@ use crate::metrics::Metrics;
 use crate::request::{RefineStrategy, Refinement, Request, Response, WeightSet};
 use crate::ResultCache;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 use wqrtq_geom::Weight;
+use wqrtq_query::brtopk::{rta_over_order, rta_sorted_order, RtaScratch, RtaStats};
+use wqrtq_rtree::RTree;
+
+/// A bichromatic request is fanned across the pool only when each shard
+/// still gets at least this many weights — below that, sharding overhead
+/// (task setup, queue traffic) outweighs the parallelism.
+const MIN_WEIGHTS_PER_SHARD: usize = 64;
 
 /// Shared state every worker executes against.
 #[derive(Debug)]
@@ -27,13 +52,164 @@ pub(crate) struct WorkerContext {
     pub(crate) catalog: Arc<Catalog>,
     pub(crate) cache: Arc<ResultCache>,
     pub(crate) metrics: Arc<Metrics>,
+    /// Re-entrant handle to the work queue, used to enqueue shard jobs.
+    /// Workers holding this sender keep the channel open, so shutdown is
+    /// signalled with explicit [`Job::Shutdown`] sentinels instead of
+    /// channel disconnection.
+    pub(crate) queue: Sender<Job>,
+    /// Worker count, for shard sizing.
+    pub(crate) pool_size: usize,
+    /// Upper bound on shards per request (defaults to the machine's
+    /// physical parallelism: sharding a CPU-bound scan beyond the cores
+    /// that can actually run it only buys synchronisation overhead).
+    pub(crate) shard_limit: usize,
 }
 
-/// One queued request.
-pub(crate) struct Job {
-    pub(crate) slot: usize,
-    pub(crate) request: Request,
-    pub(crate) reply: Sender<(usize, Response)>,
+/// One unit of queued work.
+pub(crate) enum Job {
+    /// One request of a batch.
+    Serve {
+        slot: usize,
+        request: Request,
+        reply: Sender<(usize, Response)>,
+    },
+    /// One claimable shard of a parallelised bichromatic request.
+    Shard(Arc<ShardTask>),
+    /// Orderly shutdown sentinel (one per worker, sent on engine drop).
+    Shutdown,
+}
+
+/// Per-worker reusable buffers. Living across requests, they make the
+/// steady-state serving path allocation-free; the `scratch_reuses`
+/// metric counts every request that found them warm.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    rta: RtaScratch,
+}
+
+/// A single bichromatic reverse top-k request split into claimable
+/// shards over its similarity-sorted weight order.
+pub(crate) struct ShardTask {
+    tree: Arc<RTree>,
+    weights: Arc<Vec<Weight>>,
+    /// Similarity order over all weights (computed once by the origin).
+    order: Vec<usize>,
+    /// Contiguous `order` ranges, one per shard.
+    ranges: Vec<(usize, usize)>,
+    q: Vec<f64>,
+    k: usize,
+    /// Claim counter: `fetch_add` hands out shard indices exactly once.
+    next: AtomicUsize,
+    state: Mutex<ShardState>,
+    done_cv: Condvar,
+}
+
+/// One shard's verdicts and pruning counters, or the panic message that
+/// killed it.
+type ShardOutcome = Result<(Vec<usize>, RtaStats), String>;
+
+struct ShardState {
+    results: Vec<Option<ShardOutcome>>,
+    done: usize,
+}
+
+impl ShardTask {
+    fn new(
+        tree: Arc<RTree>,
+        weights: Arc<Vec<Weight>>,
+        q: Vec<f64>,
+        k: usize,
+        shards: usize,
+    ) -> Self {
+        let order = rta_sorted_order(&weights);
+        let chunk = order.len().div_ceil(shards);
+        let ranges: Vec<(usize, usize)> = (0..shards)
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(order.len())))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let n = ranges.len();
+        Self {
+            tree,
+            weights,
+            order,
+            ranges,
+            q,
+            k,
+            next: AtomicUsize::new(0),
+            state: Mutex::new(ShardState {
+                results: (0..n).map(|_| None).collect(),
+                done: 0,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Claims the next unexecuted shard index, if any.
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::SeqCst);
+        (i < self.ranges.len()).then_some(i)
+    }
+
+    /// Executes shard `i` on the caller's scratch and records the result.
+    fn run_shard(&self, i: usize, scratch: &mut RtaScratch) {
+        let (lo, hi) = self.ranges[i];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            rta_over_order(
+                &self.tree,
+                &self.weights,
+                &self.order[lo..hi],
+                &self.q,
+                self.k,
+                scratch,
+            )
+        }))
+        .map_err(|panic| {
+            panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "shard panicked".to_string())
+        });
+        let mut state = self.state.lock().expect("shard state lock");
+        state.results[i] = Some(outcome);
+        state.done += 1;
+        drop(state);
+        self.done_cv.notify_all();
+    }
+
+    /// Claims and runs at most one shard (the path taken by workers that
+    /// pop a [`Job::Shard`] off the queue).
+    pub(crate) fn run_one(&self, scratch: &mut WorkerScratch) {
+        if let Some(i) = self.claim() {
+            self.run_shard(i, &mut scratch.rta);
+        }
+    }
+
+    /// Blocks until every shard has completed, then merges the verdicts
+    /// (sorted ascending, as the sequential path returns them).
+    fn wait_and_merge(&self) -> ShardOutcome {
+        let mut state = self.state.lock().expect("shard state lock");
+        while state.done < self.ranges.len() {
+            state = self.done_cv.wait(state).expect("shard state lock poisoned");
+        }
+        let mut members = Vec::new();
+        let mut stats = RtaStats::default();
+        for slot in state.results.iter() {
+            match slot.as_ref().expect("every shard recorded") {
+                Ok((part, s)) => {
+                    members.extend_from_slice(part);
+                    stats.merge(*s);
+                }
+                Err(msg) => return Err(msg.clone()),
+            }
+        }
+        members.sort_unstable();
+        Ok((members, stats))
+    }
 }
 
 /// The fixed thread pool.
@@ -60,8 +236,8 @@ impl Pool {
         Self { handles }
     }
 
-    /// Waits for every worker to exit (the queue sender must already be
-    /// dropped, otherwise this blocks forever).
+    /// Waits for every worker to exit (the engine must already have sent
+    /// one [`Job::Shutdown`] per worker, otherwise this blocks forever).
     pub(crate) fn join(self) {
         for h in self.handles {
             let _ = h.join();
@@ -74,21 +250,36 @@ impl Pool {
 }
 
 fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
+    let mut scratch = WorkerScratch::default();
     loop {
         // Hold the queue lock only for the dequeue, never during work.
         let job = match queue.lock().expect("work queue lock").recv() {
             Ok(job) => job,
-            Err(_) => return, // engine dropped the sender: shut down
+            Err(_) => return, // channel torn down: shut down
         };
-        let response = serve(ctx, &job.request);
-        // A dropped reply receiver means the submitter gave up; keep
-        // draining the queue for other batches.
-        let _ = job.reply.send((job.slot, response));
+        match job {
+            Job::Serve {
+                slot,
+                request,
+                reply,
+            } => {
+                let response = serve(ctx, &request, &mut scratch);
+                // A dropped reply receiver means the submitter gave up;
+                // keep draining the queue for other batches.
+                let _ = reply.send((slot, response));
+            }
+            Job::Shard(task) => task.run_one(&mut scratch),
+            Job::Shutdown => return,
+        }
     }
 }
 
 /// Serves one request: cache probe → execute → cache fill → metrics.
-pub(crate) fn serve(ctx: &WorkerContext, request: &Request) -> Response {
+pub(crate) fn serve(
+    ctx: &WorkerContext,
+    request: &Request,
+    scratch: &mut WorkerScratch,
+) -> Response {
     let started = Instant::now();
     let kind = request.kind();
 
@@ -109,15 +300,17 @@ pub(crate) fn serve(ctx: &WorkerContext, request: &Request) -> Response {
         return response;
     }
 
-    let (response, index_nodes) = catch_unwind(AssertUnwindSafe(|| execute(ctx, &handle, request)))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "request panicked".to_string());
-            (Response::Error(format!("request panicked: {msg}")), 0)
-        });
+    let (response, index_nodes) =
+        catch_unwind(AssertUnwindSafe(|| execute(ctx, &handle, request, scratch))).unwrap_or_else(
+            |panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "request panicked".to_string());
+                (Response::Error(format!("request panicked: {msg}")), 0)
+            },
+        );
 
     if !response.is_error() {
         ctx.cache.insert(key, request.dataset(), response.clone());
@@ -143,9 +336,80 @@ fn check_dim(handle: &DatasetHandle, v: &[f64]) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Runs the bichromatic reverse top-k for one request: sequential on the
+/// worker's own scratch for small populations, fanned across the pool in
+/// claimable shards otherwise.
+fn execute_bichromatic(
+    ctx: &WorkerContext,
+    handle: &DatasetHandle,
+    population: Arc<Vec<Weight>>,
+    q: &[f64],
+    k: usize,
+    scratch: &mut WorkerScratch,
+) -> Response {
+    // Below this cardinality a fused flat scan of the whole column-major
+    // store beats branch-and-bound: no heap, no pointer chasing, one
+    // sequential sweep per weight (and each weight decided independently
+    // — nothing to shard or pool).
+    const FLAT_SCAN_MAX_POINTS: usize = 2048;
+    if handle.flat.len() <= FLAT_SCAN_MAX_POINTS {
+        let members = (0..population.len())
+            .filter(|&i| handle.flat.is_in_topk(&population[i], q, k))
+            .collect();
+        return Response::ReverseTopKBi(members);
+    }
+
+    // The RTA paths reuse the worker's warm culprit pool / probe queue.
+    if scratch.rta.is_warm() {
+        ctx.metrics.record_scratch_reuse();
+    }
+    let shards = ctx
+        .pool_size
+        .min(ctx.shard_limit)
+        .min(population.len() / MIN_WEIGHTS_PER_SHARD)
+        .max(1);
+    if shards <= 1 {
+        let order = rta_sorted_order(&population);
+        let (mut members, _) =
+            rta_over_order(&handle.index, &population, &order, q, k, &mut scratch.rta);
+        members.sort_unstable();
+        return Response::ReverseTopKBi(members);
+    }
+
+    let task = Arc::new(ShardTask::new(
+        handle.index.clone(),
+        population,
+        q.to_vec(),
+        k,
+        shards,
+    ));
+    ctx.metrics
+        .record_sharded_request(task.shard_count() as u64);
+    // One queue entry per shard lets idle workers steal work; the claim
+    // counter guarantees each shard runs exactly once regardless of who
+    // pops the jobs — including nobody (the origin claims the rest).
+    for _ in 0..task.shard_count() {
+        // A send failure means the engine is shutting down; the origin
+        // still completes the request by claiming every shard itself.
+        let _ = ctx.queue.send(Job::Shard(task.clone()));
+    }
+    while let Some(i) = task.claim() {
+        task.run_shard(i, &mut scratch.rta);
+    }
+    match task.wait_and_merge() {
+        Ok((members, _)) => Response::ReverseTopKBi(members),
+        Err(msg) => Response::Error(format!("request panicked: {msg}")),
+    }
+}
+
 /// Runs the algorithm behind a request. Returns the response plus the
 /// index nodes expanded (0 where the primitive does not report it).
-fn execute(ctx: &WorkerContext, handle: &DatasetHandle, request: &Request) -> (Response, usize) {
+fn execute(
+    ctx: &WorkerContext,
+    handle: &DatasetHandle,
+    request: &Request,
+    scratch: &mut WorkerScratch,
+) -> (Response, usize) {
     match request {
         Request::TopK { weight, k, .. } => {
             if let Err(e) = check_dim(handle, weight) {
@@ -204,23 +468,16 @@ fn execute(ctx: &WorkerContext, handle: &DatasetHandle, request: &Request) -> (R
             if let Err(e) = check_dim(handle, q) {
                 return (Response::Error(e.to_string()), 0);
             }
-            let named;
-            let inline;
-            let population: &[Weight] = match weights {
+            let population: Arc<Vec<Weight>> = match weights {
                 WeightSet::Named(name) => match ctx.catalog.weights(name) {
-                    Ok(ws) => {
-                        named = ws;
-                        &named
-                    }
+                    Ok(ws) => ws,
                     Err(e) => return (Response::Error(e.to_string()), 0),
                 },
-                WeightSet::Inline(ws) => {
-                    inline = ws
-                        .iter()
+                WeightSet::Inline(ws) => Arc::new(
+                    ws.iter()
                         .map(|w| Weight::new(w.clone()))
-                        .collect::<Vec<_>>();
-                    &inline
-                }
+                        .collect::<Vec<_>>(),
+                ),
             };
             if let Some(w) = population.iter().find(|w| w.dim() != handle.dim) {
                 let e = EngineError::DimensionMismatch {
@@ -229,9 +486,10 @@ fn execute(ctx: &WorkerContext, handle: &DatasetHandle, request: &Request) -> (R
                 };
                 return (Response::Error(e.to_string()), 0);
             }
-            let members =
-                wqrtq_query::brtopk::bichromatic_reverse_topk_rta(&handle.index, population, q, *k);
-            (Response::ReverseTopKBi(members), 0)
+            (
+                execute_bichromatic(ctx, handle, population, q, *k, scratch),
+                0,
+            )
         }
         Request::WhyNotExplain {
             weight, q, limit, ..

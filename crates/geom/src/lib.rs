@@ -12,11 +12,14 @@
 //! * Dominance tests ([`dominates`], [`dominance`]) used by `FindIncom`.
 //! * [`Mbr`] — minimum bounding rectangles with score bounds under a
 //!   weighting vector (the branch-and-bound pruning primitive).
+//! * [`FlatPoints`] — a column-major (SoA) point store with fused,
+//!   auto-vectorizable score kernels for the flat-scan hot paths.
 //! * [`Hyperplane`] / [`HalfSpace`] — the building blocks of safe regions
 //!   (Definition 7 of the paper) and of the MWK sampling space.
 //! * [`Polygon2d`] — exact half-space intersection in two dimensions, used
 //!   to validate the quadratic-programming answer of MQP geometrically.
 
+pub mod flat;
 pub mod halfspace;
 pub mod hyperplane;
 pub mod mbr;
@@ -24,6 +27,7 @@ pub mod point;
 pub mod poly2d;
 pub mod weight;
 
+pub use flat::{count_better_rows, FlatPoints};
 pub use halfspace::HalfSpace;
 pub use hyperplane::Hyperplane;
 pub use mbr::Mbr;

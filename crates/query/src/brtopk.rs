@@ -3,27 +3,80 @@
 //! Given products `P`, customer weighting vectors `W`, a query product `q`
 //! and `k`, return every `w ∈ W` with `q ∈ TOPk(w)`.
 //!
-//! Two implementations:
+//! Implementations, from oracle to hot path:
 //!
-//! * [`bichromatic_reverse_topk_naive`] — an independent rank test per
+//! * [`bichromatic_reverse_topk_naive`] — an independent rank scan per
 //!   weight over the raw points (the correctness oracle);
-//! * [`bichromatic_reverse_topk_rta`] — the RTA strategy of Vlachou et
-//!   al. \[31\]: weights are processed in similarity order and the top-k
-//!   *buffer* of the previous weight provides a threshold test that
-//!   rejects most non-result weights without touching the index.
+//! * [`bichromatic_reverse_topk_rta_legacy`] — the PR-1 RTA: per-weight
+//!   `is_in_topk` plus a *full* best-first top-k refresh of the threshold
+//!   buffer after every index probe. Kept verbatim as the frozen baseline
+//!   the `rank_bench` speedup is measured against;
+//! * [`bichromatic_reverse_topk_rta`] — the rebuilt hot path: weights are
+//!   processed in similarity order; a rolling *culprit pool* (points
+//!   recently proven strictly better than `q`) provides the threshold
+//!   test via the fused [`count_better_rows`] kernel, and weights that
+//!   survive it go to the early-exit membership probe, which refills the
+//!   pool with the culprits it encounters — no per-weight top-k, no
+//!   per-weight allocation. The pool test is sound for *any* pool
+//!   contents: pool members are dataset points, so `k` of them scoring
+//!   strictly below `f(w, q)` proves `rank(q, w) > k` regardless of how
+//!   the pool was assembled.
+//!
+//! The hot path is exposed in shardable form ([`rta_sorted_order`] +
+//! [`rta_over_order`]): a serving engine computes the similarity order
+//! once, splits it into contiguous chunks, and runs each chunk on a
+//! different worker with its own scratch — results merge by
+//! concatenation because every chunk's verdicts are independent.
 
 use crate::rank::is_in_topk;
-use wqrtq_geom::{score, Point, Weight};
-use wqrtq_rtree::RTree;
+use wqrtq_geom::{count_better_rows, score, Point, Weight};
+use wqrtq_rtree::{search::CulpritBuf, ProbeScratch, RTree};
 
-/// Work counters exposed by the RTA implementation for the ablation
+/// Work counters exposed by the RTA implementations for the ablation
 /// benchmarks (`ablation_rta_vs_naive`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RtaStats {
-    /// Weights rejected purely by the reused top-k buffer.
+    /// Weights rejected purely by the reused threshold buffer/pool.
     pub buffer_prunes: usize,
     /// Weights that needed an index probe.
     pub tree_verifications: usize,
+}
+
+impl RtaStats {
+    /// Merges another shard's counters into this one.
+    pub fn merge(&mut self, other: RtaStats) {
+        self.buffer_prunes += other.buffer_prunes;
+        self.tree_verifications += other.tree_verifications;
+    }
+}
+
+/// Reusable buffers for the RTA hot path: the membership probe's
+/// traversal queue, the rolling culprit pool, and the per-probe culprit
+/// collector. One instance per serving worker; zero allocations per
+/// request after warm-up.
+#[derive(Debug, Default)]
+pub struct RtaScratch {
+    probe: ProbeScratch,
+    /// Flat row-major coordinates of recently-seen culprit points.
+    pool: Vec<f64>,
+    /// Ids parallel to `pool` — the prune counts *distinct* dataset
+    /// points, so the same point must never enter the pool twice.
+    pool_ids: Vec<u32>,
+    /// Culprits collected by the current probe (merged into the pool).
+    fresh: CulpritBuf,
+}
+
+impl RtaScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the scratch has warmed-up capacity to reuse (serving
+    /// metrics count these as buffer-reuse hits).
+    pub fn is_warm(&self) -> bool {
+        self.pool.capacity() > 0
+    }
 }
 
 /// Naive bichromatic reverse top-k: a full rank scan per weight.
@@ -46,6 +99,24 @@ pub fn bichromatic_reverse_topk_naive(
     out
 }
 
+/// The similarity order RTA processes weights in: lexicographic over the
+/// entries, so adjacent weights are close and their culprit sets
+/// transfer well. Shared by the legacy and rebuilt implementations (and
+/// by engines sharding [`rta_over_order`]).
+pub fn rta_sorted_order(weights: &[Weight]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        weights[a]
+            .as_slice()
+            .iter()
+            .zip(weights[b].as_slice())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
 /// RTA-style bichromatic reverse top-k over an R-tree.
 /// Returns qualifying indices in ascending order.
 pub fn bichromatic_reverse_topk_rta(
@@ -64,24 +135,131 @@ pub fn bichromatic_reverse_topk_rta_with_stats(
     q: &[f64],
     k: usize,
 ) -> (Vec<usize>, RtaStats) {
+    let mut scratch = RtaScratch::new();
+    let order = rta_sorted_order(weights);
+    let (mut result, stats) = rta_over_order(tree, weights, &order, q, k, &mut scratch);
+    result.sort_unstable();
+    (result, stats)
+}
+
+/// Runs the rebuilt RTA over one contiguous slice of a similarity order
+/// (see [`rta_sorted_order`]). Returns the qualifying original indices
+/// in traversal order (callers sort after merging shards) plus the
+/// shard's pruning counters.
+///
+/// Sharding-safe: each call maintains its own culprit pool inside
+/// `scratch`, so verdicts never depend on other shards.
+pub fn rta_over_order(
+    tree: &RTree,
+    weights: &[Weight],
+    order: &[usize],
+    q: &[f64],
+    k: usize,
+    scratch: &mut RtaScratch,
+) -> (Vec<usize>, RtaStats) {
+    let mut stats = RtaStats::default();
+    let mut result = Vec::new();
+    if order.is_empty() || k == 0 {
+        return (result, stats);
+    }
+    let dim = tree.dim();
+    // The pool keeps at most 2k recent culprits: enough slack that the
+    // k needed for a prune survive drift across the sorted weights,
+    // small enough that the fused count kernel stays in L1.
+    let pool_points_cap = 2 * k;
+    scratch.pool.clear();
+    scratch.pool_ids.clear();
+
+    // Seed: the first weight's exact top-k both decides its membership
+    // (q is in iff fewer than k of the k best strictly beat it — every
+    // other point scores no better than the k-th) and fills the pool.
+    let first = order[0];
+    let w0 = &weights[first];
+    let sq0 = w0.score(q);
+    stats.tree_verifications += 1;
+    let mut seeded_better = 0usize;
+    let mut bf = tree.best_first(w0);
+    for _ in 0..k {
+        match bf.next_entry() {
+            Some(r) => {
+                if r.score < sq0 {
+                    seeded_better += 1;
+                }
+                scratch.pool_ids.push(r.id);
+                scratch.pool.extend_from_slice(r.coords);
+            }
+            None => break,
+        }
+    }
+    if seeded_better < k {
+        result.push(first);
+    }
+
+    for &idx in &order[1..] {
+        let w = &weights[idx];
+        let sq = w.score(q);
+
+        // Pool threshold test: k *distinct* dataset points strictly
+        // better than q under this weight prove q out with zero index
+        // work (sound for any pool contents — they are dataset points).
+        if scratch.pool_ids.len() >= k && count_better_rows(&scratch.pool, w, sq) >= k {
+            stats.buffer_prunes += 1;
+            continue;
+        }
+
+        stats.tree_verifications += 1;
+        scratch.fresh.clear();
+        let probe =
+            tree.probe_topk_membership(w, sq, k, &mut scratch.probe, Some(&mut scratch.fresh));
+        if probe.in_topk {
+            result.push(idx);
+        }
+        // Merge the probe's culprits into the pool (id-deduplicated),
+        // recency-bounded so stale evidence ages out.
+        for (i, &id) in scratch.fresh.ids.iter().enumerate() {
+            if scratch.pool_ids.contains(&id) {
+                continue;
+            }
+            scratch.pool_ids.push(id);
+            scratch
+                .pool
+                .extend_from_slice(&scratch.fresh.coords[i * dim..(i + 1) * dim]);
+        }
+        if scratch.pool_ids.len() > pool_points_cap {
+            let excess = scratch.pool_ids.len() - pool_points_cap;
+            scratch.pool_ids.drain(0..excess);
+            scratch.pool.drain(0..excess * dim);
+        }
+    }
+    (result, stats)
+}
+
+/// The PR-1 RTA implementation, frozen as the `rank_bench` baseline: a
+/// buffered threshold test over the previous weight's *exact* top-k,
+/// then `is_in_topk` plus a full best-first top-k buffer refresh per
+/// verified weight (two traversals and `k` heap allocations each).
+pub fn bichromatic_reverse_topk_rta_legacy(
+    tree: &RTree,
+    weights: &[Weight],
+    q: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    bichromatic_reverse_topk_rta_legacy_with_stats(tree, weights, q, k).0
+}
+
+/// [`bichromatic_reverse_topk_rta_legacy`] with pruning statistics.
+pub fn bichromatic_reverse_topk_rta_legacy_with_stats(
+    tree: &RTree,
+    weights: &[Weight],
+    q: &[f64],
+    k: usize,
+) -> (Vec<usize>, RtaStats) {
     let mut stats = RtaStats::default();
     if weights.is_empty() || k == 0 {
         return (Vec::new(), stats);
     }
 
-    // Process weights in similarity order so adjacent buffers transfer
-    // well; remember the original indices for the answer.
-    let mut order: Vec<usize> = (0..weights.len()).collect();
-    order.sort_by(|&a, &b| {
-        weights[a]
-            .as_slice()
-            .iter()
-            .zip(weights[b].as_slice())
-            .map(|(x, y)| x.total_cmp(y))
-            .find(|o| o.is_ne())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-
+    let order = rta_sorted_order(weights);
     let mut result = Vec::new();
     // Buffer: coordinates of the previous weight's top-k points.
     let mut buffer: Vec<Vec<f64>> = Vec::new();
@@ -171,10 +349,24 @@ mod tests {
     }
 
     #[test]
+    fn legacy_rta_matches_naive_on_paper_example() {
+        let (res, stats) = bichromatic_reverse_topk_rta_legacy_with_stats(
+            &fig_tree(),
+            &fig_customers(),
+            &[4.0, 4.0],
+            3,
+        );
+        assert_eq!(res, vec![1, 2]);
+        assert_eq!(stats.buffer_prunes + stats.tree_verifications, 4);
+    }
+
+    #[test]
     fn k_larger_than_dataset_returns_everyone() {
         let res =
             bichromatic_reverse_topk_naive(&fig_products(), &fig_customers(), &[4.0, 4.0], 100);
         assert_eq!(res, vec![0, 1, 2, 3]);
+        let rta = bichromatic_reverse_topk_rta(&fig_tree(), &fig_customers(), &[4.0, 4.0], 100);
+        assert_eq!(rta, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -182,12 +374,14 @@ mod tests {
         assert!(bichromatic_reverse_topk_naive(&fig_products(), &[], &[4.0, 4.0], 3).is_empty());
         let res = bichromatic_reverse_topk_rta(&fig_tree(), &fig_customers(), &[4.0, 4.0], 0);
         assert!(res.is_empty());
+        let res = bichromatic_reverse_topk_rta(&fig_tree(), &[], &[4.0, 4.0], 3);
+        assert!(res.is_empty());
     }
 
     #[test]
     fn rta_prunes_with_many_similar_weights() {
         // A dense fan of weights on a dataset where q is far from the top:
-        // most weights should be rejected by the buffer alone.
+        // most weights should be rejected by the culprit pool alone.
         let mut pts = Vec::new();
         let mut state = 12345u64;
         for _ in 0..500 {
@@ -205,24 +399,114 @@ mod tests {
         assert!(res.is_empty());
         assert!(
             stats.buffer_prunes > stats.tree_verifications,
-            "expected buffer to do most of the work: {stats:?}"
+            "expected the pool to do most of the work: {stats:?}"
         );
     }
 
+    #[test]
+    fn sharded_order_matches_full_run() {
+        // Chunking the sorted order and merging must reproduce the
+        // one-shot result — the contract the engine's parallel path
+        // relies on.
+        let mut pts = Vec::new();
+        let mut state = 99u64;
+        for _ in 0..400 {
+            for _ in 0..2 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(17);
+                pts.push((state >> 11) as f64 / (1u64 << 53) as f64 * 10.0);
+            }
+        }
+        let tree = RTree::bulk_load(2, &pts);
+        let weights: Vec<Weight> = (1..120)
+            .map(|i| Weight::from_first_2d(i as f64 / 120.0))
+            .collect();
+        let q = [3.0, 3.5];
+        for k in [1, 4, 9] {
+            let full = bichromatic_reverse_topk_rta(&tree, &weights, &q, k);
+            let order = rta_sorted_order(&weights);
+            for shards in [2, 3, 7] {
+                let chunk = order.len().div_ceil(shards);
+                let mut merged = Vec::new();
+                let mut stats = RtaStats::default();
+                for piece in order.chunks(chunk) {
+                    let mut scratch = RtaScratch::new();
+                    let (part, s) = rta_over_order(&tree, &weights, piece, &q, k, &mut scratch);
+                    merged.extend(part);
+                    stats.merge(s);
+                }
+                merged.sort_unstable();
+                assert_eq!(merged, full, "k={k} shards={shards}");
+                assert_eq!(
+                    stats.buffer_prunes + stats.tree_verifications,
+                    weights.len(),
+                    "every weight decided exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_preserves_results() {
+        let tree = fig_tree();
+        let weights = fig_customers();
+        let order = rta_sorted_order(&weights);
+        let mut scratch = RtaScratch::new();
+        assert!(!scratch.is_warm());
+        let (mut a, _) = rta_over_order(&tree, &weights, &order, &[4.0, 4.0], 3, &mut scratch);
+        a.sort_unstable();
+        assert!(scratch.is_warm());
+        // Reuse the same scratch for a different query: must not leak
+        // pool state into wrong answers.
+        let (mut b, _) = rta_over_order(&tree, &weights, &order, &[1.0, 1.0], 3, &mut scratch);
+        b.sort_unstable();
+        let naive_b = bichromatic_reverse_topk_naive(&fig_products(), &weights, &[1.0, 1.0], 3);
+        assert_eq!(b, naive_b);
+        let (mut a2, _) = rta_over_order(&tree, &weights, &order, &[4.0, 4.0], 3, &mut scratch);
+        a2.sort_unstable();
+        assert_eq!(a, a2);
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+        #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]
-        fn rta_equals_naive(
+        fn rta_and_legacy_equal_naive(
             pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 5..120),
             q in (0.0f64..10.0, 0.0f64..10.0),
             k in 1usize..8,
-            nw in 1usize..12,
+            nw in 1usize..16,
         ) {
             let points: Vec<Point> = pts.iter().map(|(a, b)| Point::from([*a, *b])).collect();
             let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
             let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
             let weights: Vec<Weight> = (0..nw)
                 .map(|i| Weight::from_first_2d((i as f64 + 0.5) / nw as f64))
+                .collect();
+            let qv = [q.0, q.1];
+            let naive = bichromatic_reverse_topk_naive(&points, &weights, &qv, k);
+            let rta = bichromatic_reverse_topk_rta(&tree, &weights, &qv, k);
+            prop_assert_eq!(&naive, &rta);
+            let legacy = bichromatic_reverse_topk_rta_legacy(&tree, &weights, &qv, k);
+            prop_assert_eq!(&naive, &legacy);
+        }
+
+        #[test]
+        fn rta_handles_boundary_ties(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 5..80),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            k in 1usize..6,
+            tie_copies in 1usize..4,
+        ) {
+            // Duplicates of q in the dataset tie it under every weight;
+            // the strict-count semantics must keep q in regardless.
+            let mut all = pts.clone();
+            for _ in 0..tie_copies {
+                all.push(q);
+            }
+            let points: Vec<Point> = all.iter().map(|(a, b)| Point::from([*a, *b])).collect();
+            let flat: Vec<f64> = all.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let weights: Vec<Weight> = (0..12)
+                .map(|i| Weight::from_first_2d((i as f64 + 0.5) / 12.0))
                 .collect();
             let qv = [q.0, q.1];
             let naive = bichromatic_reverse_topk_naive(&points, &weights, &qv, k);

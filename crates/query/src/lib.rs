@@ -25,10 +25,16 @@ pub mod rank;
 pub mod ta;
 pub mod topk;
 
-pub use brtopk::{bichromatic_reverse_topk_naive, bichromatic_reverse_topk_rta, RtaStats};
+pub use brtopk::{
+    bichromatic_reverse_topk_naive, bichromatic_reverse_topk_rta,
+    bichromatic_reverse_topk_rta_legacy, rta_over_order, rta_sorted_order, RtaScratch, RtaStats,
+};
 pub use cache::TopkViewCache;
 pub use mrtopk::{monochromatic_reverse_topk_2d, WeightInterval};
 pub use mrtopk_nd::{monochromatic_reverse_topk_sampled, MrtopkEstimate};
-pub use rank::{is_in_topk, rank_of_point, rank_of_point_scan};
+pub use rank::{
+    is_in_topk, is_in_topk_scratch, is_in_topk_with_stats, rank_of_flat, rank_of_point,
+    rank_of_point_scan,
+};
 pub use ta::{SortedLists, TaStats};
 pub use topk::{kth_point, topk, topk_scan, KthPoint};

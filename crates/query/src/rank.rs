@@ -3,9 +3,21 @@
 //! `rank(q, w) = 1 + |{p ∈ P : f(w, p) < f(w, q)}|`, so `q ∈ TOPk(w)` iff
 //! `rank(q, w) ≤ k` — the membership rule of Definitions 2/3 with the
 //! paper's tie semantics (`f(w, q) ≤ f(w, p)` keeps `q` in on a tie).
+//!
+//! Three engines answer it:
+//!
+//! * [`rank_of_point`] — exact counting over the R-tree (subtree counts
+//!   make it sub-linear);
+//! * [`is_in_topk`] — the *early-exit* membership probe: a best-first
+//!   descent that stops the moment `k` better points are known **or**
+//!   the smallest remaining MBR lower bound reaches `f(w, q)` (at which
+//!   point the count is exact and `count < k` proves membership);
+//! * [`rank_of_flat`] / [`rank_of_point_scan`] — flat scans: the fused
+//!   column-major kernel of [`FlatPoints`] and the naive row-major
+//!   oracle it is validated against.
 
-use wqrtq_geom::score;
-use wqrtq_rtree::RTree;
+use wqrtq_geom::{score, FlatPoints};
+use wqrtq_rtree::{ProbeScratch, RTree};
 
 /// Exact rank of `q` under `w` using counted R-tree pruning.
 pub fn rank_of_point(tree: &RTree, w: &[f64], q: &[f64]) -> usize {
@@ -13,7 +25,15 @@ pub fn rank_of_point(tree: &RTree, w: &[f64], q: &[f64]) -> usize {
     tree.count_score_below(w, s, true) + 1
 }
 
-/// Linear-scan rank baseline over a flat `n × dim` buffer.
+/// Exact rank of `q` over a column-major [`FlatPoints`] store via the
+/// fused count kernel (`f(w, q)` is computed once, outside the scan).
+pub fn rank_of_flat(flat: &FlatPoints, w: &[f64], q: &[f64]) -> usize {
+    flat.rank_of(w, q)
+}
+
+/// Linear-scan rank baseline over a flat row-major `n × dim` buffer —
+/// the correctness oracle for the tree and kernel paths. The query score
+/// is hoisted out of the per-point loop.
 ///
 /// # Panics
 /// Panics if the buffer length is not a multiple of `w.len()`.
@@ -21,24 +41,44 @@ pub fn rank_of_point_scan(points: &[f64], w: &[f64], q: &[f64]) -> usize {
     let dim = w.len();
     assert_eq!(points.len() % dim, 0, "coordinate buffer length mismatch");
     let s = score(w, q);
-    let n = points.len() / dim;
-    let mut count = 0;
-    for i in 0..n {
-        if score(w, &points[i * dim..(i + 1) * dim]) < s {
-            count += 1;
-        }
-    }
-    count + 1
+    points.chunks_exact(dim).filter(|p| score(w, p) < s).count() + 1
 }
 
-/// Decides `q ∈ TOPk(w)` without computing the exact rank: the counting
-/// traversal stops descending as soon as `k` better points are known.
+/// Decides `q ∈ TOPk(w)` without computing the exact rank, via the
+/// best-first early-exit membership probe. Allocates a fresh traversal
+/// queue; hot loops should use [`is_in_topk_scratch`].
 pub fn is_in_topk(tree: &RTree, w: &[f64], q: &[f64], k: usize) -> bool {
+    let mut scratch = ProbeScratch::new();
+    is_in_topk_scratch(tree, w, q, k, &mut scratch)
+}
+
+/// [`is_in_topk`] with a caller-owned reusable [`ProbeScratch`] — zero
+/// allocations per call once the queue has grown to the tree's depth.
+pub fn is_in_topk_scratch(
+    tree: &RTree,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> bool {
+    is_in_topk_with_stats(tree, w, q, k, scratch).0
+}
+
+/// [`is_in_topk_scratch`], additionally reporting the index nodes the
+/// probe expanded (the paper's `|RT|` cost term, for serving metrics).
+pub fn is_in_topk_with_stats(
+    tree: &RTree,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> (bool, usize) {
     if k == 0 {
-        return false;
+        return (false, 0);
     }
     let s = score(w, q);
-    tree.count_score_below_capped(w, s, true, k) < k
+    let probe = tree.probe_topk_membership(w, s, k, scratch, None);
+    (probe.in_topk, probe.nodes_visited)
 }
 
 #[cfg(test)]
@@ -69,6 +109,25 @@ mod tests {
     }
 
     #[test]
+    fn scan_tree_and_flat_kernel_ranks_agree_on_figure_1() {
+        // Regression: all three rank engines must agree point-for-point
+        // on the paper's dataset, for every dataset point and the query.
+        let pts = fig_points();
+        let t = RTree::bulk_load(2, &pts);
+        let flat = FlatPoints::from_row_major(2, &pts);
+        let weights = [[0.1, 0.9], [0.5, 0.5], [0.3, 0.7], [0.9, 0.1]];
+        let mut queries: Vec<[f64; 2]> = pts.chunks_exact(2).map(|p| [p[0], p[1]]).collect();
+        queries.push([4.0, 4.0]);
+        for w in &weights {
+            for q in &queries {
+                let scan = rank_of_point_scan(&pts, w, q);
+                assert_eq!(rank_of_point(&t, w, q), scan, "tree vs scan {w:?} {q:?}");
+                assert_eq!(rank_of_flat(&flat, w, q), scan, "flat vs scan {w:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn membership_matches_paper_reverse_top3() {
         let t = RTree::bulk_load(2, &fig_points());
         let q = [4.0, 4.0];
@@ -90,6 +149,8 @@ mod tests {
         let q = [2.0, 2.0]; // ties with the second point under any weight
         assert_eq!(rank_of_point(&t, &[0.5, 0.5], &q), 2);
         assert!(is_in_topk(&t, &[0.5, 0.5], &q, 2));
+        let flat = FlatPoints::from_row_major(2, &pts);
+        assert_eq!(rank_of_flat(&flat, &[0.5, 0.5], &q), 2);
     }
 
     #[test]
@@ -98,8 +159,27 @@ mod tests {
         assert!(!is_in_topk(&t, &[0.5, 0.5], &[0.0, 0.0], 0));
     }
 
+    #[test]
+    fn stats_variant_reports_nodes() {
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let mut scratch = ProbeScratch::new();
+        let (member, nodes) = is_in_topk_with_stats(&t, &[0.1, 0.9], &[4.0, 4.0], 3, &mut scratch);
+        assert!(!member);
+        assert!(nodes > 0);
+    }
+
+    /// Injects exact score ties at the k boundary: some points are copies
+    /// of q (tie under every weight), some share q's score under the
+    /// specific w by construction.
+    fn with_boundary_ties(mut pts: Vec<(f64, f64)>, q: (f64, f64), copies: usize) -> Vec<f64> {
+        for _ in 0..copies {
+            pts.push(q);
+        }
+        pts.iter().flat_map(|(a, b)| [*a, *b]).collect()
+    }
+
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+        #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
         fn tree_rank_matches_scan(
             pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..300),
@@ -111,9 +191,38 @@ mod tests {
             let s = raw.0 + raw.1;
             let w = [raw.0 / s, raw.1 / s];
             let qv = [q.0, q.1];
+            let scan = rank_of_point_scan(&flat, &w, &qv);
+            prop_assert_eq!(rank_of_point(&t, &w, &qv), scan);
+            let fp = FlatPoints::from_row_major(2, &flat);
+            prop_assert_eq!(rank_of_flat(&fp, &w, &qv), scan);
+        }
+
+        #[test]
+        fn early_exit_membership_matches_naive_count(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..250),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            raw in (0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..14,
+            tie_copies in 0usize..4,
+        ) {
+            // Exact-tie coverage at the k boundary: duplicate q into the
+            // dataset; under the paper's strict semantics those copies
+            // never count against q, whatever k is.
+            let flat = with_boundary_ties(pts, q, tie_copies);
+            let t = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let s = raw.0 + raw.1;
+            let w = [raw.0 / s, raw.1 / s];
+            let qv = [q.0, q.1];
+            let sq = score(&w, &qv);
+            let naive_better = flat
+                .chunks_exact(2)
+                .filter(|p| score(&w, p) < sq)
+                .count();
+            let mut scratch = ProbeScratch::new();
             prop_assert_eq!(
-                rank_of_point(&t, &w, &qv),
-                rank_of_point_scan(&flat, &w, &qv)
+                is_in_topk_scratch(&t, &w, &qv, k, &mut scratch),
+                naive_better < k,
+                "naive better-count {} vs k {}", naive_better, k
             );
         }
 

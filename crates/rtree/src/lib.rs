@@ -15,6 +15,10 @@
 //! * [`RTree::count_score_below`] — counted aggregates per subtree make
 //!   rank queries ("how many points score strictly less than q?")
 //!   sub-linear;
+//! * [`RTree::probe_topk_membership`] — the early-exit, count-only rank
+//!   test behind reverse top-k serving: best-first descent over MBR score
+//!   bounds that stops as soon as either membership outcome is proven,
+//!   with an allocation-free reusable [`ProbeScratch`];
 //! * [`RTree::split_by_dominance`] — the pruned traversal behind
 //!   `FindIncom` (Algorithm 2, lines 20–29).
 //!
@@ -28,7 +32,7 @@ pub mod stats;
 pub mod tree;
 
 pub use node::{Node, NodeId};
-pub use search::BestFirst;
+pub use search::{BestFirst, CulpritBuf, ProbeResult, ProbeScratch};
 pub use stats::TraversalStats;
 pub use tree::RTree;
 

@@ -113,6 +113,65 @@ impl Iterator for BestFirst<'_> {
     }
 }
 
+/// Reusable state for [`RTree::probe_topk_membership`]: the best-first
+/// priority queue survives across probes, so a serving worker performs
+/// zero heap allocations per rank test once the queue has grown to the
+/// tree's working depth.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+}
+
+impl ProbeScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Culprit points collected by a membership probe: ids and flat
+/// coordinates in parallel. Ids let callers deduplicate — the same point
+/// can surface in probe after probe, and an RTA threshold pool that
+/// counted it twice would prune unsoundly.
+#[derive(Debug, Default)]
+pub struct CulpritBuf {
+    /// Point ids, parallel to `coords`.
+    pub ids: Vec<u32>,
+    /// Flat row-major coordinates.
+    pub coords: Vec<f64>,
+}
+
+impl CulpritBuf {
+    /// Empties both buffers, keeping capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.coords.clear();
+    }
+
+    /// Number of collected points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Outcome of one early-exit membership probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// Whether `q ∈ TOPk(w)` under the strict-better tie semantics.
+    pub in_topk: bool,
+    /// Points proven strictly better than the threshold when the probe
+    /// stopped. Exact iff the probe proved membership or exhausted the
+    /// tree; a lower bound (≥ `k`) when it proved non-membership.
+    pub better: usize,
+    /// Tree nodes expanded (the paper's `|RT|` cost term).
+    pub nodes_visited: usize,
+}
+
 /// The `FindIncom` classification of a dataset relative to a query point:
 /// the set `D` of points dominating `q` and the set `I` of points
 /// incomparable with `q` (points dominated by `q` are pruned away, whole
@@ -210,6 +269,107 @@ impl RTree {
             }
         }
         count
+    }
+
+    /// Early-exit membership probe: decides `q ∈ TOPk(w)` (given
+    /// `threshold = f(w, q)`) with a best-first descent over MBR score
+    /// *lower* bounds, stopping the moment either outcome is proven:
+    ///
+    /// * **not a member** as soon as `k` strictly-better points are
+    ///   counted (subtrees whose MBR upper bound is below the threshold
+    ///   count wholesale via the cached per-node counts);
+    /// * **a member** as soon as the smallest remaining lower bound
+    ///   reaches the threshold — best-first order makes every remaining
+    ///   subtree at least that bad, so the running count is already the
+    ///   exact number of better points and `count < k` proves membership.
+    ///
+    /// `culprits` optionally collects up to `k` individually-scored
+    /// better points (ids + coordinates, appended; the caller clears) —
+    /// the RTA threshold buffer is seeded from them. Wholesale-counted
+    /// subtrees are *not* expanded just to extract coordinates.
+    ///
+    /// # Panics
+    /// Panics if `weight.len() != dim`.
+    pub fn probe_topk_membership(
+        &self,
+        weight: &[f64],
+        threshold: f64,
+        k: usize,
+        scratch: &mut ProbeScratch,
+        mut culprits: Option<&mut CulpritBuf>,
+    ) -> ProbeResult {
+        assert_eq!(weight.len(), self.dim(), "weight dimension mismatch");
+        let mut result = ProbeResult {
+            in_topk: false,
+            better: 0,
+            nodes_visited: 0,
+        };
+        if k == 0 {
+            return result;
+        }
+        if self.is_empty() {
+            result.in_topk = true;
+            return result;
+        }
+        let dim = self.dim();
+        let heap = &mut scratch.heap;
+        heap.clear();
+        let root = self.root_id();
+        heap.push(Reverse((
+            OrdF64(self.node(root).mbr().min_score(weight)),
+            root,
+        )));
+        while let Some(Reverse((OrdF64(lo), node_id))) = heap.pop() {
+            if lo >= threshold {
+                // Best-first order: every remaining subtree scores ≥ lo,
+                // so `better` is exact and q's rank is better + 1 ≤ k.
+                result.in_topk = true;
+                return result;
+            }
+            let node = self.node(node_id);
+            let mbr = node.mbr();
+            if mbr.is_empty() {
+                continue;
+            }
+            result.nodes_visited += 1;
+            if mbr.max_score(weight) < threshold {
+                // Whole subtree strictly better: count without expanding.
+                result.better += node.count();
+                if result.better >= k {
+                    return result;
+                }
+                continue;
+            }
+            match node {
+                Node::Leaf { ids, coords, .. } => {
+                    for (p, &id) in coords.chunks_exact(dim).zip(ids) {
+                        if score(weight, p) < threshold {
+                            result.better += 1;
+                            if let Some(out) = culprits.as_deref_mut() {
+                                if out.len() < k {
+                                    out.ids.push(id);
+                                    out.coords.extend_from_slice(p);
+                                }
+                            }
+                            if result.better >= k {
+                                return result;
+                            }
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    for &c in children {
+                        let b = self.node(c).mbr().min_score(weight);
+                        if b < threshold {
+                            heap.push(Reverse((OrdF64(b), c)));
+                        }
+                    }
+                }
+            }
+        }
+        // Heap exhausted: the count is exact and below k.
+        result.in_topk = true;
+        result
     }
 
     /// The `FindIncom` traversal (Algorithm 2 of the paper, lines 20–29):
@@ -371,8 +531,124 @@ mod tests {
         assert!(split.incomparable_ids.contains(&7));
     }
 
+    #[test]
+    fn probe_matches_paper_membership() {
+        // Figure 1: q = (4,4), k = 3 → Tony and Anna in, Kevin and Julia out.
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let mut scratch = ProbeScratch::new();
+        let cases = [
+            ([0.1, 0.9], false), // Kevin: rank 4
+            ([0.5, 0.5], true),  // Tony: rank 2
+            ([0.3, 0.7], true),  // Anna: rank 3
+            ([0.9, 0.1], false), // Julia: rank 4
+        ];
+        for (w, expect) in cases {
+            let sq = score(&w, &[4.0, 4.0]);
+            let r = t.probe_topk_membership(&w, sq, 3, &mut scratch, None);
+            assert_eq!(r.in_topk, expect, "weight {w:?}");
+            assert!(r.nodes_visited > 0);
+            if r.in_topk {
+                // Exact count on membership: rank = better + 1 ≤ k.
+                assert!(r.better < 3);
+            } else {
+                assert!(r.better >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_tie_keeps_query_in() {
+        let t = RTree::bulk_load(2, &[1.0, 1.0, 2.0, 2.0]);
+        let mut scratch = ProbeScratch::new();
+        // q = (2,2) ties the second point: only one point strictly better.
+        let r = t.probe_topk_membership(&[0.5, 0.5], 2.0, 2, &mut scratch, None);
+        assert!(r.in_topk);
+        assert_eq!(r.better, 1);
+    }
+
+    #[test]
+    fn probe_edge_cases() {
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let mut scratch = ProbeScratch::new();
+        // k = 0: never a member.
+        let r = t.probe_topk_membership(&[0.5, 0.5], 100.0, 0, &mut scratch, None);
+        assert!(!r.in_topk);
+        // Empty tree: always a member for k ≥ 1.
+        let empty = RTree::new(2, 8);
+        let r = empty.probe_topk_membership(&[0.5, 0.5], 0.0, 1, &mut scratch, None);
+        assert!(r.in_topk);
+        // k > n: always a member even when every point beats q.
+        let r = t.probe_topk_membership(&[0.5, 0.5], 100.0, 8, &mut scratch, None);
+        assert!(r.in_topk);
+        assert_eq!(r.better, 7);
+        // k = n with every point strictly better: rank n+1 → not a member.
+        let r = t.probe_topk_membership(&[0.5, 0.5], 100.0, 7, &mut scratch, None);
+        assert!(!r.in_topk);
+    }
+
+    #[test]
+    fn probe_collects_culprit_coordinates() {
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let mut scratch = ProbeScratch::new();
+        let mut culprits = CulpritBuf::default();
+        let w = [0.1, 0.9];
+        let r = t.probe_topk_membership(&w, 4.0, 3, &mut scratch, Some(&mut culprits));
+        assert!(!r.in_topk);
+        assert!(!culprits.is_empty());
+        assert!(culprits.len() <= 3);
+        assert_eq!(culprits.coords.len(), culprits.ids.len() * 2);
+        // Every collected point really beats the threshold, and each id
+        // maps to its own coordinates.
+        for (p, &id) in culprits.coords.chunks_exact(2).zip(&culprits.ids) {
+            assert!(score(&w, p) < 4.0);
+            assert_eq!(p, &fig_points()[id as usize * 2..id as usize * 2 + 2]);
+        }
+        culprits.clear();
+        assert!(culprits.is_empty());
+    }
+
+    #[test]
+    fn probe_scratch_is_reusable_across_trees_and_weights() {
+        let pts = scatter(800, 3, 3);
+        let t = RTree::bulk_load_with_fanout(3, &pts, 8);
+        let mut scratch = ProbeScratch::new();
+        for i in 0..50 {
+            let x = 0.1 + 0.8 * (i as f64 / 50.0);
+            let w = [x / 2.0, (1.0 - x) / 2.0, 0.5];
+            let q = [5.0, 5.0, 5.0];
+            let sq = score(&w, &q);
+            let probe = t.probe_topk_membership(&w, sq, 10, &mut scratch, None);
+            let exact = t.count_score_below(&w, sq, true);
+            assert_eq!(probe.in_topk, exact < 10, "weight {w:?}");
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn probe_agrees_with_exact_count(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..400),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            k in 1usize..12,
+            wraw in (0.01f64..1.0, 0.01f64..1.0),
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let t = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let sum = wraw.0 + wraw.1;
+            let w = [wraw.0 / sum, wraw.1 / sum];
+            let sq = score(&w, &[q.0, q.1]);
+            let mut scratch = ProbeScratch::new();
+            let r = t.probe_topk_membership(&w, sq, k, &mut scratch, None);
+            let exact = t.count_score_below(&w, sq, true);
+            prop_assert_eq!(r.in_topk, exact < k);
+            if r.in_topk {
+                prop_assert_eq!(r.better, exact);
+            } else {
+                prop_assert!(r.better >= k);
+                prop_assert!(r.better <= exact);
+            }
+        }
+
         #[test]
         fn count_below_matches_brute_force(
             pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..300),

@@ -1,18 +1,46 @@
 #!/usr/bin/env bash
-# Runs the engine serving benchmark and emits BENCH_engine.json at the
-# repo root: batched-engine vs sequential (naive rebuild-per-call and
-# shared-index) throughput on the synthetic mixed workload.
+# Runs the serving benchmarks and emits two JSON reports at the repo root:
+#
+#   BENCH_engine.json — batched-engine vs sequential throughput on the
+#                       mixed workload, at 1 worker and at --workers;
+#   BENCH_rank.json   — single bichromatic reverse top-k latency: flat
+#                       rank kernels vs the legacy RTA path, plus engine
+#                       worker scaling (1 vs --workers).
 #
 # Usage:
-#   scripts/bench.sh                 # default workload (20K × 3-D)
-#   scripts/bench.sh --n 50000 --batch 128 --workers 8   # overrides
+#   scripts/bench.sh            # full workloads (20K × 3-D, |W| = 500)
+#   scripts/bench.sh --smoke    # tiny configuration (CI keep-compiling run)
+#
+# For custom workloads, run the binaries directly — their flag sets
+# differ (engine_bench: --batch/--rounds; rank_bench: --weights/--k):
+#   cargo run --release -p wqrtq-bench --bin engine_bench -- --n 50000 --workers 8
+#   cargo run --release -p wqrtq-bench --bin rank_bench -- --weights 2000
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cargo build --release -p wqrtq-bench --bin engine_bench
+WORKERS=4
+ENGINE_ARGS=(--workers "$WORKERS")
+RANK_ARGS=(--workers "$WORKERS")
+if [[ "${1:-}" == "--smoke" ]]; then
+    shift
+    ENGINE_ARGS+=(--n 3000 --batch 16 --rounds 2)
+    RANK_ARGS+=(--n 3000 --weights 150 --repeats 3)
+fi
+if [[ $# -gt 0 ]]; then
+    echo "error: unknown arguments: $*" >&2
+    echo "       (this script takes only --smoke; see its header for custom runs)" >&2
+    exit 2
+fi
+
+cargo build --release -p wqrtq-bench --bin engine_bench --bin rank_bench
+
 cargo run --release -p wqrtq-bench --bin engine_bench -- \
-    --out BENCH_engine.json "$@"
+    --out BENCH_engine.json "${ENGINE_ARGS[@]}"
+cargo run --release -p wqrtq-bench --bin rank_bench -- \
+    --out BENCH_rank.json "${RANK_ARGS[@]}"
 
 echo "--- BENCH_engine.json ---"
 cat BENCH_engine.json
+echo "--- BENCH_rank.json ---"
+cat BENCH_rank.json
