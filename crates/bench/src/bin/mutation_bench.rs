@@ -1,0 +1,75 @@
+//! Delta-overlay vs rebuild-per-mutation benchmark, as a JSON report.
+//!
+//! ```text
+//! cargo run --release -p wqrtq-bench --bin mutation_bench
+//! cargo run --release -p wqrtq-bench --bin mutation_bench -- --n 100000 --ops 400 --out BENCH_mutation.json
+//! ```
+
+use std::io::Write;
+use wqrtq_bench::mutation_bench::{compare, MutationBenchConfig};
+
+fn main() {
+    let mut cfg = MutationBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => cfg.n = value("--n").parse().expect("--n takes an integer"),
+            "--dim" => cfg.dim = value("--dim").parse().expect("--dim takes an integer"),
+            "--ops" => cfg.ops = value("--ops").parse().expect("--ops takes an integer"),
+            "--append-rows" => {
+                cfg.append_rows = value("--append-rows")
+                    .parse()
+                    .expect("--append-rows takes an integer")
+            }
+            "--k" => cfg.k = value("--k").parse().expect("--k takes an integer"),
+            "--workers" => {
+                cfg.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes an integer")
+            }
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: mutation_bench [--n N] [--dim D] [--ops O] \
+                     [--append-rows R] [--k K] [--workers P] [--seed S] [--out FILE]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!(
+        "mutation bench: |P| = {}, d = {}, {} interleaved ops ({} rows/append), k = {}, {} workers",
+        cfg.n, cfg.dim, cfg.ops, cfg.append_rows, cfg.k, cfg.workers
+    );
+    let report = compare(&cfg);
+    eprintln!(
+        "overlay engine : {:>10.1} ops/s  ({} delta hits, {} rebuilds avoided, {} compactions, {} builds)\n\
+         rebuild engine : {:>10.1} ops/s  ({} builds)\n\
+         speedup        : {:>10.2}x",
+        report.overlay.ops_per_sec(),
+        report.delta_hits,
+        report.rebuilds_avoided,
+        report.compactions,
+        report.overlay_index_builds,
+        report.rebuild.ops_per_sec(),
+        report.rebuild_index_builds,
+        report.speedup(),
+    );
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            writeln!(f, "{json}").expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -7,7 +7,8 @@
 //! scan that stops as soon as `q`'s score is reached, exactly as the
 //! paper suggests using progressive top-k algorithms.
 
-use wqrtq_geom::score;
+use wqrtq_geom::{score, DeltaView};
+use wqrtq_query::topk::ViewBestFirst;
 use wqrtq_rtree::RTree;
 
 /// A data point responsible for excluding a why-not weighting vector.
@@ -55,6 +56,58 @@ pub fn explain_with_stats(
     let mut rank = 1usize;
     let mut truncated = false;
     let mut bf = tree.best_first(w);
+    while let Some(p) = bf.next_entry() {
+        if p.score >= sq {
+            break;
+        }
+        rank += 1;
+        if culprits.len() < limit {
+            culprits.push(Culprit {
+                id: p.id,
+                score: p.score,
+                coords: p.coords.to_vec(),
+            });
+        } else {
+            truncated = true;
+        }
+    }
+    (
+        Explanation {
+            culprits,
+            rank,
+            truncated,
+        },
+        bf.nodes_visited(),
+    )
+}
+
+/// [`explain`] over a delta overlay: the progressive scan runs on the
+/// merged live ranking (base index minus tombstones, plus appended
+/// rows), so culprits and the exact rank are those of a dataset rebuilt
+/// from the live rows.
+pub fn explain_view(
+    tree: &RTree,
+    view: &DeltaView,
+    w: &[f64],
+    q: &[f64],
+    limit: usize,
+) -> Explanation {
+    explain_view_with_stats(tree, view, w, q, limit).0
+}
+
+/// [`explain_view`] with the index-node count of the base traversal.
+pub fn explain_view_with_stats(
+    tree: &RTree,
+    view: &DeltaView,
+    w: &[f64],
+    q: &[f64],
+    limit: usize,
+) -> (Explanation, usize) {
+    let sq = score(w, q);
+    let mut culprits = Vec::new();
+    let mut rank = 1usize;
+    let mut truncated = false;
+    let mut bf = ViewBestFirst::new(tree, view, w);
     while let Some(p) = bf.next_entry() {
         if p.score >= sq {
             break;
@@ -128,6 +181,39 @@ mod tests {
         assert_eq!(e.culprits.len(), 1);
         assert_eq!(e.rank, 4);
         assert!(e.truncated);
+    }
+
+    #[test]
+    fn view_explanation_matches_rebuilt_oracle() {
+        use std::sync::Arc;
+        use wqrtq_geom::FlatPoints;
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        let tree = RTree::bulk_load(2, &pts);
+        let view = DeltaView::new(
+            Arc::new(FlatPoints::from_row_major(2, &pts)),
+            Arc::new(vec![4.5, 2.0, 0.5, 0.5]),
+            Arc::new(vec![7, 8]),
+            Arc::new(vec![6.0, 3.0, 7.0, 5.0]),
+            Arc::new(vec![1, 4]),
+        );
+        let (live, ids) = view.materialize_row_major();
+        let rebuilt = RTree::bulk_load(2, &live);
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]] {
+            for limit in [0, 2, usize::MAX] {
+                let got = explain_view(&tree, &view, &w, &[4.0, 4.0], limit);
+                let oracle = explain(&rebuilt, &w, &[4.0, 4.0], limit);
+                assert_eq!(got.rank, oracle.rank, "w {w:?}");
+                assert_eq!(got.truncated, oracle.truncated);
+                assert_eq!(got.culprits.len(), oracle.culprits.len());
+                for (g, o) in got.culprits.iter().zip(&oracle.culprits) {
+                    assert_eq!(g.score, o.score);
+                    assert_eq!(g.id, ids[o.id as usize]);
+                    assert_eq!(g.coords, o.coords);
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! explanation under one roof.
 
 use crate::error::WhyNotError;
-use crate::explain::{explain, Explanation};
-use crate::mqp::mqp;
-use crate::mqwk::mqwk;
-use crate::mwk::mwk;
+use crate::explain::{explain, explain_view, Explanation};
+use crate::mqp::{mqp, mqp_view};
+use crate::mqwk::{mqwk, mqwk_view};
+use crate::mwk::{mwk, mwk_view};
 use crate::penalty::Tolerances;
 use std::borrow::Borrow;
-use wqrtq_geom::Weight;
-use wqrtq_query::rank::{is_in_topk_scratch, rank_of_point};
+use wqrtq_geom::{DeltaView, Weight};
+use wqrtq_query::rank::{is_in_topk_scratch, is_in_topk_view, rank_of_point, rank_of_point_view};
 use wqrtq_rtree::{ProbeScratch, RTree};
 
 /// A refined reverse top-k query, as returned by the framework.
@@ -59,9 +59,18 @@ pub struct WqrtqAnswer {
 /// one-shot callers keep passing `&RTree` while long-lived serving layers
 /// (the `wqrtq-engine` worker pool) hand in a shared `Arc<RTree>` — the
 /// index is built once, never per call.
+///
+/// The facade is also generic over the *snapshot* it answers against:
+/// constructed with [`Wqrtq::new`] it serves the indexed rows verbatim;
+/// constructed with [`Wqrtq::with_view`] it serves a [`DeltaView`]
+/// overlay — appended rows and tombstones folded into every rank test,
+/// constraint plane, dominance frontier and verification, so answers
+/// match a dataset rebuilt from the live rows without any rebuild.
 #[derive(Clone, Debug)]
 pub struct Wqrtq<T: Borrow<RTree>> {
     tree: T,
+    /// `Some` when answering over a delta overlay of the indexed base.
+    view: Option<DeltaView>,
     q: Vec<f64>,
     k: usize,
     tol: Tolerances,
@@ -84,10 +93,48 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         }
         Ok(Self {
             tree,
+            view: None,
             q: q.to_vec(),
             k,
             tol: Tolerances::paper_default(),
         })
+    }
+
+    /// Wraps a query over a delta overlay: `tree` is the index of
+    /// `view`'s *base* rows; every answer accounts for the overlay's
+    /// appends and tombstones.
+    ///
+    /// # Errors
+    /// Returns [`WhyNotError::DimensionMismatch`] when `q` or the view
+    /// does not match the index.
+    pub fn with_view(tree: T, view: DeltaView, q: &[f64], k: usize) -> Result<Self, WhyNotError> {
+        let dim = tree.borrow().dim();
+        if q.len() != dim || view.dim() != dim {
+            return Err(WhyNotError::DimensionMismatch {
+                expected: dim,
+                got: if q.len() != dim { q.len() } else { view.dim() },
+            });
+        }
+        Ok(Self {
+            tree,
+            view: Some(view),
+            q: q.to_vec(),
+            k,
+            tol: Tolerances::paper_default(),
+        })
+    }
+
+    /// The overlay snapshot, when answering over one.
+    pub fn view(&self) -> Option<&DeltaView> {
+        self.view.as_ref()
+    }
+
+    /// Rank of `q` under `w` against this facade's snapshot.
+    fn rank_under(&self, w: &Weight) -> usize {
+        match &self.view {
+            Some(v) => rank_of_point_view(self.tree(), v, w, &self.q),
+            None => rank_of_point(self.tree(), w, &self.q),
+        }
     }
 
     /// The wrapped index.
@@ -128,7 +175,7 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
                     got: w.dim(),
                 });
             }
-            let r = rank_of_point(self.tree(), w, &self.q);
+            let r = self.rank_under(w);
             if r <= self.k {
                 return Err(WhyNotError::NotWhyNot {
                     index: i,
@@ -144,7 +191,10 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
     /// Aspect 1: why is `w` not in the reverse top-k result? Lists the
     /// culprit points (§3).
     pub fn explain(&self, w: &Weight, limit: usize) -> Explanation {
-        explain(self.tree(), w, &self.q, limit)
+        match &self.view {
+            Some(v) => explain_view(self.tree(), v, w, &self.q, limit),
+            None => explain(self.tree(), w, &self.q, limit),
+        }
     }
 
     /// Splits a bichromatic weight population `W` into
@@ -152,12 +202,21 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
     /// of *valid why-not inputs* per Definition 5. Indices refer to
     /// `weights`.
     pub fn partition_population(&self, weights: &[Weight]) -> (Vec<usize>, Vec<usize>) {
-        let members = wqrtq_query::brtopk::bichromatic_reverse_topk_rta(
-            self.tree(),
-            weights,
-            &self.q,
-            self.k,
-        );
+        let members = match &self.view {
+            Some(v) => wqrtq_query::brtopk::bichromatic_reverse_topk_rta_view(
+                self.tree(),
+                v,
+                weights,
+                &self.q,
+                self.k,
+            ),
+            None => wqrtq_query::brtopk::bichromatic_reverse_topk_rta(
+                self.tree(),
+                weights,
+                &self.q,
+                self.k,
+            ),
+        };
         let mut in_result = vec![false; weights.len()];
         for &i in &members {
             in_result[i] = true;
@@ -169,7 +228,10 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
     /// Solution 1: modify the query point (MQP).
     pub fn modify_query(&self, why_not: &[Weight]) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
-        let res = mqp(self.tree(), &self.q, self.k, why_not)?;
+        let res = match &self.view {
+            Some(v) => mqp_view(self.tree(), v, &self.q, self.k, why_not)?,
+            None => mqp(self.tree(), &self.q, self.k, why_not)?,
+        };
         Ok(WqrtqAnswer {
             refined: RefinedQuery::QueryPoint {
                 q_prime: res.q_prime,
@@ -186,15 +248,27 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         seed: u64,
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
-        let res = mwk(
-            self.tree(),
-            &self.q,
-            self.k,
-            why_not,
-            sample_size,
-            &self.tol,
-            seed,
-        )?;
+        let res = match &self.view {
+            Some(v) => mwk_view(
+                self.tree(),
+                v,
+                &self.q,
+                self.k,
+                why_not,
+                sample_size,
+                &self.tol,
+                seed,
+            )?,
+            None => mwk(
+                self.tree(),
+                &self.q,
+                self.k,
+                why_not,
+                sample_size,
+                &self.tol,
+                seed,
+            )?,
+        };
         Ok(WqrtqAnswer {
             refined: RefinedQuery::Preferences {
                 why_not: res.refined,
@@ -237,16 +311,29 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         seed: u64,
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
-        let res = mqwk(
-            self.tree(),
-            &self.q,
-            self.k,
-            why_not,
-            sample_size,
-            query_samples,
-            &self.tol,
-            seed,
-        )?;
+        let res = match &self.view {
+            Some(v) => mqwk_view(
+                self.tree(),
+                v,
+                &self.q,
+                self.k,
+                why_not,
+                sample_size,
+                query_samples,
+                &self.tol,
+                seed,
+            )?,
+            None => mqwk(
+                self.tree(),
+                &self.q,
+                self.k,
+                why_not,
+                sample_size,
+                query_samples,
+                &self.tol,
+                seed,
+            )?,
+        };
         Ok(WqrtqAnswer {
             refined: RefinedQuery::Everything {
                 q_prime: res.q_prime,
@@ -283,8 +370,10 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         // the traversal queue allocates once, not per vector.
         let mut scratch = ProbeScratch::new();
         let mut all_in = |ws: &[Weight], q: &[f64], k: usize| {
-            ws.iter()
-                .all(|w| is_in_topk_scratch(self.tree(), w, q, k, &mut scratch))
+            ws.iter().all(|w| match &self.view {
+                Some(v) => is_in_topk_view(self.tree(), v, w, q, k, &mut scratch),
+                None => is_in_topk_scratch(self.tree(), w, q, k, &mut scratch),
+            })
         };
         match &answer.refined {
             RefinedQuery::QueryPoint { q_prime } => all_in(why_not, q_prime, self.k),
@@ -407,6 +496,77 @@ mod tests {
             .with_tolerances(Tolerances::new(0.2, 0.8, 0.5, 0.5));
         assert_eq!(w.q(), &[4.0, 4.0]);
         assert_eq!(w.k(), 3);
+    }
+
+    #[test]
+    fn view_facade_matches_rebuilt_facade_bit_for_bit() {
+        use std::sync::Arc;
+        use wqrtq_geom::{DeltaView, FlatPoints};
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        let tree = fig_tree();
+        // Delete p5/p6 (ids 4, 5), append a near-frontier point and a
+        // far one.
+        let view = DeltaView::new(
+            Arc::new(FlatPoints::from_row_major(2, &pts)),
+            Arc::new(vec![4.2, 3.1, 8.5, 8.5]),
+            Arc::new(vec![7, 8]),
+            Arc::new(vec![7.0, 5.0, 5.0, 8.0]),
+            Arc::new(vec![4, 5]),
+        );
+        let (live, _) = view.materialize_row_major();
+        let rebuilt = RTree::bulk_load(2, &live);
+        let plain_view = DeltaView::plain(Arc::new(FlatPoints::from_row_major(2, &live)));
+
+        let overlay = Wqrtq::with_view(&tree, view, &[4.0, 4.0], 3).unwrap();
+        let oracle = Wqrtq::with_view(&rebuilt, plain_view, &[4.0, 4.0], 3).unwrap();
+        let wn = kevin_julia();
+        assert_eq!(
+            overlay.validate_why_not(&wn).unwrap(),
+            oracle.validate_why_not(&wn).unwrap()
+        );
+        let a = overlay.all_refinements(&wn, 150, 150, 11).unwrap();
+        let b = oracle.all_refinements(&wn, 150, 150, 11).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.penalty.to_bits(), y.penalty.to_bits(), "penalty drift");
+            match (&x.refined, &y.refined) {
+                (
+                    RefinedQuery::QueryPoint { q_prime: qa },
+                    RefinedQuery::QueryPoint { q_prime: qb },
+                ) => assert_eq!(qa, qb),
+                (
+                    RefinedQuery::Preferences { why_not: wa, k: ka },
+                    RefinedQuery::Preferences { why_not: wb, k: kb },
+                ) => {
+                    assert_eq!(ka, kb);
+                    for (u, v) in wa.iter().zip(wb) {
+                        assert_eq!(u.as_slice(), v.as_slice());
+                    }
+                }
+                (
+                    RefinedQuery::Everything {
+                        q_prime: qa,
+                        why_not: wa,
+                        k: ka,
+                    },
+                    RefinedQuery::Everything {
+                        q_prime: qb,
+                        why_not: wb,
+                        k: kb,
+                    },
+                ) => {
+                    assert_eq!(qa, qb);
+                    assert_eq!(ka, kb);
+                    for (u, v) in wa.iter().zip(wb) {
+                        assert_eq!(u.as_slice(), v.as_slice());
+                    }
+                }
+                other => panic!("refinement family mismatch: {other:?}"),
+            }
+            assert!(overlay.verify(&wn, x), "overlay answer fails verification");
+        }
     }
 
     #[test]

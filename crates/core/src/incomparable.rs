@@ -13,7 +13,7 @@
 //! re-classified per sample without touching the index again — the
 //! paper's reuse technique (revised `FindIncom`, §4.4).
 
-use wqrtq_geom::{dominates, score, FlatPoints};
+use wqrtq_geom::{dominates, score, DeltaView, FlatPoints};
 use wqrtq_rtree::{search::DominanceSplit, RTree};
 
 /// The classified frontier of a query point: everything needed to rank
@@ -35,10 +35,29 @@ pub struct DominanceFrontier {
 }
 
 impl DominanceFrontier {
-    /// Runs `FindIncom` against the index and captures the result.
+    /// Runs `FindIncom` against the index and captures the result, in
+    /// **canonical (id-ascending) order** — the traversal's own order
+    /// depends on the tree's build parameters, and a frontier that varies
+    /// with fanout would make the MWK sampler's candidate sequence (and
+    /// hence sampled refinements) structure-dependent.
     pub fn from_tree(tree: &RTree, q: &[f64]) -> Self {
+        let dim = tree.dim();
         let split = tree.split_by_dominance(q);
-        Self::from_split(tree.dim(), q, &split)
+        let sorted = |ids: &[u32], coords: &[f64]| -> Vec<f64> {
+            let mut rows: Vec<(u32, &[f64])> = ids
+                .iter()
+                .zip(coords.chunks_exact(dim))
+                .map(|(&id, row)| (id, row))
+                .collect();
+            rows.sort_by_key(|(id, _)| *id);
+            rows.into_iter().flat_map(|(_, row)| row.to_vec()).collect()
+        };
+        Self::from_parts(
+            dim,
+            q.to_vec(),
+            sorted(&split.dominating_ids, &split.dominating_coords),
+            sorted(&split.incomparable_ids, &split.incomparable_coords),
+        )
     }
 
     /// Builds from a pre-computed dominance split.
@@ -49,6 +68,51 @@ impl DominanceFrontier {
             split.dominating_coords.clone(),
             split.incomparable_coords.clone(),
         )
+    }
+
+    /// Runs `FindIncom` over a delta overlay: the base index's pruned
+    /// traversal classifies the base rows, tombstoned rows are dropped,
+    /// and the appended rows are classified by direct dominance tests
+    /// (`O(Δ)`).
+    ///
+    /// Both sets are assembled in **canonical (id-ascending) order**, so
+    /// the frontier — and everything seeded from it, like the MWK weight
+    /// sampler's candidate sequence — is identical for any two structures
+    /// holding the same live rows. In particular it matches the frontier
+    /// of a dataset rebuilt from [`DeltaView::materialize_row_major`].
+    pub fn from_view(tree: &RTree, view: &DeltaView, q: &[f64]) -> Self {
+        let dim = tree.dim();
+        let split = tree.split_by_dominance(q);
+        // (id, which-set) pairs, merged id-ascending across base + delta.
+        let mut dominating: Vec<(u32, Vec<f64>)> = Vec::new();
+        let mut incomparable: Vec<(u32, Vec<f64>)> = Vec::new();
+        for (i, &id) in split.dominating_ids.iter().enumerate() {
+            if !view.is_deleted(id) {
+                dominating.push((id, split.dominating_coords[i * dim..(i + 1) * dim].to_vec()));
+            }
+        }
+        for (i, &id) in split.incomparable_ids.iter().enumerate() {
+            if !view.is_deleted(id) {
+                incomparable.push((
+                    id,
+                    split.incomparable_coords[i * dim..(i + 1) * dim].to_vec(),
+                ));
+            }
+        }
+        for (i, &id) in view.delta_ids().iter().enumerate() {
+            let p = view.delta_row(i);
+            if dominates(p, q) {
+                dominating.push((id, p.to_vec()));
+            } else if !dominates(q, p) {
+                incomparable.push((id, p.to_vec()));
+            }
+        }
+        dominating.sort_by_key(|(id, _)| *id);
+        incomparable.sort_by_key(|(id, _)| *id);
+        let flatten = |rows: Vec<(u32, Vec<f64>)>| -> Vec<f64> {
+            rows.into_iter().flat_map(|(_, c)| c).collect()
+        };
+        Self::from_parts(dim, q.to_vec(), flatten(dominating), flatten(incomparable))
     }
 
     fn from_parts(dim: usize, q: Vec<f64>, dominating: Vec<f64>, incomparable: Vec<f64>) -> Self {
@@ -207,6 +271,40 @@ mod tests {
             let r = f.rank_under(&[x, 1.0 - x]);
             assert!((lo..=hi).contains(&r), "rank {r} outside [{lo}, {hi}]");
         }
+    }
+
+    #[test]
+    fn view_frontier_matches_rebuilt_canonical_frontier() {
+        use std::sync::Arc;
+        let pts = vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ];
+        let tree = fig_tree();
+        let view = DeltaView::new(
+            Arc::new(FlatPoints::from_row_major(2, &pts)),
+            Arc::new(vec![4.5, 2.0, 0.5, 0.5]),
+            Arc::new(vec![7, 8]),
+            Arc::new(vec![6.0, 3.0, 7.0, 5.0]),
+            Arc::new(vec![1, 4]),
+        );
+        let (live, _) = view.materialize_row_major();
+        let rebuilt = RTree::bulk_load(2, &live);
+        let plain = DeltaView::plain(Arc::new(FlatPoints::from_row_major(2, &live)));
+        let q = [4.0, 4.0];
+        let got = DominanceFrontier::from_view(&tree, &view, &q);
+        let oracle = DominanceFrontier::from_view(&rebuilt, &plain, &q);
+        // Identical coordinate sequences, not merely identical counts:
+        // the MWK sampler consumes the frontier in order.
+        assert_eq!(got.dominating, oracle.dominating);
+        assert_eq!(got.incomparable, oracle.incomparable);
+        for w in [[0.2, 0.8], [0.5, 0.5], [0.7, 0.3]] {
+            assert_eq!(got.rank_under(&w), oracle.rank_under(&w));
+        }
+        // Reclassification (the MQWK reuse path) stays aligned too.
+        let ra = got.reclassify(&[3.0, 3.5]);
+        let rb = oracle.reclassify(&[3.0, 3.5]);
+        assert_eq!(ra.dominating, rb.dominating);
+        assert_eq!(ra.incomparable, rb.incomparable);
     }
 
     #[test]

@@ -39,11 +39,13 @@ pub mod sampling;
 
 pub use error::WhyNotError;
 pub use exact2d::{mwk_exact_2d, Exact2dResult};
-pub use explain::{explain, explain_with_stats, Explanation};
+pub use explain::{
+    explain, explain_view, explain_view_with_stats, explain_with_stats, Explanation,
+};
 pub use framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 pub use incomparable::DominanceFrontier;
-pub use mqp::{mqp, MqpResult};
-pub use mqwk::{mqwk, MqwkResult};
-pub use mwk::{mwk, MwkResult};
+pub use mqp::{mqp, mqp_view, MqpResult};
+pub use mqwk::{mqwk, mqwk_view, MqwkResult};
+pub use mwk::{mwk, mwk_view, MwkResult};
 pub use penalty::Tolerances;
 pub use safe_region::SafeRegion;

@@ -11,7 +11,7 @@
 use crate::error::WhyNotError;
 use crate::penalty::query_point_penalty;
 use crate::safe_region::SafeRegion;
-use wqrtq_geom::Weight;
+use wqrtq_geom::{DeltaView, Weight};
 use wqrtq_qp::{solve, QpProblem};
 use wqrtq_rtree::RTree;
 
@@ -48,7 +48,35 @@ pub fn mqp(
     // Phase 1: top-k-th point per why-not vector (Algorithm 1, lines 1–12)
     // — shared with the safe-region constructor.
     let region = SafeRegion::build(tree, q, k, why_not)?;
+    optimise_over(region, q, why_not)
+}
 
+/// [`mqp`] over a delta overlay: the safe region's constraints come from
+/// the merged live ranking, so the refined point is the one a rebuilt
+/// dataset would produce.
+pub fn mqp_view(
+    tree: &RTree,
+    view: &DeltaView,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+) -> Result<MqpResult, WhyNotError> {
+    if q.len() != tree.dim() {
+        return Err(WhyNotError::DimensionMismatch {
+            expected: tree.dim(),
+            got: q.len(),
+        });
+    }
+    let region = SafeRegion::build_view(tree, view, q, k, why_not)?;
+    optimise_over(region, q, why_not)
+}
+
+/// Phase 2 of Algorithm 1: optimise `‖q − q′‖` over a built safe region.
+fn optimise_over(
+    region: SafeRegion,
+    q: &[f64],
+    why_not: &[Weight],
+) -> Result<MqpResult, WhyNotError> {
     // Fast path: q already safe (every vector already admits it).
     if region.contains(q) {
         return Ok(MqpResult {

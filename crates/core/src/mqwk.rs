@@ -19,11 +19,11 @@
 
 use crate::error::WhyNotError;
 use crate::incomparable::DominanceFrontier;
-use crate::mqp::mqp;
+use crate::mqp::{mqp, mqp_view, MqpResult};
 use crate::mwk::mwk_with_frontier;
 use crate::penalty::{query_point_penalty, Tolerances};
 use crate::sampling::sample_query_points;
-use wqrtq_geom::Weight;
+use wqrtq_geom::{DeltaView, Weight};
 use wqrtq_rtree::RTree;
 
 /// Which candidate family produced the best tuple.
@@ -69,6 +69,66 @@ pub fn mqwk(
 ) -> Result<MqwkResult, WhyNotError> {
     // Line 2: qmin via MQP (also validates inputs).
     let mqp_res = mqp(tree, q, k, why_not)?;
+    // Reuse base: one FindIncom traversal at the original q (§4.4).
+    let base = DominanceFrontier::from_tree(tree, q);
+    Ok(search_candidates(
+        mqp_res,
+        &base,
+        q,
+        k,
+        why_not,
+        sample_size,
+        query_samples,
+        tol,
+        seed,
+    ))
+}
+
+/// [`mqwk`] over a delta overlay: MQP constraints and the reuse frontier
+/// both come from the live rows (canonical order), so every candidate
+/// tuple — and hence the winner — matches a rebuilt dataset.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's input list
+pub fn mqwk_view(
+    tree: &RTree,
+    view: &DeltaView,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+    sample_size: usize,
+    query_samples: usize,
+    tol: &Tolerances,
+    seed: u64,
+) -> Result<MqwkResult, WhyNotError> {
+    let mqp_res = mqp_view(tree, view, q, k, why_not)?;
+    let base = DominanceFrontier::from_view(tree, view, q);
+    Ok(search_candidates(
+        mqp_res,
+        &base,
+        q,
+        k,
+        why_not,
+        sample_size,
+        query_samples,
+        tol,
+        seed,
+    ))
+}
+
+/// Lines 3–9 of Algorithm 3 over a pre-computed `qmin` and reuse
+/// frontier: evaluate both endpoints plus `|Q|` sampled interior query
+/// points and keep the minimum-penalty tuple.
+#[allow(clippy::too_many_arguments)]
+fn search_candidates(
+    mqp_res: MqpResult,
+    base: &DominanceFrontier,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+    sample_size: usize,
+    query_samples: usize,
+    tol: &Tolerances,
+    seed: u64,
+) -> MqwkResult {
     let qmin = &mqp_res.q_prime;
 
     // Endpoint candidate 1: move the query all the way to qmin, keep
@@ -82,11 +142,8 @@ pub fn mqwk(
         source: RefinementSource::QueryEndpoint,
     };
 
-    // Reuse base: one FindIncom traversal at the original q (§4.4).
-    let base = DominanceFrontier::from_tree(tree, q);
-
     // Endpoint candidate 2: keep q, run plain MWK — penalty λ·Eq.(4).
-    let mwk_res = mwk_with_frontier(&base, k, why_not, sample_size, tol, seed);
+    let mwk_res = mwk_with_frontier(base, k, why_not, sample_size, tol, seed);
     let pen = tol.lambda * mwk_res.penalty;
     if pen < best.penalty {
         best.q_prime = q.to_vec();
@@ -118,7 +175,7 @@ pub fn mqwk(
             best.source = RefinementSource::Sampled;
         }
     }
-    Ok(best)
+    best
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use crate::error::WhyNotError;
 use crate::incomparable::DominanceFrontier;
 use crate::penalty::{preference_penalty, Tolerances};
 use crate::sampling::WeightSampler;
-use wqrtq_geom::Weight;
+use wqrtq_geom::{DeltaView, Weight};
 use wqrtq_rtree::RTree;
 
 /// Result of the MWK refinement.
@@ -76,6 +76,48 @@ pub fn mwk(
         }
     }
     let frontier = DominanceFrontier::from_tree(tree, q);
+    Ok(mwk_with_frontier(
+        &frontier,
+        k,
+        why_not,
+        sample_size,
+        tol,
+        seed,
+    ))
+}
+
+/// [`mwk`] over a delta overlay: the dominance frontier classifies the
+/// live rows (canonical order), so samples, ranks and the returned
+/// refinement match a dataset rebuilt from scratch.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 2's input list + view
+pub fn mwk_view(
+    tree: &RTree,
+    view: &DeltaView,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+    sample_size: usize,
+    tol: &Tolerances,
+    seed: u64,
+) -> Result<MwkResult, WhyNotError> {
+    if why_not.is_empty() {
+        return Err(WhyNotError::EmptyWhyNot);
+    }
+    if q.len() != tree.dim() {
+        return Err(WhyNotError::DimensionMismatch {
+            expected: tree.dim(),
+            got: q.len(),
+        });
+    }
+    for w in why_not {
+        if w.dim() != tree.dim() {
+            return Err(WhyNotError::DimensionMismatch {
+                expected: tree.dim(),
+                got: w.dim(),
+            });
+        }
+    }
+    let frontier = DominanceFrontier::from_view(tree, view, q);
     Ok(mwk_with_frontier(
         &frontier,
         k,

@@ -13,8 +13,8 @@
 //! the QP against (Figure 5(b)).
 
 use crate::error::WhyNotError;
-use wqrtq_geom::{HalfSpace, Polygon2d, Weight};
-use wqrtq_query::topk::kth_point;
+use wqrtq_geom::{DeltaView, HalfSpace, Polygon2d, Weight};
+use wqrtq_query::topk::{kth_point, kth_point_view, KthPoint};
 use wqrtq_rtree::RTree;
 
 /// The safe region of a query point for a why-not set.
@@ -35,13 +35,42 @@ impl SafeRegion {
         k: usize,
         why_not: &[Weight],
     ) -> Result<Self, WhyNotError> {
+        Self::build_with(tree.dim(), tree.len(), q, k, why_not, |w| {
+            kth_point(tree, w, k)
+        })
+    }
+
+    /// [`SafeRegion::build`] over a delta overlay: each why-not vector's
+    /// top-k-th point comes from the merged live ranking, so the
+    /// constraint planes are those of a dataset rebuilt from the live
+    /// rows.
+    pub fn build_view(
+        tree: &RTree,
+        view: &DeltaView,
+        q: &[f64],
+        k: usize,
+        why_not: &[Weight],
+    ) -> Result<Self, WhyNotError> {
+        Self::build_with(tree.dim(), view.live_len(), q, k, why_not, |w| {
+            kth_point_view(tree, view, w, k)
+        })
+    }
+
+    fn build_with(
+        dim: usize,
+        len: usize,
+        q: &[f64],
+        k: usize,
+        why_not: &[Weight],
+        mut kth: impl FnMut(&[f64]) -> Option<KthPoint>,
+    ) -> Result<Self, WhyNotError> {
         if why_not.is_empty() {
             return Err(WhyNotError::EmptyWhyNot);
         }
         for w in why_not {
-            if w.dim() != tree.dim() {
+            if w.dim() != dim {
                 return Err(WhyNotError::DimensionMismatch {
-                    expected: tree.dim(),
+                    expected: dim,
                     got: w.dim(),
                 });
             }
@@ -49,8 +78,7 @@ impl SafeRegion {
         let mut constraints = Vec::with_capacity(why_not.len());
         let mut thresholds = Vec::with_capacity(why_not.len());
         for w in why_not {
-            let p = kth_point(tree, w, k)
-                .ok_or(WhyNotError::DatasetSmallerThanK { len: tree.len(), k })?;
+            let p = kth(w.as_slice()).ok_or(WhyNotError::DatasetSmallerThanK { len, k })?;
             thresholds.push(p.score);
             constraints.push(HalfSpace::below_score_plane(w, &p.coords));
         }

@@ -3,24 +3,31 @@
 //! Generalises the per-query `TopkViewCache` of `wqrtq-query` (which
 //! caches top-k *views* to short-circuit one membership predicate) to
 //! whole responses for every request kind: entries are keyed on
-//! `(dataset epoch, request fingerprint)`, so a repeat of an identical
-//! request against an unchanged dataset is answered without touching any
-//! index.
+//! `(dataset epoch triple, request fingerprint)`, so a repeat of an
+//! identical request against an unchanged dataset is answered without
+//! touching any index.
 //!
-//! **Correctness does not depend on eviction.** A mutation bumps the
-//! dataset epoch, so stale entries can never match a new key; explicit
-//! [`ResultCache::evict_dataset`] (called by the engine on mutation) just
-//! reclaims their capacity early.
+//! **Correctness does not depend on eviction.** Any mutation advances the
+//! dataset's epoch triple, so stale entries can never match a new key;
+//! explicit [`ResultCache::evict_dataset`] (called by the engine on
+//! mutation) just reclaims their capacity early.
+//!
+//! Eviction is true LRU in `O(log capacity)`: a tick-ordered
+//! `BTreeMap<tick, key>` mirrors the entry map's recency, so a full
+//! cache evicts its least-recently-used entry by popping the first tick
+//! — not by scanning every entry, which made inserts `O(capacity)` under
+//! sustained load.
 
+use crate::catalog::DatasetEpoch;
 use crate::request::Response;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
-/// Cache key: dataset epoch + request content fingerprint.
+/// Cache key: dataset epoch triple + request content fingerprint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// Epoch of the request's dataset at execution time.
-    pub epoch: u64,
+    /// Epoch triple of the request's dataset at execution time.
+    pub epoch: DatasetEpoch,
     /// [`crate::Request::fingerprint`] of the request.
     pub fingerprint: u64,
 }
@@ -35,9 +42,32 @@ struct Entry {
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<CacheKey, Entry>,
+    /// Recency index: `last_used` tick → key. Ticks are unique (every
+    /// touch consumes one), so this is a faithful LRU order.
+    recency: BTreeMap<u64, CacheKey>,
     tick: u64,
     hits: u64,
     misses: u64,
+}
+
+impl Inner {
+    /// Looks the key up once, refreshing its recency on a hit.
+    fn get_and_touch(&mut self, key: &CacheKey) -> Option<&mut Entry> {
+        self.tick += 1;
+        let tick = self.tick;
+        // Split borrows: the map entry and the recency index are
+        // disjoint fields.
+        let recency = &mut self.recency;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                recency.remove(&entry.last_used);
+                entry.last_used = tick;
+                recency.insert(tick, *key);
+                Some(entry)
+            }
+            None => None,
+        }
+    }
 }
 
 /// A bounded, thread-safe LRU map from request keys to responses.
@@ -88,14 +118,11 @@ impl ResultCache {
     /// Looks up a response, refreshing its recency on a hit.
     pub fn get(&self, key: &CacheKey) -> Option<Response> {
         let mut inner = self.inner.lock().expect("cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
+        match inner.get_and_touch(key) {
             Some(entry) => {
-                entry.last_used = tick;
-                let r = entry.response.clone();
+                let response = entry.response.clone();
                 inner.hits += 1;
-                Some(r)
+                Some(response)
             }
             None => {
                 inner.misses += 1;
@@ -109,18 +136,18 @@ impl ResultCache {
     /// not cache them).
     pub fn insert(&self, key: CacheKey, dataset: &str, response: Response) {
         let mut inner = self.inner.lock().expect("cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
+        if let Some(entry) = inner.get_and_touch(&key) {
+            entry.response = response;
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            // O(log n): the least-recently-used entry is the first tick.
+            if let Some((_, oldest)) = inner.recency.pop_first() {
                 inner.map.remove(&oldest);
             }
         }
+        inner.tick += 1;
+        let tick = inner.tick;
         inner.map.insert(
             key,
             Entry {
@@ -129,6 +156,7 @@ impl ResultCache {
                 last_used: tick,
             },
         );
+        inner.recency.insert(tick, key);
     }
 
     /// Drops every entry belonging to a dataset (any epoch). Returns how
@@ -136,7 +164,18 @@ impl ResultCache {
     pub fn evict_dataset(&self, dataset: &str) -> usize {
         let mut inner = self.inner.lock().expect("cache lock");
         let before = inner.map.len();
-        inner.map.retain(|_, e| e.dataset != dataset);
+        let mut dropped_ticks = Vec::new();
+        inner.map.retain(|_, e| {
+            if e.dataset == dataset {
+                dropped_ticks.push(e.last_used);
+                false
+            } else {
+                true
+            }
+        });
+        for t in dropped_ticks {
+            inner.recency.remove(&t);
+        }
         before - inner.map.len()
     }
 
@@ -158,7 +197,11 @@ mod tests {
 
     fn key(epoch: u64, fp: u64) -> CacheKey {
         CacheKey {
-            epoch,
+            epoch: DatasetEpoch {
+                base: epoch,
+                delta: 0,
+                tombstones: 0,
+            },
             fingerprint: fp,
         }
     }
@@ -179,10 +222,28 @@ mod tests {
     }
 
     #[test]
-    fn epoch_is_part_of_the_key() {
+    fn epoch_triple_is_part_of_the_key() {
         let c = ResultCache::new(4);
         c.insert(key(1, 7), "d", resp(1));
         assert_eq!(c.get(&key(2, 7)), None, "new epoch must not see old entry");
+        let deltaed = CacheKey {
+            epoch: DatasetEpoch {
+                base: 1,
+                delta: 1,
+                tombstones: 0,
+            },
+            fingerprint: 7,
+        };
+        assert_eq!(c.get(&deltaed), None, "appended overlay must miss");
+        let tombstoned = CacheKey {
+            epoch: DatasetEpoch {
+                base: 1,
+                delta: 0,
+                tombstones: 1,
+            },
+            fingerprint: 7,
+        };
+        assert_eq!(c.get(&tombstoned), None, "deleted overlay must miss");
     }
 
     #[test]
@@ -199,6 +260,49 @@ mod tests {
         assert!(c.get(&key(1, 3)).is_some());
     }
 
+    /// Regression for the O(capacity) eviction scan: the BTreeMap-backed
+    /// eviction must pick exactly the entry the old full-scan
+    /// `min_by_key(last_used)` would have picked, under an interleaved
+    /// get/insert workload.
+    #[test]
+    fn eviction_order_matches_reference_lru() {
+        let cap = 8;
+        let c = ResultCache::new(cap);
+        // Reference model: Vec of keys, most recent last.
+        let mut model: Vec<u64> = Vec::new();
+        let mut lcg = 12345u64;
+        for step in 0..2000u64 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let fp = lcg % 24; // small key space: plenty of hits
+            if lcg & 1 == 0 {
+                // get
+                let hit = c.get(&key(1, fp)).is_some();
+                let model_hit = model.contains(&fp);
+                assert_eq!(hit, model_hit, "step {step}: get({fp})");
+                if model_hit {
+                    model.retain(|&k| k != fp);
+                    model.push(fp);
+                }
+            } else {
+                c.insert(key(1, fp), "d", resp(fp as usize));
+                if model.contains(&fp) {
+                    model.retain(|&k| k != fp);
+                } else if model.len() == cap {
+                    model.remove(0); // evict LRU
+                }
+                model.push(fp);
+            }
+            assert_eq!(c.stats().len, model.len(), "step {step}");
+        }
+        // Final state: exactly the model's keys are present. Probing the
+        // model keys in LRU order must all hit.
+        for fp in model.clone() {
+            assert!(c.get(&key(1, fp)).is_some(), "model key {fp} missing");
+        }
+    }
+
     #[test]
     fn evict_dataset_drops_only_that_dataset() {
         let c = ResultCache::new(8);
@@ -208,6 +312,16 @@ mod tests {
         assert_eq!(c.evict_dataset("a"), 2);
         assert_eq!(c.stats().len, 1);
         assert!(c.get(&key(1, 3)).is_some());
+        // Eviction after a dataset drop still works (recency index must
+        // have been cleaned up alongside the map).
+        let c2 = ResultCache::new(2);
+        c2.insert(key(1, 1), "a", resp(1));
+        c2.insert(key(1, 2), "b", resp(2));
+        c2.evict_dataset("a");
+        c2.insert(key(1, 3), "b", resp(3));
+        c2.insert(key(1, 4), "b", resp(4));
+        assert_eq!(c2.stats().len, 2);
+        assert!(c2.get(&key(1, 2)).is_none(), "LRU of survivors evicted");
     }
 
     #[test]

@@ -1,42 +1,157 @@
-//! The dataset catalog: named product datasets with lazily built, shared
-//! R-tree indexes, plus named (immutable) customer weight populations.
+//! The dataset catalog: named product datasets served as **delta
+//! overlays** — a bulk-loaded base (R-tree + column-major mirror) plus a
+//! small mutable tail — and named (immutable) customer weight
+//! populations.
 //!
-//! Indexes are built once on first use and shared as `Arc<RTree>` across
-//! every worker — the refactored core entry points accept them directly,
-//! so no request ever rebuilds an index. Each dataset carries an
-//! **epoch** that mutation (re-registration, appends) bumps; the result
-//! cache keys on it, so stale entries can never be served after a
-//! mutation, whether or not they have been evicted yet.
+//! ## Mutation lifecycle
+//!
+//! * **Register** installs a fresh base. The index is built lazily on
+//!   first use, exactly once: a per-entry [`OnceLock`] makes concurrent
+//!   cold callers block on the single builder instead of racing
+//!   duplicate `bulk_load`s (the build still runs outside the catalog
+//!   lock, so other datasets never stall behind it).
+//! * **Append** pushes rows into a copy-on-write delta memtable — `O(Δ)`
+//!   work, the built index is untouched.
+//! * **Delete** tombstones a base row (id + coordinates recorded) or
+//!   drops a delta row — `O(Δ)`, index untouched.
+//! * **Compaction** merges base + delta − tombstones into a fresh
+//!   bulk-loaded base in *canonical order* (see
+//!   [`wqrtq_geom::DeltaView::materialize_row_major`]), bumping the base
+//!   epoch. It is triggered by the engine off the request path and
+//!   abandoned harmlessly if the dataset mutated while merging.
+//!
+//! Every snapshot carries a [`DatasetEpoch`] triple
+//! `(base, delta, tombstones)` whose components only ever grow within a
+//! base generation (and `base` grows across generations), so a result
+//! cache keyed on it can never serve a stale response — whether or not
+//! the stale entry was evicted yet.
 
 use crate::error::EngineError;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
-use wqrtq_geom::{FlatPoints, Weight};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use wqrtq_geom::{DeltaView, FlatPoints, Weight};
 use wqrtq_rtree::RTree;
+
+/// The versions of one dataset snapshot. Any mutation strictly increases
+/// one component (appends bump `delta`, deletes bump `tombstones`,
+/// re-registration and compaction bump `base` and reset the others), so
+/// two distinct catalog states never share an epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DatasetEpoch {
+    /// Base generation (bulk-load count: registrations + compactions).
+    pub base: u64,
+    /// Rows appended since this base was built (monotone — deleting an
+    /// appended row does not decrease it).
+    pub delta: u64,
+    /// Rows deleted since this base was built (monotone — covers both
+    /// tombstoned base rows and dropped delta rows).
+    pub tombstones: u64,
+}
+
+impl DatasetEpoch {
+    /// The epoch of a freshly built base (no overlay yet).
+    pub fn fresh(base: u64) -> Self {
+        Self {
+            base,
+            delta: 0,
+            tombstones: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.base, self.delta, self.tombstones)
+    }
+}
 
 /// A consistent snapshot of one dataset, handed to workers.
 #[derive(Clone, Debug)]
 pub struct DatasetHandle {
-    /// Flat row-major coordinates (what the index was built from).
+    /// Flat row-major coordinates of the *base* (what the index was
+    /// built from; tombstoned rows included — the view discounts them).
     pub coords: Arc<Vec<f64>>,
     /// Dimensionality.
     pub dim: usize,
-    /// Epoch at snapshot time.
-    pub epoch: u64,
-    /// The shared pre-built index.
+    /// Epoch triple at snapshot time.
+    pub epoch: DatasetEpoch,
+    /// The shared pre-built base index.
     pub index: Arc<RTree>,
-    /// Column-major mirror of the coordinates for the fused flat-scan
-    /// kernels, built together with the index and shared the same way.
+    /// Column-major mirror of the base coordinates for the fused
+    /// flat-scan kernels, built together with the index.
     pub flat: Arc<FlatPoints>,
+    /// The delta overlay this request must answer against (plain when
+    /// the dataset has not mutated since its base was built).
+    pub view: DeltaView,
 }
+
+impl DatasetHandle {
+    /// Number of live points in this snapshot.
+    pub fn live_len(&self) -> usize {
+        self.view.live_len()
+    }
+}
+
+type BuiltIndex = (Arc<RTree>, Arc<FlatPoints>);
 
 #[derive(Debug)]
 struct DatasetEntry {
-    coords: Arc<Vec<f64>>,
     dim: usize,
-    epoch: u64,
-    /// Built on first use, dropped on mutation.
-    index: Option<(Arc<RTree>, Arc<FlatPoints>)>,
+    base_coords: Arc<Vec<f64>>,
+    base_epoch: u64,
+    /// Appends since the base was built (monotone; also the delta id
+    /// allocator — the next appended row gets id `base_n + appends`).
+    appends: u64,
+    /// Rows deleted since the base was built (monotone).
+    deletes: u64,
+    /// Live appended rows (copy-on-write: snapshots hold the old Arcs).
+    delta_rows: Arc<Vec<f64>>,
+    delta_ids: Arc<Vec<u32>>,
+    /// Tombstoned base rows, id-sorted.
+    dead_rows: Arc<Vec<f64>>,
+    dead_ids: Arc<Vec<u32>>,
+    /// Built exactly once per base generation; replaced wholesale on
+    /// re-registration / compaction.
+    index: Arc<OnceLock<BuiltIndex>>,
+}
+
+impl DatasetEntry {
+    fn fresh(dim: usize, coords: Vec<f64>, base_epoch: u64) -> Self {
+        Self {
+            dim,
+            base_coords: Arc::new(coords),
+            base_epoch,
+            appends: 0,
+            deletes: 0,
+            delta_rows: Arc::new(Vec::new()),
+            delta_ids: Arc::new(Vec::new()),
+            dead_rows: Arc::new(Vec::new()),
+            dead_ids: Arc::new(Vec::new()),
+            index: Arc::new(OnceLock::new()),
+        }
+    }
+
+    fn epoch(&self) -> DatasetEpoch {
+        DatasetEpoch {
+            base: self.base_epoch,
+            delta: self.appends,
+            tombstones: self.deletes,
+        }
+    }
+
+    fn base_len(&self) -> usize {
+        self.base_coords.len() / self.dim
+    }
+
+    fn live_len(&self) -> usize {
+        self.base_len() - self.dead_ids.len() + self.delta_ids.len()
+    }
+
+    /// Delta rows plus tombstones — the overlay size compaction bounds.
+    fn overlay_len(&self) -> usize {
+        self.delta_ids.len() + self.dead_ids.len()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -45,10 +160,38 @@ struct CatalogInner {
     weight_sets: HashMap<String, Arc<Vec<Weight>>>,
 }
 
+/// Point-in-time mutation/build counters of a [`Catalog`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// `bulk_load`s actually executed (lazy first-use builds and
+    /// compaction merges). The acceptance gate for overlay serving:
+    /// appending to an indexed dataset must not move this.
+    pub index_builds: u64,
+    /// Mutations absorbed by the overlay while a built base index
+    /// existed — each one is a `bulk_load` the pre-overlay design would
+    /// have paid.
+    pub rebuilds_avoided: u64,
+    /// Overlay merges completed.
+    pub compactions: u64,
+    /// Compaction attempts abandoned because the dataset mutated while
+    /// the merge was running (the next mutation re-triggers).
+    pub compactions_abandoned: u64,
+}
+
 /// Thread-safe catalog of datasets and weight populations.
 #[derive(Debug, Default)]
 pub struct Catalog {
     inner: RwLock<CatalogInner>,
+    index_builds: AtomicU64,
+    rebuilds_avoided: AtomicU64,
+    compactions: AtomicU64,
+    compactions_abandoned: AtomicU64,
+}
+
+/// Validates that every coordinate is finite (the request boundary's
+/// helper, reused so catalog-level and request-level rejection agree).
+fn check_finite(points: &[f64]) -> Result<(), EngineError> {
+    crate::request::check_finite(points, "coordinates")
 }
 
 impl Catalog {
@@ -58,12 +201,13 @@ impl Catalog {
     }
 
     /// Registers (or replaces) a dataset from a flat `n × dim` buffer.
-    /// Replacement bumps the epoch and drops any built index.
+    /// Replacement bumps the base epoch and drops any built index.
     ///
     /// # Errors
     /// [`EngineError::ZeroDimension`] when `dim` is zero,
     /// [`EngineError::RaggedCoordinates`] when the buffer length is not a
-    /// multiple of `dim`.
+    /// multiple of `dim`, [`EngineError::NonFiniteInput`] on NaN/infinite
+    /// coordinates.
     pub fn register(&self, name: &str, dim: usize, coords: Vec<f64>) -> Result<(), EngineError> {
         if dim == 0 {
             return Err(EngineError::ZeroDimension);
@@ -74,26 +218,25 @@ impl Catalog {
                 len: coords.len(),
             });
         }
+        check_finite(&coords)?;
         let mut inner = self.inner.write().expect("catalog lock");
-        let epoch = inner.datasets.get(name).map_or(1, |e| e.epoch + 1);
+        let base_epoch = inner.datasets.get(name).map_or(1, |e| e.base_epoch + 1);
         inner.datasets.insert(
             name.to_string(),
-            DatasetEntry {
-                coords: Arc::new(coords),
-                dim,
-                epoch,
-                index: None,
-            },
+            DatasetEntry::fresh(dim, coords, base_epoch),
         );
         Ok(())
     }
 
-    /// Appends points to a dataset: bumps its epoch and drops the built
-    /// index (rebuilt lazily on next use).
+    /// Appends points to a dataset's delta memtable: `O(Δ)` copy-on-write
+    /// work, no index is dropped or rebuilt. Returns the live point count
+    /// after the append.
     ///
     /// # Errors
-    /// [`EngineError::UnknownDataset`] / [`EngineError::RaggedCoordinates`].
-    pub fn append(&self, name: &str, points: &[f64]) -> Result<(), EngineError> {
+    /// [`EngineError::UnknownDataset`] / [`EngineError::RaggedCoordinates`]
+    /// / [`EngineError::NonFiniteInput`] / [`EngineError::DatasetFull`].
+    pub fn append(&self, name: &str, points: &[f64]) -> Result<usize, EngineError> {
+        check_finite(points)?;
         let mut inner = self.inner.write().expect("catalog lock");
         let entry = inner
             .datasets
@@ -105,22 +248,133 @@ impl Catalog {
                 len: points.len(),
             });
         }
-        let mut coords = Vec::with_capacity(entry.coords.len() + points.len());
-        coords.extend_from_slice(&entry.coords);
-        coords.extend_from_slice(points);
-        entry.coords = Arc::new(coords);
-        entry.epoch += 1;
-        entry.index = None;
-        Ok(())
+        let rows = (points.len() / entry.dim) as u64;
+        let next_id = entry.base_len() as u64 + entry.appends;
+        if next_id + rows > u32::MAX as u64 {
+            return Err(EngineError::DatasetFull);
+        }
+        let mut delta_rows = (*entry.delta_rows).clone();
+        let mut delta_ids = (*entry.delta_ids).clone();
+        delta_rows.extend_from_slice(points);
+        delta_ids.extend((0..rows).map(|i| (next_id + i) as u32));
+        entry.delta_rows = Arc::new(delta_rows);
+        entry.delta_ids = Arc::new(delta_ids);
+        entry.appends += rows;
+        let live = entry.live_len();
+        if entry.index.get().is_some() {
+            self.rebuilds_avoided.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(live)
     }
 
-    /// Registers an immutable weight population.
+    /// Deletes points by id: base rows are tombstoned, appended rows are
+    /// dropped from the memtable — `O(Δ + |ids|)`, no index touched.
+    /// All-or-nothing: an unknown or already-deleted id fails the whole
+    /// call without mutating anything. Returns the live count after.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownDataset`] / [`EngineError::UnknownPointId`].
+    pub fn delete(&self, name: &str, ids: &[u32]) -> Result<usize, EngineError> {
+        let mut inner = self.inner.write().expect("catalog lock");
+        let entry = inner
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        let dim = entry.dim;
+        let base_n = entry.base_len() as u32;
+        // Validate first (all-or-nothing), splitting the victims into
+        // sorted base tombstones and a delta-row removal set; then merge
+        // each buffer in one pass — O(Δ + |ids| log |ids|) total, not
+        // O(|ids| × Δ) of per-id splicing.
+        let mut base_victims: Vec<u32> = Vec::new();
+        let mut delta_victims: Vec<u32> = Vec::new();
+        for &id in ids {
+            if id < base_n {
+                if entry.dead_ids.binary_search(&id).is_ok() {
+                    return Err(EngineError::UnknownPointId { id }); // tombstoned twice
+                }
+                base_victims.push(id);
+            } else {
+                entry
+                    .delta_ids
+                    .binary_search(&id)
+                    .map_err(|_| EngineError::UnknownPointId { id })?;
+                delta_victims.push(id);
+            }
+        }
+        base_victims.sort_unstable();
+        delta_victims.sort_unstable();
+        let dup_in = |v: &[u32]| v.windows(2).find(|w| w[0] == w[1]).map(|w| w[0]);
+        if let Some(id) = dup_in(&base_victims).or_else(|| dup_in(&delta_victims)) {
+            // The same id twice in one call is the same error as deleting
+            // an already-deleted point.
+            return Err(EngineError::UnknownPointId { id });
+        }
+
+        if !delta_victims.is_empty() {
+            let keep = entry.delta_ids.len() - delta_victims.len();
+            let mut delta_rows = Vec::with_capacity(keep * dim);
+            let mut delta_ids = Vec::with_capacity(keep);
+            for (pos, &id) in entry.delta_ids.iter().enumerate() {
+                if delta_victims.binary_search(&id).is_err() {
+                    delta_ids.push(id);
+                    delta_rows.extend_from_slice(&entry.delta_rows[pos * dim..(pos + 1) * dim]);
+                }
+            }
+            entry.delta_rows = Arc::new(delta_rows);
+            entry.delta_ids = Arc::new(delta_ids);
+        }
+        if !base_victims.is_empty() {
+            let total = entry.dead_ids.len() + base_victims.len();
+            let mut dead_ids = Vec::with_capacity(total);
+            let mut dead_rows = Vec::with_capacity(total * dim);
+            let mut push = |id: u32, from_base: bool, old_pos: usize| {
+                dead_ids.push(id);
+                if from_base {
+                    let at = id as usize * dim;
+                    dead_rows.extend_from_slice(&entry.base_coords[at..at + dim]);
+                } else {
+                    dead_rows
+                        .extend_from_slice(&entry.dead_rows[old_pos * dim..(old_pos + 1) * dim]);
+                }
+            };
+            // Merge the two sorted id runs.
+            let (mut i, mut j) = (0, 0);
+            while i < entry.dead_ids.len() || j < base_victims.len() {
+                let take_old = j >= base_victims.len()
+                    || (i < entry.dead_ids.len() && entry.dead_ids[i] < base_victims[j]);
+                if take_old {
+                    push(entry.dead_ids[i], false, i);
+                    i += 1;
+                } else {
+                    push(base_victims[j], true, 0);
+                    j += 1;
+                }
+            }
+            entry.dead_rows = Arc::new(dead_rows);
+            entry.dead_ids = Arc::new(dead_ids);
+        }
+        entry.deletes += ids.len() as u64;
+        let live = entry.live_len();
+        if entry.index.get().is_some() {
+            self.rebuilds_avoided.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(live)
+    }
+
+    /// Registers an immutable weight population. Every vector must be
+    /// finite, non-negative, and not identically zero.
     ///
     /// # Errors
     /// [`EngineError::WeightSetExists`] when the name is taken —
     /// populations are immutable so cached bichromatic results keyed on
     /// the name can never go stale; register a new name instead.
+    /// [`EngineError::NonFiniteInput`] / [`EngineError::InvalidWeight`]
+    /// on malformed vectors.
     pub fn register_weights(&self, name: &str, weights: Vec<Weight>) -> Result<(), EngineError> {
+        for w in &weights {
+            crate::request::check_weight(w.as_slice(), "weight set")?;
+        }
         let mut inner = self.inner.write().expect("catalog lock");
         if inner.weight_sets.contains_key(name) {
             return Err(EngineError::WeightSetExists(name.to_string()));
@@ -142,71 +396,141 @@ impl Catalog {
             .ok_or_else(|| EngineError::UnknownWeightSet(name.to_string()))
     }
 
-    /// A consistent dataset snapshot, building the shared index on first
-    /// use. The build itself runs *outside* the catalog lock, so a cold
+    /// A consistent dataset snapshot, building the shared base index on
+    /// first use. The build runs *outside* the catalog lock — a cold
     /// multi-million-point dataset never stalls requests against other
-    /// datasets; two racing cold callers may both build, and the first
-    /// to install (at an unchanged epoch) wins.
+    /// datasets — and the per-entry [`OnceLock`] guarantees exactly one
+    /// build per base generation: concurrent cold callers block on the
+    /// winner instead of burning cores on duplicate `bulk_load`s whose
+    /// losers would be discarded.
     pub fn handle(&self, name: &str) -> Result<DatasetHandle, EngineError> {
-        loop {
-            // Snapshot what to build under the read lock.
-            let (coords, dim, epoch) = {
-                let inner = self.inner.read().expect("catalog lock");
-                let entry = inner
-                    .datasets
-                    .get(name)
-                    .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
-                if let Some((index, flat)) = &entry.index {
-                    return Ok(DatasetHandle {
-                        coords: entry.coords.clone(),
-                        dim: entry.dim,
-                        epoch: entry.epoch,
-                        index: index.clone(),
-                        flat: flat.clone(),
-                    });
-                }
-                (entry.coords.clone(), entry.dim, entry.epoch)
-            };
-            let built = (
-                Arc::new(RTree::bulk_load(dim, &coords)),
-                Arc::new(FlatPoints::from_row_major(dim, &coords)),
-            );
-            // Install only if the dataset is still at the snapshotted
-            // epoch; on a concurrent mutation the build is stale — drop
-            // it and retry against the new coordinates.
-            let mut inner = self.inner.write().expect("catalog lock");
+        // Snapshot everything consistent under the read lock.
+        let (entry_snapshot, once) = {
+            let inner = self.inner.read().expect("catalog lock");
             let entry = inner
                 .datasets
-                .get_mut(name)
+                .get(name)
                 .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
-            if entry.epoch != epoch {
-                continue;
-            }
-            let (index, flat) = match &entry.index {
-                Some(pair) => pair.clone(), // another builder won the race
-                None => {
-                    entry.index = Some(built.clone());
-                    built
-                }
-            };
-            return Ok(DatasetHandle {
-                coords: entry.coords.clone(),
-                dim: entry.dim,
-                epoch,
-                index,
-                flat,
-            });
-        }
+            (
+                (
+                    entry.base_coords.clone(),
+                    entry.dim,
+                    entry.epoch(),
+                    entry.delta_rows.clone(),
+                    entry.delta_ids.clone(),
+                    entry.dead_rows.clone(),
+                    entry.dead_ids.clone(),
+                ),
+                entry.index.clone(),
+            )
+        };
+        let (coords, dim, epoch, delta_rows, delta_ids, dead_rows, dead_ids) = entry_snapshot;
+        let (index, flat) = once
+            .get_or_init(|| {
+                self.index_builds.fetch_add(1, Ordering::Relaxed);
+                (
+                    Arc::new(RTree::bulk_load(dim, &coords)),
+                    Arc::new(FlatPoints::from_row_major(dim, &coords)),
+                )
+            })
+            .clone();
+        let view = DeltaView::new(flat.clone(), delta_rows, delta_ids, dead_rows, dead_ids);
+        Ok(DatasetHandle {
+            coords,
+            dim,
+            epoch,
+            index,
+            flat,
+            view,
+        })
     }
 
-    /// Current epoch of a dataset.
-    pub fn epoch(&self, name: &str) -> Result<u64, EngineError> {
+    /// Merges a dataset's overlay into a fresh bulk-loaded base **iff**
+    /// its epoch still equals `epoch` when the merge finishes — the
+    /// check-merge-recheck dance makes compaction safe to run
+    /// concurrently with mutations: a mutation that lands mid-merge
+    /// abandons this attempt (its own trigger will schedule the next
+    /// one). Returns whether a merge was installed.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownDataset`].
+    pub fn compact_if(&self, name: &str, epoch: DatasetEpoch) -> Result<bool, EngineError> {
+        // Snapshot the raw parts — deliberately NOT through `handle()`,
+        // which would lazily bulk_load the *stale* base index only for
+        // this merge to throw it away (ingest-only datasets never built
+        // one). Materialisation needs the base coordinates alone.
+        let (dim, base_coords, delta_rows, delta_ids, dead_ids) = {
+            let inner = self.inner.read().expect("catalog lock");
+            let entry = inner
+                .datasets
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+            if entry.epoch() != epoch || entry.overlay_len() == 0 {
+                return Ok(false); // already merged, superseded, or nothing to do
+            }
+            (
+                entry.dim,
+                entry.base_coords.clone(),
+                entry.delta_rows.clone(),
+                entry.delta_ids.clone(),
+                entry.dead_ids.clone(),
+            )
+        };
+        // Merge + build outside the lock (the expensive part), in
+        // canonical order: surviving base rows ascending, then appends.
+        let live_rows = base_coords.len() / dim - dead_ids.len() + delta_ids.len();
+        let mut live_coords = Vec::with_capacity(live_rows * dim);
+        for (row, chunk) in base_coords.chunks_exact(dim).enumerate() {
+            if dead_ids.binary_search(&(row as u32)).is_err() {
+                live_coords.extend_from_slice(chunk);
+            }
+        }
+        live_coords.extend_from_slice(&delta_rows);
+        let built: BuiltIndex = (
+            Arc::new(RTree::bulk_load(dim, &live_coords)),
+            Arc::new(FlatPoints::from_row_major(dim, &live_coords)),
+        );
+        self.index_builds.fetch_add(1, Ordering::Relaxed);
+
+        let mut inner = self.inner.write().expect("catalog lock");
+        let entry = inner
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        if entry.epoch() != epoch {
+            self.compactions_abandoned.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        let base_epoch = entry.base_epoch + 1;
+        let mut fresh = DatasetEntry::fresh(entry.dim, live_coords, base_epoch);
+        let once = OnceLock::new();
+        once.set(built).expect("fresh OnceLock");
+        fresh.index = Arc::new(once);
+        *entry = fresh;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Current epoch triple of a dataset.
+    pub fn epoch(&self, name: &str) -> Result<DatasetEpoch, EngineError> {
         self.inner
             .read()
             .expect("catalog lock")
             .datasets
             .get(name)
-            .map(|e| e.epoch)
+            .map(DatasetEntry::epoch)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
+    }
+
+    /// `(overlay rows, base rows)` of a dataset — the compaction-policy
+    /// inputs.
+    pub fn overlay_size(&self, name: &str) -> Result<(usize, usize), EngineError> {
+        self.inner
+            .read()
+            .expect("catalog lock")
+            .datasets
+            .get(name)
+            .map(|e| (e.overlay_len(), e.base_len()))
             .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
     }
 
@@ -224,14 +548,24 @@ impl Catalog {
         names
     }
 
-    /// Whether a dataset's index is currently built.
+    /// Whether a dataset's base index is currently built.
     pub fn is_indexed(&self, name: &str) -> bool {
         self.inner
             .read()
             .expect("catalog lock")
             .datasets
             .get(name)
-            .is_some_and(|e| e.index.is_some())
+            .is_some_and(|e| e.index.get().is_some())
+    }
+
+    /// Point-in-time mutation/build counters.
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            index_builds: self.index_builds.load(Ordering::Relaxed),
+            rebuilds_avoided: self.rebuilds_avoided.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compactions_abandoned: self.compactions_abandoned.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -250,35 +584,122 @@ mod tests {
         assert!(!c.is_indexed("sq"));
         let h = c.handle("sq").unwrap();
         assert_eq!(h.dim, 2);
-        assert_eq!(h.epoch, 1);
+        assert_eq!(h.epoch, DatasetEpoch::fresh(1));
         assert_eq!(h.index.len(), 4);
+        assert!(h.view.is_plain());
         assert!(c.is_indexed("sq"));
-        // Second handle shares the same index.
+        // Second handle shares the same index; exactly one build ran.
         let h2 = c.handle("sq").unwrap();
         assert!(Arc::ptr_eq(&h.index, &h2.index));
+        assert_eq!(c.stats().index_builds, 1);
     }
 
     #[test]
-    fn append_bumps_epoch_and_drops_index() {
+    fn append_is_absorbed_by_the_overlay() {
         let c = Catalog::new();
         c.register("sq", 2, unit_square()).unwrap();
         let h1 = c.handle("sq").unwrap();
-        c.append("sq", &[0.5, 0.5]).unwrap();
-        assert!(!c.is_indexed("sq"));
+        assert_eq!(c.append("sq", &[0.5, 0.5]).unwrap(), 5);
+        // The base index survives: no rebuild, no index drop.
+        assert!(c.is_indexed("sq"));
         let h2 = c.handle("sq").unwrap();
-        assert_eq!(h2.epoch, 2);
-        assert_eq!(h2.index.len(), 5);
+        assert_eq!(
+            h2.epoch,
+            DatasetEpoch {
+                base: 1,
+                delta: 1,
+                tombstones: 0
+            }
+        );
+        assert!(Arc::ptr_eq(&h1.index, &h2.index), "no rebuild on append");
+        assert_eq!(h2.view.delta_ids(), &[4]);
+        assert_eq!(h2.live_len(), 5);
         // The old handle still sees its consistent snapshot.
-        assert_eq!(h1.epoch, 1);
-        assert_eq!(h1.index.len(), 4);
+        assert_eq!(h1.epoch, DatasetEpoch::fresh(1));
+        assert!(h1.view.is_plain());
+        let s = c.stats();
+        assert_eq!((s.index_builds, s.rebuilds_avoided), (1, 1));
     }
 
     #[test]
-    fn reregister_bumps_epoch() {
+    fn delete_tombstones_base_and_drops_delta_rows() {
+        let c = Catalog::new();
+        c.register("sq", 2, unit_square()).unwrap();
+        c.append("sq", &[0.5, 0.5, 0.25, 0.75]).unwrap(); // ids 4, 5
+        assert_eq!(c.delete("sq", &[1, 4]).unwrap(), 4);
+        let h = c.handle("sq").unwrap();
+        assert_eq!(
+            h.epoch,
+            DatasetEpoch {
+                base: 1,
+                delta: 2,
+                tombstones: 2
+            }
+        );
+        assert_eq!(h.view.dead_ids(), &[1]);
+        assert_eq!(h.view.delta_ids(), &[5]); // id 4 dropped, 5 survives
+        assert_eq!(h.view.delta_rows(), &[0.25, 0.75]);
+        // New appends keep allocating fresh ids (4 is never reused).
+        c.append("sq", &[0.9, 0.9]).unwrap();
+        assert_eq!(c.handle("sq").unwrap().view.delta_ids(), &[5, 6]);
+        // Double delete and unknown ids are typed errors, atomically.
+        assert_eq!(
+            c.delete("sq", &[5, 1]).unwrap_err(),
+            EngineError::UnknownPointId { id: 1 }
+        );
+        assert_eq!(
+            c.handle("sq").unwrap().view.delta_ids(),
+            &[5, 6],
+            "failed delete must not partially apply"
+        );
+        assert_eq!(
+            c.delete("sq", &[99]).unwrap_err(),
+            EngineError::UnknownPointId { id: 99 }
+        );
+    }
+
+    #[test]
+    fn compaction_merges_in_canonical_order() {
+        let c = Catalog::new();
+        c.register("sq", 2, unit_square()).unwrap();
+        c.append("sq", &[0.5, 0.5]).unwrap();
+        c.delete("sq", &[0]).unwrap();
+        let epoch = c.epoch("sq").unwrap();
+        assert!(c.compact_if("sq", epoch).unwrap());
+        let h = c.handle("sq").unwrap();
+        assert_eq!(h.epoch, DatasetEpoch::fresh(2));
+        assert!(h.view.is_plain());
+        assert_eq!(
+            *h.coords,
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5],
+            "live rows in canonical order"
+        );
+        // Compacting again at the (stale) old epoch is a no-op.
+        assert!(!c.compact_if("sq", epoch).unwrap());
+        let s = c.stats();
+        assert_eq!(s.compactions, 1);
+    }
+
+    #[test]
+    fn compaction_abandons_when_superseded() {
         let c = Catalog::new();
         c.register("d", 2, unit_square()).unwrap();
+        c.append("d", &[0.5, 0.5]).unwrap();
+        let old = c.epoch("d").unwrap();
+        c.append("d", &[0.6, 0.6]).unwrap();
+        // `old` no longer matches: the merge must not install.
+        assert!(!c.compact_if("d", old).unwrap());
+        assert_eq!(c.epoch("d").unwrap().base, 1);
+    }
+
+    #[test]
+    fn reregister_bumps_base_epoch() {
+        let c = Catalog::new();
+        c.register("d", 2, unit_square()).unwrap();
+        c.append("d", &[0.5, 0.5]).unwrap();
         c.register("d", 3, vec![0.0; 9]).unwrap();
-        assert_eq!(c.epoch("d").unwrap(), 2);
+        let epoch = c.epoch("d").unwrap();
+        assert_eq!(epoch, DatasetEpoch::fresh(2));
         assert_eq!(c.handle("d").unwrap().dim, 3);
     }
 
@@ -297,19 +718,35 @@ mod tests {
             c.register("r", 3, vec![1.0, 2.0]).unwrap_err(),
             EngineError::RaggedCoordinates { dim: 3, len: 2 }
         );
+        assert_eq!(
+            c.register("nan", 2, vec![f64::NAN, 1.0]).unwrap_err(),
+            EngineError::NonFiniteInput {
+                field: "coordinates"
+            }
+        );
         c.register("d", 2, unit_square()).unwrap();
         assert_eq!(
             c.append("d", &[1.0]).unwrap_err(),
             EngineError::RaggedCoordinates { dim: 2, len: 1 }
         );
         assert_eq!(
+            c.append("d", &[f64::INFINITY, 0.0]).unwrap_err(),
+            EngineError::NonFiniteInput {
+                field: "coordinates"
+            }
+        );
+        assert_eq!(
             c.append("nope", &[1.0, 1.0]).unwrap_err(),
+            EngineError::UnknownDataset("nope".into())
+        );
+        assert_eq!(
+            c.delete("nope", &[0]).unwrap_err(),
             EngineError::UnknownDataset("nope".into())
         );
     }
 
     #[test]
-    fn weight_sets_are_immutable() {
+    fn weight_sets_are_immutable_and_validated() {
         let c = Catalog::new();
         c.register_weights("cust", vec![Weight::new(vec![0.5, 0.5])])
             .unwrap();
@@ -322,6 +759,12 @@ mod tests {
             c.weights("nope").unwrap_err(),
             EngineError::UnknownWeightSet("nope".into())
         );
+        // Weight's own constructor already rejects non-finite entries;
+        // the catalog's check is the backstop for any future bypass.
+        assert!(crate::request::check_weight(&[f64::NAN, 1.0], "w").is_err());
+        assert!(crate::request::check_weight(&[-0.5, 1.5], "w").is_err());
+        assert!(crate::request::check_weight(&[0.0, 0.0], "w").is_err());
+        assert!(crate::request::check_weight(&[0.3, 0.7], "w").is_ok());
     }
 
     #[test]
@@ -330,5 +773,37 @@ mod tests {
         c.register("b", 1, vec![1.0]).unwrap();
         c.register("a", 1, vec![2.0]).unwrap();
         assert_eq!(c.dataset_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_cold_handles_build_exactly_once() {
+        use std::sync::Barrier;
+        let c = Arc::new(Catalog::new());
+        // Big enough that a build takes real time, so the race window is
+        // wide open without the OnceLock.
+        let n = 20_000;
+        let coords: Vec<f64> = (0..n * 2).map(|i| (i % 997) as f64).collect();
+        c.register("big", 2, coords).unwrap();
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = c.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    c.handle("big").unwrap()
+                })
+            })
+            .collect();
+        let built: Vec<DatasetHandle> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            c.stats().index_builds,
+            1,
+            "racing cold callers must share one build"
+        );
+        for h in &built[1..] {
+            assert!(Arc::ptr_eq(&built[0].index, &h.index));
+        }
     }
 }

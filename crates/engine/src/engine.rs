@@ -32,6 +32,7 @@ pub struct EngineBuilder {
     workers: usize,
     cache_capacity: usize,
     shard_limit: usize,
+    overlay_limit: Option<usize>,
 }
 
 impl Default for EngineBuilder {
@@ -40,6 +41,7 @@ impl Default for EngineBuilder {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             cache_capacity: 256,
             shard_limit: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            overlay_limit: None,
         }
     }
 }
@@ -79,6 +81,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Overlay rows (appended + tombstoned) a dataset may accumulate
+    /// before the engine schedules a compaction on the worker pool. The
+    /// default is adaptive — `max(1024, base_len / 4)`: large datasets
+    /// merge once the overlay reaches a quarter of the base, while
+    /// small ones tolerate proportionally bigger overlays (their `O(Δ)`
+    /// correction sweeps are cheap and a merge would churn the index
+    /// for little gain). Use `usize::MAX` to disable automatic
+    /// compaction (mutation tests and deterministic id bookkeeping call
+    /// [`Engine::compact`] manually).
+    pub fn overlay_limit(mut self, limit: usize) -> Self {
+        self.overlay_limit = Some(limit);
+        self
+    }
+
     /// Spawns the workers and returns the engine.
     pub fn build(self) -> Engine {
         let catalog = Arc::new(Catalog::new());
@@ -97,12 +113,14 @@ impl EngineBuilder {
                 queue: queue_tx.clone(),
                 pool_size: self.workers,
                 shard_limit: self.shard_limit,
+                overlay_limit: self.overlay_limit,
             }),
         );
         Engine {
             catalog,
             cache,
             metrics,
+            overlay_limit: self.overlay_limit,
             queue: Some(queue_tx),
             pool: Some(pool),
         }
@@ -121,6 +139,7 @@ pub struct Engine {
     catalog: Arc<Catalog>,
     cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
+    overlay_limit: Option<usize>,
     queue: Option<Sender<Job>>,
     pool: Option<Pool>,
 }
@@ -139,10 +158,12 @@ impl Engine {
     /// Read access to the catalog (names, epochs, handles).
     ///
     /// Mutations should go through [`Engine::register_dataset`] /
-    /// [`Engine::append_points`], which also evict the mutated dataset's
-    /// cache entries. (Mutating the catalog directly is still *safe* —
+    /// [`Engine::append_points`] / [`Engine::delete_points`], which also
+    /// evict the mutated dataset's cache entries and schedule
+    /// compactions. (Mutating the catalog directly is still *safe* —
     /// epoch-keyed cache entries can never serve stale data — it merely
-    /// leaves dead entries for LRU eviction to reclaim.)
+    /// leaves dead entries for LRU eviction to reclaim and skips the
+    /// compaction trigger.)
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
     }
@@ -162,15 +183,54 @@ impl Engine {
         Ok(())
     }
 
-    /// Appends points to a dataset, bumping its epoch and evicting its
-    /// cached results.
+    /// Appends points into a dataset's delta overlay — `O(Δ)`, the built
+    /// index is untouched — evicting its cached results and scheduling a
+    /// compaction if the overlay outgrew its threshold. Returns the live
+    /// point count. Equivalent to submitting [`Request::Append`].
     ///
     /// # Errors
     /// See [`Catalog::append`].
-    pub fn append_points(&self, name: &str, points: &[f64]) -> Result<(), EngineError> {
-        self.catalog.append(name, points)?;
-        self.cache.evict_dataset(name);
-        Ok(())
+    pub fn append_points(&self, name: &str, points: &[f64]) -> Result<usize, EngineError> {
+        let queue = self.queue.as_ref().expect("pool alive while engine alive");
+        crate::worker::mutate(
+            &self.catalog,
+            &self.cache,
+            queue,
+            self.overlay_limit,
+            name,
+            |catalog| catalog.append(name, points),
+        )
+    }
+
+    /// Deletes points by stable id (base rows are tombstoned, appended
+    /// rows drop out of the overlay) — `O(Δ)`, index untouched — with
+    /// the same eviction + compaction scheduling as appends. Returns the
+    /// live point count. Equivalent to submitting [`Request::Delete`].
+    ///
+    /// # Errors
+    /// See [`Catalog::delete`].
+    pub fn delete_points(&self, name: &str, ids: &[u32]) -> Result<usize, EngineError> {
+        let queue = self.queue.as_ref().expect("pool alive while engine alive");
+        crate::worker::mutate(
+            &self.catalog,
+            &self.cache,
+            queue,
+            self.overlay_limit,
+            name,
+            |catalog| catalog.delete(name, ids),
+        )
+    }
+
+    /// Synchronously merges a dataset's overlay into a fresh bulk-loaded
+    /// base (no-op when the overlay is empty). Returns whether a merge
+    /// ran. Automatic compaction does the same off the request path; this
+    /// entry point exists for deterministic id bookkeeping and tests.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownDataset`].
+    pub fn compact(&self, name: &str) -> Result<bool, EngineError> {
+        let epoch = self.catalog.epoch(name)?;
+        self.catalog.compact_if(name, epoch)
     }
 
     /// Registers an immutable customer weight population.
@@ -229,7 +289,8 @@ impl Engine {
     /// Point-in-time metrics (per-kind latency, index-node accesses,
     /// cache hit rate).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.stats())
+        self.metrics
+            .snapshot(self.cache.stats(), self.catalog.stats())
     }
 
     /// Number of worker threads.
@@ -483,6 +544,154 @@ mod tests {
             m.scratch_reuses >= 3,
             "warm scratch must be reused across requests: {m:?}"
         );
+    }
+
+    #[test]
+    fn mutation_requests_serve_through_the_pool() {
+        let engine = figure1_engine(2);
+        // Append a dominating product via a request; query in a later
+        // batch (mutations and queries in one batch race by design).
+        let r = engine.submit(Request::Append {
+            dataset: "products".into(),
+            points: vec![1.0, 0.5],
+        });
+        assert_eq!(r, Response::Mutated { live_len: 8 });
+        let top = engine.submit(Request::TopK {
+            dataset: "products".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        });
+        match &top {
+            Response::TopK(points) => assert_eq!(points[0].0, 7, "appended point ranks first"),
+            other => panic!("expected TopK, got {other:?}"),
+        }
+        // Delete it again: the original paper answer returns.
+        let r = engine.submit(Request::Delete {
+            dataset: "products".into(),
+            ids: vec![7],
+        });
+        assert_eq!(r, Response::Mutated { live_len: 7 });
+        let r = engine.submit(Request::ReverseTopKBi {
+            dataset: "products".into(),
+            weights: WeightSet::Named("customers".into()),
+            q: vec![4.0, 4.0],
+            k: 3,
+        });
+        assert_eq!(r, Response::ReverseTopKBi(vec![1, 2])); // Tony, Anna
+        let m = engine.metrics();
+        assert_eq!(m.catalog.index_builds, 1, "mutations never rebuild");
+        // The append landed before the lazy index existed (nothing to
+        // avoid); the delete hit a built index and was absorbed.
+        assert_eq!(m.catalog.rebuilds_avoided, 1);
+        // Bad mutations are typed errors that don't poison the batch.
+        let rs = engine.submit_batch(vec![
+            Request::Delete {
+                dataset: "products".into(),
+                ids: vec![7], // already deleted
+            },
+            Request::Append {
+                dataset: "products".into(),
+                points: vec![f64::NAN, 1.0],
+            },
+            Request::Append {
+                dataset: "nope".into(),
+                points: vec![1.0, 1.0],
+            },
+        ]);
+        assert!(rs.iter().all(Response::is_error));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_with_typed_errors() {
+        let engine = figure1_engine(1);
+        let cases = vec![
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![f64::NAN, 0.5],
+                k: 1,
+            },
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![-0.5, 1.5],
+                k: 1,
+            },
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![0.0, 0.0],
+                k: 1,
+            },
+            Request::ReverseTopKMono {
+                dataset: "products".into(),
+                q: vec![f64::INFINITY, 4.0],
+                k: 3,
+                samples: 0,
+                seed: 0,
+            },
+            Request::ReverseTopKBi {
+                dataset: "products".into(),
+                weights: WeightSet::Inline(vec![vec![0.5, f64::NEG_INFINITY]]),
+                q: vec![4.0, 4.0],
+                k: 3,
+            },
+            Request::WhyNotExplain {
+                dataset: "products".into(),
+                weight: vec![0.1, 0.9],
+                q: vec![f64::NAN, 4.0],
+                limit: 3,
+            },
+            Request::WhyNotRefine {
+                dataset: "products".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![f64::NAN, 0.9]],
+                strategy: RefineStrategy::Mqp,
+            },
+        ];
+        for request in cases {
+            let label = format!("{request:?}");
+            let response = engine.submit(request);
+            match response {
+                Response::Error(msg) => assert!(
+                    msg.contains("non-finite") || msg.contains("invalid weighting"),
+                    "{label}: unexpected error text {msg}"
+                ),
+                other => panic!("{label}: expected typed error, got {other:?}"),
+            }
+        }
+        // Nothing was executed or cached for any of them.
+        assert_eq!(engine.metrics().cache.len, 0);
+    }
+
+    #[test]
+    fn overlay_growth_triggers_background_compaction() {
+        let engine = Engine::builder().workers(2).overlay_limit(4).build();
+        engine.register_dataset("d", 2, scatter(64, 2, 3)).unwrap();
+        engine.catalog().handle("d").unwrap(); // build the base index
+        for i in 0..6 {
+            engine.append_points("d", &[i as f64, i as f64]).unwrap();
+        }
+        // The 5th mutation crossed the limit and scheduled a merge on
+        // the pool; wait for a worker to pick it up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while engine.metrics().catalog.compactions == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "compaction never ran: {:?}",
+                engine.metrics().catalog
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let epoch = engine.catalog().epoch("d").unwrap();
+        assert!(epoch.base >= 2, "compaction bumps the base epoch");
+        // The merged dataset still answers correctly (66 live points).
+        match engine.submit(Request::TopK {
+            dataset: "d".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        }) {
+            Response::TopK(points) => assert_eq!(points.len(), 1),
+            other => panic!("expected TopK, got {other:?}"),
+        }
     }
 
     #[test]

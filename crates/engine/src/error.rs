@@ -33,6 +33,26 @@ pub enum EngineError {
     /// A weight population name is already taken (populations are
     /// immutable once registered; see [`crate::Catalog`]).
     WeightSetExists(String),
+    /// An input contains a NaN or infinite value. Non-finite floats
+    /// silently corrupt every strict `<` comparison and `total_cmp` sort
+    /// in the kernels, so they are rejected at the request boundary.
+    NonFiniteInput {
+        /// Which input was malformed.
+        field: &'static str,
+    },
+    /// A weighting vector has a negative component or no positive one.
+    InvalidWeight {
+        /// Which input held the vector.
+        field: &'static str,
+    },
+    /// A delete names a point id that does not exist (or was already
+    /// deleted) in the dataset's current generation.
+    UnknownPointId {
+        /// The offending id.
+        id: u32,
+    },
+    /// The dataset has exhausted the `u32` point-id space.
+    DatasetFull,
     /// The worker pool has shut down and can no longer serve requests.
     PoolShutdown,
 }
@@ -57,6 +77,22 @@ impl fmt::Display for EngineError {
                     f,
                     "weight set `{name}` already registered (populations are immutable)"
                 )
+            }
+            EngineError::NonFiniteInput { field } => {
+                write!(f, "non-finite value (NaN or infinity) in {field}")
+            }
+            EngineError::InvalidWeight { field } => {
+                write!(
+                    f,
+                    "invalid weighting vector in {field}: components must be \
+                     non-negative with at least one positive"
+                )
+            }
+            EngineError::UnknownPointId { id } => {
+                write!(f, "unknown (or already deleted) point id {id}")
+            }
+            EngineError::DatasetFull => {
+                write!(f, "dataset exhausted the u32 point-id space")
             }
             EngineError::PoolShutdown => write!(f, "worker pool has shut down"),
         }

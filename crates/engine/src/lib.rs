@@ -46,7 +46,7 @@ mod request;
 mod worker;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use catalog::{Catalog, DatasetHandle};
+pub use catalog::{Catalog, CatalogStats, DatasetEpoch, DatasetHandle};
 pub use engine::{Engine, EngineBuilder};
 pub use error::EngineError;
 pub use metrics::{KindSnapshot, Metrics, MetricsSnapshot};

@@ -8,6 +8,7 @@
 //! [`crate::ResultCache`] and are merged into the snapshot by the engine.
 
 use crate::cache::CacheStats;
+use crate::catalog::CatalogStats;
 use crate::request::RequestKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -25,7 +26,7 @@ struct KindCounters {
 /// Lock-free metric accumulators shared by all workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    kinds: [KindCounters; 5],
+    kinds: [KindCounters; 7],
     batches: AtomicU64,
     /// Requests served with a warm per-worker scratch (buffers reused
     /// instead of allocated) — the zero-allocation hot path's health
@@ -35,6 +36,9 @@ pub struct Metrics {
     parallel_shards: AtomicU64,
     /// Bichromatic requests that were fanned across the worker pool.
     sharded_requests: AtomicU64,
+    /// Requests executed against a non-empty delta overlay (appends or
+    /// tombstones folded into the answer without a rebuild).
+    delta_hits: AtomicU64,
 }
 
 impl Metrics {
@@ -83,8 +87,14 @@ impl Metrics {
         self.parallel_shards.fetch_add(shards, Ordering::Relaxed);
     }
 
-    /// A point-in-time snapshot, merged with the cache's counters.
-    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+    /// Records one request answered through a non-empty delta overlay.
+    pub fn record_delta_hit(&self) {
+        self.delta_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot, merged with the cache's and catalog's
+    /// counters.
+    pub fn snapshot(&self, cache: CacheStats, catalog: CatalogStats) -> MetricsSnapshot {
         let per_kind = RequestKind::ALL
             .iter()
             .map(|&kind| {
@@ -106,6 +116,8 @@ impl Metrics {
             scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
             parallel_shards: self.parallel_shards.load(Ordering::Relaxed),
             sharded_requests: self.sharded_requests.load(Ordering::Relaxed),
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            catalog,
             cache,
         }
     }
@@ -157,6 +169,11 @@ pub struct MetricsSnapshot {
     pub parallel_shards: u64,
     /// Bichromatic requests fanned across the worker pool.
     pub sharded_requests: u64,
+    /// Requests answered through a non-empty delta overlay.
+    pub delta_hits: u64,
+    /// Catalog build/mutation counters (index builds, rebuilds avoided,
+    /// compactions).
+    pub catalog: CatalogStats,
     /// Result-cache counters.
     pub cache: CacheStats,
 }
@@ -189,6 +206,15 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "  scratch reuse {} requests, {} bichromatic requests sharded into {} pool shards",
             self.scratch_reuses, self.sharded_requests, self.parallel_shards,
+        )?;
+        writeln!(
+            f,
+            "  overlay: {} delta hits, {} rebuilds avoided, {} index builds, {} compactions ({} abandoned)",
+            self.delta_hits,
+            self.catalog.rebuilds_avoided,
+            self.catalog.index_builds,
+            self.catalog.compactions,
+            self.catalog.compactions_abandoned,
         )?;
         writeln!(
             f,
@@ -228,6 +254,10 @@ mod tests {
         }
     }
 
+    fn empty_catalog_stats() -> CatalogStats {
+        CatalogStats::default()
+    }
+
     #[test]
     fn record_aggregates_per_kind() {
         let m = Metrics::new();
@@ -247,7 +277,7 @@ mod tests {
             true,
         );
         m.record_batch();
-        let s = m.snapshot(empty_cache_stats());
+        let s = m.snapshot(empty_cache_stats(), empty_catalog_stats());
         assert_eq!(s.total_requests(), 3);
         assert_eq!(s.batches, 1);
         assert_eq!(s.total_index_nodes(), 12);
@@ -270,7 +300,9 @@ mod tests {
             false,
             false,
         );
-        let text = m.snapshot(empty_cache_stats()).to_string();
+        let text = m
+            .snapshot(empty_cache_stats(), empty_catalog_stats())
+            .to_string();
         assert!(text.contains("topk"));
         assert!(!text.contains("whynot-refine"));
     }
@@ -278,7 +310,7 @@ mod tests {
     #[test]
     fn empty_snapshot_is_zero() {
         let m = Metrics::new();
-        let s = m.snapshot(empty_cache_stats());
+        let s = m.snapshot(empty_cache_stats(), empty_catalog_stats());
         assert_eq!(s.total_requests(), 0);
         assert_eq!(s.per_kind[0].avg_latency(), Duration::ZERO);
     }

@@ -4,7 +4,16 @@
 //! library implements; a [`Response`] carries plain-data results
 //! (`PartialEq`, so batch determinism is directly assertable). Every
 //! request has a stable [`Request::fingerprint`] — combined with the
-//! dataset's catalog epoch it keys the engine's result cache.
+//! dataset's catalog epoch triple it keys the engine's result cache.
+//!
+//! [`Request::validate`] is the engine's input firewall: every float a
+//! request carries must be finite (a single NaN or infinity would
+//! silently corrupt the strict `<` comparisons and `total_cmp` sorts in
+//! the kernels), and every weighting vector must be non-negative with at
+//! least one positive component. Workers reject invalid requests with a
+//! typed error before touching any index.
+
+use crate::error::EngineError;
 
 /// The weight population a bichromatic reverse top-k request runs
 /// against.
@@ -104,6 +113,41 @@ pub enum Request {
         /// Which solution to run.
         strategy: RefineStrategy,
     },
+    /// Appends rows to a dataset's delta overlay (`O(Δ)`, no rebuild).
+    Append {
+        /// Catalog dataset name.
+        dataset: String,
+        /// Flat row-major coordinates of the rows to append.
+        points: Vec<f64>,
+    },
+    /// Deletes points (by stable id) from a dataset: base rows are
+    /// tombstoned, appended rows drop out of the delta overlay.
+    Delete {
+        /// Catalog dataset name.
+        dataset: String,
+        /// Stable point ids to delete.
+        ids: Vec<u32>,
+    },
+}
+
+/// Validates one weighting vector: finite, non-negative, some positive.
+pub(crate) fn check_weight(w: &[f64], field: &'static str) -> Result<(), EngineError> {
+    if !w.iter().all(|x| x.is_finite()) {
+        return Err(EngineError::NonFiniteInput { field });
+    }
+    if w.iter().any(|&x| x < 0.0) || !w.iter().any(|&x| x > 0.0) {
+        return Err(EngineError::InvalidWeight { field });
+    }
+    Ok(())
+}
+
+/// Validates one coordinate vector: finite throughout.
+pub(crate) fn check_finite(v: &[f64], field: &'static str) -> Result<(), EngineError> {
+    if v.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(EngineError::NonFiniteInput { field })
+    }
 }
 
 /// Request kinds, for metrics bucketing.
@@ -119,17 +163,29 @@ pub enum RequestKind {
     WhyNotExplain,
     /// [`Request::WhyNotRefine`].
     WhyNotRefine,
+    /// [`Request::Append`].
+    Append,
+    /// [`Request::Delete`].
+    Delete,
 }
 
 impl RequestKind {
     /// All kinds, in declaration order (metrics table order).
-    pub const ALL: [RequestKind; 5] = [
+    pub const ALL: [RequestKind; 7] = [
         RequestKind::TopK,
         RequestKind::ReverseTopKMono,
         RequestKind::ReverseTopKBi,
         RequestKind::WhyNotExplain,
         RequestKind::WhyNotRefine,
+        RequestKind::Append,
+        RequestKind::Delete,
     ];
+
+    /// Whether this kind mutates its dataset (served outside the result
+    /// cache and without resolving an index snapshot).
+    pub fn is_mutation(self) -> bool {
+        matches!(self, RequestKind::Append | RequestKind::Delete)
+    }
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -139,6 +195,8 @@ impl RequestKind {
             RequestKind::ReverseTopKBi => "rtopk-bi",
             RequestKind::WhyNotExplain => "whynot-explain",
             RequestKind::WhyNotRefine => "whynot-refine",
+            RequestKind::Append => "append",
+            RequestKind::Delete => "delete",
         }
     }
 
@@ -149,6 +207,8 @@ impl RequestKind {
             RequestKind::ReverseTopKBi => 2,
             RequestKind::WhyNotExplain => 3,
             RequestKind::WhyNotRefine => 4,
+            RequestKind::Append => 5,
+            RequestKind::Delete => 6,
         }
     }
 }
@@ -162,6 +222,8 @@ impl Request {
             Request::ReverseTopKBi { .. } => RequestKind::ReverseTopKBi,
             Request::WhyNotExplain { .. } => RequestKind::WhyNotExplain,
             Request::WhyNotRefine { .. } => RequestKind::WhyNotRefine,
+            Request::Append { .. } => RequestKind::Append,
+            Request::Delete { .. } => RequestKind::Delete,
         }
     }
 
@@ -172,7 +234,44 @@ impl Request {
             | Request::ReverseTopKMono { dataset, .. }
             | Request::ReverseTopKBi { dataset, .. }
             | Request::WhyNotExplain { dataset, .. }
-            | Request::WhyNotRefine { dataset, .. } => dataset,
+            | Request::WhyNotRefine { dataset, .. }
+            | Request::Append { dataset, .. }
+            | Request::Delete { dataset, .. } => dataset,
+        }
+    }
+
+    /// Validates the request's numeric payload before execution: every
+    /// coordinate finite, every weighting vector non-negative with a
+    /// positive component.
+    ///
+    /// # Errors
+    /// [`EngineError::NonFiniteInput`] / [`EngineError::InvalidWeight`].
+    pub fn validate(&self) -> Result<(), EngineError> {
+        match self {
+            Request::TopK { weight, .. } => check_weight(weight, "weight"),
+            Request::ReverseTopKMono { q, .. } => check_finite(q, "query point"),
+            Request::ReverseTopKBi { weights, q, .. } => {
+                check_finite(q, "query point")?;
+                if let WeightSet::Inline(ws) = weights {
+                    for w in ws {
+                        check_weight(w, "inline weight set")?;
+                    }
+                }
+                Ok(())
+            }
+            Request::WhyNotExplain { weight, q, .. } => {
+                check_weight(weight, "weight")?;
+                check_finite(q, "query point")
+            }
+            Request::WhyNotRefine { q, why_not, .. } => {
+                check_finite(q, "query point")?;
+                for w in why_not {
+                    check_weight(w, "why-not vector")?;
+                }
+                Ok(())
+            }
+            Request::Append { points, .. } => check_finite(points, "appended points"),
+            Request::Delete { .. } => Ok(()),
         }
     }
 
@@ -273,6 +372,19 @@ impl Request {
                     }
                 }
             }
+            Request::Append { dataset, points } => {
+                h.write_u64(6);
+                h.write_str(dataset);
+                h.write_floats(points);
+            }
+            Request::Delete { dataset, ids } => {
+                h.write_u64(7);
+                h.write_str(dataset);
+                h.write_u64(ids.len() as u64);
+                for id in ids {
+                    h.write_u64(*id as u64);
+                }
+            }
         }
         h.finish()
     }
@@ -320,6 +432,12 @@ pub enum Response {
     },
     /// A minimum-penalty refinement.
     Refinement(Refinement),
+    /// A mutation was applied; the dataset now holds this many live
+    /// points.
+    Mutated {
+        /// Live points after the mutation.
+        live_len: usize,
+    },
     /// The request failed; the batch continues.
     Error(String),
 }
@@ -436,7 +554,7 @@ mod tests {
         assert_eq!(r.kind(), RequestKind::TopK);
         assert_eq!(r.dataset(), "p");
         assert_eq!(r.kind().name(), "topk");
-        assert_eq!(RequestKind::ALL.len(), 5);
+        assert_eq!(RequestKind::ALL.len(), 7);
         for (i, k) in RequestKind::ALL.iter().enumerate() {
             assert_eq!(k.index(), i);
         }

@@ -25,7 +25,7 @@
 //! worker count (asserted by the determinism tests).
 
 use crate::cache::CacheKey;
-use crate::catalog::{Catalog, DatasetHandle};
+use crate::catalog::{Catalog, DatasetEpoch, DatasetHandle};
 use crate::error::EngineError;
 use crate::metrics::Metrics;
 use crate::request::{RefineStrategy, Refinement, Request, Response, WeightSet};
@@ -37,8 +37,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
-use wqrtq_geom::Weight;
-use wqrtq_query::brtopk::{rta_over_order, rta_sorted_order, RtaScratch, RtaStats};
+use wqrtq_geom::{DeltaView, Weight};
+use wqrtq_query::brtopk::{rta_over_order_view, rta_sorted_order, RtaScratch, RtaStats};
+use wqrtq_query::topk::ViewBestFirst;
 use wqrtq_rtree::RTree;
 
 /// A bichromatic request is fanned across the pool only when each shard
@@ -63,6 +64,17 @@ pub(crate) struct WorkerContext {
     /// physical parallelism: sharding a CPU-bound scan beyond the cores
     /// that can actually run it only buys synchronisation overhead).
     pub(crate) shard_limit: usize,
+    /// Overlay rows (delta + tombstones) a dataset may accumulate before
+    /// a compaction is scheduled; `None` picks the adaptive default of
+    /// `max(1024, base_len / 4)` (quarter-of-base for large datasets, a
+    /// generous absolute floor for small ones whose overlay sweeps are
+    /// cheap anyway).
+    pub(crate) overlay_limit: Option<usize>,
+}
+
+/// Overlay size that triggers compaction under the adaptive policy.
+pub(crate) fn compaction_threshold(overlay_limit: Option<usize>, base_len: usize) -> usize {
+    overlay_limit.unwrap_or_else(|| 1024.max(base_len / 4))
 }
 
 /// One unit of queued work.
@@ -75,6 +87,13 @@ pub(crate) enum Job {
     },
     /// One claimable shard of a parallelised bichromatic request.
     Shard(Arc<ShardTask>),
+    /// A scheduled overlay merge for a dataset, run off the request
+    /// path. Carries the epoch the trigger observed: a dataset that
+    /// mutated (or compacted) since is left alone.
+    Compact {
+        dataset: String,
+        epoch: DatasetEpoch,
+    },
     /// Orderly shutdown sentinel (one per worker, sent on engine drop).
     Shutdown,
 }
@@ -91,6 +110,8 @@ pub(crate) struct WorkerScratch {
 /// shards over its similarity-sorted weight order.
 pub(crate) struct ShardTask {
     tree: Arc<RTree>,
+    /// The overlay every shard's verdicts must account for.
+    view: DeltaView,
     weights: Arc<Vec<Weight>>,
     /// Similarity order over all weights (computed once by the origin).
     order: Vec<usize>,
@@ -116,6 +137,7 @@ struct ShardState {
 impl ShardTask {
     fn new(
         tree: Arc<RTree>,
+        view: DeltaView,
         weights: Arc<Vec<Weight>>,
         q: Vec<f64>,
         k: usize,
@@ -130,6 +152,7 @@ impl ShardTask {
         let n = ranges.len();
         Self {
             tree,
+            view,
             weights,
             order,
             ranges,
@@ -158,8 +181,9 @@ impl ShardTask {
     fn run_shard(&self, i: usize, scratch: &mut RtaScratch) {
         let (lo, hi) = self.ranges[i];
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            rta_over_order(
+            rta_over_order_view(
                 &self.tree,
+                &self.view,
                 &self.weights,
                 &self.order[lo..hi],
                 &self.q,
@@ -269,6 +293,11 @@ fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
                 let _ = reply.send((slot, response));
             }
             Job::Shard(task) => task.run_one(&mut scratch),
+            Job::Compact { dataset, epoch } => {
+                // Best-effort: an unknown dataset (dropped since the
+                // trigger) or a superseded epoch is simply skipped.
+                let _ = ctx.catalog.compact_if(&dataset, epoch);
+            }
             Job::Shutdown => return,
         }
     }
@@ -282,6 +311,26 @@ pub(crate) fn serve(
 ) -> Response {
     let started = Instant::now();
     let kind = request.kind();
+
+    // Input firewall: reject non-finite coordinates and malformed
+    // weighting vectors before touching any index or cache.
+    if let Err(e) = request.validate() {
+        let response = Response::Error(e.to_string());
+        ctx.metrics.record(kind, started.elapsed(), 0, false, true);
+        return response;
+    }
+
+    // Mutations bypass the snapshot/cache machinery entirely: they must
+    // not build an index (the overlay absorbs them) and are never cached.
+    if kind.is_mutation() {
+        let response = match apply_mutation(ctx, request) {
+            Ok(live_len) => Response::Mutated { live_len },
+            Err(e) => Response::Error(e.to_string()),
+        };
+        ctx.metrics
+            .record(kind, started.elapsed(), 0, false, response.is_error());
+        return response;
+    }
 
     let handle = match ctx.catalog.handle(request.dataset()) {
         Ok(h) => h,
@@ -298,6 +347,9 @@ pub(crate) fn serve(
     if let Some(response) = ctx.cache.get(&key) {
         ctx.metrics.record(kind, started.elapsed(), 0, true, false);
         return response;
+    }
+    if !handle.view.is_plain() {
+        ctx.metrics.record_delta_hit();
     }
 
     let (response, index_nodes) =
@@ -350,11 +402,12 @@ fn execute_bichromatic(
     // Below this cardinality a fused flat scan of the whole column-major
     // store beats branch-and-bound: no heap, no pointer chasing, one
     // sequential sweep per weight (and each weight decided independently
-    // — nothing to shard or pool).
+    // — nothing to shard or pool). The overlay corrections ride along in
+    // the same sweep shape.
     const FLAT_SCAN_MAX_POINTS: usize = 2048;
     if handle.flat.len() <= FLAT_SCAN_MAX_POINTS {
         let members = (0..population.len())
-            .filter(|&i| handle.flat.is_in_topk(&population[i], q, k))
+            .filter(|&i| handle.view.is_in_topk(population[i].as_slice(), q, k))
             .collect();
         return Response::ReverseTopKBi(members);
     }
@@ -370,14 +423,22 @@ fn execute_bichromatic(
         .max(1);
     if shards <= 1 {
         let order = rta_sorted_order(&population);
-        let (mut members, _) =
-            rta_over_order(&handle.index, &population, &order, q, k, &mut scratch.rta);
+        let (mut members, _) = rta_over_order_view(
+            &handle.index,
+            &handle.view,
+            &population,
+            &order,
+            q,
+            k,
+            &mut scratch.rta,
+        );
         members.sort_unstable();
         return Response::ReverseTopKBi(members);
     }
 
     let task = Arc::new(ShardTask::new(
         handle.index.clone(),
+        handle.view.clone(),
         population,
         q.to_vec(),
         k,
@@ -415,12 +476,15 @@ fn execute(
             if let Err(e) = check_dim(handle, weight) {
                 return (Response::Error(e.to_string()), 0);
             }
-            let mut bf = handle.index.best_first(weight);
-            // Cap the pre-allocation at the dataset size: `k` is
+            // The merged live traversal: identical to the plain
+            // best-first scan on un-mutated datasets, tombstone-skipping
+            // and delta-merging otherwise.
+            let mut bf = ViewBestFirst::new(&handle.index, &handle.view, weight);
+            // Cap the pre-allocation at the live size: `k` is
             // caller-controlled, and an oversized with_capacity would
             // abort (not unwind) on allocation failure, escaping the
             // per-request panic isolation.
-            let mut out = Vec::with_capacity((*k).min(handle.index.len()));
+            let mut out = Vec::with_capacity((*k).min(handle.live_len()));
             while out.len() < *k {
                 match bf.next_entry() {
                     Some(p) => out.push((p.id, p.score)),
@@ -441,15 +505,26 @@ fn execute(
                 return (Response::Error(e.to_string()), 0);
             }
             if handle.dim == 2 {
-                let intervals =
-                    wqrtq_query::mrtopk::monochromatic_reverse_topk_2d(&handle.coords, q, *k)
-                        .into_iter()
-                        .map(|iv| (iv.lo, iv.hi))
-                        .collect();
+                // The exact sweep needs a flat live buffer; un-mutated
+                // datasets reuse the base verbatim, overlays materialise
+                // their live rows (O(n), amortised by the sweep's own
+                // O(n log n)).
+                let live_coords;
+                let coords: &[f64] = if handle.view.is_plain() {
+                    &handle.coords
+                } else {
+                    live_coords = handle.view.materialize_row_major().0;
+                    &live_coords
+                };
+                let intervals = wqrtq_query::mrtopk::monochromatic_reverse_topk_2d(coords, q, *k)
+                    .into_iter()
+                    .map(|iv| (iv.lo, iv.hi))
+                    .collect();
                 (Response::MonoExact(intervals), 0)
             } else {
-                let est = wqrtq_query::mrtopk_nd::monochromatic_reverse_topk_sampled(
+                let est = wqrtq_query::mrtopk_nd::monochromatic_reverse_topk_sampled_view(
                     &handle.index,
+                    &handle.view,
                     q,
                     *k,
                     *samples,
@@ -498,7 +573,7 @@ fn execute(
                 return (Response::Error(e.to_string()), 0);
             }
             let (explanation, nodes) =
-                wqrtq_core::explain_with_stats(&handle.index, weight, q, *limit);
+                wqrtq_core::explain_view_with_stats(&handle.index, &handle.view, weight, q, *limit);
             (
                 Response::Explanation {
                     rank: explanation.rank,
@@ -521,9 +596,12 @@ fn execute(
         } => {
             let why_not: Vec<Weight> = why_not.iter().map(|w| Weight::new(w.clone())).collect();
             // The shared pre-built index goes straight into the framework
-            // facade — this is the entry point refactored to take any
-            // `Borrow<RTree>`, so serving never rebuilds an index.
-            let wqrtq = match Wqrtq::new(handle.index.clone(), q, *k) {
+            // facade with the overlay snapshot — serving never rebuilds
+            // an index, mutated or not. The engine always takes the view
+            // path (plain datasets get a plain view), so plain and
+            // overlaid answers share one canonical frontier ordering and
+            // stay bit-comparable.
+            let wqrtq = match Wqrtq::with_view(handle.index.clone(), handle.view.clone(), q, *k) {
                 Ok(w) => w,
                 Err(e) => return (Response::Error(e.to_string()), 0),
             };
@@ -543,7 +621,65 @@ fn execute(
                 Err(e) => (Response::Error(e.to_string()), 0),
             }
         }
+        Request::Append { .. } | Request::Delete { .. } => {
+            unreachable!("mutations are dispatched before snapshot resolution")
+        }
     }
+}
+
+/// Applies an [`Request::Append`] / [`Request::Delete`], evicts the
+/// dataset's cached responses, and schedules a compaction when the
+/// overlay outgrew its threshold. Returns the live point count.
+fn apply_mutation(ctx: &WorkerContext, request: &Request) -> Result<usize, EngineError> {
+    match request {
+        Request::Append { dataset, points } => mutate(
+            &ctx.catalog,
+            &ctx.cache,
+            &ctx.queue,
+            ctx.overlay_limit,
+            dataset,
+            |catalog| catalog.append(dataset, points),
+        ),
+        Request::Delete { dataset, ids } => mutate(
+            &ctx.catalog,
+            &ctx.cache,
+            &ctx.queue,
+            ctx.overlay_limit,
+            dataset,
+            |catalog| catalog.delete(dataset, ids),
+        ),
+        _ => unreachable!("apply_mutation called on a query request"),
+    }
+}
+
+/// The shared mutation path (worker jobs and the engine's direct
+/// `append_points` / `delete_points` methods): apply, evict the
+/// dataset's cache entries (stale keys could never *hit*, eviction just
+/// reclaims capacity early), then schedule an off-request-path
+/// compaction if the overlay outgrew its threshold.
+pub(crate) fn mutate(
+    catalog: &Catalog,
+    cache: &ResultCache,
+    queue: &Sender<Job>,
+    overlay_limit: Option<usize>,
+    dataset: &str,
+    op: impl FnOnce(&Catalog) -> Result<usize, EngineError>,
+) -> Result<usize, EngineError> {
+    let live_len = op(catalog)?;
+    cache.evict_dataset(dataset);
+    if let Ok((overlay, base_len)) = catalog.overlay_size(dataset) {
+        if overlay > compaction_threshold(overlay_limit, base_len) {
+            if let Ok(epoch) = catalog.epoch(dataset) {
+                // A send failure means the pool is shutting down — the
+                // overlay simply persists until the next trigger.
+                let _ = queue.send(Job::Compact {
+                    dataset: dataset.to_string(),
+                    epoch,
+                });
+            }
+        }
+    }
+    Ok(live_len)
 }
 
 fn refinement_from(answer: WqrtqAnswer) -> Refinement {

@@ -14,11 +14,15 @@
 //!   weighting vector (the branch-and-bound pruning primitive).
 //! * [`FlatPoints`] — a column-major (SoA) point store with fused,
 //!   auto-vectorizable score kernels for the flat-scan hot paths.
+//! * [`DeltaView`] — a *base + delta − tombstones* snapshot of a mutated
+//!   dataset whose rank kernels fuse the base scan with `O(Δ)` overlay
+//!   corrections, so appends and deletes serve without a rebuild.
 //! * [`Hyperplane`] / [`HalfSpace`] — the building blocks of safe regions
 //!   (Definition 7 of the paper) and of the MWK sampling space.
 //! * [`Polygon2d`] — exact half-space intersection in two dimensions, used
 //!   to validate the quadratic-programming answer of MQP geometrically.
 
+pub mod delta;
 pub mod flat;
 pub mod halfspace;
 pub mod hyperplane;
@@ -27,6 +31,7 @@ pub mod point;
 pub mod poly2d;
 pub mod weight;
 
+pub use delta::DeltaView;
 pub use flat::{count_better_rows, FlatPoints};
 pub use halfspace::HalfSpace;
 pub use hyperplane::Hyperplane;

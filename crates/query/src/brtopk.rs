@@ -29,7 +29,7 @@
 //! concatenation because every chunk's verdicts are independent.
 
 use crate::rank::is_in_topk;
-use wqrtq_geom::{count_better_rows, score, Point, Weight};
+use wqrtq_geom::{count_better_rows, score, DeltaView, Point, Weight};
 use wqrtq_rtree::{search::CulpritBuf, ProbeScratch, RTree};
 
 /// Work counters exposed by the RTA implementations for the ablation
@@ -232,6 +232,108 @@ pub fn rta_over_order(
         }
     }
     (result, stats)
+}
+
+/// [`rta_over_order`] over a delta overlay: every weight's verdict is
+/// corrected by the `O(Δ)` appended/tombstoned sweeps, the culprit pool
+/// keeps only *live* base points (a tombstoned culprit would prune
+/// unsoundly), and the base probe's count target shifts by the overlay
+/// corrections — so the verdicts are exactly those of a dataset rebuilt
+/// from the live rows. Plain views take the unmodified hot path.
+///
+/// Soundness of the pruning ladder, per weight with `sq = f(w, q)`:
+///
+/// 1. `d_add` live appended rows beat `q`; if `d_add ≥ k`, `q` is out.
+/// 2. The pool holds live base points; `pool_better ≥ k − d_add` proves
+///    at least `k` live points beat `q` — out, no index work.
+/// 3. Otherwise probe the base index for target `k − d_add + d_dead`:
+///    the probe decides `base_all < k − d_add + d_dead`, which is
+///    exactly `live_better < k`.
+pub fn rta_over_order_view(
+    tree: &RTree,
+    view: &DeltaView,
+    weights: &[Weight],
+    order: &[usize],
+    q: &[f64],
+    k: usize,
+    scratch: &mut RtaScratch,
+) -> (Vec<usize>, RtaStats) {
+    if view.is_plain() {
+        return rta_over_order(tree, weights, order, q, k, scratch);
+    }
+    let mut stats = RtaStats::default();
+    let mut result = Vec::new();
+    if order.is_empty() || k == 0 {
+        return (result, stats);
+    }
+    let dim = tree.dim();
+    let pool_points_cap = 2 * k;
+    scratch.pool.clear();
+    scratch.pool_ids.clear();
+
+    for &idx in order {
+        let w = &weights[idx];
+        let sq = w.score(q);
+        let d_add = view.count_better_delta(w.as_slice(), sq);
+        if d_add >= k {
+            // The appended rows alone outrank q.
+            stats.buffer_prunes += 1;
+            continue;
+        }
+        let need_live_base = k - d_add;
+        if scratch.pool_ids.len() >= need_live_base
+            && count_better_rows(&scratch.pool, w.as_slice(), sq) >= need_live_base
+        {
+            stats.buffer_prunes += 1;
+            continue;
+        }
+
+        stats.tree_verifications += 1;
+        let d_dead = view.count_better_dead(w.as_slice(), sq);
+        scratch.fresh.clear();
+        let probe = tree.probe_topk_membership(
+            w.as_slice(),
+            sq,
+            need_live_base + d_dead,
+            &mut scratch.probe,
+            Some(&mut scratch.fresh),
+        );
+        if probe.in_topk {
+            result.push(idx);
+        }
+        // Merge the probe's culprits into the pool — live, deduplicated.
+        for (i, &id) in scratch.fresh.ids.iter().enumerate() {
+            if view.is_deleted(id) || scratch.pool_ids.contains(&id) {
+                continue;
+            }
+            scratch.pool_ids.push(id);
+            scratch
+                .pool
+                .extend_from_slice(&scratch.fresh.coords[i * dim..(i + 1) * dim]);
+        }
+        if scratch.pool_ids.len() > pool_points_cap {
+            let excess = scratch.pool_ids.len() - pool_points_cap;
+            scratch.pool_ids.drain(0..excess);
+            scratch.pool.drain(0..excess * dim);
+        }
+    }
+    (result, stats)
+}
+
+/// Bichromatic reverse top-k over a delta overlay, in ascending index
+/// order — the one-shot wrapper over [`rta_over_order_view`].
+pub fn bichromatic_reverse_topk_rta_view(
+    tree: &RTree,
+    view: &DeltaView,
+    weights: &[Weight],
+    q: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut scratch = RtaScratch::new();
+    let order = rta_sorted_order(weights);
+    let (mut result, _) = rta_over_order_view(tree, view, weights, &order, q, k, &mut scratch);
+    result.sort_unstable();
+    result
 }
 
 /// The PR-1 RTA implementation, frozen as the `rank_bench` baseline: a
@@ -466,8 +568,73 @@ mod tests {
         assert_eq!(a, a2);
     }
 
+    #[test]
+    fn view_rta_on_plain_view_delegates_to_hot_path() {
+        use std::sync::Arc;
+        use wqrtq_geom::FlatPoints;
+        let flat: Vec<f64> = fig_products()
+            .iter()
+            .flat_map(|p| p.coords().to_vec())
+            .collect();
+        let tree = RTree::bulk_load(2, &flat);
+        let view = DeltaView::plain(Arc::new(FlatPoints::from_row_major(2, &flat)));
+        let res = bichromatic_reverse_topk_rta_view(&tree, &view, &fig_customers(), &[4.0, 4.0], 3);
+        assert_eq!(res, vec![1, 2]); // Tony, Anna
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn view_rta_matches_rebuilt_naive(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 5..120),
+            extra in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..10),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            k in 1usize..8,
+            nw in 1usize..16,
+            del_stride in 2usize..5,
+        ) {
+            use std::sync::Arc;
+            use wqrtq_geom::FlatPoints;
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let dead_ids: Vec<u32> = (0..pts.len() as u32).step_by(del_stride).collect();
+            let dead_rows: Vec<f64> = dead_ids
+                .iter()
+                .flat_map(|&i| [pts[i as usize].0, pts[i as usize].1])
+                .collect();
+            let view = DeltaView::new(
+                Arc::new(FlatPoints::from_row_major(2, &flat)),
+                Arc::new(extra.iter().flat_map(|(a, b)| [*a, *b]).collect()),
+                Arc::new((0..extra.len() as u32).map(|i| pts.len() as u32 + i).collect()),
+                Arc::new(dead_rows),
+                Arc::new(dead_ids),
+            );
+            let (live, _) = view.materialize_row_major();
+            let live_points: Vec<Point> = live
+                .chunks_exact(2)
+                .map(|p| Point::from([p[0], p[1]]))
+                .collect();
+            let weights: Vec<Weight> = (0..nw)
+                .map(|i| Weight::from_first_2d((i as f64 + 0.5) / nw as f64))
+                .collect();
+            let qv = [q.0, q.1];
+            let naive = bichromatic_reverse_topk_naive(&live_points, &weights, &qv, k);
+            let got = bichromatic_reverse_topk_rta_view(&tree, &view, &weights, &qv, k);
+            prop_assert_eq!(&naive, &got);
+            // Sharding the order must reproduce the same verdicts.
+            let order = rta_sorted_order(&weights);
+            let mut merged = Vec::new();
+            for piece in order.chunks(order.len().div_ceil(3).max(1)) {
+                let mut scratch = RtaScratch::new();
+                let (part, _) =
+                    rta_over_order_view(&tree, &view, &weights, piece, &qv, k, &mut scratch);
+                merged.extend(part);
+            }
+            merged.sort_unstable();
+            prop_assert_eq!(&naive, &merged);
+        }
+
         #[test]
         fn rta_and_legacy_equal_naive(
             pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 5..120),

@@ -11,8 +11,8 @@
 //! In 2-D the estimate converges to the exact interval measure from
 //! [`crate::mrtopk`], which the tests verify.
 
-use wqrtq_geom::Weight;
-use wqrtq_rtree::RTree;
+use wqrtq_geom::{DeltaView, Weight};
+use wqrtq_rtree::{ProbeScratch, RTree};
 
 /// A sampled estimate of the monochromatic reverse top-k result.
 #[derive(Clone, Debug)]
@@ -50,7 +50,41 @@ pub fn monochromatic_reverse_topk_sampled(
     seed: u64,
 ) -> MrtopkEstimate {
     assert_eq!(q.len(), tree.dim(), "query dimension mismatch");
-    let dim = tree.dim();
+    let mut scratch = ProbeScratch::new();
+    sampled_with_membership(tree.dim(), samples, seed, |w| {
+        crate::rank::is_in_topk_scratch(tree, w, q, k, &mut scratch)
+    })
+}
+
+/// [`monochromatic_reverse_topk_sampled`] over a delta overlay: the same
+/// deterministic sample sequence (seed-driven, independent of the data),
+/// with each membership verdict decided against the live point set. The
+/// estimate is therefore identical to sampling a dataset rebuilt from
+/// the overlay's live rows.
+pub fn monochromatic_reverse_topk_sampled_view(
+    tree: &RTree,
+    view: &DeltaView,
+    q: &[f64],
+    k: usize,
+    samples: usize,
+    seed: u64,
+) -> MrtopkEstimate {
+    assert_eq!(q.len(), tree.dim(), "query dimension mismatch");
+    let mut scratch = ProbeScratch::new();
+    sampled_with_membership(tree.dim(), samples, seed, |w| {
+        crate::rank::is_in_topk_view(tree, view, w, q, k, &mut scratch)
+    })
+}
+
+/// The shared sampling loop: the weight sequence depends only on
+/// `(dim, samples, seed)`, so any two membership oracles that agree on
+/// every weight produce bit-identical estimates.
+fn sampled_with_membership(
+    dim: usize,
+    samples: usize,
+    seed: u64,
+    mut is_member: impl FnMut(&[f64]) -> bool,
+) -> MrtopkEstimate {
     let mut state = seed ^ 0xd1b54a32d192ed03;
     let mut members = Vec::new();
     for _ in 0..samples {
@@ -62,7 +96,7 @@ pub fn monochromatic_reverse_topk_sampled(
         for x in &mut w {
             *x /= total;
         }
-        if crate::rank::is_in_topk(tree, &w, q, k) {
+        if is_member(&w) {
             members.push(Weight::new(w));
         }
     }
@@ -131,6 +165,33 @@ mod tests {
         let nowhere = monochromatic_reverse_topk_sampled(&tree, &[10.0, 10.0, 10.0], 1, 300, 1);
         assert_eq!(nowhere.volume_fraction, 0.0);
         assert!(nowhere.members.is_empty());
+    }
+
+    #[test]
+    fn view_estimate_matches_rebuilt_oracle() {
+        use std::sync::Arc;
+        use wqrtq_geom::FlatPoints;
+        let pts = fig_points();
+        let tree = RTree::bulk_load(2, &pts);
+        let view = DeltaView::new(
+            Arc::new(FlatPoints::from_row_major(2, &pts)),
+            Arc::new(vec![4.5, 2.0, 0.5, 0.5]),
+            Arc::new(vec![7, 8]),
+            Arc::new(vec![6.0, 3.0, 7.0, 5.0]),
+            Arc::new(vec![1, 4]),
+        );
+        let (live, _) = view.materialize_row_major();
+        let rebuilt = RTree::bulk_load(2, &live);
+        for (k, seed) in [(1, 3u64), (3, 9), (5, 42)] {
+            let got =
+                monochromatic_reverse_topk_sampled_view(&tree, &view, &[4.0, 4.0], k, 400, seed);
+            let oracle = monochromatic_reverse_topk_sampled(&rebuilt, &[4.0, 4.0], k, 400, seed);
+            assert_eq!(got.volume_fraction, oracle.volume_fraction, "k {k}");
+            assert_eq!(got.members.len(), oracle.members.len());
+            for (a, b) in got.members.iter().zip(&oracle.members) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
     }
 
     #[test]

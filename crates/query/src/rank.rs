@@ -16,7 +16,7 @@
 //!   column-major kernel of [`FlatPoints`] and the naive row-major
 //!   oracle it is validated against.
 
-use wqrtq_geom::{score, FlatPoints};
+use wqrtq_geom::{score, DeltaView, FlatPoints};
 use wqrtq_rtree::{ProbeScratch, RTree};
 
 /// Exact rank of `q` under `w` using counted R-tree pruning.
@@ -81,10 +81,62 @@ pub fn is_in_topk_with_stats(
     (probe.in_topk, probe.nodes_visited)
 }
 
+/// Exact rank of `q` over a delta overlay: the base R-tree's counted
+/// pruning plus the `O(Δ)` overlay corrections (appended rows add,
+/// tombstoned rows subtract). `tree` must be the index of `view`'s base.
+pub fn rank_of_point_view(tree: &RTree, view: &DeltaView, w: &[f64], q: &[f64]) -> usize {
+    let s = score(w, q);
+    let base_all = tree.count_score_below(w, s, true);
+    base_all - view.count_better_dead(w, s) + view.count_better_delta(w, s) + 1
+}
+
+/// Decides `q ∈ TOPk(w)` over a delta overlay without an exact rank:
+/// the overlay corrections shift the base probe's count target, so the
+/// early-exit membership probe still decides the live verdict exactly.
+///
+/// `q` is a live member ⟺ `live_better < k` where
+/// `live_better = base_all − dead_better + delta_better`; substituting
+/// gives `base_all < k − delta_better + dead_better`, which is precisely
+/// the probe with an adjusted `k`. When the delta alone already supplies
+/// `k` better points the verdict is known without touching the index.
+pub fn is_in_topk_view(
+    tree: &RTree,
+    view: &DeltaView,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> bool {
+    is_in_topk_view_with_stats(tree, view, w, q, k, scratch).0
+}
+
+/// [`is_in_topk_view`], additionally reporting the index nodes expanded.
+pub fn is_in_topk_view_with_stats(
+    tree: &RTree,
+    view: &DeltaView,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> (bool, usize) {
+    if k == 0 {
+        return (false, 0);
+    }
+    let s = score(w, q);
+    let d_add = view.count_better_delta(w, s);
+    if d_add >= k {
+        return (false, 0);
+    }
+    let cap = k - d_add + view.count_better_dead(w, s);
+    let probe = tree.probe_topk_membership(w, s, cap, scratch, None);
+    (probe.in_topk, probe.nodes_visited)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::sync::Arc;
 
     fn fig_points() -> Vec<f64> {
         vec![
@@ -168,6 +220,62 @@ mod tests {
         assert!(nodes > 0);
     }
 
+    /// Builds an overlay over the paper dataset (delete p2/p5, append two
+    /// rows) and the equivalent rebuilt-from-scratch flat buffer.
+    fn overlaid_fig() -> (RTree, DeltaView, Vec<f64>) {
+        let pts = fig_points();
+        let tree = RTree::bulk_load_with_fanout(2, &pts, 4);
+        let view = DeltaView::new(
+            Arc::new(FlatPoints::from_row_major(2, &pts)),
+            Arc::new(vec![4.5, 2.0, 0.5, 0.5]),
+            Arc::new(vec![7, 8]),
+            Arc::new(vec![6.0, 3.0, 7.0, 5.0]),
+            Arc::new(vec![1, 4]),
+        );
+        let (live, _) = view.materialize_row_major();
+        (tree, view, live)
+    }
+
+    #[test]
+    fn view_rank_and_membership_match_rebuilt_scan() {
+        let (tree, view, live) = overlaid_fig();
+        let mut scratch = ProbeScratch::new();
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.3, 0.7], [0.9, 0.1]] {
+            for q in [[4.0, 4.0], [1.0, 1.0], [0.4, 0.6], [9.0, 9.0]] {
+                let oracle = rank_of_point_scan(&live, &w, &q);
+                assert_eq!(rank_of_point_view(&tree, &view, &w, &q), oracle);
+                for k in 0..=9 {
+                    assert_eq!(
+                        is_in_topk_view(&tree, &view, &w, &q, k, &mut scratch),
+                        k > 0 && oracle <= k,
+                        "w {w:?} q {q:?} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_view_agrees_with_plain_primitives() {
+        let pts = fig_points();
+        let tree = RTree::bulk_load(2, &pts);
+        let view = DeltaView::plain(Arc::new(FlatPoints::from_row_major(2, &pts)));
+        let mut scratch = ProbeScratch::new();
+        let q = [4.0, 4.0];
+        for w in [[0.1, 0.9], [0.5, 0.5]] {
+            assert_eq!(
+                rank_of_point_view(&tree, &view, &w, &q),
+                rank_of_point(&tree, &w, &q)
+            );
+            for k in 1..=5 {
+                assert_eq!(
+                    is_in_topk_view(&tree, &view, &w, &q, k, &mut scratch),
+                    is_in_topk(&tree, &w, &q, k)
+                );
+            }
+        }
+    }
+
     /// Injects exact score ties at the k boundary: some points are copies
     /// of q (tie under every weight), some share q's score under the
     /// specific w by construction.
@@ -224,6 +332,49 @@ mod tests {
                 naive_better < k,
                 "naive better-count {} vs k {}", naive_better, k
             );
+        }
+
+        #[test]
+        fn view_primitives_match_rebuilt_oracle(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 4..200),
+            extra in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..12),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            raw in (0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..12,
+            del_stride in 2usize..6,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let base = Arc::new(FlatPoints::from_row_major(2, &flat));
+            // Tombstone every del_stride-th base row; append `extra`.
+            let dead_ids: Vec<u32> = (0..pts.len() as u32).step_by(del_stride).collect();
+            let dead_rows: Vec<f64> = dead_ids
+                .iter()
+                .flat_map(|&i| [pts[i as usize].0, pts[i as usize].1])
+                .collect();
+            let delta_rows: Vec<f64> = extra.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let delta_ids: Vec<u32> =
+                (0..extra.len() as u32).map(|i| pts.len() as u32 + i).collect();
+            let view = DeltaView::new(
+                base,
+                Arc::new(delta_rows),
+                Arc::new(delta_ids),
+                Arc::new(dead_rows),
+                Arc::new(dead_ids),
+            );
+            let (live, _) = view.materialize_row_major();
+            let s = raw.0 + raw.1;
+            let w = [raw.0 / s, raw.1 / s];
+            let qv = [q.0, q.1];
+            let oracle = rank_of_point_scan(&live, &w, &qv);
+            prop_assert_eq!(rank_of_point_view(&tree, &view, &w, &qv), oracle);
+            prop_assert_eq!(view.rank_of(&w, &qv), oracle);
+            let mut scratch = ProbeScratch::new();
+            prop_assert_eq!(
+                is_in_topk_view(&tree, &view, &w, &qv, k, &mut scratch),
+                oracle <= k
+            );
+            prop_assert_eq!(view.is_in_topk(&w, &qv, k), oracle <= k);
         }
 
         #[test]

@@ -6,8 +6,8 @@
 //! cross-check it and to quantify the index's benefit in the ablation
 //! benchmarks.
 
-use wqrtq_geom::score;
-use wqrtq_rtree::RTree;
+use wqrtq_geom::{score, DeltaView};
+use wqrtq_rtree::{search::BestFirst, RTree};
 
 /// The top `k`-th point of a weighting vector — the constraint generator
 /// of MQP (Lemma 2/3: a refined `q′` with `f(w, q′) ≤ f(w, p_k)` enters
@@ -63,10 +63,139 @@ pub fn kth_point(tree: &RTree, w: &[f64], k: usize) -> Option<KthPoint> {
     })
 }
 
+/// One live point produced by [`ViewBestFirst`] in ascending score order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViewRanked<'a> {
+    /// The point's stable id (base id, or overlay-assigned delta id).
+    pub id: u32,
+    /// Its score under the traversal's weighting vector.
+    pub score: f64,
+    /// Its coordinates (borrowed from the tree or the overlay).
+    pub coords: &'a [f64],
+}
+
+/// Best-first enumeration of the *live* points of a delta overlay: the
+/// base index's incremental ranking with tombstoned rows skipped, merged
+/// with the (pre-scored, sorted) appended rows. Progressive consumers —
+/// top-k, k-th point, the why-not culprit scan — drive it exactly like
+/// a plain [`RTree::best_first`] traversal.
+///
+/// Ties: a base point and an appended row with the exact same score are
+/// emitted base-first (appended ids always sit above base ids, so this
+/// is ascending-id order); ties *within* the base keep the index's
+/// traversal order, as ever.
+pub struct ViewBestFirst<'a> {
+    bf: BestFirst<'a>,
+    view: &'a DeltaView,
+    /// `(score, delta slot)` of the live appended rows, ascending by
+    /// score then append order.
+    delta: Vec<(f64, u32)>,
+    next_delta: usize,
+    /// The next not-yet-emitted live base point, if already pulled.
+    pending: Option<wqrtq_rtree::search::RankedPoint<'a>>,
+}
+
+impl<'a> ViewBestFirst<'a> {
+    /// Starts a merged traversal. `tree` must be the index built over
+    /// `view`'s base rows.
+    pub fn new(tree: &'a RTree, view: &'a DeltaView, w: &[f64]) -> Self {
+        let dim = view.dim();
+        let mut delta: Vec<(f64, u32)> = view
+            .delta_rows()
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| (score(w, row), i as u32))
+            .collect();
+        delta.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Self {
+            bf: tree.best_first(w),
+            view,
+            delta,
+            next_delta: 0,
+            pending: None,
+        }
+    }
+
+    /// Index nodes expanded by the base traversal so far.
+    pub fn nodes_visited(&self) -> usize {
+        self.bf.nodes_visited()
+    }
+
+    /// Returns the next live point in ascending score order.
+    pub fn next_entry(&mut self) -> Option<ViewRanked<'a>> {
+        if self.pending.is_none() {
+            // Pull the next live base point, skipping tombstones.
+            while let Some(p) = self.bf.next_entry() {
+                if !self.view.is_deleted(p.id) {
+                    self.pending = Some(p);
+                    break;
+                }
+            }
+        }
+        let delta_head = self.delta.get(self.next_delta).copied();
+        let take_base = match (&self.pending, delta_head) {
+            (Some(p), Some((ds, _))) => p.score <= ds, // tie: base first
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_base {
+            let p = self.pending.take().expect("pending base entry");
+            Some(ViewRanked {
+                id: p.id,
+                score: p.score,
+                coords: p.coords,
+            })
+        } else {
+            let (ds, slot) = delta_head.expect("pending delta entry");
+            self.next_delta += 1;
+            Some(ViewRanked {
+                id: self.view.delta_ids()[slot as usize],
+                score: ds,
+                coords: self.view.delta_row(slot as usize),
+            })
+        }
+    }
+}
+
+/// `TOPk(w)` over the live points of a delta overlay, as `(id, score)`
+/// in ascending score order. Bit-identical to running [`topk`] on a
+/// dataset rebuilt from the overlay's live rows (score ties permitting —
+/// see [`ViewBestFirst`]).
+pub fn topk_view(tree: &RTree, view: &DeltaView, w: &[f64], k: usize) -> Vec<(u32, f64)> {
+    let mut it = ViewBestFirst::new(tree, view, w);
+    let mut out = Vec::with_capacity(k.min(view.live_len()));
+    while out.len() < k {
+        match it.next_entry() {
+            Some(p) => out.push((p.id, p.score)),
+            None => break,
+        }
+    }
+    out
+}
+
+/// The top `k`-th live point of a delta overlay (1-based). Returns
+/// `None` when fewer than `k` live points exist.
+pub fn kth_point_view(tree: &RTree, view: &DeltaView, w: &[f64], k: usize) -> Option<KthPoint> {
+    assert!(k >= 1, "k must be at least 1");
+    let mut it = ViewBestFirst::new(tree, view, w);
+    let mut last = None;
+    for _ in 0..k {
+        last = Some(it.next_entry()?);
+    }
+    last.map(|r| KthPoint {
+        id: r.id,
+        score: r.score,
+        coords: r.coords.to_vec(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::sync::Arc;
+    use wqrtq_geom::FlatPoints;
 
     fn fig_points() -> Vec<f64> {
         vec![
@@ -119,8 +248,106 @@ mod tests {
         assert!(topk(&t, &[0.5, 0.5], 0).is_empty());
     }
 
+    fn overlaid_fig() -> (RTree, DeltaView) {
+        let pts = fig_points();
+        let tree = RTree::bulk_load_with_fanout(2, &pts, 4);
+        let view = DeltaView::new(
+            Arc::new(FlatPoints::from_row_major(2, &pts)),
+            Arc::new(vec![4.5, 2.0, 0.5, 0.5]),
+            Arc::new(vec![7, 8]),
+            Arc::new(vec![6.0, 3.0, 7.0, 5.0]),
+            Arc::new(vec![1, 4]),
+        );
+        (tree, view)
+    }
+
+    #[test]
+    fn view_topk_merges_skips_and_keeps_order() {
+        let (tree, view) = overlaid_fig();
+        // Kevin (0.1, 0.9): live scores are p1=1.1, p3=8.2, p4=3.6,
+        // p6=7.7, p7=6.6, d7=(4.5,2)=2.25, d8=(0.5,0.5)=0.5.
+        let got = topk_view(&tree, &view, &[0.1, 0.9], 4);
+        let ids: Vec<u32> = got.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, vec![8, 0, 7, 3]); // 0.5 < 1.1 < 2.25 < 3.6
+        assert!(got.windows(2).all(|p| p[0].1 <= p[1].1));
+        // Deleted p2 (id 1) never surfaces, at any k.
+        let all = topk_view(&tree, &view, &[0.1, 0.9], 100);
+        assert_eq!(all.len(), view.live_len());
+        assert!(all.iter().all(|(i, _)| *i != 1 && *i != 4));
+    }
+
+    #[test]
+    fn view_kth_point_matches_rebuilt_oracle() {
+        let (tree, view) = overlaid_fig();
+        let (live, ids) = view.materialize_row_major();
+        let rebuilt = RTree::bulk_load(2, &live);
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]] {
+            for k in 1..=view.live_len() {
+                let got = kth_point_view(&tree, &view, &w, k).unwrap();
+                let oracle = kth_point(&rebuilt, &w, k).unwrap();
+                assert_eq!(got.score, oracle.score, "w {w:?} k {k}");
+                assert_eq!(got.id, ids[oracle.id as usize], "w {w:?} k {k}");
+                assert_eq!(got.coords, oracle.coords);
+            }
+            assert!(kth_point_view(&tree, &view, &w, view.live_len() + 1).is_none());
+        }
+    }
+
+    #[test]
+    fn plain_view_topk_is_plain_topk() {
+        let pts = fig_points();
+        let tree = RTree::bulk_load(2, &pts);
+        let view = DeltaView::plain(Arc::new(FlatPoints::from_row_major(2, &pts)));
+        for k in [0, 1, 3, 7, 9] {
+            assert_eq!(
+                topk_view(&tree, &view, &[0.3, 0.7], k),
+                topk(&tree, &[0.3, 0.7], k)
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn view_topk_matches_rebuilt_scan(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 4..150),
+            extra in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..10),
+            raw in (0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..20,
+            del_stride in 2usize..5,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let dead_ids: Vec<u32> = (0..pts.len() as u32).step_by(del_stride).collect();
+            let dead_rows: Vec<f64> = dead_ids
+                .iter()
+                .flat_map(|&i| [pts[i as usize].0, pts[i as usize].1])
+                .collect();
+            let view = DeltaView::new(
+                Arc::new(FlatPoints::from_row_major(2, &flat)),
+                Arc::new(extra.iter().flat_map(|(a, b)| [*a, *b]).collect()),
+                Arc::new((0..extra.len() as u32).map(|i| pts.len() as u32 + i).collect()),
+                Arc::new(dead_rows),
+                Arc::new(dead_ids),
+            );
+            let (live, ids) = view.materialize_row_major();
+            let got = topk_view(&tree, &view, &[raw.0, raw.1], k);
+            let oracle = topk_scan(&live, &[raw.0, raw.1], k);
+            prop_assert_eq!(got.len(), oracle.len());
+            for (g, o) in got.iter().zip(&oracle) {
+                prop_assert!((g.1 - o.1).abs() < 1e-12);
+            }
+            // Where scores are strict, ids must map through the live-row
+            // id table (ties may permute between structures).
+            for (i, (g, o)) in got.iter().zip(&oracle).enumerate() {
+                let tied = oracle.iter().filter(|(_, s)| *s == o.1).count() > 1;
+                if !tied {
+                    prop_assert_eq!(g.0, ids[o.0 as usize], "position {}", i);
+                }
+            }
+        }
+
         #[test]
         fn tree_topk_matches_scan_scores(
             pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..250),

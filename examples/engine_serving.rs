@@ -144,6 +144,9 @@ fn describe(label: &str, response: &Response, fig: &figure1::Figure1) {
             "{label}: penalty {:.4}, q′ {:?}, k′ {:?}",
             r.penalty, r.q_prime, r.k
         ),
+        Response::Mutated { live_len } => {
+            println!("{label}: mutation applied, {live_len} live points");
+        }
         Response::Error(e) => println!("{label}: ERROR {e}"),
     }
 }

@@ -1,31 +1,42 @@
 #!/usr/bin/env bash
-# Runs the serving benchmarks and emits two JSON reports at the repo root:
+# Runs the serving benchmarks and emits three JSON reports at the repo
+# root:
 #
-#   BENCH_engine.json — batched-engine vs sequential throughput on the
-#                       mixed workload, at 1 worker and at --workers;
-#   BENCH_rank.json   — single bichromatic reverse top-k latency: flat
-#                       rank kernels vs the legacy RTA path, plus engine
-#                       worker scaling (1 vs --workers).
+#   BENCH_engine.json   — batched-engine vs sequential throughput on the
+#                         mixed workload, at 1 worker and at --workers;
+#   BENCH_rank.json     — single bichromatic reverse top-k latency: flat
+#                         rank kernels vs the legacy RTA path, plus engine
+#                         worker scaling (1 vs --workers);
+#   BENCH_mutation.json — append-heavy interleaved workload: the delta
+#                         overlay vs the rebuild-per-mutation baseline.
 #
 # Usage:
-#   scripts/bench.sh            # full workloads (20K × 3-D, |W| = 500)
+#   scripts/bench.sh            # full workloads (20K × 3-D, |W| = 500; 100K mutation)
 #   scripts/bench.sh --smoke    # tiny configuration (CI keep-compiling run)
+#                               # + the mutation differential fuzz in
+#                               #   release mode (debug assertions off)
 #
 # For custom workloads, run the binaries directly — their flag sets
-# differ (engine_bench: --batch/--rounds; rank_bench: --weights/--k):
+# differ (engine_bench: --batch/--rounds; rank_bench: --weights/--k;
+# mutation_bench: --ops/--append-rows):
 #   cargo run --release -p wqrtq-bench --bin engine_bench -- --n 50000 --workers 8
 #   cargo run --release -p wqrtq-bench --bin rank_bench -- --weights 2000
+#   cargo run --release -p wqrtq-bench --bin mutation_bench -- --n 200000 --ops 800
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 WORKERS=4
+SMOKE=0
 ENGINE_ARGS=(--workers "$WORKERS")
 RANK_ARGS=(--workers "$WORKERS")
+MUTATION_ARGS=(--workers "$WORKERS")
 if [[ "${1:-}" == "--smoke" ]]; then
     shift
+    SMOKE=1
     ENGINE_ARGS+=(--n 3000 --batch 16 --rounds 2)
     RANK_ARGS+=(--n 3000 --weights 150 --repeats 3)
+    MUTATION_ARGS+=(--n 5000 --ops 60)
 fi
 if [[ $# -gt 0 ]]; then
     echo "error: unknown arguments: $*" >&2
@@ -33,14 +44,24 @@ if [[ $# -gt 0 ]]; then
     exit 2
 fi
 
-cargo build --release -p wqrtq-bench --bin engine_bench --bin rank_bench
+cargo build --release -p wqrtq-bench --bin engine_bench --bin rank_bench --bin mutation_bench
 
 cargo run --release -p wqrtq-bench --bin engine_bench -- \
     --out BENCH_engine.json "${ENGINE_ARGS[@]}"
 cargo run --release -p wqrtq-bench --bin rank_bench -- \
     --out BENCH_rank.json "${RANK_ARGS[@]}"
+cargo run --release -p wqrtq-bench --bin mutation_bench -- \
+    --out BENCH_mutation.json "${MUTATION_ARGS[@]}"
+
+if [[ "$SMOKE" == 1 ]]; then
+    # Oracle-equivalence of the delta overlay with debug assertions off:
+    # the differential fuzz at reduced rounds, in release mode.
+    WQRTQ_FUZZ_ROUNDS=3 cargo test -q --release --test mutation_fuzz
+fi
 
 echo "--- BENCH_engine.json ---"
 cat BENCH_engine.json
 echo "--- BENCH_rank.json ---"
 cat BENCH_rank.json
+echo "--- BENCH_mutation.json ---"
+cat BENCH_mutation.json

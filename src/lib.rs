@@ -59,9 +59,9 @@ pub mod prelude {
     pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
     pub use wqrtq_core::penalty::Tolerances;
     pub use wqrtq_engine::{
-        Engine, EngineBuilder, MetricsSnapshot, RefineStrategy, Request, RequestKind, Response,
-        WeightSet,
+        CatalogStats, DatasetEpoch, Engine, EngineBuilder, MetricsSnapshot, RefineStrategy,
+        Request, RequestKind, Response, WeightSet,
     };
-    pub use wqrtq_geom::{Point, Weight};
+    pub use wqrtq_geom::{DeltaView, Point, Weight};
     pub use wqrtq_rtree::RTree;
 }

@@ -135,12 +135,15 @@ fn mutation_bumps_epoch_and_evicts_stale_entries() {
         k: 3,
     };
     let before = engine.submit(req.clone());
-    assert_eq!(engine.catalog().epoch("figure1").unwrap(), 1);
+    let epoch0 = engine.catalog().epoch("figure1").unwrap();
+    assert_eq!((epoch0.base, epoch0.delta, epoch0.tombstones), (1, 0, 0));
     assert_eq!(engine.metrics().cache.len, 1);
 
-    // A new dominating product (1, 0.5) must change the top-3.
-    engine.append_points("figure1", &[1.0, 0.5]).unwrap();
-    assert_eq!(engine.catalog().epoch("figure1").unwrap(), 2);
+    // A new dominating product (1, 0.5) must change the top-3 — and be
+    // absorbed by the delta overlay, not a rebuild.
+    assert_eq!(engine.append_points("figure1", &[1.0, 0.5]).unwrap(), 8);
+    let epoch1 = engine.catalog().epoch("figure1").unwrap();
+    assert_eq!((epoch1.base, epoch1.delta, epoch1.tombstones), (1, 1, 0));
     assert_eq!(
         engine.metrics().cache.len,
         0,
@@ -163,7 +166,7 @@ fn mutation_bumps_epoch_and_evicts_stale_entries() {
     engine
         .register_dataset("figure1", 2, figure1::dataset().flat_products())
         .unwrap();
-    assert_eq!(engine.catalog().epoch("figure1").unwrap(), 3);
+    assert_eq!(engine.catalog().epoch("figure1").unwrap().base, 2);
     let restored = engine.submit(req);
     assert_eq!(restored, before, "original dataset gives original answer");
 }
