@@ -1,0 +1,87 @@
+//! Wire-serving vs in-process throughput, as a JSON report.
+//!
+//! ```text
+//! cargo run --release -p wqrtq-bench --bin server_bench
+//! cargo run --release -p wqrtq-bench --bin server_bench -- --connections 8 --depth 32 --out BENCH_server.json
+//! ```
+
+use std::io::Write;
+use wqrtq_bench::server_bench::{compare, ServerBenchConfig};
+
+fn main() {
+    let mut cfg = ServerBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => cfg.n = value("--n").parse().expect("--n takes an integer"),
+            "--dim" => cfg.dim = value("--dim").parse().expect("--dim takes an integer"),
+            "--workers" => {
+                cfg.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes an integer")
+            }
+            "--connections" => {
+                cfg.connections = value("--connections")
+                    .parse()
+                    .expect("--connections takes an integer")
+            }
+            "--depth" => cfg.depth = value("--depth").parse().expect("--depth takes an integer"),
+            "--requests" => {
+                cfg.requests_per_conn = value("--requests")
+                    .parse()
+                    .expect("--requests takes an integer")
+            }
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: server_bench [--n N] [--dim D] [--workers W] [--connections C] \
+                     [--depth P] [--requests R] [--seed S] [--out FILE]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!(
+        "server bench: |P| = {}, d = {}, {} workers, sweep to {} connections × depth {}, \
+         {} requests/conn",
+        cfg.n, cfg.dim, cfg.workers, cfg.connections, cfg.depth, cfg.requests_per_conn
+    );
+    let report = compare(&cfg);
+    eprintln!(
+        "in-process        : {:>10.1} req/s",
+        report.in_process.rps()
+    );
+    for p in &report.sweep {
+        eprintln!(
+            "wire c={:<2} depth={:<3}: {:>10.1} req/s  ({} busy retries)",
+            p.connections,
+            p.depth,
+            p.throughput.rps(),
+            p.busy_retries
+        );
+    }
+    eprintln!(
+        "best wire {:.1} req/s = {:.2}× in-process, pipelining {:.2}×, responses match: {}",
+        report.best_wire().throughput.rps(),
+        report.wire_vs_inprocess(),
+        report.pipeline_scaling(),
+        report.wire_matches_inprocess
+    );
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            writeln!(f, "{json}").expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

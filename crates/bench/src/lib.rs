@@ -12,9 +12,11 @@ pub mod harness;
 pub mod mutation_bench;
 pub mod params;
 pub mod rank_bench;
+pub mod server_bench;
 
 pub use engine_bench::{compare, EngineBenchConfig, EngineComparison};
 pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
 pub use mutation_bench::{MutationBenchConfig, MutationComparison};
 pub use params::{Config, DatasetKind, Profile};
 pub use rank_bench::{RankBenchConfig, RankComparison};
+pub use server_bench::{ServerBenchConfig, ServerComparison, SweepPoint};

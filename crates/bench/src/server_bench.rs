@@ -1,0 +1,438 @@
+//! Wire-serving throughput: the TCP front door vs in-process submission.
+//!
+//! A [`wqrtq_server::Server`] is started on a loopback ephemeral port
+//! and driven by a load generator sweeping **connections ×
+//! pipeline-depth**: each connection keeps up to `depth` requests in
+//! flight (sliding window over `send`/`recv`), so the sweep separates
+//! the cost of the wire (codec + TCP + session threads) from the win of
+//! pipelining and multi-connection concurrency. The baseline serves an
+//! identically distributed stream through `Engine::submit` in-process.
+//!
+//! Every sweep point uses a distinct request stream (unique weights per
+//! point), so the engine's result cache cannot leak throughput between
+//! points; and the first point's responses are replayed on a fresh
+//! engine to verify the wire answers match in-process execution.
+//!
+//! The binary `server_bench` runs the comparison and emits a JSON
+//! report (`scripts/bench.sh` writes it to `BENCH_server.json`).
+
+use crate::engine_bench::Throughput;
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use wqrtq_data::synthetic::independent;
+use wqrtq_engine::{Engine, Request, Response, WeightSet};
+use wqrtq_geom::Weight;
+use wqrtq_server::{Client, Server, ServerFrame};
+
+/// Workload shape for the wire comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerBenchConfig {
+    /// Dataset cardinality.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Engine worker threads (both sides).
+    pub workers: usize,
+    /// Maximum concurrent connections in the sweep.
+    pub connections: usize,
+    /// Maximum pipeline depth (in-flight frames per connection).
+    pub depth: usize,
+    /// Requests each connection sends per sweep point.
+    pub requests_per_conn: usize,
+    /// Dataset / workload seed.
+    pub seed: u64,
+}
+
+impl Default for ServerBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 20_000,
+            dim: 3,
+            workers: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            connections: 4,
+            depth: 16,
+            requests_per_conn: 500,
+            seed: 2015,
+        }
+    }
+}
+
+/// One sweep point's measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Pipeline window per connection.
+    pub depth: usize,
+    /// Requests served and wall-clock.
+    pub throughput: Throughput,
+    /// Busy rejections retried by the load generator.
+    pub busy_retries: u64,
+}
+
+/// The wire vs in-process report.
+#[derive(Clone, Debug)]
+pub struct ServerComparison {
+    /// Configuration measured.
+    pub config: ServerBenchConfig,
+    /// Sequential `Engine::submit` on an identically loaded engine.
+    pub in_process: Throughput,
+    /// Wire throughput per (connections, depth) point.
+    pub sweep: Vec<SweepPoint>,
+    /// Whether the wire responses of the first sweep point matched an
+    /// in-process replay bit for bit.
+    pub wire_matches_inprocess: bool,
+}
+
+impl ServerComparison {
+    /// The fastest sweep point.
+    pub fn best_wire(&self) -> &SweepPoint {
+        self.sweep
+            .iter()
+            .max_by(|a, b| {
+                a.throughput
+                    .rps()
+                    .partial_cmp(&b.throughput.rps())
+                    .expect("rps is finite")
+            })
+            .expect("non-empty sweep")
+    }
+
+    /// Best wire throughput relative to in-process submission.
+    pub fn wire_vs_inprocess(&self) -> f64 {
+        self.best_wire().throughput.rps() / self.in_process.rps().max(1e-12)
+    }
+
+    /// Throughput gained by pipelining at the maximum connection count
+    /// (depth `config.depth` vs depth 1).
+    pub fn pipeline_scaling(&self) -> f64 {
+        let at = |depth: usize| {
+            self.sweep
+                .iter()
+                .find(|p| p.connections == self.config.connections && p.depth == depth)
+                .map(|p| p.throughput.rps())
+        };
+        match (at(1), at(self.config.depth)) {
+            (Some(serial), Some(pipelined)) => pipelined / serial.max(1e-12),
+            _ => 1.0,
+        }
+    }
+
+    /// The report as a JSON object (hand-rolled; std-only workspace).
+    pub fn to_json(&self) -> String {
+        let mut sweep = String::new();
+        for (i, p) in self.sweep.iter().enumerate() {
+            if i > 0 {
+                sweep.push_str(",\n");
+            }
+            sweep.push_str(&format!(
+                "    {{\"connections\": {}, \"depth\": {}, \"requests\": {}, \
+                 \"seconds\": {:.6}, \"rps\": {:.1}, \"busy_retries\": {}}}",
+                p.connections,
+                p.depth,
+                p.throughput.requests,
+                p.throughput.elapsed.as_secs_f64(),
+                p.throughput.rps(),
+                p.busy_retries,
+            ));
+        }
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"server_wire_vs_inprocess\",\n",
+                "  \"config\": {{\"n\": {}, \"dim\": {}, \"workers\": {}, \"connections\": {}, ",
+                "\"depth\": {}, \"requests_per_conn\": {}, \"seed\": {}}},\n",
+                "  \"in_process\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"sweep\": [\n{}\n  ],\n",
+                "  \"best_wire_rps\": {:.1},\n",
+                "  \"wire_vs_inprocess\": {:.4},\n",
+                "  \"pipeline_scaling\": {:.4},\n",
+                "  \"wire_matches_inprocess\": {}\n",
+                "}}"
+            ),
+            self.config.n,
+            self.config.dim,
+            self.config.workers,
+            self.config.connections,
+            self.config.depth,
+            self.config.requests_per_conn,
+            self.config.seed,
+            self.in_process.requests,
+            self.in_process.elapsed.as_secs_f64(),
+            self.in_process.rps(),
+            sweep,
+            self.best_wire().throughput.rps(),
+            self.wire_vs_inprocess(),
+            self.pipeline_scaling(),
+            self.wire_matches_inprocess,
+        )
+    }
+}
+
+fn stream_weight(dim: usize, t: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..dim)
+        .map(|j| 0.15 + 0.7 * ((t * 9.1 + j as f64 * 2.3).sin() * 0.5 + 0.5))
+        .collect();
+    let s: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= s;
+    }
+    w
+}
+
+fn population(dim: usize) -> Vec<Vec<f64>> {
+    (0..40)
+        .map(|i| stream_weight(dim, 1000.0 + i as f64 / 40.0))
+        .collect()
+}
+
+/// One connection's request stream for one sweep point. `tag` makes
+/// every point's weights unique, so the result cache cannot carry
+/// throughput from one sweep point into the next.
+fn conn_stream(cfg: &ServerBenchConfig, tag: usize, conn: usize) -> Vec<Request> {
+    (0..cfg.requests_per_conn)
+        .map(|i| {
+            let t =
+                tag as f64 * 37.0 + conn as f64 * 11.0 + i as f64 / cfg.requests_per_conn as f64;
+            let w = stream_weight(cfg.dim, t);
+            match i % 16 {
+                14 => Request::WhyNotExplain {
+                    dataset: "bench".into(),
+                    weight: w,
+                    q: vec![0.35; cfg.dim],
+                    limit: 16,
+                },
+                15 => Request::ReverseTopKBi {
+                    dataset: "bench".into(),
+                    weights: WeightSet::Named("population".into()),
+                    q: vec![0.2; cfg.dim],
+                    k: 10,
+                },
+                _ => Request::TopK {
+                    dataset: "bench".into(),
+                    weight: w,
+                    k: 10,
+                },
+            }
+        })
+        .collect()
+}
+
+fn load_engine(cfg: &ServerBenchConfig, engine: &Engine, coords: &[f64]) {
+    engine
+        .register_dataset("bench", cfg.dim, coords.to_vec())
+        .expect("register bench dataset");
+    engine
+        .register_weights(
+            "population",
+            population(cfg.dim).into_iter().map(Weight::new).collect(),
+        )
+        .expect("register population");
+    engine.catalog().handle("bench").expect("warm index");
+}
+
+/// Drives one connection through its stream with a sliding pipeline
+/// window, retrying busy rejections. Returns the responses in stream
+/// order plus the retry count.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    stream: &[Request],
+    depth: usize,
+) -> (Vec<Response>, u64) {
+    let mut client = Client::connect(addr).expect("connect load generator");
+    let mut outstanding: HashMap<u64, usize> = HashMap::new();
+    let mut responses: Vec<Option<Response>> = vec![None; stream.len()];
+    let mut busy_retries = 0u64;
+    let mut next = 0usize;
+    let mut done = 0usize;
+    while done < stream.len() {
+        while outstanding.len() < depth && next < stream.len() {
+            let id = client.send_request(&stream[next]).expect("pipelined send");
+            outstanding.insert(id, next);
+            next += 1;
+        }
+        let (id, frame) = client.recv().expect("pipelined recv");
+        let slot = outstanding.remove(&id).expect("response for in-flight id");
+        match frame {
+            ServerFrame::Reply(response) => {
+                responses[slot] = Some(response);
+                done += 1;
+            }
+            ServerFrame::Busy => {
+                // Backpressure: the request was refused, not executed.
+                // Re-send it (the admitted window has shrunk by one, so
+                // this cannot livelock the generator).
+                busy_retries += 1;
+                let id = client.send_request(&stream[slot]).expect("busy retry");
+                outstanding.insert(id, slot);
+            }
+            other => panic!("unexpected frame under load: {other:?}"),
+        }
+    }
+    (
+        responses
+            .into_iter()
+            .map(|r| r.expect("all served"))
+            .collect(),
+        busy_retries,
+    )
+}
+
+/// Runs one sweep point: `connections` generator threads, each with a
+/// `depth`-deep window. Returns the measurement and the first
+/// connection's responses (for the in-process match check).
+fn run_point(
+    cfg: &ServerBenchConfig,
+    server: &Server,
+    tag: usize,
+    connections: usize,
+    depth: usize,
+) -> (SweepPoint, Vec<Response>) {
+    let streams: Vec<Vec<Request>> = (0..connections).map(|c| conn_stream(cfg, tag, c)).collect();
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let addr = server.local_addr();
+    let handles: Vec<_> = streams
+        .iter()
+        .map(|stream| {
+            let stream = stream.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                drive_connection(addr, &stream, depth)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let mut results: Vec<(Vec<Response>, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("generator thread"))
+        .collect();
+    let elapsed = start.elapsed();
+    let busy_retries = results.iter().map(|(_, b)| *b).sum();
+    let first = results.swap_remove(0).0;
+    (
+        SweepPoint {
+            connections,
+            depth,
+            throughput: Throughput {
+                requests: connections * cfg.requests_per_conn,
+                elapsed,
+            },
+            busy_retries,
+        },
+        first,
+    )
+}
+
+/// Runs the full comparison.
+pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
+    let ds = independent(cfg.n, cfg.dim, cfg.seed);
+
+    // In-process baseline: its own engine, a sequential submit loop.
+    let baseline = Engine::builder().workers(cfg.workers).build();
+    load_engine(cfg, &baseline, &ds.coords);
+    let stream = conn_stream(cfg, usize::MAX, 0);
+    let start = Instant::now();
+    for request in &stream {
+        let response = baseline.submit(request.clone());
+        assert!(!response.is_error(), "baseline stream must serve cleanly");
+    }
+    let in_process = Throughput {
+        requests: stream.len(),
+        elapsed: start.elapsed(),
+    };
+
+    // The wire side: one server, one sweep.
+    let server = Server::builder()
+        .engine(Engine::builder().workers(cfg.workers).build())
+        .admission_capacity(cfg.connections * cfg.depth + 32)
+        .bind("127.0.0.1:0")
+        .expect("bind loopback server");
+    load_engine(cfg, server.engine(), &ds.coords);
+
+    // The four corners of the sweep, keeping first occurrences only
+    // (corners coincide when --connections or --depth is 1).
+    let mut points: Vec<(usize, usize)> = Vec::new();
+    for corner in [
+        (1, 1),
+        (1, cfg.depth),
+        (cfg.connections, 1),
+        (cfg.connections, cfg.depth),
+    ] {
+        if !points.contains(&corner) {
+            points.push(corner);
+        }
+    }
+    let mut sweep = Vec::new();
+    let mut wire_matches_inprocess = true;
+    for (tag, (connections, depth)) in points.into_iter().enumerate() {
+        let (point, first_responses) = run_point(cfg, &server, tag, connections, depth);
+        if tag == 0 {
+            // Replay the first point's stream on a fresh engine: the
+            // wire answers must match in-process execution exactly.
+            let oracle = Engine::builder().workers(cfg.workers).build();
+            load_engine(cfg, &oracle, &ds.coords);
+            let replay = conn_stream(cfg, 0, 0);
+            wire_matches_inprocess = replay
+                .into_iter()
+                .zip(&first_responses)
+                .all(|(request, wire)| &oracle.submit(request) == wire);
+        }
+        sweep.push(point);
+    }
+    server.shutdown();
+
+    ServerComparison {
+        config: *cfg,
+        in_process,
+        sweep,
+        wire_matches_inprocess,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServerBenchConfig {
+        ServerBenchConfig {
+            n: 2_000,
+            dim: 3,
+            workers: 2,
+            connections: 2,
+            depth: 4,
+            requests_per_conn: 48,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn wire_sweep_serves_and_matches_inprocess() {
+        let c = compare(&tiny());
+        assert_eq!(c.sweep.len(), 4);
+        assert!(c.wire_matches_inprocess, "wire diverged from in-process");
+        for p in &c.sweep {
+            assert_eq!(p.throughput.requests, p.connections * 48);
+            assert!(p.throughput.rps() > 0.0);
+        }
+        let json = c.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"wire_vs_inprocess\""));
+        assert!(json.contains("\"pipeline_scaling\""));
+        assert!(json.contains("\"wire_matches_inprocess\": true"));
+        assert!(json.contains("\"sweep\""));
+    }
+
+    #[test]
+    fn sweep_points_cover_the_connection_and_depth_corners() {
+        let c = compare(&ServerBenchConfig {
+            requests_per_conn: 8,
+            ..tiny()
+        });
+        let corners: Vec<(usize, usize)> =
+            c.sweep.iter().map(|p| (p.connections, p.depth)).collect();
+        assert_eq!(corners, vec![(1, 1), (1, 4), (2, 1), (2, 4)]);
+    }
+}

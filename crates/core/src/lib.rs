@@ -7,7 +7,7 @@
 //! 2015*: given a reverse top-k query (monochromatic or bichromatic) whose
 //! result does not contain a set `Wm` of expected weighting vectors,
 //!
-//! 1. **explain** the omission — [`explain`] returns, per why-not vector,
+//! 1. **explain** the omission — [`explain`](fn@explain) returns, per why-not vector,
 //!    the data points that outrank the query product (the paper's "first
 //!    aspect"), and
 //! 2. **refine** the query with minimum penalty so the refined result
@@ -15,9 +15,9 @@
 //!
 //! | Module   | Modifies        | Technique |
 //! |----------|-----------------|-----------|
-//! | [`mqp`]  | query point `q` | safe region (Lemmas 1–3) + quadratic programming |
-//! | [`mwk`]  | `Wm` and `k`    | weight-space hyperplane sampling + candidate scan (Lemmas 4–6) |
-//! | [`mqwk`] | `q`, `Wm`, `k`  | query-point sampling + MQP + MWK + R-tree reuse |
+//! | [`mqp`](mod@mqp)  | query point `q` | safe region (Lemmas 1–3) + quadratic programming |
+//! | [`mwk`](mod@mwk)  | `Wm` and `k`    | weight-space hyperplane sampling + candidate scan (Lemmas 4–6) |
+//! | [`mqwk`](mod@mqwk) | `q`, `Wm`, `k`  | query-point sampling + MQP + MWK + R-tree reuse |
 //!
 //! The [`framework`] module ties the three into the unified `WQRTQ`
 //! facade of the paper's Figure 4. Penalty semantics follow Equations

@@ -21,7 +21,7 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{Request, Response};
-use crate::worker::{Job, Pool, WorkerContext};
+use crate::worker::{Completion, Job, Pool, WorkerContext};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use wqrtq_geom::Weight;
@@ -248,6 +248,26 @@ impl Engine {
             .expect("one response per request")
     }
 
+    /// Enqueues one request and returns immediately; `complete` runs on
+    /// the worker thread that finished it. This is the serving layer's
+    /// entry point: a connection session can keep `N` requests in flight
+    /// without parking `N` threads, and responses are routed wherever
+    /// the caller's completion puts them (tagged by whatever id the
+    /// caller captured), so they may finish out of submission order.
+    ///
+    /// The completion must be quick and non-blocking — it runs on a pool
+    /// worker, and blocking there stalls every queued request behind it.
+    pub fn submit_with(&self, request: Request, complete: impl FnOnce(Response) + Send + 'static) {
+        self.metrics.record_async_submit();
+        let queue = self.queue.as_ref().expect("pool alive while engine alive");
+        queue
+            .send(Job::Serve {
+                request,
+                reply: Completion::Callback(Box::new(complete)),
+            })
+            .expect("worker pool alive while engine alive");
+    }
+
     /// Fans a batch across the worker pool and reassembles responses in
     /// submission order. Responses are deterministic and independent of
     /// the worker count; failed requests yield [`Response::Error`] in
@@ -263,9 +283,11 @@ impl Engine {
         for (slot, request) in requests.into_iter().enumerate() {
             queue
                 .send(Job::Serve {
-                    slot,
                     request,
-                    reply: reply_tx.clone(),
+                    reply: Completion::Batch {
+                        slot,
+                        reply: reply_tx.clone(),
+                    },
                 })
                 .expect("worker pool alive while engine alive");
         }
@@ -450,6 +472,44 @@ mod tests {
         let stats = engine.metrics().cache;
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn submit_with_routes_completions_without_blocking() {
+        // The engine must be shareable across session threads: the
+        // serving layer submits from many connections concurrently.
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<Engine>();
+
+        let engine = figure1_engine(2);
+        let (tx, rx) = mpsc::channel();
+        for (id, k) in [(7u64, 1usize), (8, 2), (9, 3)] {
+            let tx = tx.clone();
+            engine.submit_with(
+                Request::TopK {
+                    dataset: "products".into(),
+                    weight: vec![0.5, 0.5],
+                    k,
+                },
+                move |response| tx.send((id, response)).unwrap(),
+            );
+        }
+        drop(tx);
+        let mut got: Vec<(u64, Response)> = rx.iter().collect();
+        got.sort_by_key(|(id, _)| *id);
+        assert_eq!(got.len(), 3);
+        for ((id, response), k) in got.into_iter().zip([1usize, 2, 3]) {
+            assert_eq!(
+                response,
+                engine.submit(Request::TopK {
+                    dataset: "products".into(),
+                    weight: vec![0.5, 0.5],
+                    k,
+                }),
+                "completion for id {id} must match the blocking path"
+            );
+        }
+        assert_eq!(engine.metrics().async_submits, 3);
     }
 
     #[test]

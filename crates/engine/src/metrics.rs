@@ -28,6 +28,10 @@ struct KindCounters {
 pub struct Metrics {
     kinds: [KindCounters; 7],
     batches: AtomicU64,
+    /// Requests submitted through the non-blocking completion-routed
+    /// path ([`crate::Engine::submit_with`]) — the serving layer's
+    /// pipelined traffic, as opposed to blocking batches.
+    async_submits: AtomicU64,
     /// Requests served with a warm per-worker scratch (buffers reused
     /// instead of allocated) — the zero-allocation hot path's health
     /// signal.
@@ -76,6 +80,11 @@ impl Metrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one non-blocking (completion-routed) submission.
+    pub fn record_async_submit(&self) {
+        self.async_submits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a request served on a warm (reused) worker scratch.
     pub fn record_scratch_reuse(&self) {
         self.scratch_reuses.fetch_add(1, Ordering::Relaxed);
@@ -113,6 +122,7 @@ impl Metrics {
         MetricsSnapshot {
             per_kind,
             batches: self.batches.load(Ordering::Relaxed),
+            async_submits: self.async_submits.load(Ordering::Relaxed),
             scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
             parallel_shards: self.parallel_shards.load(Ordering::Relaxed),
             sharded_requests: self.sharded_requests.load(Ordering::Relaxed),
@@ -162,6 +172,8 @@ pub struct MetricsSnapshot {
     pub per_kind: Vec<KindSnapshot>,
     /// Batches submitted.
     pub batches: u64,
+    /// Requests submitted through [`crate::Engine::submit_with`].
+    pub async_submits: u64,
     /// Requests served on a warm (reused) per-worker scratch — each one
     /// is a request that allocated no fresh score/probe buffers.
     pub scratch_reuses: u64,
@@ -194,9 +206,10 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "engine metrics: {} requests in {} batches, cache {}/{} hit rate {:.1}% ({} entries)",
+            "engine metrics: {} requests in {} batches (+{} async), cache {}/{} hit rate {:.1}% ({} entries)",
             self.total_requests(),
             self.batches,
+            self.async_submits,
             self.cache.hits,
             self.cache.hits + self.cache.misses,
             100.0 * self.cache.hit_rate(),

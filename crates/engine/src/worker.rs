@@ -77,14 +77,29 @@ pub(crate) fn compaction_threshold(overlay_limit: Option<usize>, base_len: usize
     overlay_limit.unwrap_or_else(|| 1024.max(base_len / 4))
 }
 
-/// One unit of queued work.
-pub(crate) enum Job {
-    /// One request of a batch.
-    Serve {
+/// Where a served request's response goes.
+///
+/// Batch submission reassembles responses through a per-batch channel;
+/// non-blocking submission ([`crate::Engine::submit_with`]) routes the
+/// response straight into a caller-supplied completion, invoked on the
+/// worker thread that finished the request. Completions must therefore
+/// be quick and non-blocking (hand the response to a queue, flip a
+/// flag) — a completion that blocks would hold a pool worker hostage.
+pub(crate) enum Completion {
+    /// Reply channel of a [`crate::Engine::submit_batch`] call, with the
+    /// request's slot in the batch.
+    Batch {
         slot: usize,
-        request: Request,
         reply: Sender<(usize, Response)>,
     },
+    /// Caller-routed completion for [`crate::Engine::submit_with`].
+    Callback(Box<dyn FnOnce(Response) + Send + 'static>),
+}
+
+/// One unit of queued work.
+pub(crate) enum Job {
+    /// One request to serve.
+    Serve { request: Request, reply: Completion },
     /// One claimable shard of a parallelised bichromatic request.
     Shard(Arc<ShardTask>),
     /// A scheduled overlay merge for a dataset, run off the request
@@ -282,15 +297,16 @@ fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
             Err(_) => return, // channel torn down: shut down
         };
         match job {
-            Job::Serve {
-                slot,
-                request,
-                reply,
-            } => {
+            Job::Serve { request, reply } => {
                 let response = serve(ctx, &request, &mut scratch);
-                // A dropped reply receiver means the submitter gave up;
-                // keep draining the queue for other batches.
-                let _ = reply.send((slot, response));
+                match reply {
+                    // A dropped reply receiver means the submitter gave
+                    // up; keep draining the queue for other batches.
+                    Completion::Batch { slot, reply } => {
+                        let _ = reply.send((slot, response));
+                    }
+                    Completion::Callback(complete) => complete(response),
+                }
             }
             Job::Shard(task) => task.run_one(&mut scratch),
             Job::Compact { dataset, epoch } => {

@@ -4,7 +4,7 @@
 //!
 //! Implements the query classes the paper builds on (its Definitions 1–3):
 //!
-//! * [`topk`] — top-k queries, both branch-and-bound over the R-tree (the
+//! * [`topk`](mod@topk) — top-k queries, both branch-and-bound over the R-tree (the
 //!   I/O-optimal BRS strategy \[29\]) and a linear-scan baseline;
 //! * [`rank`] — the *rank* of a query point under a weighting vector
 //!   (`1 + #points strictly better`), the predicate behind every reverse

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # WQRTQ server — a networked front door for the engine
+//!
+//! [`crate::Server`] exposes a [`wqrtq_engine::Engine`] over TCP with a
+//! std-only, length-prefixed binary protocol:
+//!
+//! * [`frame`] — the framing layer: `u32` length prefix + payload,
+//!   preamble magic, hard frame-size limits, and the checked byte codec
+//!   primitives (floats travel by IEEE-754 bit pattern, so responses
+//!   round-trip **bit-identically** to their in-process values);
+//! * [`wire`] — the message vocabulary: every engine request/response
+//!   kind plus dataset/weight-set registration, compaction, and ping,
+//!   each frame tagged with a client-assigned request id;
+//! * [`server`] — per-connection reader/writer sessions with
+//!   **pipelining** (many frames in flight, responses completed out of
+//!   order by the shard pool and routed by request id), a bounded global
+//!   admission queue that answers overload with [`wire::ServerFrame::Busy`]
+//!   instead of buffering, and graceful shutdown that drains in-flight
+//!   work before closing;
+//! * [`client`] — a blocking client speaking the same protocol, used by
+//!   the loopback tests and the `server_bench` load generator.
+//!
+//! ```no_run
+//! use wqrtq_server::{Client, Server};
+//! use wqrtq_engine::Request;
+//!
+//! let server = Server::builder().workers(2).bind("127.0.0.1:0")?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! client.register_dataset("products", 2, &[2.0, 1.0, 6.0, 3.0, 1.0, 9.0])?;
+//! let top = client.submit(&Request::TopK {
+//!     dataset: "products".into(),
+//!     weight: vec![0.5, 0.5],
+//!     k: 2,
+//! })?;
+//! # let _ = top;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use frame::{ByteReader, ByteWriter, DecodeError, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC};
+pub use server::{ConnectionStats, Server, ServerBuilder, ServerStats};
+pub use wire::{ClientFrame, ServerFrame, CONNECTION_ID};

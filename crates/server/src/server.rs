@@ -1,0 +1,821 @@
+//! The TCP serving front door: listener, per-connection sessions,
+//! bounded admission, and graceful shutdown.
+//!
+//! ## Connection anatomy
+//!
+//! Each accepted connection gets two threads:
+//!
+//! * a **reader** that validates the [`crate::frame::MAGIC`] preamble,
+//!   then decodes frames and dispatches them — control operations
+//!   (registration, compaction, ping) run inline; [`ClientFrame::Submit`]
+//!   goes through the admission gauge onto the engine pool via
+//!   [`Engine::submit_with`], so any number of requests can be in flight
+//!   per connection (pipelining) without parking a thread each;
+//! * a **writer** that drains a *bounded* queue of `(id, frame)` pairs
+//!   and owns the socket's write half exclusively, so concurrently
+//!   completing responses can never interleave bytes.
+//!
+//! Responses carry the client's request id and are enqueued by whichever
+//! pool worker finished them — out of submission order when a later
+//! request completes first.
+//!
+//! ## Backpressure, not buffering
+//!
+//! Admission is a global gauge with a hard capacity. When it is full, a
+//! `Submit` is answered with [`ServerFrame::Busy`] *immediately* and is
+//! never queued — the server's memory footprint is bounded by
+//! `admission_capacity`, not by what clients feel like sending. The
+//! writer queue is sized `admission_capacity + slack`, so completions
+//! always use a non-blocking `try_send`: a pool worker can never be
+//! blocked by a connection. If a client stops reading long enough for
+//! its writer queue to overflow anyway, the connection is killed rather
+//! than buffered — slow readers pay, not the pool.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] (also run on drop) stops the accept loop, then
+//! half-closes every session's read side. Readers fall out of their
+//! loop, each session **drains its in-flight requests** (waits for the
+//! per-connection gauge to reach zero, so every accepted request's
+//! response is handed to the writer), the writer flushes its queue, and
+//! only then is the socket closed. Work the server said yes to is
+//! finished; work it never admitted was already refused with `Busy`.
+
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC};
+use crate::wire::{ClientFrame, ServerFrame, CONNECTION_ID};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use wqrtq_engine::{Engine, Response};
+use wqrtq_geom::Weight;
+
+/// Writer-queue headroom beyond the admission capacity, reserved for
+/// control replies (pong, registered, compacted) and busy frames.
+const CONTROL_SLACK: usize = 16;
+
+/// A counting gauge with capacity-checked acquisition and a drain wait.
+#[derive(Debug, Default)]
+struct Gauge {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Gauge {
+    /// Increments unless the gauge already holds `capacity`.
+    fn try_acquire(&self, capacity: usize) -> bool {
+        let mut count = self.count.lock().expect("gauge lock");
+        if *count >= capacity {
+            return false;
+        }
+        *count += 1;
+        true
+    }
+
+    /// Increments unconditionally.
+    fn acquire(&self) {
+        *self.count.lock().expect("gauge lock") += 1;
+    }
+
+    fn release(&self) {
+        let mut count = self.count.lock().expect("gauge lock");
+        *count = count.checked_sub(1).expect("gauge underflow");
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    /// Blocks until the gauge reaches zero.
+    fn wait_zero(&self) {
+        let mut count = self.count.lock().expect("gauge lock");
+        while *count > 0 {
+            count = self.zero.wait(count).expect("gauge lock poisoned");
+        }
+    }
+
+    fn len(&self) -> usize {
+        *self.count.lock().expect("gauge lock")
+    }
+}
+
+/// Live per-connection counters.
+#[derive(Debug, Default)]
+struct ConnCounters {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Per-connection state shared between the reader, the writer, and the
+/// completions in flight on the pool.
+#[derive(Debug)]
+struct ConnState {
+    id: u64,
+    peer: Option<SocketAddr>,
+    counters: ConnCounters,
+    /// Requests of this connection currently on the engine pool (or in
+    /// the writer queue); the session drains this to zero before closing.
+    in_flight: Gauge,
+    /// Socket handle used to tear the connection down from any thread.
+    control: TcpStream,
+    closed: AtomicBool,
+}
+
+impl ConnState {
+    /// Kills the connection from any thread: both socket halves are shut
+    /// down, so the reader and writer unblock with errors and tear down.
+    fn doom(&self) {
+        let _ = self.control.shutdown(Shutdown::Both);
+    }
+}
+
+/// A point-in-time view of one live connection.
+#[derive(Clone, Debug)]
+pub struct ConnectionStats {
+    /// Server-assigned connection id (monotonic from 1).
+    pub id: u64,
+    /// Peer address, when the socket could report one.
+    pub peer: Option<SocketAddr>,
+    /// Frames received (after the preamble).
+    pub frames_in: u64,
+    /// Frames written back.
+    pub frames_out: u64,
+    /// Submits refused with [`ServerFrame::Busy`].
+    pub busy_rejections: u64,
+    /// Requests of this connection currently in flight on the pool.
+    pub in_flight: usize,
+}
+
+/// Aggregate server counters (live connections plus everything already
+/// closed).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_open: usize,
+    /// Frames received across all connections.
+    pub frames_in: u64,
+    /// Frames written across all connections.
+    pub frames_out: u64,
+    /// Submits refused with [`ServerFrame::Busy`].
+    pub busy_rejections: u64,
+    /// Connections that violated the protocol (bad preamble, malformed
+    /// or oversized frames).
+    pub protocol_errors: u64,
+    /// Requests currently admitted onto the engine pool.
+    pub in_flight: usize,
+}
+
+/// Totals folded in when a connection closes.
+#[derive(Debug, Default)]
+struct ClosedTotals {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct ConnEntry {
+    state: Arc<ConnState>,
+    reader: Option<JoinHandle<()>>,
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    admission: Gauge,
+    admission_capacity: usize,
+    max_frame_len: usize,
+    max_connections: usize,
+    shutting_down: AtomicBool,
+    accepted: AtomicU64,
+    next_conn_id: AtomicU64,
+    conns: Mutex<Vec<ConnEntry>>,
+    closed: ClosedTotals,
+}
+
+impl Shared {
+    /// Removes finished sessions from the registry, joining their
+    /// threads and folding their counters into the closed totals.
+    fn reap(&self) {
+        let mut finished = Vec::new();
+        {
+            let mut conns = self.conns.lock().expect("connection registry lock");
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].state.closed.load(Ordering::Acquire) {
+                    finished.push(conns.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for mut entry in finished {
+            if let Some(handle) = entry.reader.take() {
+                let _ = handle.join();
+            }
+            let c = &entry.state.counters;
+            self.closed
+                .frames_in
+                .fetch_add(c.frames_in.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.closed
+                .frames_out
+                .fetch_add(c.frames_out.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.closed
+                .busy_rejections
+                .fetch_add(c.busy_rejections.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.closed
+                .protocol_errors
+                .fetch_add(c.protocol_errors.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.closed.connections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Configures a [`Server`] before it binds.
+#[derive(Debug)]
+pub struct ServerBuilder {
+    engine: Option<Engine>,
+    workers: Option<usize>,
+    admission_capacity: usize,
+    max_frame_len: usize,
+    max_connections: usize,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        Self {
+            engine: None,
+            workers: None,
+            admission_capacity: 256,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            max_connections: 1024,
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Serves over this pre-configured engine instead of building one.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Worker threads for the engine the server builds when none was
+    /// supplied (default: available parallelism).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Maximum requests admitted onto the pool across all connections
+    /// before submits are refused with [`ServerFrame::Busy`]
+    /// (default 256).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn admission_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "admission capacity must be positive");
+        self.admission_capacity = capacity;
+        self
+    }
+
+    /// Maximum accepted frame payload in bytes (default 32 MiB).
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn max_frame_len(mut self, len: usize) -> Self {
+        assert!(len > 0, "frame length limit must be positive");
+        self.max_frame_len = len;
+        self
+    }
+
+    /// Maximum concurrent connections (default 1024). Each connection
+    /// costs two OS threads and up to one frame buffer; this cap bounds
+    /// connection-scoped resources the way `admission_capacity` bounds
+    /// pool work. Connections beyond the cap are closed immediately.
+    ///
+    /// # Panics
+    /// Panics if `limit` is zero.
+    pub fn max_connections(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "connection limit must be positive");
+        self.max_connections = limit;
+        self
+    }
+
+    /// Binds the listener and starts accepting connections.
+    ///
+    /// # Errors
+    /// Propagates socket errors (bind, local address lookup).
+    pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let engine = self.engine.unwrap_or_else(|| match self.workers {
+            Some(workers) => Engine::new(workers),
+            None => Engine::builder().build(),
+        });
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let shared = Arc::new(Shared {
+            engine: engine.clone(),
+            admission: Gauge::default(),
+            admission_capacity: self.admission_capacity,
+            max_frame_len: self.max_frame_len,
+            max_connections: self.max_connections,
+            shutting_down: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(1),
+            conns: Mutex::new(Vec::new()),
+            closed: ClosedTotals::default(),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("wqrtq-accept".into())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            engine,
+            addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+/// A TCP front door over a [`Engine`]: length-prefixed binary frames,
+/// per-connection pipelining, bounded admission with busy backpressure,
+/// and drain-before-close shutdown.
+///
+/// ```no_run
+/// use wqrtq_server::{Client, Server};
+/// use wqrtq_engine::{Request, Response};
+///
+/// let server = Server::builder().workers(2).bind("127.0.0.1:0").unwrap();
+/// let mut client = Client::connect(server.local_addr()).unwrap();
+/// client.register_dataset("p", 2, &[2.0, 1.0, 6.0, 3.0]).unwrap();
+/// let response = client
+///     .submit(&Request::TopK { dataset: "p".into(), weight: vec![0.5, 0.5], k: 1 })
+///     .unwrap();
+/// assert!(matches!(response, Response::TopK(_)));
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("admission_capacity", &self.admission_capacity)
+            .field("max_frame_len", &self.max_frame_len)
+            .field("shutting_down", &self.shutting_down)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// The bound listener address (use with port 0 to discover the
+    /// ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts. Direct (in-process) submissions
+    /// against it observe exactly the state wire traffic built — the
+    /// differential loopback tests rely on this.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Aggregate counters over live and closed connections.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.reap();
+        let mut stats = ServerStats {
+            connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
+            in_flight: self.shared.admission.len(),
+            frames_in: self.shared.closed.frames_in.load(Ordering::Relaxed),
+            frames_out: self.shared.closed.frames_out.load(Ordering::Relaxed),
+            busy_rejections: self.shared.closed.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.shared.closed.protocol_errors.load(Ordering::Relaxed),
+            ..ServerStats::default()
+        };
+        let conns = self.shared.conns.lock().expect("connection registry lock");
+        stats.connections_open = conns.len();
+        for entry in conns.iter() {
+            let c = &entry.state.counters;
+            stats.frames_in += c.frames_in.load(Ordering::Relaxed);
+            stats.frames_out += c.frames_out.load(Ordering::Relaxed);
+            stats.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
+            stats.protocol_errors += c.protocol_errors.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Point-in-time counters for every live connection.
+    pub fn connection_stats(&self) -> Vec<ConnectionStats> {
+        self.shared.reap();
+        let conns = self.shared.conns.lock().expect("connection registry lock");
+        conns
+            .iter()
+            .map(|entry| {
+                let s = &entry.state;
+                ConnectionStats {
+                    id: s.id,
+                    peer: s.peer,
+                    frames_in: s.counters.frames_in.load(Ordering::Relaxed),
+                    frames_out: s.counters.frames_out.load(Ordering::Relaxed),
+                    busy_rejections: s.counters.busy_rejections.load(Ordering::Relaxed),
+                    in_flight: s.in_flight.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// Gracefully shuts down: stop accepting, half-close every session's
+    /// read side, drain all in-flight work, flush and close every
+    /// connection. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The listener is non-blocking and the accept loop re-checks the
+        // flag on every poll tick, so it exits within one tick. A
+        // throwaway self-connect wakes it instantly when the loopback
+        // route allows it; when it does not (firewalled interface,
+        // wildcard binds on some platforms), the poll tick still
+        // guarantees termination.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.lock().expect("accept handle lock").take() {
+            let _ = handle.join();
+        }
+        // Half-close read sides: readers fall out of their loops, each
+        // session drains its in-flight work and flushes its writer.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.shared.conns.lock().expect("connection registry lock");
+            conns
+                .iter_mut()
+                .filter_map(|entry| {
+                    let _ = entry.state.control.shutdown(Shutdown::Read);
+                    entry.reader.take()
+                })
+                .collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.shared.reap();
+        // Every session waited for its own in-flight gauge, so the
+        // global admission gauge has drained with them.
+        self.shared.admission.wait_zero();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How often the accept loop re-checks the shutdown flag when no
+/// connection is pending.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    // Non-blocking accept + poll tick: shutdown can never hang on a
+    // listener that no wake-up connection can reach.
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.reap();
+                // The connection cap bounds threads and frame buffers
+                // the way admission bounds pool work; over-cap peers
+                // are dropped at the door.
+                let open = shared.conns.lock().expect("connection registry lock").len();
+                if open >= shared.max_connections {
+                    drop(stream);
+                    continue;
+                }
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                spawn_session(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Other accept errors (peer vanished between SYN and accept,
+            // fd exhaustion) must neither kill the listener nor busy-spin
+            // a core while the condition persists.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn spawn_session(shared: &Arc<Shared>, stream: TcpStream) {
+    // Sockets accepted from a non-blocking listener inherit the mode on
+    // some platforms; sessions use blocking reads and writes.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let control = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return, // socket already dead
+    };
+    let state = Arc::new(ConnState {
+        id: shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
+        peer: stream.peer_addr().ok(),
+        counters: ConnCounters::default(),
+        in_flight: Gauge::default(),
+        control,
+        closed: AtomicBool::new(false),
+    });
+    let reader = {
+        let shared = shared.clone();
+        let state = state.clone();
+        std::thread::Builder::new()
+            .name(format!("wqrtq-conn-{}", state.id))
+            .spawn(move || session(&shared, stream, &state))
+    };
+    match reader {
+        Ok(reader) => shared
+            .conns
+            .lock()
+            .expect("connection registry lock")
+            .push(ConnEntry {
+                state,
+                reader: Some(reader),
+            }),
+        // Thread exhaustion: shed this connection, keep accepting — a
+        // panic here would silently kill the listener instead.
+        Err(_) => state.doom(),
+    }
+}
+
+/// Runs one connection to completion: read loop, then drain + flush.
+fn session(shared: &Arc<Shared>, stream: TcpStream, state: &Arc<ConnState>) {
+    let writer_stream = stream.try_clone().ok();
+    let (tx, rx) = sync_channel::<(u64, ServerFrame)>(shared.admission_capacity + CONTROL_SLACK);
+    // A writer that cannot start (dead socket, thread exhaustion) means
+    // the session serves nothing — but the epilogue below must still
+    // run so the registry entry is reaped.
+    let writer = writer_stream.and_then(|out| {
+        let state = state.clone();
+        std::thread::Builder::new()
+            .name("wqrtq-conn-writer".into())
+            .spawn(move || writer_loop(out, rx, &state))
+            .ok()
+    });
+    if writer.is_some() {
+        // The read loop must not skip the drain/teardown epilogue below,
+        // whatever happens inside it — a leaked registry entry would
+        // inflate `connections_open` forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            read_loop(shared, &stream, state, &tx);
+        }));
+        if result.is_err() {
+            state
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Drain: every admitted request must hand its response to the
+    // writer before the queue is torn down. Completions release the
+    // gauge after their try_send, so zero means nothing left to wait on.
+    state.in_flight.wait_zero();
+    drop(tx);
+    if let Some(writer) = writer {
+        let _ = writer.join();
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    state.closed.store(true, Ordering::Release);
+}
+
+/// Decodes and dispatches frames until the client goes away, the stream
+/// errors, or a protocol violation kills the connection.
+fn read_loop(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    state: &Arc<ConnState>,
+    tx: &SyncSender<(u64, ServerFrame)>,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut magic = [0u8; 4];
+    match frame::read_exact_or_clean_eof(&mut reader, &mut magic) {
+        // A connection that closes without sending a byte (port scan,
+        // health probe, shutdown racing a fresh connect) is not a
+        // protocol violation — just a goodbye.
+        Ok(false) => return,
+        Ok(true) if magic == MAGIC => {}
+        Ok(true) | Err(FrameError::Truncated) => {
+            state
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = tx.try_send((
+                CONNECTION_ID,
+                ServerFrame::ProtocolError("bad connection preamble".into()),
+            ));
+            return;
+        }
+        Err(_) => return, // transport failure: nothing to tell the peer
+    }
+    let mut buf = Vec::new();
+    loop {
+        match frame::read_frame(&mut reader, shared.max_frame_len, &mut buf) {
+            Ok(true) => {}
+            // Clean EOF or half-close: the client is done sending but
+            // may still be reading — in-flight responses are drained by
+            // the session epilogue, not discarded.
+            Ok(false) => return,
+            Err(FrameError::Oversized { len, max }) => {
+                state
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = tx.try_send((
+                    CONNECTION_ID,
+                    ServerFrame::ProtocolError(format!(
+                        "frame payload of {len} bytes exceeds the {max}-byte limit"
+                    )),
+                ));
+                return;
+            }
+            // Abrupt disconnect mid-frame or transport failure: nothing
+            // to tell the peer, just drain and tear down.
+            Err(FrameError::Truncated | FrameError::Io(_)) => return,
+        }
+        state.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+        let (id, message) = match ClientFrame::decode(&buf) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                state
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = tx.try_send((CONNECTION_ID, ServerFrame::ProtocolError(e.to_string())));
+                return;
+            }
+        };
+        // Id 0 is reserved for connection-level errors; a client using
+        // it could not tell its own reply from a fatal ProtocolError.
+        if id == CONNECTION_ID {
+            state
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = tx.try_send((
+                CONNECTION_ID,
+                ServerFrame::ProtocolError("request id 0 is reserved".into()),
+            ));
+            return;
+        }
+        let control_reply = match message {
+            ClientFrame::Ping => Some(ServerFrame::Pong),
+            ClientFrame::RegisterDataset { name, dim, coords } => {
+                Some(match shared.engine.register_dataset(&name, dim, coords) {
+                    Ok(()) => ServerFrame::Registered,
+                    Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
+                })
+            }
+            ClientFrame::RegisterWeights { name, weights } => {
+                Some(match register_weights(shared, &name, weights) {
+                    Ok(()) => ServerFrame::Registered,
+                    Err(msg) => ServerFrame::Reply(Response::Error(msg)),
+                })
+            }
+            ClientFrame::Compact { dataset } => Some(match shared.engine.compact(&dataset) {
+                Ok(ran) => ServerFrame::Compacted { ran },
+                Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
+            }),
+            ClientFrame::Submit(request) => {
+                if shared.admission.try_acquire(shared.admission_capacity) {
+                    state.in_flight.acquire();
+                    let tx = tx.clone();
+                    let conn = state.clone();
+                    let shared_cb = shared.clone();
+                    shared.engine.submit_with(request, move |response| {
+                        // Admission is released *before* the reply is
+                        // enqueued: once a client has read a response,
+                        // its permit is guaranteed free, so a retry
+                        // after draining can never spuriously see Busy.
+                        shared_cb.admission.release();
+                        // Non-blocking by construction (the queue holds
+                        // admission_capacity + slack slots): a full
+                        // queue means the reader side is hopeless —
+                        // kill the connection rather than drop a
+                        // response silently. The per-connection gauge
+                        // is released only after the send, because the
+                        // session's drain (gauge → zero, then tear down
+                        // the queue) must not race this enqueue.
+                        if tx.try_send((id, ServerFrame::Reply(response))).is_err() {
+                            conn.doom();
+                        }
+                        conn.in_flight.release();
+                    });
+                    None
+                } else {
+                    state
+                        .counters
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    Some(ServerFrame::Busy)
+                }
+            }
+        };
+        if let Some(reply) = control_reply {
+            // Control replies ride the same bounded queue; a client that
+            // filled it with unread traffic loses the connection.
+            if tx.try_send((id, reply)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Validates and registers an inline weight population. The predicate
+/// matches every invariant [`Weight::new`] asserts — non-empty, entries
+/// finite and `>= -EPS`, sum within `1e-6` of 1 — so a hostile frame
+/// gets a typed error back instead of panicking the session thread, and
+/// wire registration accepts exactly what in-process registration does.
+fn register_weights(shared: &Shared, name: &str, weights: Vec<Vec<f64>>) -> Result<(), String> {
+    let mut population = Vec::with_capacity(weights.len());
+    for w in &weights {
+        let sum: f64 = w.iter().sum();
+        if w.is_empty()
+            || !w.iter().all(|x| x.is_finite() && *x >= -wqrtq_geom::EPS)
+            || (sum - 1.0).abs() >= 1e-6
+        {
+            return Err(format!(
+                "invalid weighting vector in weight set `{name}`: components must be \
+                 finite, non-negative, and sum to 1"
+            ));
+        }
+        population.push(Weight::new(w.clone()));
+    }
+    shared
+        .engine
+        .register_weights(name, population)
+        .map_err(|e| e.to_string())
+}
+
+/// Owns the socket's write half: encodes and writes queued frames,
+/// flushing once per burst.
+fn writer_loop(stream: TcpStream, rx: Receiver<(u64, ServerFrame)>, state: &Arc<ConnState>) {
+    let mut out = BufWriter::new(stream);
+    while let Ok((id, message)) = rx.recv() {
+        if write_one(&mut out, id, &message, state).is_err() {
+            // The peer stopped reading (or vanished). Doom the whole
+            // connection so the reader unblocks too, then bail — queued
+            // frames have nowhere to go.
+            state.doom();
+            return;
+        }
+        // Opportunistically batch whatever is already queued before
+        // paying the flush.
+        while let Ok((id, message)) = rx.try_recv() {
+            if write_one(&mut out, id, &message, state).is_err() {
+                state.doom();
+                return;
+            }
+        }
+        if out.flush().is_err() {
+            state.doom();
+            return;
+        }
+    }
+}
+
+fn write_one(
+    out: &mut BufWriter<TcpStream>,
+    id: u64,
+    message: &ServerFrame,
+    state: &Arc<ConnState>,
+) -> std::io::Result<()> {
+    frame::write_frame(out, &message.encode(id))?;
+    state.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}

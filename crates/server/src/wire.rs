@@ -1,0 +1,821 @@
+//! The typed wire vocabulary: every engine [`Request`] / [`Response`]
+//! kind plus the catalog control operations (dataset and weight-set
+//! registration, compaction) and connection liveness.
+//!
+//! A frame payload is `u64 request id` + `u8 opcode` + body. Request ids
+//! are assigned by the client and echoed verbatim on the matching
+//! response frame — that is the *only* correlation mechanism, so a
+//! client may keep any number of frames in flight (pipelining) and the
+//! server may complete them in any order (responses are routed by the
+//! shard pool, not the arrival order). Id `0` is reserved for
+//! connection-level [`ServerFrame::ProtocolError`] frames that cannot be
+//! attributed to a parsed request.
+//!
+//! Floats travel as IEEE-754 bit patterns ([`crate::frame::ByteWriter`]),
+//! so a decoded [`Response`] is bit-identical to the in-process value —
+//! the property the differential loopback test pins down.
+
+use crate::frame::{ByteReader, ByteWriter, DecodeError};
+use wqrtq_engine::{RefineStrategy, Refinement, Request, Response, WeightSet};
+
+/// Reserved request id for connection-level errors that cannot be
+/// attributed to a parsed request (bad magic, malformed frame).
+pub const CONNECTION_ID: u64 = 0;
+
+// Client → server opcodes.
+const OP_SUBMIT: u8 = 0x01;
+const OP_REGISTER_DATASET: u8 = 0x02;
+const OP_REGISTER_WEIGHTS: u8 = 0x03;
+const OP_COMPACT: u8 = 0x04;
+const OP_PING: u8 = 0x05;
+
+// Server → client opcodes.
+const OP_REPLY: u8 = 0x81;
+const OP_REGISTERED: u8 = 0x82;
+const OP_COMPACTED: u8 = 0x83;
+const OP_PONG: u8 = 0x84;
+const OP_BUSY: u8 = 0x85;
+const OP_PROTOCOL_ERROR: u8 = 0x86;
+
+/// One client → server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientFrame {
+    /// Serve one engine request on the worker pool.
+    Submit(Request),
+    /// Register (or replace) a dataset in the catalog.
+    RegisterDataset {
+        /// Catalog name.
+        name: String,
+        /// Dimensionality.
+        dim: usize,
+        /// Flat row-major coordinates.
+        coords: Vec<f64>,
+    },
+    /// Register an immutable customer weight population.
+    RegisterWeights {
+        /// Catalog name.
+        name: String,
+        /// One weighting vector per customer.
+        weights: Vec<Vec<f64>>,
+    },
+    /// Synchronously merge a dataset's delta overlay into its base.
+    Compact {
+        /// Catalog dataset name.
+        dataset: String,
+    },
+    /// Liveness probe; answered with [`ServerFrame::Pong`].
+    Ping,
+}
+
+/// One server → client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerFrame {
+    /// The engine's response to a [`ClientFrame::Submit`] — or a typed
+    /// error for a control operation that failed.
+    Reply(Response),
+    /// A registration succeeded.
+    Registered,
+    /// A compaction request completed; `ran` is false when the overlay
+    /// was already empty.
+    Compacted {
+        /// Whether a merge actually ran.
+        ran: bool,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The admission queue was full; the request was **not** executed.
+    /// The client may retry after draining some in-flight responses.
+    Busy,
+    /// The connection violated the protocol (bad preamble, malformed or
+    /// oversized frame); the server closes the connection after this.
+    ProtocolError(String),
+}
+
+impl ClientFrame {
+    /// Encodes a [`ClientFrame::Submit`] payload for `request` by
+    /// reference — the pipelined hot path, sparing the caller a clone of
+    /// a potentially large request (byte-identical to
+    /// `ClientFrame::Submit(request.clone()).encode(id)`).
+    pub fn encode_submit(id: u64, request: &Request) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(id);
+        w.put_u8(OP_SUBMIT);
+        encode_request(&mut w, request);
+        w.into_vec()
+    }
+
+    /// Encodes the message as a frame payload carrying `id`.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(id);
+        match self {
+            ClientFrame::Submit(request) => {
+                w.put_u8(OP_SUBMIT);
+                encode_request(&mut w, request);
+            }
+            ClientFrame::RegisterDataset { name, dim, coords } => {
+                w.put_u8(OP_REGISTER_DATASET);
+                w.put_str(name);
+                w.put_usize(*dim);
+                w.put_f64s(coords);
+            }
+            ClientFrame::RegisterWeights { name, weights } => {
+                w.put_u8(OP_REGISTER_WEIGHTS);
+                w.put_str(name);
+                w.put_usize(weights.len());
+                for weight in weights {
+                    w.put_f64s(weight);
+                }
+            }
+            ClientFrame::Compact { dataset } => {
+                w.put_u8(OP_COMPACT);
+                w.put_str(dataset);
+            }
+            ClientFrame::Ping => w.put_u8(OP_PING),
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on any malformed, truncated, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Self), DecodeError> {
+        let mut r = ByteReader::new(payload);
+        let id = r.take_u64("request id")?;
+        let opcode = r.take_u8("opcode")?;
+        let frame = match opcode {
+            OP_SUBMIT => ClientFrame::Submit(decode_request(&mut r)?),
+            OP_REGISTER_DATASET => ClientFrame::RegisterDataset {
+                name: r.take_str("dataset name")?,
+                dim: r.take_usize("dimension")?,
+                coords: r.take_f64s("coordinates")?,
+            },
+            OP_REGISTER_WEIGHTS => {
+                let name = r.take_str("weight-set name")?;
+                let count = r.take_count(8, "weight count")?;
+                let weights = (0..count)
+                    .map(|_| r.take_f64s("weight vector"))
+                    .collect::<Result<_, _>>()?;
+                ClientFrame::RegisterWeights { name, weights }
+            }
+            OP_COMPACT => ClientFrame::Compact {
+                dataset: r.take_str("dataset name")?,
+            },
+            OP_PING => ClientFrame::Ping,
+            _ => return Err(DecodeError::new("unknown client opcode")),
+        };
+        r.finish()?;
+        Ok((id, frame))
+    }
+}
+
+impl ServerFrame {
+    /// Encodes the message as a frame payload carrying `id`.
+    pub fn encode(&self, id: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(id);
+        match self {
+            ServerFrame::Reply(response) => {
+                w.put_u8(OP_REPLY);
+                encode_response(&mut w, response);
+            }
+            ServerFrame::Registered => w.put_u8(OP_REGISTERED),
+            ServerFrame::Compacted { ran } => {
+                w.put_u8(OP_COMPACTED);
+                w.put_u8(u8::from(*ran));
+            }
+            ServerFrame::Pong => w.put_u8(OP_PONG),
+            ServerFrame::Busy => w.put_u8(OP_BUSY),
+            ServerFrame::ProtocolError(msg) => {
+                w.put_u8(OP_PROTOCOL_ERROR);
+                w.put_str(msg);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on any malformed, truncated, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Self), DecodeError> {
+        let mut r = ByteReader::new(payload);
+        let id = r.take_u64("request id")?;
+        let opcode = r.take_u8("opcode")?;
+        let frame = match opcode {
+            OP_REPLY => ServerFrame::Reply(decode_response(&mut r)?),
+            OP_REGISTERED => ServerFrame::Registered,
+            OP_COMPACTED => ServerFrame::Compacted {
+                ran: r.take_u8("compacted flag")? != 0,
+            },
+            OP_PONG => ServerFrame::Pong,
+            OP_BUSY => ServerFrame::Busy,
+            OP_PROTOCOL_ERROR => ServerFrame::ProtocolError(r.take_str("error message")?),
+            _ => return Err(DecodeError::new("unknown server opcode")),
+        };
+        r.finish()?;
+        Ok((id, frame))
+    }
+}
+
+// Request body tags (one per `Request` variant).
+const REQ_TOPK: u8 = 1;
+const REQ_RTOPK_MONO: u8 = 2;
+const REQ_RTOPK_BI: u8 = 3;
+const REQ_EXPLAIN: u8 = 4;
+const REQ_REFINE: u8 = 5;
+const REQ_APPEND: u8 = 6;
+const REQ_DELETE: u8 = 7;
+
+fn encode_request(w: &mut ByteWriter, request: &Request) {
+    match request {
+        Request::TopK { dataset, weight, k } => {
+            w.put_u8(REQ_TOPK);
+            w.put_str(dataset);
+            w.put_f64s(weight);
+            w.put_usize(*k);
+        }
+        Request::ReverseTopKMono {
+            dataset,
+            q,
+            k,
+            samples,
+            seed,
+        } => {
+            w.put_u8(REQ_RTOPK_MONO);
+            w.put_str(dataset);
+            w.put_f64s(q);
+            w.put_usize(*k);
+            w.put_usize(*samples);
+            w.put_u64(*seed);
+        }
+        Request::ReverseTopKBi {
+            dataset,
+            weights,
+            q,
+            k,
+        } => {
+            w.put_u8(REQ_RTOPK_BI);
+            w.put_str(dataset);
+            match weights {
+                WeightSet::Named(name) => {
+                    w.put_u8(1);
+                    w.put_str(name);
+                }
+                WeightSet::Inline(ws) => {
+                    w.put_u8(2);
+                    w.put_usize(ws.len());
+                    for weight in ws {
+                        w.put_f64s(weight);
+                    }
+                }
+            }
+            w.put_f64s(q);
+            w.put_usize(*k);
+        }
+        Request::WhyNotExplain {
+            dataset,
+            weight,
+            q,
+            limit,
+        } => {
+            w.put_u8(REQ_EXPLAIN);
+            w.put_str(dataset);
+            w.put_f64s(weight);
+            w.put_f64s(q);
+            w.put_usize(*limit);
+        }
+        Request::WhyNotRefine {
+            dataset,
+            q,
+            k,
+            why_not,
+            strategy,
+        } => {
+            w.put_u8(REQ_REFINE);
+            w.put_str(dataset);
+            w.put_f64s(q);
+            w.put_usize(*k);
+            w.put_usize(why_not.len());
+            for weight in why_not {
+                w.put_f64s(weight);
+            }
+            match strategy {
+                RefineStrategy::Mqp => w.put_u8(1),
+                RefineStrategy::Mwk { sample_size, seed } => {
+                    w.put_u8(2);
+                    w.put_usize(*sample_size);
+                    w.put_u64(*seed);
+                }
+                RefineStrategy::Mqwk {
+                    sample_size,
+                    query_samples,
+                    seed,
+                } => {
+                    w.put_u8(3);
+                    w.put_usize(*sample_size);
+                    w.put_usize(*query_samples);
+                    w.put_u64(*seed);
+                }
+            }
+        }
+        Request::Append { dataset, points } => {
+            w.put_u8(REQ_APPEND);
+            w.put_str(dataset);
+            w.put_f64s(points);
+        }
+        Request::Delete { dataset, ids } => {
+            w.put_u8(REQ_DELETE);
+            w.put_str(dataset);
+            w.put_usize(ids.len());
+            for id in ids {
+                w.put_u64(u64::from(*id));
+            }
+        }
+    }
+}
+
+fn decode_request(r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
+    Ok(match r.take_u8("request tag")? {
+        REQ_TOPK => Request::TopK {
+            dataset: r.take_str("dataset")?,
+            weight: r.take_f64s("weight")?,
+            k: r.take_usize("k")?,
+        },
+        REQ_RTOPK_MONO => Request::ReverseTopKMono {
+            dataset: r.take_str("dataset")?,
+            q: r.take_f64s("query point")?,
+            k: r.take_usize("k")?,
+            samples: r.take_usize("samples")?,
+            seed: r.take_u64("seed")?,
+        },
+        REQ_RTOPK_BI => {
+            let dataset = r.take_str("dataset")?;
+            let weights = match r.take_u8("weight-set tag")? {
+                1 => WeightSet::Named(r.take_str("weight-set name")?),
+                2 => {
+                    let count = r.take_count(8, "weight count")?;
+                    WeightSet::Inline(
+                        (0..count)
+                            .map(|_| r.take_f64s("weight vector"))
+                            .collect::<Result<_, _>>()?,
+                    )
+                }
+                _ => return Err(DecodeError::new("unknown weight-set tag")),
+            };
+            Request::ReverseTopKBi {
+                dataset,
+                weights,
+                q: r.take_f64s("query point")?,
+                k: r.take_usize("k")?,
+            }
+        }
+        REQ_EXPLAIN => Request::WhyNotExplain {
+            dataset: r.take_str("dataset")?,
+            weight: r.take_f64s("weight")?,
+            q: r.take_f64s("query point")?,
+            limit: r.take_usize("limit")?,
+        },
+        REQ_REFINE => {
+            let dataset = r.take_str("dataset")?;
+            let q = r.take_f64s("query point")?;
+            let k = r.take_usize("k")?;
+            let count = r.take_count(8, "why-not count")?;
+            let why_not = (0..count)
+                .map(|_| r.take_f64s("why-not vector"))
+                .collect::<Result<_, _>>()?;
+            let strategy = match r.take_u8("strategy tag")? {
+                1 => RefineStrategy::Mqp,
+                2 => RefineStrategy::Mwk {
+                    sample_size: r.take_usize("sample size")?,
+                    seed: r.take_u64("seed")?,
+                },
+                3 => RefineStrategy::Mqwk {
+                    sample_size: r.take_usize("sample size")?,
+                    query_samples: r.take_usize("query samples")?,
+                    seed: r.take_u64("seed")?,
+                },
+                _ => return Err(DecodeError::new("unknown strategy tag")),
+            };
+            Request::WhyNotRefine {
+                dataset,
+                q,
+                k,
+                why_not,
+                strategy,
+            }
+        }
+        REQ_APPEND => Request::Append {
+            dataset: r.take_str("dataset")?,
+            points: r.take_f64s("points")?,
+        },
+        REQ_DELETE => {
+            let dataset = r.take_str("dataset")?;
+            let count = r.take_count(8, "id count")?;
+            let ids = (0..count)
+                .map(|_| {
+                    let id = r.take_u64("point id")?;
+                    u32::try_from(id).map_err(|_| DecodeError::new("point id exceeds u32"))
+                })
+                .collect::<Result<_, _>>()?;
+            Request::Delete { dataset, ids }
+        }
+        _ => return Err(DecodeError::new("unknown request tag")),
+    })
+}
+
+// Response body tags (one per `Response` variant).
+const RESP_TOPK: u8 = 1;
+const RESP_MONO_EXACT: u8 = 2;
+const RESP_MONO_SAMPLED: u8 = 3;
+const RESP_RTOPK_BI: u8 = 4;
+const RESP_EXPLANATION: u8 = 5;
+const RESP_REFINEMENT: u8 = 6;
+const RESP_MUTATED: u8 = 7;
+const RESP_ERROR: u8 = 8;
+
+fn encode_response(w: &mut ByteWriter, response: &Response) {
+    match response {
+        Response::TopK(points) => {
+            w.put_u8(RESP_TOPK);
+            w.put_usize(points.len());
+            for (id, score) in points {
+                w.put_u64(u64::from(*id));
+                w.put_f64(*score);
+            }
+        }
+        Response::MonoExact(intervals) => {
+            w.put_u8(RESP_MONO_EXACT);
+            w.put_usize(intervals.len());
+            for (lo, hi) in intervals {
+                w.put_f64(*lo);
+                w.put_f64(*hi);
+            }
+        }
+        Response::MonoSampled {
+            volume_fraction,
+            samples,
+        } => {
+            w.put_u8(RESP_MONO_SAMPLED);
+            w.put_f64(*volume_fraction);
+            w.put_usize(*samples);
+        }
+        Response::ReverseTopKBi(members) => {
+            w.put_u8(RESP_RTOPK_BI);
+            w.put_usize(members.len());
+            for member in members {
+                w.put_usize(*member);
+            }
+        }
+        Response::Explanation {
+            rank,
+            culprits,
+            truncated,
+        } => {
+            w.put_u8(RESP_EXPLANATION);
+            w.put_usize(*rank);
+            w.put_usize(culprits.len());
+            for (id, score) in culprits {
+                w.put_u64(u64::from(*id));
+                w.put_f64(*score);
+            }
+            w.put_u8(u8::from(*truncated));
+        }
+        Response::Refinement(refinement) => {
+            w.put_u8(RESP_REFINEMENT);
+            match &refinement.q_prime {
+                Some(q) => {
+                    w.put_u8(1);
+                    w.put_f64s(q);
+                }
+                None => w.put_u8(0),
+            }
+            match &refinement.why_not {
+                Some(ws) => {
+                    w.put_u8(1);
+                    w.put_usize(ws.len());
+                    for weight in ws {
+                        w.put_f64s(weight);
+                    }
+                }
+                None => w.put_u8(0),
+            }
+            match refinement.k {
+                Some(k) => {
+                    w.put_u8(1);
+                    w.put_usize(k);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_f64(refinement.penalty);
+        }
+        Response::Mutated { live_len } => {
+            w.put_u8(RESP_MUTATED);
+            w.put_usize(*live_len);
+        }
+        Response::Error(msg) => {
+            w.put_u8(RESP_ERROR);
+            w.put_str(msg);
+        }
+    }
+}
+
+fn decode_response(r: &mut ByteReader<'_>) -> Result<Response, DecodeError> {
+    Ok(match r.take_u8("response tag")? {
+        RESP_TOPK => {
+            let count = r.take_count(16, "top-k count")?;
+            Response::TopK(
+                (0..count)
+                    .map(|_| {
+                        let id = r.take_u64("point id")?;
+                        let id = u32::try_from(id).map_err(|_| DecodeError::new("point id"))?;
+                        Ok((id, r.take_f64("score")?))
+                    })
+                    .collect::<Result<_, DecodeError>>()?,
+            )
+        }
+        RESP_MONO_EXACT => {
+            let count = r.take_count(16, "interval count")?;
+            Response::MonoExact(
+                (0..count)
+                    .map(|_| Ok((r.take_f64("lo")?, r.take_f64("hi")?)))
+                    .collect::<Result<_, DecodeError>>()?,
+            )
+        }
+        RESP_MONO_SAMPLED => Response::MonoSampled {
+            volume_fraction: r.take_f64("volume fraction")?,
+            samples: r.take_usize("samples")?,
+        },
+        RESP_RTOPK_BI => {
+            let count = r.take_count(8, "member count")?;
+            Response::ReverseTopKBi(
+                (0..count)
+                    .map(|_| r.take_usize("member index"))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+        RESP_EXPLANATION => {
+            let rank = r.take_usize("rank")?;
+            let count = r.take_count(16, "culprit count")?;
+            let culprits = (0..count)
+                .map(|_| {
+                    let id = r.take_u64("culprit id")?;
+                    let id = u32::try_from(id).map_err(|_| DecodeError::new("culprit id"))?;
+                    Ok((id, r.take_f64("culprit score")?))
+                })
+                .collect::<Result<_, DecodeError>>()?;
+            Response::Explanation {
+                rank,
+                culprits,
+                truncated: r.take_u8("truncated flag")? != 0,
+            }
+        }
+        RESP_REFINEMENT => {
+            let q_prime = match r.take_u8("q' flag")? {
+                0 => None,
+                _ => Some(r.take_f64s("q'")?),
+            };
+            let why_not = match r.take_u8("why-not flag")? {
+                0 => None,
+                _ => {
+                    let count = r.take_count(8, "why-not count")?;
+                    Some(
+                        (0..count)
+                            .map(|_| r.take_f64s("why-not vector"))
+                            .collect::<Result<_, _>>()?,
+                    )
+                }
+            };
+            let k = match r.take_u8("k flag")? {
+                0 => None,
+                _ => Some(r.take_usize("k")?),
+            };
+            Response::Refinement(Refinement {
+                q_prime,
+                why_not,
+                k,
+                penalty: r.take_f64("penalty")?,
+            })
+        }
+        RESP_MUTATED => Response::Mutated {
+            live_len: r.take_usize("live length")?,
+        },
+        RESP_ERROR => Response::Error(r.take_str("error message")?),
+        _ => return Err(DecodeError::new("unknown response tag")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::TopK {
+                dataset: "products".into(),
+                weight: vec![0.3, 0.7],
+                k: 5,
+            },
+            Request::ReverseTopKMono {
+                dataset: "p".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                samples: 500,
+                seed: 42,
+            },
+            Request::ReverseTopKBi {
+                dataset: "p".into(),
+                weights: WeightSet::Named("customers".into()),
+                q: vec![4.0, 4.0],
+                k: 3,
+            },
+            Request::ReverseTopKBi {
+                dataset: "p".into(),
+                weights: WeightSet::Inline(vec![vec![0.1, 0.9], vec![0.5, 0.5]]),
+                q: vec![4.0, 4.0],
+                k: 3,
+            },
+            Request::WhyNotExplain {
+                dataset: "p".into(),
+                weight: vec![0.1, 0.9],
+                q: vec![4.0, 4.0],
+                limit: 10,
+            },
+            Request::WhyNotRefine {
+                dataset: "p".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![0.1, 0.9]],
+                strategy: RefineStrategy::Mqp,
+            },
+            Request::WhyNotRefine {
+                dataset: "p".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+                strategy: RefineStrategy::Mwk {
+                    sample_size: 100,
+                    seed: 7,
+                },
+            },
+            Request::WhyNotRefine {
+                dataset: "p".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![0.1, 0.9]],
+                strategy: RefineStrategy::Mqwk {
+                    sample_size: 100,
+                    query_samples: 20,
+                    seed: 7,
+                },
+            },
+            Request::Append {
+                dataset: "p".into(),
+                points: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            Request::Delete {
+                dataset: "p".into(),
+                ids: vec![0, 7, u32::MAX],
+            },
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::TopK(vec![(0, 1.5), (7, f64::MIN_POSITIVE)]),
+            Response::MonoExact(vec![(0.0, 0.25), (0.75, 1.0)]),
+            Response::MonoSampled {
+                volume_fraction: 0.125,
+                samples: 1000,
+            },
+            Response::ReverseTopKBi(vec![1, 2, 99]),
+            Response::Explanation {
+                rank: 4,
+                culprits: vec![(2, 7.5), (5, 8.0)],
+                truncated: true,
+            },
+            Response::Refinement(Refinement {
+                q_prime: Some(vec![3.375, 3.625]),
+                why_not: None,
+                k: None,
+                penalty: 0.0625,
+            }),
+            Response::Refinement(Refinement {
+                q_prime: None,
+                why_not: Some(vec![vec![0.2, 0.8]]),
+                k: Some(4),
+                penalty: 0.5,
+            }),
+            Response::Refinement(Refinement {
+                q_prime: Some(vec![1.0]),
+                why_not: Some(vec![vec![1.0]]),
+                k: Some(2),
+                penalty: 0.25,
+            }),
+            Response::Mutated { live_len: 8 },
+            Response::Error("unknown dataset `nope`".into()),
+        ]
+    }
+
+    #[test]
+    fn every_client_frame_roundtrips() {
+        let mut frames: Vec<ClientFrame> = all_requests()
+            .into_iter()
+            .map(ClientFrame::Submit)
+            .collect();
+        frames.push(ClientFrame::RegisterDataset {
+            name: "products".into(),
+            dim: 2,
+            coords: vec![2.0, 1.0, 6.0, 3.0],
+        });
+        frames.push(ClientFrame::RegisterWeights {
+            name: "customers".into(),
+            weights: vec![vec![0.1, 0.9], vec![0.5, 0.5]],
+        });
+        frames.push(ClientFrame::Compact {
+            dataset: "products".into(),
+        });
+        frames.push(ClientFrame::Ping);
+        for (i, frame) in frames.into_iter().enumerate() {
+            let id = 1000 + i as u64;
+            let payload = frame.encode(id);
+            let (got_id, got) = ClientFrame::decode(&payload).expect("roundtrip");
+            assert_eq!(got_id, id);
+            assert_eq!(got, frame);
+        }
+    }
+
+    #[test]
+    fn every_server_frame_roundtrips_bit_identically() {
+        let mut frames: Vec<ServerFrame> = all_responses()
+            .into_iter()
+            .map(ServerFrame::Reply)
+            .collect();
+        frames.extend([
+            ServerFrame::Registered,
+            ServerFrame::Compacted { ran: true },
+            ServerFrame::Compacted { ran: false },
+            ServerFrame::Pong,
+            ServerFrame::Busy,
+            ServerFrame::ProtocolError("bad magic".into()),
+        ]);
+        for (i, frame) in frames.into_iter().enumerate() {
+            let id = 7_000_000 + i as u64;
+            let payload = frame.encode(id);
+            let (got_id, got) = ServerFrame::decode(&payload).expect("roundtrip");
+            assert_eq!(got_id, id);
+            assert_eq!(got, frame);
+            // Re-encoding the decoded value is byte-identical: the codec
+            // is canonical, so equality extends to the bit level.
+            assert_eq!(got.encode(id), payload);
+        }
+    }
+
+    #[test]
+    fn encode_submit_matches_the_owned_encoding() {
+        for request in all_requests() {
+            assert_eq!(
+                ClientFrame::encode_submit(42, &request),
+                ClientFrame::Submit(request).encode(42)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_prefixes_never_panic_and_always_error() {
+        let payloads: Vec<Vec<u8>> = all_requests()
+            .into_iter()
+            .map(|r| ClientFrame::Submit(r).encode(1))
+            .chain(
+                all_responses()
+                    .into_iter()
+                    .map(|r| ServerFrame::Reply(r).encode(1)),
+            )
+            .collect();
+        for payload in payloads {
+            for cut in 0..payload.len() {
+                // Both decoders must reject every strict prefix cleanly.
+                assert!(ClientFrame::decode(&payload[..cut]).is_err());
+                assert!(ServerFrame::decode(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_and_trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_u8(0x7f);
+        assert!(ClientFrame::decode(&w.into_vec()).is_err());
+
+        let mut payload = ClientFrame::Ping.encode(1);
+        payload.push(0);
+        assert!(ClientFrame::decode(&payload).is_err());
+
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_u8(0x02);
+        assert!(ServerFrame::decode(&w.into_vec()).is_err());
+    }
+}

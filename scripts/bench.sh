@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the serving benchmarks and emits three JSON reports at the repo
+# Runs the serving benchmarks and emits four JSON reports at the repo
 # root:
 #
 #   BENCH_engine.json   — batched-engine vs sequential throughput on the
@@ -8,7 +8,14 @@
 #                         rank kernels vs the legacy RTA path, plus engine
 #                         worker scaling (1 vs --workers);
 #   BENCH_mutation.json — append-heavy interleaved workload: the delta
-#                         overlay vs the rebuild-per-mutation baseline.
+#                         overlay vs the rebuild-per-mutation baseline;
+#   BENCH_server.json   — the TCP front door vs in-process submission:
+#                         connections × pipeline-depth sweep over the
+#                         wire protocol.
+#
+# Every emitted report is validated (well-formed JSON, non-empty) before
+# the script moves on — a crashed or truncated bench run fails loudly
+# here instead of committing garbage for CI to compare against.
 #
 # Usage:
 #   scripts/bench.sh            # full workloads (20K × 3-D, |W| = 500; 100K mutation)
@@ -18,10 +25,12 @@
 #
 # For custom workloads, run the binaries directly — their flag sets
 # differ (engine_bench: --batch/--rounds; rank_bench: --weights/--k;
-# mutation_bench: --ops/--append-rows):
+# mutation_bench: --ops/--append-rows; server_bench:
+# --connections/--depth/--requests):
 #   cargo run --release -p wqrtq-bench --bin engine_bench -- --n 50000 --workers 8
 #   cargo run --release -p wqrtq-bench --bin rank_bench -- --weights 2000
 #   cargo run --release -p wqrtq-bench --bin mutation_bench -- --n 200000 --ops 800
+#   cargo run --release -p wqrtq-bench --bin server_bench -- --connections 8 --depth 32
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,12 +40,14 @@ SMOKE=0
 ENGINE_ARGS=(--workers "$WORKERS")
 RANK_ARGS=(--workers "$WORKERS")
 MUTATION_ARGS=(--workers "$WORKERS")
+SERVER_ARGS=(--workers "$WORKERS")
 if [[ "${1:-}" == "--smoke" ]]; then
     shift
     SMOKE=1
     ENGINE_ARGS+=(--n 3000 --batch 16 --rounds 2)
     RANK_ARGS+=(--n 3000 --weights 150 --repeats 3)
     MUTATION_ARGS+=(--n 5000 --ops 60)
+    SERVER_ARGS+=(--n 3000 --requests 120 --connections 2 --depth 8)
 fi
 if [[ $# -gt 0 ]]; then
     echo "error: unknown arguments: $*" >&2
@@ -44,14 +55,49 @@ if [[ $# -gt 0 ]]; then
     exit 2
 fi
 
-cargo build --release -p wqrtq-bench --bin engine_bench --bin rank_bench --bin mutation_bench
+# Fails fast when a bench emitted a truncated or malformed report.
+validate_json() {
+    local file="$1"
+    if [[ ! -s "$file" ]]; then
+        echo "error: $file is missing or empty" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$file" <<'EOF' || { echo "error: $1 is not valid JSON" >&2; exit 1; }
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+if not isinstance(report, dict) or not report:
+    sys.exit(f"{sys.argv[1]}: expected a non-empty JSON object")
+EOF
+    else
+        # Minimal structural check when python3 is unavailable: the
+        # report must open and close a JSON object.
+        local first last
+        first=$(head -c 1 "$file")
+        last=$(tail -c 2 "$file" | tr -d '\n')
+        if [[ "$first" != "{" || "$last" != "}" ]]; then
+            echo "error: $file does not look like a complete JSON object" >&2
+            exit 1
+        fi
+    fi
+}
+
+cargo build --release -p wqrtq-bench \
+    --bin engine_bench --bin rank_bench --bin mutation_bench --bin server_bench
 
 cargo run --release -p wqrtq-bench --bin engine_bench -- \
     --out BENCH_engine.json "${ENGINE_ARGS[@]}"
+validate_json BENCH_engine.json
 cargo run --release -p wqrtq-bench --bin rank_bench -- \
     --out BENCH_rank.json "${RANK_ARGS[@]}"
+validate_json BENCH_rank.json
 cargo run --release -p wqrtq-bench --bin mutation_bench -- \
     --out BENCH_mutation.json "${MUTATION_ARGS[@]}"
+validate_json BENCH_mutation.json
+cargo run --release -p wqrtq-bench --bin server_bench -- \
+    --out BENCH_server.json "${SERVER_ARGS[@]}"
+validate_json BENCH_server.json
 
 if [[ "$SMOKE" == 1 ]]; then
     # Oracle-equivalence of the delta overlay with debug assertions off:
@@ -65,3 +111,5 @@ echo "--- BENCH_rank.json ---"
 cat BENCH_rank.json
 echo "--- BENCH_mutation.json ---"
 cat BENCH_mutation.json
+echo "--- BENCH_server.json ---"
+cat BENCH_server.json

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: compares freshly emitted BENCH_*.json reports
+# against the committed baseline ratios in scripts/bench_baselines.json.
+#
+# Two check kinds:
+#   * ratio checks — a top-level numeric metric (a speedup ratio, so the
+#     comparison is machine-portable) must stay above
+#     baseline * min_fraction;
+#   * truth checks — a top-level boolean metric (correctness guards like
+#     "wire responses matched in-process") must be true.
+#
+# Usage:
+#   scripts/check_bench.sh                       # gate the reports in the repo root
+#   scripts/check_bench.sh --baselines FILE      # alternate baseline set
+#   scripts/check_bench.sh --dir DIR             # reports live elsewhere
+#   scripts/check_bench.sh --self-test           # prove the gate trips:
+#                                                #   1. the real check must pass,
+#                                                #   2. a perturbed baseline copy
+#                                                #      (every ratio × 100) must fail.
+#
+# Exit codes: 0 pass, 1 regression detected, 2 usage error, 3 missing
+# prerequisite (report file or python3).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINES="scripts/bench_baselines.json"
+REPORT_DIR="."
+SELF_TEST=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --baselines)
+            BASELINES="${2:?--baselines needs a file}"
+            shift 2
+            ;;
+        --dir)
+            REPORT_DIR="${2:?--dir needs a directory}"
+            shift 2
+            ;;
+        --self-test)
+            SELF_TEST=1
+            shift
+            ;;
+        *)
+            echo "error: unknown argument $1 (see the header of $0)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "error: check_bench.sh needs python3 to parse the JSON reports" >&2
+    exit 3
+fi
+
+run_gate() {
+    local baselines="$1" dir="$2"
+    python3 - "$baselines" "$dir" <<'EOF'
+import json
+import os
+import sys
+
+baselines_path, report_dir = sys.argv[1], sys.argv[2]
+with open(baselines_path) as f:
+    baselines = json.load(f)
+
+failures = []
+reports = {}
+
+
+def load_report(name):
+    if name not in reports:
+        path = os.path.join(report_dir, name)
+        if not os.path.exists(path):
+            print(f"error: missing report {path} (run scripts/bench.sh first)")
+            sys.exit(3)
+        with open(path) as f:
+            reports[name] = json.load(f)
+    return reports[name]
+
+
+for check in baselines.get("ratio_checks", []):
+    report = load_report(check["report"])
+    metric, baseline = check["metric"], float(check["baseline"])
+    floor = baseline * float(check["min_fraction"])
+    value = report.get(metric)
+    if not isinstance(value, (int, float)):
+        failures.append(f"{check['report']}: metric {metric!r} missing or non-numeric")
+        continue
+    verdict = "ok" if value >= floor else "REGRESSION"
+    print(
+        f"{verdict:>10}  {check['report']:<22} {metric:<28} "
+        f"value {value:<10.4g} floor {floor:<10.4g} (baseline {baseline:g})"
+    )
+    if value < floor:
+        failures.append(
+            f"{check['report']}: {metric} = {value:.4g} fell below "
+            f"{floor:.4g} = {baseline:g} x {check['min_fraction']}"
+        )
+
+for check in baselines.get("truth_checks", []):
+    report = load_report(check["report"])
+    metric = check["metric"]
+    value = report.get(metric)
+    verdict = "ok" if value is True else "REGRESSION"
+    print(f"{verdict:>10}  {check['report']:<22} {metric:<28} value {value}")
+    if value is not True:
+        failures.append(f"{check['report']}: {metric} is {value!r}, expected true")
+
+if failures:
+    print(f"\n{len(failures)} benchmark regression(s):")
+    for failure in failures:
+        print(f"  - {failure}")
+    sys.exit(1)
+print("\nall benchmark guards passed")
+EOF
+}
+
+if [[ "$SELF_TEST" == 1 ]]; then
+    echo "== self-test 1/2: the gate must pass on the real baselines =="
+    run_gate "$BASELINES" "$REPORT_DIR"
+    echo
+    echo "== self-test 2/2: a perturbed baseline (every ratio x100) must trip the gate =="
+    PERTURBED=$(mktemp --suffix=.json)
+    trap 'rm -f "$PERTURBED"' EXIT
+    python3 - "$BASELINES" "$PERTURBED" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    baselines = json.load(f)
+for check in baselines["ratio_checks"]:
+    check["baseline"] = check["baseline"] * 100.0
+with open(sys.argv[2], "w") as f:
+    json.dump(baselines, f)
+EOF
+    if run_gate "$PERTURBED" "$REPORT_DIR"; then
+        echo "error: the gate did NOT trip on a 100x-perturbed baseline" >&2
+        exit 1
+    fi
+    echo "gate tripped as expected; self-test passed"
+else
+    run_gate "$BASELINES" "$REPORT_DIR"
+fi

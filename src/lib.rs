@@ -9,9 +9,9 @@
 //! 1. **explains** which data points are responsible for the omission, and
 //! 2. **refines** the query with minimum penalty so that the refined result
 //!    contains `Wm`, via three strategies:
-//!    * [`core::mqp`] — modify the query point `q` (safe region + QP),
-//!    * [`core::mwk`] — modify `Wm` and `k` (hyperplane sampling),
-//!    * [`core::mqwk`] — modify `q`, `Wm` and `k` simultaneously.
+//!    * [`core::mqp`](mod@core::mqp) — modify the query point `q` (safe region + QP),
+//!    * [`core::mwk`](mod@core::mwk) — modify `Wm` and `k` (hyperplane sampling),
+//!    * [`core::mqwk`](mod@core::mqwk) — modify `q`, `Wm` and `k` simultaneously.
 //!
 //! The facade crate re-exports every sub-crate under a stable path. See the
 //! README for a quick start and `DESIGN.md` for the architecture.
@@ -35,6 +35,7 @@ pub use wqrtq_linalg as linalg;
 pub use wqrtq_qp as qp;
 pub use wqrtq_query as query;
 pub use wqrtq_rtree as rtree;
+pub use wqrtq_server as server;
 
 pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 pub use wqrtq_engine::Engine;
@@ -64,4 +65,5 @@ pub mod prelude {
     };
     pub use wqrtq_geom::{DeltaView, Point, Weight};
     pub use wqrtq_rtree::RTree;
+    pub use wqrtq_server::{Client, Server, ServerBuilder};
 }

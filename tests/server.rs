@@ -1,0 +1,601 @@
+//! Integration tests for the TCP serving layer: the differential
+//! loopback proof (wire responses bit-identical to direct
+//! `Engine::submit` across every request kind) and the adversarial
+//! failure modes — malformed and oversized frames, bad preambles, busy
+//! backpressure, abrupt disconnects mid-pipeline, half-closed sockets,
+//! out-of-order pipelined completion, and drain-on-shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use wqrtq_engine::{RefineStrategy, Request, Response, WeightSet};
+use wqrtq_server::{Client, ClientError, ClientFrame, Server, ServerFrame};
+
+/// Figure 1 products (paper §1).
+const PRODUCTS_2D: [f64; 14] = [
+    2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+];
+
+fn customers() -> Vec<Vec<f64>> {
+    vec![
+        vec![0.1, 0.9],
+        vec![0.5, 0.5],
+        vec![0.3, 0.7],
+        vec![0.9, 0.1],
+    ]
+}
+
+fn scatter(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n * dim);
+    let mut state = seed | 1;
+    for _ in 0..n * dim {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+        v.push((state >> 11) as f64 / (1u64 << 53) as f64 * 10.0);
+    }
+    v
+}
+
+/// Every request kind and strategy, parameterised by catalog names so
+/// the same stream can run against wire-registered and
+/// directly-registered twins of the same data.
+fn all_kind_requests(ds2: &str, ds3: &str, pop: &str) -> Vec<Request> {
+    vec![
+        Request::TopK {
+            dataset: ds2.into(),
+            weight: vec![0.5, 0.5],
+            k: 3,
+        },
+        // 2-D: the exact interval sweep.
+        Request::ReverseTopKMono {
+            dataset: ds2.into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            samples: 0,
+            seed: 0,
+        },
+        // 3-D: the seeded sampling estimate.
+        Request::ReverseTopKMono {
+            dataset: ds3.into(),
+            q: vec![4.0, 4.0, 4.0],
+            k: 5,
+            samples: 400,
+            seed: 7,
+        },
+        Request::ReverseTopKBi {
+            dataset: ds2.into(),
+            weights: WeightSet::Named(pop.into()),
+            q: vec![4.0, 4.0],
+            k: 3,
+        },
+        Request::ReverseTopKBi {
+            dataset: ds2.into(),
+            weights: WeightSet::Inline(vec![vec![0.2, 0.8], vec![0.6, 0.4]]),
+            q: vec![4.0, 4.0],
+            k: 3,
+        },
+        Request::WhyNotExplain {
+            dataset: ds2.into(),
+            weight: vec![0.1, 0.9],
+            q: vec![4.0, 4.0],
+            limit: 10,
+        },
+        Request::WhyNotRefine {
+            dataset: ds2.into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9]],
+            strategy: RefineStrategy::Mqp,
+        },
+        Request::WhyNotRefine {
+            dataset: ds2.into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+            strategy: RefineStrategy::Mwk {
+                sample_size: 48,
+                seed: 11,
+            },
+        },
+        Request::WhyNotRefine {
+            dataset: ds2.into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9]],
+            strategy: RefineStrategy::Mqwk {
+                sample_size: 32,
+                query_samples: 8,
+                seed: 13,
+            },
+        },
+        // Mutations, then a query observing their effect.
+        Request::Append {
+            dataset: ds2.into(),
+            points: vec![1.0, 0.5],
+        },
+        Request::TopK {
+            dataset: ds2.into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        },
+        // Delete a *base* row (deleting the appended one would empty the
+        // overlay again), leaving a tombstone for the compaction below.
+        Request::Delete {
+            dataset: ds2.into(),
+            ids: vec![2],
+        },
+        Request::ReverseTopKBi {
+            dataset: ds2.into(),
+            weights: WeightSet::Named(pop.into()),
+            q: vec![4.0, 4.0],
+            k: 3,
+        },
+        // Typed errors must round-trip identically too.
+        Request::TopK {
+            dataset: "no-such-dataset".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        },
+        Request::TopK {
+            dataset: ds2.into(),
+            weight: vec![f64::NAN, 0.5],
+            k: 1,
+        },
+    ]
+}
+
+#[test]
+fn differential_loopback_wire_responses_bit_identical_to_direct_submit() {
+    let server = Server::builder().workers(2).bind("127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    // Twin state: one copy registered over the wire, one directly.
+    client.register_dataset("wire2", 2, &PRODUCTS_2D).unwrap();
+    client
+        .register_dataset("wire3", 3, &scatter(300, 3, 42))
+        .unwrap();
+    client.register_weights("wirepop", &customers()).unwrap();
+    let engine = server.engine();
+    engine
+        .register_dataset("dir2", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    engine
+        .register_dataset("dir3", 3, scatter(300, 3, 42))
+        .unwrap();
+    engine
+        .register_weights(
+            "dirpop",
+            customers().into_iter().map(wqrtq::Weight::new).collect(),
+        )
+        .unwrap();
+
+    let wire_stream = all_kind_requests("wire2", "wire3", "wirepop");
+    let direct_stream = all_kind_requests("dir2", "dir3", "dirpop");
+    for (wire_req, direct_req) in wire_stream.into_iter().zip(direct_stream) {
+        let label = format!("{wire_req:?}");
+        let wire_resp = match client.submit(&wire_req) {
+            Ok(resp) => resp,
+            Err(e) => panic!("{label}: wire submit failed: {e}"),
+        };
+        let direct_resp = engine.submit(direct_req);
+        assert_eq!(wire_resp, direct_resp, "{label}: wire vs direct diverged");
+        // Value equality is necessary but not sufficient (0.0 == -0.0);
+        // the canonical encodings must match byte for byte.
+        assert_eq!(
+            ServerFrame::Reply(wire_resp).encode(0),
+            ServerFrame::Reply(direct_resp).encode(0),
+            "{label}: responses are not bit-identical"
+        );
+    }
+
+    // Compaction over the wire matches the engine's bookkeeping.
+    assert!(client.compact("wire2").unwrap(), "overlay was non-empty");
+    assert!(
+        !client.compact("wire2").unwrap(),
+        "second compact is a no-op"
+    );
+    assert!(engine.compact("dir2").unwrap());
+    assert_eq!(
+        engine.catalog().epoch("wire2").unwrap(),
+        engine.catalog().epoch("dir2").unwrap(),
+        "twin datasets went through identical epoch histories"
+    );
+    server.shutdown();
+}
+
+/// A raw connection that speaks bytes, not the typed client.
+fn raw_conn(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn read_protocol_error(stream: &mut TcpStream) -> String {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).unwrap();
+    let len = u32::from_le_bytes(prefix) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    match ServerFrame::decode(&payload).unwrap() {
+        (id, ServerFrame::ProtocolError(msg)) => {
+            assert_eq!(id, wqrtq_server::CONNECTION_ID);
+            msg
+        }
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+}
+
+fn assert_closed(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => {}
+        Ok(_) => panic!("server kept the connection open"),
+        Err(_) => {} // reset also counts as closed
+    }
+}
+
+fn assert_still_serving(server: &Server) {
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    let response = client
+        .submit(&Request::TopK {
+            dataset: "p".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        })
+        .unwrap();
+    assert!(!response.is_error(), "pool must still serve: {response:?}");
+}
+
+fn serving_fixture() -> Server {
+    let server = Server::builder().workers(2).bind("127.0.0.1:0").unwrap();
+    server
+        .engine()
+        .register_dataset("p", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    server
+}
+
+#[test]
+fn bad_magic_is_rejected_and_reported() {
+    let server = serving_fixture();
+    let mut stream = raw_conn(&server);
+    stream.write_all(b"EVIL").unwrap();
+    let msg = read_protocol_error(&mut stream);
+    assert!(msg.contains("preamble"), "unexpected message: {msg}");
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+}
+
+#[test]
+fn malformed_frame_is_rejected_without_poisoning_the_pool() {
+    let server = serving_fixture();
+    let mut stream = raw_conn(&server);
+    stream.write_all(b"WQR1").unwrap();
+    // A well-framed payload full of garbage: 12 bytes that parse as an
+    // id + an unknown opcode.
+    let garbage = [0xffu8; 12];
+    stream
+        .write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(&garbage).unwrap();
+    let msg = read_protocol_error(&mut stream);
+    assert!(msg.contains("malformed"), "unexpected message: {msg}");
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+    assert!(server.stats().protocol_errors >= 1);
+}
+
+#[test]
+fn request_id_zero_is_reserved_and_rejected() {
+    let server = serving_fixture();
+    let mut stream = raw_conn(&server);
+    stream.write_all(b"WQR1").unwrap();
+    // A perfectly well-formed Ping frame, but carrying the reserved
+    // connection-level id 0.
+    let payload = wqrtq_server::ClientFrame::Ping.encode(0);
+    stream
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .unwrap();
+    stream.write_all(&payload).unwrap();
+    let msg = read_protocol_error(&mut stream);
+    assert!(msg.contains("reserved"), "unexpected message: {msg}");
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+}
+
+#[test]
+fn connections_beyond_the_cap_are_shed_at_the_door() {
+    let server = Server::builder()
+        .workers(1)
+        .max_connections(1)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    server
+        .engine()
+        .register_dataset("p", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    first.ping().unwrap(); // the first session is fully registered
+    let mut second = Client::connect(server.local_addr()).unwrap();
+    assert!(
+        second.ping().is_err(),
+        "the over-cap connection must be dropped, not served"
+    );
+    // The capped connection costs nothing persistent: once the first
+    // client leaves, a newcomer is served again.
+    first.ping().unwrap();
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(mut retry) = Client::connect(server.local_addr()) {
+            if retry.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "capacity never came back: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn non_normalized_weight_registration_is_a_typed_error_not_a_panic() {
+    let server = serving_fixture();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Finite and non-negative but not summing to 1: this must come back
+    // as a typed error, not panic the session thread.
+    let err = client
+        .register_weights("bad", &[vec![0.3, 0.3]])
+        .unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Server(msg) if msg.contains("sum to 1")),
+        "unexpected error: {err:?}"
+    );
+    // The same connection keeps serving, and the registry is intact
+    // (only this client's session is live — nothing leaked).
+    client.ping().unwrap();
+    client.register_weights("good", &[vec![0.5, 0.5]]).unwrap();
+    assert_eq!(server.stats().connections_open, 1);
+    assert_still_serving(&server);
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let server = Server::builder()
+        .workers(1)
+        .max_frame_len(1024)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    server
+        .engine()
+        .register_dataset("p", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    let mut stream = raw_conn(&server);
+    stream.write_all(b"WQR1").unwrap();
+    // Announce a 100 MiB payload; the server must refuse on the prefix
+    // alone, before any of it exists.
+    stream.write_all(&(100u32 << 20).to_le_bytes()).unwrap();
+    let msg = read_protocol_error(&mut stream);
+    assert!(msg.contains("exceeds"), "unexpected message: {msg}");
+    assert_closed(&mut stream);
+    assert_still_serving(&server);
+}
+
+/// A request slow enough (hundreds of ms in debug builds) to hold an
+/// admission permit while the test races frames behind it.
+fn slow_request(dataset: &str) -> Request {
+    Request::ReverseTopKMono {
+        dataset: dataset.into(),
+        q: vec![5.0, 5.0, 5.0],
+        k: 10,
+        samples: 60_000,
+        seed: 3,
+    }
+}
+
+fn slow_fixture(workers: usize, admission: usize) -> Server {
+    let server = Server::builder()
+        .engine(wqrtq_engine::Engine::builder().workers(workers).build())
+        .admission_capacity(admission)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    server
+        .engine()
+        .register_dataset("slow3", 3, scatter(400, 3, 9))
+        .unwrap();
+    server
+        .engine()
+        .register_dataset("p", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    // Build the lazy indexes up front so the slow request's latency is
+    // all sampling, not index construction.
+    server.engine().catalog().handle("slow3").unwrap();
+    server.engine().catalog().handle("p").unwrap();
+    server
+}
+
+#[test]
+fn busy_backpressure_under_a_tiny_admission_queue() {
+    let server = slow_fixture(1, 1);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Fill the only admission slot, then pipeline a second request
+    // behind it: the server must answer Busy immediately, out of order,
+    // while the slow request is still running.
+    let slow_id = client
+        .send(&ClientFrame::Submit(slow_request("slow3")))
+        .unwrap();
+    let fast = Request::TopK {
+        dataset: "p".into(),
+        weight: vec![0.5, 0.5],
+        k: 1,
+    };
+    let fast_id = client.send(&ClientFrame::Submit(fast.clone())).unwrap();
+    let (first_id, first) = client.recv().unwrap();
+    assert_eq!(first_id, fast_id, "busy must not wait for the slow request");
+    assert_eq!(first, ServerFrame::Busy);
+    let (second_id, second) = client.recv().unwrap();
+    assert_eq!(second_id, slow_id);
+    assert!(
+        matches!(second, ServerFrame::Reply(Response::MonoSampled { .. })),
+        "the admitted request still completes: {second:?}"
+    );
+    // The rejected request was never executed; a retry after draining
+    // succeeds.
+    match client.submit(&fast) {
+        Ok(Response::TopK(_)) => {}
+        other => panic!("retry after drain failed: {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.busy_rejections, 1);
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn pipelined_responses_complete_out_of_order() {
+    let server = slow_fixture(2, 64);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let slow_id = client
+        .send(&ClientFrame::Submit(slow_request("slow3")))
+        .unwrap();
+    let fast_id = client
+        .send(&ClientFrame::Submit(Request::TopK {
+            dataset: "p".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        }))
+        .unwrap();
+    let (first_id, first) = client.recv().unwrap();
+    assert_eq!(
+        first_id, fast_id,
+        "a later cheap request must overtake an earlier expensive one"
+    );
+    assert!(matches!(first, ServerFrame::Reply(Response::TopK(_))));
+    let (second_id, _) = client.recv().unwrap();
+    assert_eq!(second_id, slow_id);
+}
+
+#[test]
+fn abrupt_disconnect_mid_pipeline_does_not_poison_the_pool() {
+    let server = slow_fixture(2, 64);
+    {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // A burst of in-flight work, then vanish without reading a byte.
+        for _ in 0..4 {
+            client
+                .send(&ClientFrame::Submit(slow_request("slow3")))
+                .unwrap();
+        }
+        for _ in 0..8 {
+            client
+                .send(&ClientFrame::Submit(Request::TopK {
+                    dataset: "p".into(),
+                    weight: vec![0.4, 0.6],
+                    k: 2,
+                }))
+                .unwrap();
+        }
+    } // dropped: the OS closes the socket with frames still in flight
+    assert_still_serving(&server);
+    // The session must drain and unregister itself (no leaked permits,
+    // no zombie connection) once its in-flight work completes.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = server.stats();
+        // One live connection is `assert_still_serving`'s own leftover at
+        // most; the dead one must disappear and its permits must return.
+        if stats.in_flight == 0 && stats.connections_open == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "session never drained: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_still_serving(&server);
+}
+
+#[test]
+fn half_closed_socket_still_receives_its_responses() {
+    let server = slow_fixture(2, 64);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            client
+                .send(&ClientFrame::Submit(Request::TopK {
+                    dataset: "p".into(),
+                    weight: vec![0.3 + 0.1 * i as f64, 0.7 - 0.1 * i as f64],
+                    k: 2,
+                }))
+                .unwrap()
+        })
+        .collect();
+    // Half-close: we are done sending, but the response stream lives on.
+    client.finish_sending().unwrap();
+    let mut seen = Vec::new();
+    for _ in 0..ids.len() {
+        let (id, frame) = client.recv().unwrap();
+        assert!(matches!(frame, ServerFrame::Reply(Response::TopK(_))));
+        seen.push(id);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, ids);
+    assert!(matches!(client.recv(), Err(ClientError::Closed)));
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_before_closing() {
+    let server = slow_fixture(2, 64);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let slow_id = client
+        .send(&ClientFrame::Submit(slow_request("slow3")))
+        .unwrap();
+    // Give the reader a moment to admit the request, then shut down
+    // while it is still running.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+    // The admitted request's response arrived before the close.
+    let (id, frame) = client.recv().unwrap();
+    assert_eq!(id, slow_id);
+    assert!(
+        matches!(frame, ServerFrame::Reply(Response::MonoSampled { .. })),
+        "shutdown must drain, not discard: {frame:?}"
+    );
+    assert!(matches!(client.recv(), Err(ClientError::Closed)));
+    // New connections are refused (the listener is gone) — either the
+    // connect or the first round trip fails.
+    let refused = match Client::connect(server.local_addr()) {
+        Err(_) => true,
+        Ok(mut late) => late.ping().is_err(),
+    };
+    assert!(refused, "listener must stop accepting after shutdown");
+    // The engine itself outlives the front door.
+    assert!(!server
+        .engine()
+        .submit(Request::TopK {
+            dataset: "p".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        })
+        .is_error());
+}

@@ -184,7 +184,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](fn@crate::collection::vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
