@@ -13,6 +13,7 @@ pub mod mutation_bench;
 pub mod params;
 pub mod rank_bench;
 pub mod server_bench;
+pub mod whynot_bench;
 
 pub use engine_bench::{compare, EngineBenchConfig, EngineComparison};
 pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
@@ -20,3 +21,4 @@ pub use mutation_bench::{MutationBenchConfig, MutationComparison};
 pub use params::{Config, DatasetKind, Profile};
 pub use rank_bench::{RankBenchConfig, RankComparison};
 pub use server_bench::{ServerBenchConfig, ServerComparison, SweepPoint};
+pub use whynot_bench::{WhyNotBenchConfig, WhyNotComparison};

@@ -34,6 +34,9 @@ pub enum WhyNotError {
     },
     /// The quadratic program could not be solved numerically.
     QpFailure(String),
+    /// An advisor call requested an empty strategy set — there is
+    /// nothing to run, so there can be no recommendation.
+    NoStrategies,
 }
 
 impl fmt::Display for WhyNotError {
@@ -51,6 +54,9 @@ impl fmt::Display for WhyNotError {
                 write!(f, "dataset of {len} points is smaller than k = {k}")
             }
             WhyNotError::QpFailure(msg) => write!(f, "quadratic programming failed: {msg}"),
+            WhyNotError::NoStrategies => {
+                write!(f, "the refinement strategy set is empty — nothing to run")
+            }
         }
     }
 }

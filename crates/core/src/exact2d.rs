@@ -45,6 +45,49 @@ fn nearest_in_intervals(intervals: &[WeightInterval], x: f64) -> Option<(f64, f6
         .min_by(|a, b| a.0.total_cmp(&b.0))
 }
 
+/// Makes a nearest-interval point *actually feasible* (`rank(q) ≤ k`).
+///
+/// Interval endpoints are intersection roots computed in floating
+/// point; the computed endpoint can sit one ulp on the wrong side of
+/// the true boundary, where `q` ranks `k + 1` — an answer that would
+/// fail strict verification. When that happens, walk the point toward
+/// the interior of its interval in geometrically growing steps until
+/// the rank test passes (the penalty cost of the walk is at most
+/// ~1e-3 of the interval's width, far below any sampling error).
+/// Returns `None` when no nudge inside the interval is feasible —
+/// the candidate `k` is then skipped entirely.
+fn feasible_nearest(
+    points: &[f64],
+    q: &[f64],
+    k: usize,
+    intervals: &[WeightInterval],
+    x: f64,
+) -> Option<f64> {
+    let in_topk = |x: f64| rank_of_point_scan(points, &Weight::from_first_2d(x), q) <= k;
+    if in_topk(x) {
+        return Some(x);
+    }
+    let iv = intervals.iter().find(|iv| x >= iv.lo && x <= iv.hi)?;
+    let mid = 0.5 * (iv.lo + iv.hi);
+    let mut t = x;
+    let mut step = 1e-15;
+    while step <= 1e-3 {
+        let next = t + (mid - t) * step;
+        step *= 4.0;
+        if next == t {
+            // Movement below one ulp at this step size (or a degenerate
+            // lo == hi interval, where no interior exists at all): skip
+            // the redundant rank scan and try a larger step.
+            continue;
+        }
+        t = next;
+        if in_topk(t) {
+            return Some(t);
+        }
+    }
+    None
+}
+
 /// Exact minimum-penalty modification of `(Wm, k)` over 2-D data.
 ///
 /// `points` is the flat `n × 2` dataset buffer (the full dataset — the
@@ -87,13 +130,23 @@ pub fn mwk_exact_2d(
         }
         evaluated += 1;
         let mut refined = Vec::with_capacity(why_not.len());
+        let mut feasible = true;
         for (w, &r) in why_not.iter().zip(&ranks) {
             if r <= k_cand {
                 refined.push(w.clone()); // already inside at this k′
                 continue;
             }
             let (_, x) = nearest_in_intervals(&intervals, w[0]).expect("non-empty interval union");
-            refined.push(Weight::from_first_2d(x));
+            match feasible_nearest(points, q, k_cand, &intervals, x) {
+                Some(x) => refined.push(Weight::from_first_2d(x)),
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
         }
         let pen = preference_penalty(tol, why_not, &refined, k, k_cand, k_max);
         if pen < best_pen {

@@ -148,6 +148,11 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         self
     }
 
+    /// The penalty-model coefficients this facade evaluates under.
+    pub fn tolerances(&self) -> &Tolerances {
+        &self.tol
+    }
+
     /// The query point.
     pub fn q(&self) -> &[f64] {
         &self.q
@@ -228,6 +233,12 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
     /// Solution 1: modify the query point (MQP).
     pub fn modify_query(&self, why_not: &[Weight]) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
+        self.answer_mqp(why_not)
+    }
+
+    /// MQP without the why-not validation pass — for callers (the
+    /// advisor) that validated the set once already.
+    pub(crate) fn answer_mqp(&self, why_not: &[Weight]) -> Result<WqrtqAnswer, WhyNotError> {
         let res = match &self.view {
             Some(v) => mqp_view(self.tree(), v, &self.q, self.k, why_not)?,
             None => mqp(self.tree(), &self.q, self.k, why_not)?,
@@ -248,6 +259,16 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         seed: u64,
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
+        self.answer_mwk(why_not, sample_size, seed)
+    }
+
+    /// Sampled MWK without the why-not validation pass.
+    pub(crate) fn answer_mwk(
+        &self,
+        why_not: &[Weight],
+        sample_size: usize,
+        seed: u64,
+    ) -> Result<WqrtqAnswer, WhyNotError> {
         let res = match &self.view {
             Some(v) => mwk_view(
                 self.tree(),
@@ -292,6 +313,15 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         why_not: &[Weight],
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
+        self.answer_mwk_exact_2d(points, why_not)
+    }
+
+    /// Exact 2-D MWK without the why-not validation pass.
+    pub(crate) fn answer_mwk_exact_2d(
+        &self,
+        points: &[f64],
+        why_not: &[Weight],
+    ) -> Result<WqrtqAnswer, WhyNotError> {
         let res = crate::exact2d::mwk_exact_2d(points, &self.q, self.k, why_not, &self.tol);
         Ok(WqrtqAnswer {
             refined: RefinedQuery::Preferences {
@@ -311,6 +341,17 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         seed: u64,
     ) -> Result<WqrtqAnswer, WhyNotError> {
         self.validate_why_not(why_not)?;
+        self.answer_mqwk(why_not, sample_size, query_samples, seed)
+    }
+
+    /// MQWK without the why-not validation pass.
+    pub(crate) fn answer_mqwk(
+        &self,
+        why_not: &[Weight],
+        sample_size: usize,
+        query_samples: usize,
+        seed: u64,
+    ) -> Result<WqrtqAnswer, WhyNotError> {
         let res = match &self.view {
             Some(v) => mqwk_view(
                 self.tree(),

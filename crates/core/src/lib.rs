@@ -20,10 +20,14 @@
 //! | [`mqwk`](mod@mqwk) | `q`, `Wm`, `k`  | query-point sampling + MQP + MWK + R-tree reuse |
 //!
 //! The [`framework`] module ties the three into the unified `WQRTQ`
-//! facade of the paper's Figure 4. Penalty semantics follow Equations
-//! (1), (3), (4) and (5); see `DESIGN.md` for the calibration of the
-//! normalising constants against the paper's worked examples.
+//! facade of the paper's Figure 4, and the [`advisor`] module answers
+//! the whole why-not question in one call — explanation plus every
+//! applicable strategy, verified and ranked cheapest-first into a
+//! [`RefinementPlan`]. Penalty semantics follow Equations (1), (3), (4)
+//! and (5); see `DESIGN.md` for the calibration of the normalising
+//! constants against the paper's worked examples.
 
+pub mod advisor;
 pub mod baseline;
 pub mod error;
 pub mod exact2d;
@@ -37,6 +41,10 @@ pub mod penalty;
 pub mod safe_region;
 pub mod sampling;
 
+pub use advisor::{
+    AdvisorEvent, PenaltyBreakdown, RankedStep, RefinementPlan, StepStats, StrategyKind,
+    WhyNotOptions,
+};
 pub use error::WhyNotError;
 pub use exact2d::{mwk_exact_2d, Exact2dResult};
 pub use explain::{

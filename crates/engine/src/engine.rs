@@ -264,6 +264,34 @@ impl Engine {
             .send(Job::Serve {
                 request,
                 reply: Completion::Callback(Box::new(complete)),
+                progress: None,
+            })
+            .expect("worker pool alive while engine alive");
+    }
+
+    /// [`Engine::submit_with`], additionally observing **partial
+    /// results**: for a [`Request::WhyNot`], `progress` runs on the
+    /// worker thread as each advisor step completes (explanations first,
+    /// then one call per refinement strategy, in execution order),
+    /// strictly before `complete` delivers the final ranked plan. Other
+    /// request kinds never invoke `progress`, and neither does a result
+    /// served from the cache — the plan arrives whole in that case.
+    ///
+    /// Like completions, the observer must be quick and non-blocking: it
+    /// runs inline on a pool worker.
+    pub fn submit_with_progress(
+        &self,
+        request: Request,
+        progress: impl FnMut(crate::request::PlanDelta) + Send + 'static,
+        complete: impl FnOnce(Response) + Send + 'static,
+    ) {
+        self.metrics.record_async_submit();
+        let queue = self.queue.as_ref().expect("pool alive while engine alive");
+        queue
+            .send(Job::Serve {
+                request,
+                reply: Completion::Callback(Box::new(complete)),
+                progress: Some(Box::new(progress)),
             })
             .expect("worker pool alive while engine alive");
     }
@@ -288,6 +316,7 @@ impl Engine {
                         slot,
                         reply: reply_tx.clone(),
                     },
+                    progress: None,
                 })
                 .expect("worker pool alive while engine alive");
         }
@@ -510,6 +539,69 @@ mod tests {
             );
         }
         assert_eq!(engine.metrics().async_submits, 3);
+    }
+
+    #[test]
+    fn why_not_plan_streams_partials_then_recommends_the_minimum() {
+        use crate::request::PlanDelta;
+        use wqrtq_core::advisor::WhyNotOptions;
+        let engine = figure1_engine(2);
+        let request = Request::WhyNot {
+            dataset: "products".into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+            options: WhyNotOptions::default(),
+        };
+        let (tx, rx) = mpsc::channel();
+        let partial_tx = tx.clone();
+        engine.submit_with_progress(
+            request.clone(),
+            move |delta| partial_tx.send(Err(delta)).unwrap(),
+            move |response| tx.send(Ok(response)).unwrap(),
+        );
+        let events: Vec<_> = rx.iter().collect();
+        // 2 explanations + 3 strategies stream before the final plan.
+        assert_eq!(events.len(), 6);
+        let mut explained = 0;
+        let mut steps = 0;
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                Err(PlanDelta::Explained { .. }) => {
+                    assert_eq!(i, explained, "explanations stream first");
+                    explained += 1;
+                }
+                Err(PlanDelta::Step(_)) => steps += 1,
+                Ok(response) => {
+                    assert_eq!(i, 5, "the final plan arrives last");
+                    match response {
+                        Response::Plan(plan) => {
+                            assert_eq!(plan.explanations.len(), 2);
+                            assert_eq!(plan.k_max, 4);
+                            assert_eq!(plan.steps.len(), 3);
+                            assert!(plan
+                                .steps
+                                .windows(2)
+                                .all(|p| { p[0].refinement.penalty <= p[1].refinement.penalty }));
+                            assert!(plan.steps.iter().all(|s| s.verified));
+                            // Every streamed step reappears in the plan.
+                            assert_eq!(steps, plan.steps.len());
+                        }
+                        other => panic!("expected a plan, got {other:?}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(explained, 2);
+
+        // The identical request is a cache hit: the plan arrives whole,
+        // bit-identical, with no partials.
+        let cached = engine.submit(request);
+        match (&events[5], &cached) {
+            (Ok(live), cached) => assert_eq!(live, cached),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(engine.metrics().cache.hits, 1);
     }
 
     #[test]

@@ -45,6 +45,25 @@ pub enum EngineError {
         /// Which input held the vector.
         field: &'static str,
     },
+    /// The penalty-model coefficients of a why-not plan request violate
+    /// the model's constraints (α, β, γ, λ ≥ 0, α + β = 1, γ + λ = 1).
+    InvalidTolerances {
+        /// Which constraint was violated.
+        reason: &'static str,
+    },
+    /// A why-not plan request named no refinement strategies — there is
+    /// nothing to run, so there can be no recommendation.
+    EmptyStrategySet,
+    /// A sampling budget exceeds the serving cap
+    /// ([`crate::request::MAX_SAMPLE_BUDGET`]): the samplers allocate
+    /// and loop proportionally to it, so an unbounded wire value could
+    /// pin a pool worker or abort the process on allocation.
+    SampleBudgetTooLarge {
+        /// Which budget was oversized.
+        field: &'static str,
+        /// The cap.
+        max: usize,
+    },
     /// A delete names a point id that does not exist (or was already
     /// deleted) in the dataset's current generation.
     UnknownPointId {
@@ -87,6 +106,15 @@ impl fmt::Display for EngineError {
                     "invalid weighting vector in {field}: components must be \
                      non-negative with at least one positive"
                 )
+            }
+            EngineError::InvalidTolerances { reason } => {
+                write!(f, "invalid penalty tolerances: {reason}")
+            }
+            EngineError::EmptyStrategySet => {
+                write!(f, "the refinement strategy set is empty — nothing to run")
+            }
+            EngineError::SampleBudgetTooLarge { field, max } => {
+                write!(f, "sampling budget in {field} exceeds the cap of {max}")
             }
             EngineError::UnknownPointId { id } => {
                 write!(f, "unknown (or already deleted) point id {id}")

@@ -50,4 +50,11 @@ pub use catalog::{Catalog, CatalogStats, DatasetEpoch, DatasetHandle};
 pub use engine::{Engine, EngineBuilder};
 pub use error::EngineError;
 pub use metrics::{KindSnapshot, Metrics, MetricsSnapshot};
-pub use request::{RefineStrategy, Refinement, Request, RequestKind, Response, WeightSet};
+pub use request::{
+    Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement, Request, RequestKind,
+    Response, WeightSet, REQUEST_KIND_TABLE,
+};
+// Advisor vocabulary re-exported so serving layers (and the wire codec)
+// need only this crate for the full request surface.
+pub use wqrtq_core::advisor::{PenaltyBreakdown, StrategyKind, WhyNotOptions};
+pub use wqrtq_core::penalty::Tolerances;

@@ -26,7 +26,7 @@ struct KindCounters {
 /// Lock-free metric accumulators shared by all workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    kinds: [KindCounters; 7],
+    kinds: [KindCounters; RequestKind::ALL.len()],
     batches: AtomicU64,
     /// Requests submitted through the non-blocking completion-routed
     /// path ([`crate::Engine::submit_with`]) — the serving layer's

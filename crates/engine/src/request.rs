@@ -14,6 +14,15 @@
 //! typed error before touching any index.
 
 use crate::error::EngineError;
+use wqrtq_core::advisor::{PenaltyBreakdown, StrategyKind, WhyNotOptions};
+
+/// Upper bound on any sampling budget a request may carry
+/// (`sample_size`, `query_samples` — 2²⁰ samples is far beyond any
+/// useful quality/latency trade-off). The samplers allocate and loop
+/// proportionally to these values, so an unbounded budget from the
+/// wire would let one hostile frame pin a pool worker for hours or
+/// abort the process on an impossible allocation.
+pub const MAX_SAMPLE_BUDGET: usize = 1 << 20;
 
 /// The weight population a bichromatic reverse top-k request runs
 /// against.
@@ -88,7 +97,10 @@ pub enum Request {
         k: usize,
     },
     /// Aspect 1 of a why-not answer: the culprit points that outrank `q`
-    /// under a why-not weighting vector.
+    /// under a why-not weighting vector. **Deprecated**: prefer
+    /// [`Request::WhyNot`], whose plan carries the same explanation for
+    /// every why-not vector (this variant remains a thin shim over the
+    /// identical core path).
     WhyNotExplain {
         /// Catalog dataset name.
         dataset: String,
@@ -99,8 +111,28 @@ pub enum Request {
         /// Maximum culprits returned (the rank stays exact).
         limit: usize,
     },
-    /// Aspect 2: refine the query with minimum penalty so the why-not
-    /// vectors appear in the result.
+    /// The unified why-not question (the paper's full deliverable):
+    /// explanation plus every requested refinement strategy, verified
+    /// and ranked cheapest-first under the configured penalty model.
+    /// Served by the core advisor layer; answered with
+    /// [`Response::Plan`].
+    WhyNot {
+        /// Catalog dataset name.
+        dataset: String,
+        /// The query point.
+        q: Vec<f64>,
+        /// The original `k`.
+        k: usize,
+        /// The why-not weighting vectors.
+        why_not: Vec<Vec<f64>>,
+        /// Penalty coefficients, strategy subset, culprit limit, sample
+        /// budgets and seed (validated at [`Request::validate`]).
+        options: WhyNotOptions,
+    },
+    /// Aspect 2, one strategy at a time. **Deprecated**: prefer
+    /// [`Request::WhyNot`], which runs every strategy and recommends the
+    /// minimum-penalty one. Served as a thin shim over the same advisor
+    /// path (bit-identical to the historical behaviour).
     WhyNotRefine {
         /// Catalog dataset name.
         dataset: String,
@@ -150,7 +182,56 @@ pub(crate) fn check_finite(v: &[f64], field: &'static str) -> Result<(), EngineE
     }
 }
 
-/// Request kinds, for metrics bucketing.
+/// Validates one sampling budget against [`MAX_SAMPLE_BUDGET`].
+pub(crate) fn check_budget(value: usize, field: &'static str) -> Result<(), EngineError> {
+    if value > MAX_SAMPLE_BUDGET {
+        return Err(EngineError::SampleBudgetTooLarge {
+            field,
+            max: MAX_SAMPLE_BUDGET,
+        });
+    }
+    Ok(())
+}
+
+/// Validates advisor options at the request boundary: the penalty-model
+/// coefficients must be finite, non-negative and satisfy the convexity
+/// constraints of Eqs. (4)/(5), the strategy set must be non-empty, and
+/// the sampling budgets must stay under [`MAX_SAMPLE_BUDGET`]. (The
+/// `WhyNotOptions` struct itself is deliberately plain data so it can
+/// travel through wire codecs unvalidated; this is where hostile or
+/// malformed values are stopped.)
+pub(crate) fn check_options(options: &WhyNotOptions) -> Result<(), EngineError> {
+    let t = &options.tol;
+    let coefficients = [t.alpha, t.beta, t.gamma, t.lambda];
+    if !coefficients.iter().all(|c| c.is_finite()) {
+        return Err(EngineError::NonFiniteInput {
+            field: "penalty tolerances",
+        });
+    }
+    if coefficients.iter().any(|&c| c < 0.0) {
+        return Err(EngineError::InvalidTolerances {
+            reason: "coefficients must be non-negative",
+        });
+    }
+    if (t.alpha + t.beta - 1.0).abs() > 1e-6 {
+        return Err(EngineError::InvalidTolerances {
+            reason: "alpha + beta must equal 1",
+        });
+    }
+    if (t.gamma + t.lambda - 1.0).abs() > 1e-6 {
+        return Err(EngineError::InvalidTolerances {
+            reason: "gamma + lambda must equal 1",
+        });
+    }
+    if options.strategies.is_empty() {
+        return Err(EngineError::EmptyStrategySet);
+    }
+    check_budget(options.sample_size, "sample size")?;
+    check_budget(options.query_samples, "query samples")?;
+    Ok(())
+}
+
+/// Request kinds, for metrics bucketing and the wire vocabulary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// [`Request::TopK`].
@@ -163,23 +244,48 @@ pub enum RequestKind {
     WhyNotExplain,
     /// [`Request::WhyNotRefine`].
     WhyNotRefine,
+    /// [`Request::WhyNot`].
+    WhyNot,
     /// [`Request::Append`].
     Append,
     /// [`Request::Delete`].
     Delete,
 }
 
+/// The **source-of-truth vocabulary table**: every request kind with its
+/// display name and its stable wire-protocol body tag. The metrics
+/// ordering ([`RequestKind::ALL`] and the metrics index), the display
+/// names ([`RequestKind::name`]) and the server frame codec
+/// ([`RequestKind::wire_tag`] / [`RequestKind::from_wire_tag`]) all
+/// derive from this single table, so the engine and wire vocabularies
+/// cannot drift — a conformance test in `wqrtq-server` fails if a tag
+/// is reused, renumbered, or a kind is missing from the codec.
+///
+/// Wire tags are **append-only**: tags 1–7 predate protocol v2 and must
+/// never be renumbered (v1 clients depend on them); new kinds take the
+/// next free tag regardless of their position in this table.
+pub const REQUEST_KIND_TABLE: [(RequestKind, &str, u8); 8] = [
+    (RequestKind::TopK, "topk", 1),
+    (RequestKind::ReverseTopKMono, "rtopk-mono", 2),
+    (RequestKind::ReverseTopKBi, "rtopk-bi", 3),
+    (RequestKind::WhyNotExplain, "whynot-explain", 4),
+    (RequestKind::WhyNotRefine, "whynot-refine", 5),
+    (RequestKind::WhyNot, "whynot-plan", 8),
+    (RequestKind::Append, "append", 6),
+    (RequestKind::Delete, "delete", 7),
+];
+
 impl RequestKind {
-    /// All kinds, in declaration order (metrics table order).
-    pub const ALL: [RequestKind; 7] = [
-        RequestKind::TopK,
-        RequestKind::ReverseTopKMono,
-        RequestKind::ReverseTopKBi,
-        RequestKind::WhyNotExplain,
-        RequestKind::WhyNotRefine,
-        RequestKind::Append,
-        RequestKind::Delete,
-    ];
+    /// All kinds, in [`REQUEST_KIND_TABLE`] order (metrics table order).
+    pub const ALL: [RequestKind; REQUEST_KIND_TABLE.len()] = {
+        let mut all = [RequestKind::TopK; REQUEST_KIND_TABLE.len()];
+        let mut i = 0;
+        while i < REQUEST_KIND_TABLE.len() {
+            all[i] = REQUEST_KIND_TABLE[i].0;
+            i += 1;
+        }
+        all
+    };
 
     /// Whether this kind mutates its dataset (served outside the result
     /// cache and without resolving an index snapshot).
@@ -187,29 +293,39 @@ impl RequestKind {
         matches!(self, RequestKind::Append | RequestKind::Delete)
     }
 
-    /// Display name.
+    fn row(self) -> &'static (RequestKind, &'static str, u8) {
+        REQUEST_KIND_TABLE
+            .iter()
+            .find(|(kind, _, _)| *kind == self)
+            .expect("every kind has a table row")
+    }
+
+    /// Display name (from [`REQUEST_KIND_TABLE`]).
     pub fn name(self) -> &'static str {
-        match self {
-            RequestKind::TopK => "topk",
-            RequestKind::ReverseTopKMono => "rtopk-mono",
-            RequestKind::ReverseTopKBi => "rtopk-bi",
-            RequestKind::WhyNotExplain => "whynot-explain",
-            RequestKind::WhyNotRefine => "whynot-refine",
-            RequestKind::Append => "append",
-            RequestKind::Delete => "delete",
-        }
+        self.row().1
+    }
+
+    /// The stable wire-protocol body tag of this kind (from
+    /// [`REQUEST_KIND_TABLE`]); the server's request codec writes and
+    /// dispatches on exactly this byte.
+    pub fn wire_tag(self) -> u8 {
+        self.row().2
+    }
+
+    /// Resolves a wire body tag back to its kind (`None` for unknown
+    /// tags — a protocol error at the codec layer).
+    pub fn from_wire_tag(tag: u8) -> Option<RequestKind> {
+        REQUEST_KIND_TABLE
+            .iter()
+            .find(|(_, _, t)| *t == tag)
+            .map(|(kind, _, _)| *kind)
     }
 
     pub(crate) fn index(self) -> usize {
-        match self {
-            RequestKind::TopK => 0,
-            RequestKind::ReverseTopKMono => 1,
-            RequestKind::ReverseTopKBi => 2,
-            RequestKind::WhyNotExplain => 3,
-            RequestKind::WhyNotRefine => 4,
-            RequestKind::Append => 5,
-            RequestKind::Delete => 6,
-        }
+        REQUEST_KIND_TABLE
+            .iter()
+            .position(|(kind, _, _)| *kind == self)
+            .expect("every kind has a table row")
     }
 }
 
@@ -222,6 +338,7 @@ impl Request {
             Request::ReverseTopKBi { .. } => RequestKind::ReverseTopKBi,
             Request::WhyNotExplain { .. } => RequestKind::WhyNotExplain,
             Request::WhyNotRefine { .. } => RequestKind::WhyNotRefine,
+            Request::WhyNot { .. } => RequestKind::WhyNot,
             Request::Append { .. } => RequestKind::Append,
             Request::Delete { .. } => RequestKind::Delete,
         }
@@ -235,6 +352,7 @@ impl Request {
             | Request::ReverseTopKBi { dataset, .. }
             | Request::WhyNotExplain { dataset, .. }
             | Request::WhyNotRefine { dataset, .. }
+            | Request::WhyNot { dataset, .. }
             | Request::Append { dataset, .. }
             | Request::Delete { dataset, .. } => dataset,
         }
@@ -249,7 +367,10 @@ impl Request {
     pub fn validate(&self) -> Result<(), EngineError> {
         match self {
             Request::TopK { weight, .. } => check_weight(weight, "weight"),
-            Request::ReverseTopKMono { q, .. } => check_finite(q, "query point"),
+            Request::ReverseTopKMono { q, samples, .. } => {
+                check_finite(q, "query point")?;
+                check_budget(*samples, "samples")
+            }
             Request::ReverseTopKBi { weights, q, .. } => {
                 check_finite(q, "query point")?;
                 if let WeightSet::Inline(ws) = weights {
@@ -263,12 +384,42 @@ impl Request {
                 check_weight(weight, "weight")?;
                 check_finite(q, "query point")
             }
-            Request::WhyNotRefine { q, why_not, .. } => {
+            Request::WhyNotRefine {
+                q,
+                why_not,
+                strategy,
+                ..
+            } => {
                 check_finite(q, "query point")?;
                 for w in why_not {
                     check_weight(w, "why-not vector")?;
                 }
-                Ok(())
+                match strategy {
+                    RefineStrategy::Mqp => Ok(()),
+                    RefineStrategy::Mwk { sample_size, .. } => {
+                        check_budget(*sample_size, "sample size")
+                    }
+                    RefineStrategy::Mqwk {
+                        sample_size,
+                        query_samples,
+                        ..
+                    } => {
+                        check_budget(*sample_size, "sample size")?;
+                        check_budget(*query_samples, "query samples")
+                    }
+                }
+            }
+            Request::WhyNot {
+                q,
+                why_not,
+                options,
+                ..
+            } => {
+                check_finite(q, "query point")?;
+                for w in why_not {
+                    check_weight(w, "why-not vector")?;
+                }
+                check_options(options)
             }
             Request::Append { points, .. } => check_finite(points, "appended points"),
             Request::Delete { .. } => Ok(()),
@@ -372,6 +523,37 @@ impl Request {
                     }
                 }
             }
+            Request::WhyNot {
+                dataset,
+                q,
+                k,
+                why_not,
+                options,
+            } => {
+                h.write_u64(8);
+                h.write_str(dataset);
+                h.write_floats(q);
+                h.write_u64(*k as u64);
+                h.write_u64(why_not.len() as u64);
+                for w in why_not {
+                    h.write_floats(w);
+                }
+                // Every option influences the plan, so every option is
+                // part of the cache identity.
+                h.write_u64(options.tol.alpha.to_bits());
+                h.write_u64(options.tol.beta.to_bits());
+                h.write_u64(options.tol.gamma.to_bits());
+                h.write_u64(options.tol.lambda.to_bits());
+                h.write_u64(options.strategies.len() as u64);
+                for s in &options.strategies {
+                    h.write_u64(u64::from(s.tag()));
+                }
+                h.write_u64(options.culprit_limit as u64);
+                h.write_u64(options.sample_size as u64);
+                h.write_u64(options.query_samples as u64);
+                h.write_u64(options.seed);
+                h.write_u64(u64::from(options.exact_2d));
+            }
             Request::Append { dataset, points } => {
                 h.write_u64(6);
                 h.write_str(dataset);
@@ -404,6 +586,77 @@ pub struct Refinement {
     pub penalty: f64,
 }
 
+/// One why-not explanation in plain data (mirrors the core
+/// `Explanation`, with `PartialEq` for determinism tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanExplanation {
+    /// Actual rank of `q` under the why-not vector.
+    pub rank: usize,
+    /// Points outranking `q`, ascending by score, as `(id, score)`.
+    pub culprits: Vec<(u32, f64)>,
+    /// Whether the culprit list hit the configured limit.
+    pub truncated: bool,
+}
+
+/// One executed strategy of a [`Plan`] (mirrors the core advisor's
+/// `RankedStep` in plain data).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanStep {
+    /// Which strategy produced this refinement.
+    pub strategy: StrategyKind,
+    /// The refinement and its penalty.
+    pub refinement: Refinement,
+    /// The penalty split into its Eq. (1)/(4)/(5) terms.
+    pub breakdown: PenaltyBreakdown,
+    /// Whether the core `verify` confirmed the refinement fixes the
+    /// why-not question.
+    pub verified: bool,
+    /// Whether the exact 2-D path answered this step (no sampling).
+    pub exact: bool,
+    /// Weight samples actually drawn (zero for MQP and exact paths).
+    pub sample_size: usize,
+    /// Query-point samples actually drawn (zero outside MQWK).
+    pub query_samples: usize,
+}
+
+/// The ranked answer to a [`Request::WhyNot`]: explanations plus every
+/// executed strategy, cheapest-first. `steps[0]` is the recommendation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    /// One explanation per why-not vector, in input order.
+    pub explanations: Vec<PlanExplanation>,
+    /// `k′max` (Lemma 4) — the `Δk` normaliser of the penalty model.
+    pub k_max: usize,
+    /// Executed strategies, ascending by penalty.
+    pub steps: Vec<PlanStep>,
+}
+
+impl Plan {
+    /// The minimum-penalty refinement — the advisor's recommendation.
+    pub fn recommended(&self) -> &PlanStep {
+        &self.steps[0]
+    }
+}
+
+/// A progressive partial result of an in-flight [`Request::WhyNot`],
+/// emitted as each advisor step completes (explanations first, then
+/// strategies in execution order — *before* the final plan ranks them).
+/// Serving layers forward these so pipelined clients can act on early
+/// results; the final [`Response::Plan`] remains the authoritative
+/// answer (cache hits skip the partials entirely).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanDelta {
+    /// The explanation for why-not vector `index` is ready.
+    Explained {
+        /// Index into the request's why-not set.
+        index: usize,
+        /// The explanation (culprit-limited).
+        explanation: PlanExplanation,
+    },
+    /// One refinement strategy finished.
+    Step(PlanStep),
+}
+
 /// The result of one [`Request`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -432,6 +685,8 @@ pub enum Response {
     },
     /// A minimum-penalty refinement.
     Refinement(Refinement),
+    /// The ranked why-not plan of a [`Request::WhyNot`].
+    Plan(Plan),
     /// A mutation was applied; the dataset now holds this many live
     /// points.
     Mutated {
@@ -554,10 +809,125 @@ mod tests {
         assert_eq!(r.kind(), RequestKind::TopK);
         assert_eq!(r.dataset(), "p");
         assert_eq!(r.kind().name(), "topk");
-        assert_eq!(RequestKind::ALL.len(), 7);
+        assert_eq!(RequestKind::ALL.len(), 8);
         for (i, k) in RequestKind::ALL.iter().enumerate() {
             assert_eq!(k.index(), i);
         }
+    }
+
+    fn why_not_request(options: WhyNotOptions) -> Request {
+        Request::WhyNot {
+            dataset: "p".into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+            options,
+        }
+    }
+
+    #[test]
+    fn kind_table_is_the_single_source_of_truth() {
+        // Wire tags are unique and round-trip through the lookup.
+        for (kind, name, tag) in REQUEST_KIND_TABLE {
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.wire_tag(), tag);
+            assert_eq!(RequestKind::from_wire_tag(tag), Some(kind));
+        }
+        let mut tags: Vec<u8> = REQUEST_KIND_TABLE.iter().map(|(_, _, t)| *t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), REQUEST_KIND_TABLE.len(), "wire tags collide");
+        assert_eq!(RequestKind::from_wire_tag(0), None);
+        assert_eq!(RequestKind::from_wire_tag(0xff), None);
+    }
+
+    #[test]
+    fn why_not_options_are_validated_at_the_boundary() {
+        use wqrtq_core::penalty::Tolerances;
+        let ok = why_not_request(WhyNotOptions::default());
+        assert!(ok.validate().is_ok());
+
+        let nan = why_not_request(WhyNotOptions {
+            tol: Tolerances {
+                alpha: f64::NAN,
+                beta: 0.5,
+                gamma: 0.5,
+                lambda: 0.5,
+            },
+            ..WhyNotOptions::default()
+        });
+        assert_eq!(
+            nan.validate(),
+            Err(EngineError::NonFiniteInput {
+                field: "penalty tolerances"
+            })
+        );
+
+        let negative = why_not_request(WhyNotOptions {
+            tol: Tolerances {
+                alpha: -0.5,
+                beta: 1.5,
+                gamma: 0.5,
+                lambda: 0.5,
+            },
+            ..WhyNotOptions::default()
+        });
+        assert!(matches!(
+            negative.validate(),
+            Err(EngineError::InvalidTolerances { .. })
+        ));
+
+        let lopsided = why_not_request(WhyNotOptions {
+            tol: Tolerances {
+                alpha: 0.5,
+                beta: 0.6,
+                gamma: 0.5,
+                lambda: 0.5,
+            },
+            ..WhyNotOptions::default()
+        });
+        assert_eq!(
+            lopsided.validate(),
+            Err(EngineError::InvalidTolerances {
+                reason: "alpha + beta must equal 1"
+            })
+        );
+
+        let no_strategies = why_not_request(WhyNotOptions {
+            strategies: Vec::new(),
+            ..WhyNotOptions::default()
+        });
+        assert_eq!(no_strategies.validate(), Err(EngineError::EmptyStrategySet));
+
+        let bad_vector = Request::WhyNot {
+            dataset: "p".into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![f64::NAN, 0.9]],
+            options: WhyNotOptions::default(),
+        };
+        assert!(bad_vector.validate().is_err());
+    }
+
+    #[test]
+    fn why_not_options_are_part_of_the_cache_identity() {
+        let base = why_not_request(WhyNotOptions::default());
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let seeded = why_not_request(WhyNotOptions {
+            seed: 1,
+            ..WhyNotOptions::default()
+        });
+        assert_ne!(base.fingerprint(), seeded.fingerprint());
+        let subset = why_not_request(WhyNotOptions {
+            strategies: vec![StrategyKind::Mqp],
+            ..WhyNotOptions::default()
+        });
+        assert_ne!(base.fingerprint(), subset.fingerprint());
+        let sampled = why_not_request(WhyNotOptions {
+            exact_2d: false,
+            ..WhyNotOptions::default()
+        });
+        assert_ne!(base.fingerprint(), sampled.fingerprint());
     }
 
     #[test]

@@ -28,7 +28,10 @@ use crate::cache::CacheKey;
 use crate::catalog::{Catalog, DatasetEpoch, DatasetHandle};
 use crate::error::EngineError;
 use crate::metrics::Metrics;
-use crate::request::{RefineStrategy, Refinement, Request, Response, WeightSet};
+use crate::request::{
+    Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement, Request, Response,
+    WeightSet,
+};
 use crate::ResultCache;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +39,8 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use wqrtq_core::advisor::{AdvisorEvent, RankedStep, RefinementPlan, StrategyKind, WhyNotOptions};
+use wqrtq_core::explain::Explanation;
 use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 use wqrtq_geom::{DeltaView, Weight};
 use wqrtq_query::brtopk::{rta_over_order_view, rta_sorted_order, RtaScratch, RtaStats};
@@ -96,10 +101,21 @@ pub(crate) enum Completion {
     Callback(Box<dyn FnOnce(Response) + Send + 'static>),
 }
 
+/// A progressive-result observer for one in-flight request: invoked on
+/// the worker thread as each advisor step completes. Subject to the same
+/// contract as completions — quick and non-blocking.
+pub(crate) type ProgressFn = Box<dyn FnMut(PlanDelta) + Send>;
+
 /// One unit of queued work.
 pub(crate) enum Job {
     /// One request to serve.
-    Serve { request: Request, reply: Completion },
+    Serve {
+        request: Request,
+        reply: Completion,
+        /// Partial-result observer ([`Request::WhyNot`] only; other
+        /// kinds never emit).
+        progress: Option<ProgressFn>,
+    },
     /// One claimable shard of a parallelised bichromatic request.
     Shard(Arc<ShardTask>),
     /// A scheduled overlay merge for a dataset, run off the request
@@ -297,8 +313,12 @@ fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
             Err(_) => return, // channel torn down: shut down
         };
         match job {
-            Job::Serve { request, reply } => {
-                let response = serve(ctx, &request, &mut scratch);
+            Job::Serve {
+                request,
+                reply,
+                mut progress,
+            } => {
+                let response = serve(ctx, &request, &mut scratch, &mut progress);
                 match reply {
                     // A dropped reply receiver means the submitter gave
                     // up; keep draining the queue for other batches.
@@ -320,10 +340,14 @@ fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
 }
 
 /// Serves one request: cache probe → execute → cache fill → metrics.
+/// `progress` (when present) observes partial results of a
+/// [`Request::WhyNot`] as the advisor produces them; a cache hit skips
+/// it entirely (the plan arrives whole, no steps run).
 pub(crate) fn serve(
     ctx: &WorkerContext,
     request: &Request,
     scratch: &mut WorkerScratch,
+    progress: &mut Option<ProgressFn>,
 ) -> Response {
     let started = Instant::now();
     let kind = request.kind();
@@ -368,17 +392,17 @@ pub(crate) fn serve(
         ctx.metrics.record_delta_hit();
     }
 
-    let (response, index_nodes) =
-        catch_unwind(AssertUnwindSafe(|| execute(ctx, &handle, request, scratch))).unwrap_or_else(
-            |panic| {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "request panicked".to_string());
-                (Response::Error(format!("request panicked: {msg}")), 0)
-            },
-        );
+    let (response, index_nodes) = catch_unwind(AssertUnwindSafe(|| {
+        execute(ctx, &handle, request, scratch, progress)
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "request panicked".to_string());
+        (Response::Error(format!("request panicked: {msg}")), 0)
+    });
 
     if !response.is_error() {
         ctx.cache.insert(key, request.dataset(), response.clone());
@@ -486,6 +510,7 @@ fn execute(
     handle: &DatasetHandle,
     request: &Request,
     scratch: &mut WorkerScratch,
+    progress: &mut Option<ProgressFn>,
 ) -> (Response, usize) {
     match request {
         Request::TopK { weight, k, .. } => {
@@ -621,19 +646,38 @@ fn execute(
                 Ok(w) => w,
                 Err(e) => return (Response::Error(e.to_string()), 0),
             };
-            let answer = match strategy {
-                RefineStrategy::Mqp => wqrtq.modify_query(&why_not),
-                RefineStrategy::Mwk { sample_size, seed } => {
-                    wqrtq.modify_preferences(&why_not, *sample_size, *seed)
-                }
-                RefineStrategy::Mqwk {
-                    sample_size,
-                    query_samples,
-                    seed,
-                } => wqrtq.modify_all(&why_not, *sample_size, *query_samples, *seed),
+            // Thin shim over the advisor path: one strategy, exact-2D
+            // auto-selection pinned off, paper-default tolerances — the
+            // exact work and call chain of the pre-advisor worker (one
+            // validation pass, then the algorithm; no verification or
+            // breakdown is computed only to be discarded), so responses
+            // stay bit-identical (asserted by the differential test).
+            let (kind, options) = legacy_options(strategy);
+            match wqrtq.refine_answer(&why_not, kind, &options) {
+                Ok(answer) => (Response::Refinement(refinement_from(answer)), 0),
+                Err(e) => (Response::Error(e.to_string()), 0),
+            }
+        }
+        Request::WhyNot {
+            q,
+            k,
+            why_not,
+            options,
+            ..
+        } => {
+            let why_not: Vec<Weight> = why_not.iter().map(|w| Weight::new(w.clone())).collect();
+            let wqrtq = match Wqrtq::with_view(handle.index.clone(), handle.view.clone(), q, *k) {
+                Ok(w) => w.with_tolerances(options.tol),
+                Err(e) => return (Response::Error(e.to_string()), 0),
             };
-            match answer {
-                Ok(a) => (Response::Refinement(refinement_from(a)), 0),
+            let result = match progress {
+                Some(emit) => {
+                    wqrtq.advise_with(&why_not, options, |event| emit(delta_from_event(&event)))
+                }
+                None => wqrtq.advise(&why_not, options),
+            };
+            match result {
+                Ok(plan) => (Response::Plan(plan_from(plan)), 0),
                 Err(e) => (Response::Error(e.to_string()), 0),
             }
         }
@@ -696,6 +740,86 @@ pub(crate) fn mutate(
         }
     }
     Ok(live_len)
+}
+
+/// Maps a legacy one-strategy request onto the advisor's step runner:
+/// the named strategy with its own budgets, exact-2D off, paper-default
+/// tolerances — exactly what the pre-advisor worker computed.
+fn legacy_options(strategy: &RefineStrategy) -> (StrategyKind, WhyNotOptions) {
+    let base = WhyNotOptions {
+        exact_2d: false,
+        ..WhyNotOptions::default()
+    };
+    match strategy {
+        RefineStrategy::Mqp => (StrategyKind::Mqp, base),
+        RefineStrategy::Mwk { sample_size, seed } => (
+            StrategyKind::Mwk,
+            WhyNotOptions {
+                sample_size: *sample_size,
+                seed: *seed,
+                ..base
+            },
+        ),
+        RefineStrategy::Mqwk {
+            sample_size,
+            query_samples,
+            seed,
+        } => (
+            StrategyKind::Mqwk,
+            WhyNotOptions {
+                sample_size: *sample_size,
+                query_samples: *query_samples,
+                seed: *seed,
+                ..base
+            },
+        ),
+    }
+}
+
+fn plan_explanation_from(explanation: &Explanation) -> PlanExplanation {
+    PlanExplanation {
+        rank: explanation.rank,
+        culprits: explanation
+            .culprits
+            .iter()
+            .map(|c| (c.id, c.score))
+            .collect(),
+        truncated: explanation.truncated,
+    }
+}
+
+fn plan_step_from(step: &RankedStep) -> PlanStep {
+    PlanStep {
+        strategy: step.strategy,
+        refinement: refinement_from(step.answer.clone()),
+        breakdown: step.breakdown,
+        verified: step.verified,
+        exact: step.stats.exact,
+        sample_size: step.stats.sample_size,
+        query_samples: step.stats.query_samples,
+    }
+}
+
+fn plan_from(plan: RefinementPlan) -> Plan {
+    Plan {
+        explanations: plan
+            .explanations
+            .iter()
+            .map(plan_explanation_from)
+            .collect(),
+        k_max: plan.k_max,
+        steps: plan.steps.iter().map(plan_step_from).collect(),
+    }
+}
+
+fn delta_from_event(event: &AdvisorEvent<'_>) -> PlanDelta {
+    match event {
+        AdvisorEvent::Explained { index, explanation } => PlanDelta::Explained {
+            index: *index,
+            explanation: plan_explanation_from(explanation),
+        },
+        AdvisorEvent::Step(step) => PlanDelta::Step(plan_step_from(step)),
+    }
 }
 
 fn refinement_from(answer: WqrtqAnswer) -> Refinement {

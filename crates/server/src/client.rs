@@ -8,13 +8,13 @@
 //! case; the bench load generator drives `send`/`recv` directly with a
 //! sliding pipeline window.
 
-use crate::frame::{self, DecodeError, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC};
+use crate::frame::{self, DecodeError, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC, MAGIC_V2};
 use crate::wire::{ClientFrame, ServerFrame};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use wqrtq_engine::{Request, Response};
+use wqrtq_engine::{Plan, PlanDelta, Request, Response};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -81,10 +81,16 @@ pub struct Client {
     next_id: u64,
     max_frame_len: usize,
     buf: Vec<u8>,
+    /// Negotiated protocol version (1 for legacy connections, the
+    /// server's [`ServerFrame::Hello`] answer otherwise).
+    version: u8,
 }
 
 impl Client {
-    /// Connects and sends the protocol preamble.
+    /// Connects and sends the **protocol v1** preamble — the legacy
+    /// wire dialect, bit-identical to pre-v2 servers and clients. Plan
+    /// requests are refused on such a connection; use
+    /// [`Client::connect_v2`] for streaming plans.
     ///
     /// # Errors
     /// Propagates socket errors.
@@ -100,7 +106,49 @@ impl Client {
             next_id: 1,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             buf: Vec::new(),
+            version: 1,
         })
+    }
+
+    /// Connects with the **protocol v2** preamble and completes the
+    /// negotiation handshake: the server's first frame must be a
+    /// [`ServerFrame::Hello`], whose version is recorded on the client
+    /// ([`Client::version`]). v2 connections receive progressive
+    /// [`ServerFrame::ReplyPart`] frames for plan requests — see
+    /// [`Client::submit_plan`].
+    ///
+    /// # Errors
+    /// [`ClientError::Unexpected`] when the server answers the preamble
+    /// with anything but a Hello (e.g. a pre-v2 server); transport
+    /// failures otherwise.
+    pub fn connect_v2(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        writer.write_all(&MAGIC_V2)?;
+        writer.flush()?;
+        let mut client = Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            buf: Vec::new(),
+            version: 1,
+        };
+        match client.recv()? {
+            (_, ServerFrame::Hello { version, .. }) => {
+                client.version = version;
+                Ok(client)
+            }
+            (_, ServerFrame::ProtocolError(msg)) => Err(ClientError::Protocol(msg)),
+            _ => Err(ClientError::Unexpected("expected a hello frame")),
+        }
+    }
+
+    /// The negotiated protocol version (1 unless constructed with
+    /// [`Client::connect_v2`] against a v2-capable server).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Sets a read timeout for [`Client::recv`] (None blocks forever).
@@ -187,15 +235,66 @@ impl Client {
 
     /// Submits one engine request and returns its response.
     ///
+    /// On a v2 connection, plan requests ([`Request::WhyNot`]) stream
+    /// progressive partial frames before the final reply; this method
+    /// absorbs and discards them (use [`Client::submit_plan`] to
+    /// observe them), so the connection stays in sync regardless of
+    /// which method a plan request goes through.
+    ///
     /// # Errors
     /// [`ClientError::Busy`] under backpressure (nothing was executed);
     /// transport/decoding failures otherwise.
     pub fn submit(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.version >= 2 && request.kind() == wqrtq_engine::RequestKind::WhyNot {
+            return self
+                .submit_plan(request, |_| {})
+                .map(Response::Plan)
+                .or_else(|e| match e {
+                    // submit() surfaces engine errors as Response::Error,
+                    // not ClientError::Server — keep that contract.
+                    ClientError::Server(msg) => Ok(Response::Error(msg)),
+                    other => Err(other),
+                });
+        }
         let id = self.send_request(request)?;
         match self.recv_for(id)? {
             ServerFrame::Reply(response) => Ok(response),
             ServerFrame::Busy => Err(ClientError::Busy),
             _ => Err(ClientError::Unexpected("expected a reply frame")),
+        }
+    }
+
+    /// Submits one why-not plan request ([`wqrtq_engine::Request::WhyNot`])
+    /// and streams its progressive partial results into `on_delta` as
+    /// the server produces them (explanations first, then one call per
+    /// strategy), returning the final ranked plan. A plan served from
+    /// the engine's result cache arrives whole — zero deltas, then the
+    /// plan.
+    ///
+    /// Requires a v2 connection ([`Client::connect_v2`]); a v1
+    /// connection receives a typed server error instead.
+    ///
+    /// # Errors
+    /// [`ClientError::Busy`] under backpressure; [`ClientError::Server`]
+    /// for engine-level failures (unknown dataset, invalid options);
+    /// transport/decoding failures otherwise.
+    pub fn submit_plan(
+        &mut self,
+        request: &Request,
+        mut on_delta: impl FnMut(PlanDelta),
+    ) -> Result<Plan, ClientError> {
+        let id = self.send_request(request)?;
+        loop {
+            let (got_id, frame) = self.recv()?;
+            match frame {
+                ServerFrame::ProtocolError(msg) => return Err(ClientError::Protocol(msg)),
+                _ if got_id != id => return Err(ClientError::Unexpected("response id mismatch")),
+                ServerFrame::ReplyPart(delta) => on_delta(delta),
+                ServerFrame::Reply(Response::Plan(plan)) => return Ok(plan),
+                ServerFrame::Reply(Response::Error(msg)) => return Err(ClientError::Server(msg)),
+                ServerFrame::Busy => return Err(ClientError::Busy),
+                _ => return Err(ClientError::Unexpected("expected a plan frame")),
+            }
         }
     }
 

@@ -20,8 +20,21 @@
 use std::fmt;
 use std::io::{self, ErrorKind, Read, Write};
 
-/// Connection preamble the client must send before its first frame.
+/// Connection preamble of a **protocol v1** client: frames only, no
+/// negotiation reply, no streaming.
 pub const MAGIC: [u8; 4] = *b"WQR1";
+
+/// Connection preamble of a **protocol v2** client. The server answers
+/// it with a [`crate::wire::ServerFrame::Hello`] frame (the negotiation
+/// half-round-trip) and will stream progressive
+/// [`crate::wire::ServerFrame::ReplyPart`] frames for plan requests on
+/// this connection. A v1 preamble on the same server behaves exactly as
+/// before — v1 clients never see a frame kind they cannot decode.
+pub const MAGIC_V2: [u8; 4] = *b"WQR2";
+
+/// The protocol version the server speaks natively (negotiated down to
+/// v1 when the client sends the [`MAGIC`] preamble).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default upper bound on a frame payload (32 MiB) — large enough for a
 /// multi-million-row dataset registration, small enough that a hostile

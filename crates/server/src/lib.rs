@@ -10,8 +10,10 @@
 //!   primitives (floats travel by IEEE-754 bit pattern, so responses
 //!   round-trip **bit-identically** to their in-process values);
 //! * [`wire`] — the message vocabulary: every engine request/response
-//!   kind plus dataset/weight-set registration, compaction, and ping,
-//!   each frame tagged with a client-assigned request id;
+//!   kind (request body tags come from the engine's single
+//!   source-of-truth table, [`wqrtq_engine::REQUEST_KIND_TABLE`]) plus
+//!   dataset/weight-set registration, compaction, and ping, each frame
+//!   tagged with a client-assigned request id;
 //! * [`server`] — per-connection reader/writer sessions with
 //!   **pipelining** (many frames in flight, responses completed out of
 //!   order by the shard pool and routed by request id), a bounded global
@@ -20,6 +22,15 @@
 //!   work before closing;
 //! * [`client`] — a blocking client speaking the same protocol, used by
 //!   the loopback tests and the `server_bench` load generator.
+//!
+//! The protocol comes in two dialects, negotiated by the connection
+//! preamble: **v1** ([`frame::MAGIC`]) is the legacy frames-only
+//! dialect and keeps working unchanged, while **v2**
+//! ([`frame::MAGIC_V2`]) is acknowledged with a
+//! [`wire::ServerFrame::Hello`] frame and streams progressive
+//! [`wire::ServerFrame::ReplyPart`] partial results for why-not plan
+//! requests ([`wqrtq_engine::Request::WhyNot`]) ahead of the final
+//! ranked plan — see [`client::Client::submit_plan`].
 //!
 //! ```no_run
 //! use wqrtq_server::{Client, Server};
@@ -43,6 +54,9 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
-pub use frame::{ByteReader, ByteWriter, DecodeError, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC};
+pub use frame::{
+    ByteReader, ByteWriter, DecodeError, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC, MAGIC_V2,
+    PROTOCOL_VERSION,
+};
 pub use server::{ConnectionStats, Server, ServerBuilder, ServerStats};
 pub use wire::{ClientFrame, ServerFrame, CONNECTION_ID};

@@ -5,7 +5,11 @@
 //!
 //! Each accepted connection gets two threads:
 //!
-//! * a **reader** that validates the [`crate::frame::MAGIC`] preamble,
+//! * a **reader** that negotiates the protocol version from the
+//!   preamble ([`crate::frame::MAGIC`] → v1, unchanged legacy
+//!   behaviour; [`crate::frame::MAGIC_V2`] → v2, acknowledged with a
+//!   [`ServerFrame::Hello`] frame and eligible for progressive
+//!   [`ServerFrame::ReplyPart`] streaming on plan requests),
 //!   then decodes frames and dispatches them — control operations
 //!   (registration, compaction, ping) run inline; [`ClientFrame::Submit`]
 //!   goes through the admission gauge onto the engine pool via
@@ -41,7 +45,7 @@
 //! only then is the socket closed. Work the server said yes to is
 //! finished; work it never admitted was already refused with `Busy`.
 
-use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC};
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC, MAGIC_V2, PROTOCOL_VERSION};
 use crate::wire::{ClientFrame, ServerFrame, CONNECTION_ID};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -624,12 +628,18 @@ fn read_loop(
 ) {
     let mut reader = BufReader::new(stream);
     let mut magic = [0u8; 4];
-    match frame::read_exact_or_clean_eof(&mut reader, &mut magic) {
+    // Preamble negotiation: the client proposes a protocol version by
+    // its magic; the server settles it. v1 connections behave exactly
+    // as they always did (no reply, no streaming); v2 connections are
+    // acknowledged with a Hello frame and receive progressive
+    // ReplyPart frames for plan requests.
+    let version: u8 = match frame::read_exact_or_clean_eof(&mut reader, &mut magic) {
         // A connection that closes without sending a byte (port scan,
         // health probe, shutdown racing a fresh connect) is not a
         // protocol violation — just a goodbye.
         Ok(false) => return,
-        Ok(true) if magic == MAGIC => {}
+        Ok(true) if magic == MAGIC => 1,
+        Ok(true) if magic == MAGIC_V2 => 2,
         Ok(true) | Err(FrameError::Truncated) => {
             state
                 .counters
@@ -642,6 +652,17 @@ fn read_loop(
             return;
         }
         Err(_) => return, // transport failure: nothing to tell the peer
+    };
+    if version >= 2 {
+        // The negotiation ack is the connection's first frame; the
+        // queue is empty here, so the try_send cannot fail.
+        let _ = tx.try_send((
+            CONNECTION_ID,
+            ServerFrame::Hello {
+                version: PROTOCOL_VERSION,
+                max_frame_len: shared.max_frame_len as u64,
+            },
+        ));
     }
     let mut buf = Vec::new();
     loop {
@@ -712,12 +733,22 @@ fn read_loop(
                 Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
             }),
             ClientFrame::Submit(request) => {
-                if shared.admission.try_acquire(shared.admission_capacity) {
+                // Plan requests stream partial frames a v1 client could
+                // not decode; refuse them with a typed (non-fatal)
+                // error instead of poisoning the connection.
+                if version < 2 && request.kind() == wqrtq_engine::RequestKind::WhyNot {
+                    Some(ServerFrame::Reply(Response::Error(
+                        "why-not plan requests require protocol v2 (connect with the WQR2 \
+                         preamble)"
+                            .into(),
+                    )))
+                } else if shared.admission.try_acquire(shared.admission_capacity) {
                     state.in_flight.acquire();
-                    let tx = tx.clone();
+                    let reply_tx = tx.clone();
+                    let partial_tx = tx.clone();
                     let conn = state.clone();
                     let shared_cb = shared.clone();
-                    shared.engine.submit_with(request, move |response| {
+                    let complete = move |response| {
                         // Admission is released *before* the reply is
                         // enqueued: once a client has read a response,
                         // its permit is guaranteed free, so a retry
@@ -731,11 +762,32 @@ fn read_loop(
                         // is released only after the send, because the
                         // session's drain (gauge → zero, then tear down
                         // the queue) must not race this enqueue.
-                        if tx.try_send((id, ServerFrame::Reply(response))).is_err() {
+                        if reply_tx
+                            .try_send((id, ServerFrame::Reply(response)))
+                            .is_err()
+                        {
                             conn.doom();
                         }
                         conn.in_flight.release();
-                    });
+                    };
+                    if version >= 2 && request.kind() == wqrtq_engine::RequestKind::WhyNot {
+                        // Progressive partial frames ride the same
+                        // bounded writer queue ahead of the final
+                        // reply (same worker thread, so order is
+                        // guaranteed). They are best-effort: when a
+                        // slow reader fills the queue, partials are
+                        // dropped — only the final reply dooms the
+                        // connection on overflow.
+                        shared.engine.submit_with_progress(
+                            request,
+                            move |delta| {
+                                let _ = partial_tx.try_send((id, ServerFrame::ReplyPart(delta)));
+                            },
+                            complete,
+                        );
+                    } else {
+                        shared.engine.submit_with(request, complete);
+                    }
                     None
                 } else {
                     state

@@ -16,7 +16,10 @@
 //! the property the differential loopback test pins down.
 
 use crate::frame::{ByteReader, ByteWriter, DecodeError};
-use wqrtq_engine::{RefineStrategy, Refinement, Request, Response, WeightSet};
+use wqrtq_engine::{
+    PenaltyBreakdown, Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement,
+    Request, RequestKind, Response, StrategyKind, Tolerances, WeightSet, WhyNotOptions,
+};
 
 /// Reserved request id for connection-level errors that cannot be
 /// attributed to a parsed request (bad magic, malformed frame).
@@ -36,6 +39,9 @@ const OP_COMPACTED: u8 = 0x83;
 const OP_PONG: u8 = 0x84;
 const OP_BUSY: u8 = 0x85;
 const OP_PROTOCOL_ERROR: u8 = 0x86;
+// Protocol v2 only — never written on a v1 connection.
+const OP_HELLO: u8 = 0x87;
+const OP_REPLY_PART: u8 = 0x88;
 
 /// One client → server message.
 #[derive(Clone, Debug, PartialEq)]
@@ -89,6 +95,24 @@ pub enum ServerFrame {
     /// The connection violated the protocol (bad preamble, malformed or
     /// oversized frame); the server closes the connection after this.
     ProtocolError(String),
+    /// Protocol-v2 negotiation answer: the server's first frame on a
+    /// connection that sent the [`crate::frame::MAGIC_V2`] preamble
+    /// (carried on the reserved connection id). Never sent to v1
+    /// clients.
+    Hello {
+        /// The protocol version the server settled on.
+        version: u8,
+        /// The largest frame payload this server accepts, so a v2
+        /// client can size registrations without trial and error.
+        max_frame_len: u64,
+    },
+    /// A progressive partial result of an in-flight plan request
+    /// (protocol v2 only): explanations and per-strategy refinements
+    /// stream as the advisor produces them, each echoing the request id,
+    /// strictly before the final [`ServerFrame::Reply`] carries the
+    /// ranked plan. Best-effort: a client that lets its receive queue
+    /// overflow may miss partials, never the final reply.
+    ReplyPart(PlanDelta),
 }
 
 impl ClientFrame {
@@ -191,6 +215,18 @@ impl ServerFrame {
                 w.put_u8(OP_PROTOCOL_ERROR);
                 w.put_str(msg);
             }
+            ServerFrame::Hello {
+                version,
+                max_frame_len,
+            } => {
+                w.put_u8(OP_HELLO);
+                w.put_u8(*version);
+                w.put_u64(*max_frame_len);
+            }
+            ServerFrame::ReplyPart(delta) => {
+                w.put_u8(OP_REPLY_PART);
+                encode_plan_delta(&mut w, delta);
+            }
         }
         w.into_vec()
     }
@@ -212,6 +248,11 @@ impl ServerFrame {
             OP_PONG => ServerFrame::Pong,
             OP_BUSY => ServerFrame::Busy,
             OP_PROTOCOL_ERROR => ServerFrame::ProtocolError(r.take_str("error message")?),
+            OP_HELLO => ServerFrame::Hello {
+                version: r.take_u8("protocol version")?,
+                max_frame_len: r.take_u64("max frame length")?,
+            },
+            OP_REPLY_PART => ServerFrame::ReplyPart(decode_plan_delta(&mut r)?),
             _ => return Err(DecodeError::new("unknown server opcode")),
         };
         r.finish()?;
@@ -219,19 +260,13 @@ impl ServerFrame {
     }
 }
 
-// Request body tags (one per `Request` variant).
-const REQ_TOPK: u8 = 1;
-const REQ_RTOPK_MONO: u8 = 2;
-const REQ_RTOPK_BI: u8 = 3;
-const REQ_EXPLAIN: u8 = 4;
-const REQ_REFINE: u8 = 5;
-const REQ_APPEND: u8 = 6;
-const REQ_DELETE: u8 = 7;
-
+// Request body tags come from the engine's source-of-truth vocabulary
+// table (`REQUEST_KIND_TABLE`) — the codec cannot drift from the engine
+// without the conformance test failing.
 fn encode_request(w: &mut ByteWriter, request: &Request) {
+    w.put_u8(request.kind().wire_tag());
     match request {
         Request::TopK { dataset, weight, k } => {
-            w.put_u8(REQ_TOPK);
             w.put_str(dataset);
             w.put_f64s(weight);
             w.put_usize(*k);
@@ -243,7 +278,6 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
             samples,
             seed,
         } => {
-            w.put_u8(REQ_RTOPK_MONO);
             w.put_str(dataset);
             w.put_f64s(q);
             w.put_usize(*k);
@@ -256,7 +290,6 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
             q,
             k,
         } => {
-            w.put_u8(REQ_RTOPK_BI);
             w.put_str(dataset);
             match weights {
                 WeightSet::Named(name) => {
@@ -280,7 +313,6 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
             q,
             limit,
         } => {
-            w.put_u8(REQ_EXPLAIN);
             w.put_str(dataset);
             w.put_f64s(weight);
             w.put_f64s(q);
@@ -293,7 +325,6 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
             why_not,
             strategy,
         } => {
-            w.put_u8(REQ_REFINE);
             w.put_str(dataset);
             w.put_f64s(q);
             w.put_usize(*k);
@@ -320,13 +351,27 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
                 }
             }
         }
+        Request::WhyNot {
+            dataset,
+            q,
+            k,
+            why_not,
+            options,
+        } => {
+            w.put_str(dataset);
+            w.put_f64s(q);
+            w.put_usize(*k);
+            w.put_usize(why_not.len());
+            for weight in why_not {
+                w.put_f64s(weight);
+            }
+            encode_options(w, options);
+        }
         Request::Append { dataset, points } => {
-            w.put_u8(REQ_APPEND);
             w.put_str(dataset);
             w.put_f64s(points);
         }
         Request::Delete { dataset, ids } => {
-            w.put_u8(REQ_DELETE);
             w.put_str(dataset);
             w.put_usize(ids.len());
             for id in ids {
@@ -336,21 +381,72 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
     }
 }
 
+// Strategy tags come from `StrategyKind::tag` — the same single source
+// the engine's cache fingerprint uses, so the codec and the fingerprint
+// cannot drift.
+fn strategy_kind_from_tag(tag: u8) -> Result<StrategyKind, DecodeError> {
+    StrategyKind::from_tag(tag).ok_or(DecodeError::new("unknown strategy kind tag"))
+}
+
+fn encode_options(w: &mut ByteWriter, options: &WhyNotOptions) {
+    w.put_f64(options.tol.alpha);
+    w.put_f64(options.tol.beta);
+    w.put_f64(options.tol.gamma);
+    w.put_f64(options.tol.lambda);
+    w.put_usize(options.strategies.len());
+    for s in &options.strategies {
+        w.put_u8(s.tag());
+    }
+    w.put_usize(options.culprit_limit);
+    w.put_usize(options.sample_size);
+    w.put_usize(options.query_samples);
+    w.put_u64(options.seed);
+    w.put_u8(u8::from(options.exact_2d));
+}
+
+fn decode_options(r: &mut ByteReader<'_>) -> Result<WhyNotOptions, DecodeError> {
+    // The tolerances are deliberately decoded *unvalidated* (the struct
+    // is plain data); `Request::validate` rejects hostile values with a
+    // typed engine error instead of a protocol error, so a bad frame
+    // costs its sender one error reply, not the connection.
+    let tol = Tolerances {
+        alpha: r.take_f64("alpha")?,
+        beta: r.take_f64("beta")?,
+        gamma: r.take_f64("gamma")?,
+        lambda: r.take_f64("lambda")?,
+    };
+    let count = r.take_count(1, "strategy count")?;
+    let strategies = (0..count)
+        .map(|_| strategy_kind_from_tag(r.take_u8("strategy kind")?))
+        .collect::<Result<_, _>>()?;
+    Ok(WhyNotOptions {
+        tol,
+        strategies,
+        culprit_limit: r.take_usize("culprit limit")?,
+        sample_size: r.take_usize("sample size")?,
+        query_samples: r.take_usize("query samples")?,
+        seed: r.take_u64("seed")?,
+        exact_2d: r.take_u8("exact-2d flag")? != 0,
+    })
+}
+
 fn decode_request(r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
-    Ok(match r.take_u8("request tag")? {
-        REQ_TOPK => Request::TopK {
+    let tag = r.take_u8("request tag")?;
+    let kind = RequestKind::from_wire_tag(tag).ok_or(DecodeError::new("unknown request tag"))?;
+    Ok(match kind {
+        RequestKind::TopK => Request::TopK {
             dataset: r.take_str("dataset")?,
             weight: r.take_f64s("weight")?,
             k: r.take_usize("k")?,
         },
-        REQ_RTOPK_MONO => Request::ReverseTopKMono {
+        RequestKind::ReverseTopKMono => Request::ReverseTopKMono {
             dataset: r.take_str("dataset")?,
             q: r.take_f64s("query point")?,
             k: r.take_usize("k")?,
             samples: r.take_usize("samples")?,
             seed: r.take_u64("seed")?,
         },
-        REQ_RTOPK_BI => {
+        RequestKind::ReverseTopKBi => {
             let dataset = r.take_str("dataset")?;
             let weights = match r.take_u8("weight-set tag")? {
                 1 => WeightSet::Named(r.take_str("weight-set name")?),
@@ -371,13 +467,13 @@ fn decode_request(r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
                 k: r.take_usize("k")?,
             }
         }
-        REQ_EXPLAIN => Request::WhyNotExplain {
+        RequestKind::WhyNotExplain => Request::WhyNotExplain {
             dataset: r.take_str("dataset")?,
             weight: r.take_f64s("weight")?,
             q: r.take_f64s("query point")?,
             limit: r.take_usize("limit")?,
         },
-        REQ_REFINE => {
+        RequestKind::WhyNotRefine => {
             let dataset = r.take_str("dataset")?;
             let q = r.take_f64s("query point")?;
             let k = r.take_usize("k")?;
@@ -406,11 +502,27 @@ fn decode_request(r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
                 strategy,
             }
         }
-        REQ_APPEND => Request::Append {
+        RequestKind::WhyNot => {
+            let dataset = r.take_str("dataset")?;
+            let q = r.take_f64s("query point")?;
+            let k = r.take_usize("k")?;
+            let count = r.take_count(8, "why-not count")?;
+            let why_not = (0..count)
+                .map(|_| r.take_f64s("why-not vector"))
+                .collect::<Result<_, _>>()?;
+            Request::WhyNot {
+                dataset,
+                q,
+                k,
+                why_not,
+                options: decode_options(r)?,
+            }
+        }
+        RequestKind::Append => Request::Append {
             dataset: r.take_str("dataset")?,
             points: r.take_f64s("points")?,
         },
-        REQ_DELETE => {
+        RequestKind::Delete => {
             let dataset = r.take_str("dataset")?;
             let count = r.take_count(8, "id count")?;
             let ids = (0..count)
@@ -421,7 +533,6 @@ fn decode_request(r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
                 .collect::<Result<_, _>>()?;
             Request::Delete { dataset, ids }
         }
-        _ => return Err(DecodeError::new("unknown request tag")),
     })
 }
 
@@ -434,6 +545,11 @@ const RESP_EXPLANATION: u8 = 5;
 const RESP_REFINEMENT: u8 = 6;
 const RESP_MUTATED: u8 = 7;
 const RESP_ERROR: u8 = 8;
+const RESP_PLAN: u8 = 9;
+
+// Plan-delta body tags (protocol v2 partial frames).
+const DELTA_EXPLAINED: u8 = 1;
+const DELTA_STEP: u8 = 2;
 
 fn encode_response(w: &mut ByteWriter, response: &Response) {
     match response {
@@ -484,31 +600,11 @@ fn encode_response(w: &mut ByteWriter, response: &Response) {
         }
         Response::Refinement(refinement) => {
             w.put_u8(RESP_REFINEMENT);
-            match &refinement.q_prime {
-                Some(q) => {
-                    w.put_u8(1);
-                    w.put_f64s(q);
-                }
-                None => w.put_u8(0),
-            }
-            match &refinement.why_not {
-                Some(ws) => {
-                    w.put_u8(1);
-                    w.put_usize(ws.len());
-                    for weight in ws {
-                        w.put_f64s(weight);
-                    }
-                }
-                None => w.put_u8(0),
-            }
-            match refinement.k {
-                Some(k) => {
-                    w.put_u8(1);
-                    w.put_usize(k);
-                }
-                None => w.put_u8(0),
-            }
-            w.put_f64(refinement.penalty);
+            encode_refinement(w, refinement);
+        }
+        Response::Plan(plan) => {
+            w.put_u8(RESP_PLAN);
+            encode_plan(w, plan);
         }
         Response::Mutated { live_len } => {
             w.put_u8(RESP_MUTATED);
@@ -519,6 +615,179 @@ fn encode_response(w: &mut ByteWriter, response: &Response) {
             w.put_str(msg);
         }
     }
+}
+
+fn encode_refinement(w: &mut ByteWriter, refinement: &Refinement) {
+    match &refinement.q_prime {
+        Some(q) => {
+            w.put_u8(1);
+            w.put_f64s(q);
+        }
+        None => w.put_u8(0),
+    }
+    match &refinement.why_not {
+        Some(ws) => {
+            w.put_u8(1);
+            w.put_usize(ws.len());
+            for weight in ws {
+                w.put_f64s(weight);
+            }
+        }
+        None => w.put_u8(0),
+    }
+    match refinement.k {
+        Some(k) => {
+            w.put_u8(1);
+            w.put_usize(k);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_f64(refinement.penalty);
+}
+
+fn decode_refinement(r: &mut ByteReader<'_>) -> Result<Refinement, DecodeError> {
+    let q_prime = match r.take_u8("q' flag")? {
+        0 => None,
+        _ => Some(r.take_f64s("q'")?),
+    };
+    let why_not = match r.take_u8("why-not flag")? {
+        0 => None,
+        _ => {
+            let count = r.take_count(8, "why-not count")?;
+            Some(
+                (0..count)
+                    .map(|_| r.take_f64s("why-not vector"))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+    };
+    let k = match r.take_u8("k flag")? {
+        0 => None,
+        _ => Some(r.take_usize("k")?),
+    };
+    Ok(Refinement {
+        q_prime,
+        why_not,
+        k,
+        penalty: r.take_f64("penalty")?,
+    })
+}
+
+fn encode_plan_explanation(w: &mut ByteWriter, explanation: &PlanExplanation) {
+    w.put_usize(explanation.rank);
+    w.put_usize(explanation.culprits.len());
+    for (id, score) in &explanation.culprits {
+        w.put_u64(u64::from(*id));
+        w.put_f64(*score);
+    }
+    w.put_u8(u8::from(explanation.truncated));
+}
+
+fn decode_plan_explanation(r: &mut ByteReader<'_>) -> Result<PlanExplanation, DecodeError> {
+    let rank = r.take_usize("rank")?;
+    let count = r.take_count(16, "culprit count")?;
+    let culprits = (0..count)
+        .map(|_| {
+            let id = r.take_u64("culprit id")?;
+            let id = u32::try_from(id).map_err(|_| DecodeError::new("culprit id"))?;
+            Ok((id, r.take_f64("culprit score")?))
+        })
+        .collect::<Result<_, DecodeError>>()?;
+    Ok(PlanExplanation {
+        rank,
+        culprits,
+        truncated: r.take_u8("truncated flag")? != 0,
+    })
+}
+
+fn encode_plan_step(w: &mut ByteWriter, step: &PlanStep) {
+    w.put_u8(step.strategy.tag());
+    encode_refinement(w, &step.refinement);
+    w.put_f64(step.breakdown.combined);
+    w.put_f64(step.breakdown.query_term);
+    w.put_f64(step.breakdown.k_term);
+    w.put_f64(step.breakdown.weight_term);
+    w.put_u8(u8::from(step.verified));
+    w.put_u8(u8::from(step.exact));
+    w.put_usize(step.sample_size);
+    w.put_usize(step.query_samples);
+}
+
+fn decode_plan_step(r: &mut ByteReader<'_>) -> Result<PlanStep, DecodeError> {
+    let strategy = strategy_kind_from_tag(r.take_u8("strategy kind")?)?;
+    let refinement = decode_refinement(r)?;
+    let breakdown = PenaltyBreakdown {
+        combined: r.take_f64("combined penalty")?,
+        query_term: r.take_f64("query term")?,
+        k_term: r.take_f64("k term")?,
+        weight_term: r.take_f64("weight term")?,
+    };
+    Ok(PlanStep {
+        strategy,
+        refinement,
+        breakdown,
+        verified: r.take_u8("verified flag")? != 0,
+        exact: r.take_u8("exact flag")? != 0,
+        sample_size: r.take_usize("sample size")?,
+        query_samples: r.take_usize("query samples")?,
+    })
+}
+
+fn encode_plan(w: &mut ByteWriter, plan: &Plan) {
+    w.put_usize(plan.explanations.len());
+    for explanation in &plan.explanations {
+        encode_plan_explanation(w, explanation);
+    }
+    w.put_usize(plan.k_max);
+    w.put_usize(plan.steps.len());
+    for step in &plan.steps {
+        encode_plan_step(w, step);
+    }
+}
+
+fn decode_plan(r: &mut ByteReader<'_>) -> Result<Plan, DecodeError> {
+    let count = r.take_count(16, "explanation count")?;
+    let explanations = (0..count)
+        .map(|_| decode_plan_explanation(r))
+        .collect::<Result<_, _>>()?;
+    let k_max = r.take_usize("k max")?;
+    let count = r.take_count(8, "step count")?;
+    let steps = (0..count)
+        .map(|_| decode_plan_step(r))
+        .collect::<Result<Vec<_>, _>>()?;
+    if steps.is_empty() {
+        return Err(DecodeError::new("plan without steps"));
+    }
+    Ok(Plan {
+        explanations,
+        k_max,
+        steps,
+    })
+}
+
+fn encode_plan_delta(w: &mut ByteWriter, delta: &PlanDelta) {
+    match delta {
+        PlanDelta::Explained { index, explanation } => {
+            w.put_u8(DELTA_EXPLAINED);
+            w.put_usize(*index);
+            encode_plan_explanation(w, explanation);
+        }
+        PlanDelta::Step(step) => {
+            w.put_u8(DELTA_STEP);
+            encode_plan_step(w, step);
+        }
+    }
+}
+
+fn decode_plan_delta(r: &mut ByteReader<'_>) -> Result<PlanDelta, DecodeError> {
+    Ok(match r.take_u8("plan delta tag")? {
+        DELTA_EXPLAINED => PlanDelta::Explained {
+            index: r.take_usize("why-not index")?,
+            explanation: decode_plan_explanation(r)?,
+        },
+        DELTA_STEP => PlanDelta::Step(decode_plan_step(r)?),
+        _ => return Err(DecodeError::new("unknown plan delta tag")),
+    })
 }
 
 fn decode_response(r: &mut ByteReader<'_>) -> Result<Response, DecodeError> {
@@ -571,33 +840,8 @@ fn decode_response(r: &mut ByteReader<'_>) -> Result<Response, DecodeError> {
                 truncated: r.take_u8("truncated flag")? != 0,
             }
         }
-        RESP_REFINEMENT => {
-            let q_prime = match r.take_u8("q' flag")? {
-                0 => None,
-                _ => Some(r.take_f64s("q'")?),
-            };
-            let why_not = match r.take_u8("why-not flag")? {
-                0 => None,
-                _ => {
-                    let count = r.take_count(8, "why-not count")?;
-                    Some(
-                        (0..count)
-                            .map(|_| r.take_f64s("why-not vector"))
-                            .collect::<Result<_, _>>()?,
-                    )
-                }
-            };
-            let k = match r.take_u8("k flag")? {
-                0 => None,
-                _ => Some(r.take_usize("k")?),
-            };
-            Response::Refinement(Refinement {
-                q_prime,
-                why_not,
-                k,
-                penalty: r.take_f64("penalty")?,
-            })
-        }
+        RESP_REFINEMENT => Response::Refinement(decode_refinement(r)?),
+        RESP_PLAN => Response::Plan(decode_plan(r)?),
         RESP_MUTATED => Response::Mutated {
             live_len: r.take_usize("live length")?,
         },
@@ -670,6 +914,28 @@ mod tests {
                     seed: 7,
                 },
             },
+            Request::WhyNot {
+                dataset: "p".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+                options: WhyNotOptions::default(),
+            },
+            Request::WhyNot {
+                dataset: "p".into(),
+                q: vec![4.0, 4.0],
+                k: 3,
+                why_not: vec![vec![0.1, 0.9]],
+                options: WhyNotOptions {
+                    tol: Tolerances::new(0.3, 0.7, 0.9, 0.1),
+                    strategies: vec![StrategyKind::Mwk, StrategyKind::Mqp],
+                    culprit_limit: 0,
+                    sample_size: 64,
+                    query_samples: 16,
+                    seed: u64::MAX,
+                    exact_2d: false,
+                },
+            },
             Request::Append {
                 dataset: "p".into(),
                 points: vec![1.0, 2.0, 3.0, 4.0],
@@ -679,6 +945,64 @@ mod tests {
                 ids: vec![0, 7, u32::MAX],
             },
         ]
+    }
+
+    fn sample_plan() -> Plan {
+        Plan {
+            explanations: vec![
+                PlanExplanation {
+                    rank: 4,
+                    culprits: vec![(0, 1.1), (1, 3.3), (3, 3.6)],
+                    truncated: false,
+                },
+                PlanExplanation {
+                    rank: 4,
+                    culprits: vec![(2, 1.8)],
+                    truncated: true,
+                },
+            ],
+            k_max: 4,
+            steps: vec![
+                PlanStep {
+                    strategy: StrategyKind::Mqwk,
+                    refinement: Refinement {
+                        q_prime: Some(vec![3.8, 3.8]),
+                        why_not: Some(vec![vec![0.135, 0.865]]),
+                        k: Some(3),
+                        penalty: 0.06,
+                    },
+                    breakdown: PenaltyBreakdown {
+                        combined: 0.06,
+                        query_term: 0.05,
+                        k_term: 0.0,
+                        weight_term: 0.1,
+                    },
+                    verified: true,
+                    exact: false,
+                    sample_size: 200,
+                    query_samples: 200,
+                },
+                PlanStep {
+                    strategy: StrategyKind::Mwk,
+                    refinement: Refinement {
+                        q_prime: None,
+                        why_not: Some(vec![vec![1.0 / 6.0, 5.0 / 6.0]]),
+                        k: Some(3),
+                        penalty: 0.10833,
+                    },
+                    breakdown: PenaltyBreakdown {
+                        combined: 0.10833,
+                        query_term: 0.0,
+                        k_term: 0.0,
+                        weight_term: 0.21666,
+                    },
+                    verified: true,
+                    exact: true,
+                    sample_size: 0,
+                    query_samples: 0,
+                },
+            ],
+        }
     }
 
     fn all_responses() -> Vec<Response> {
@@ -713,6 +1037,7 @@ mod tests {
                 k: Some(2),
                 penalty: 0.25,
             }),
+            Response::Plan(sample_plan()),
             Response::Mutated { live_len: 8 },
             Response::Error("unknown dataset `nope`".into()),
         ]
@@ -759,6 +1084,19 @@ mod tests {
             ServerFrame::Pong,
             ServerFrame::Busy,
             ServerFrame::ProtocolError("bad magic".into()),
+            ServerFrame::Hello {
+                version: crate::frame::PROTOCOL_VERSION,
+                max_frame_len: crate::frame::DEFAULT_MAX_FRAME_LEN as u64,
+            },
+            ServerFrame::ReplyPart(PlanDelta::Explained {
+                index: 1,
+                explanation: PlanExplanation {
+                    rank: 4,
+                    culprits: vec![(2, 1.8), (0, 1.9)],
+                    truncated: false,
+                },
+            }),
+            ServerFrame::ReplyPart(PlanDelta::Step(sample_plan().steps[0].clone())),
         ]);
         for (i, frame) in frames.into_iter().enumerate() {
             let id = 7_000_000 + i as u64;
@@ -769,6 +1107,40 @@ mod tests {
             // Re-encoding the decoded value is byte-identical: the codec
             // is canonical, so equality extends to the bit level.
             assert_eq!(got.encode(id), payload);
+        }
+    }
+
+    #[test]
+    fn wire_tags_conform_to_the_engine_vocabulary_table() {
+        use wqrtq_engine::REQUEST_KIND_TABLE;
+        // Tags are unique across the table…
+        let mut tags: Vec<u8> = REQUEST_KIND_TABLE.iter().map(|(_, _, t)| *t).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), REQUEST_KIND_TABLE.len(), "wire tags collide");
+
+        // …the representative corpus covers *every* kind (a new Request
+        // variant without a corpus entry fails here)…
+        let requests = all_requests();
+        for (kind, name, tag) in REQUEST_KIND_TABLE {
+            let covering: Vec<&Request> = requests.iter().filter(|r| r.kind() == kind).collect();
+            assert!(
+                !covering.is_empty(),
+                "no corpus request for kind {name} — extend all_requests()"
+            );
+            // …and every encoded frame's body tag byte is exactly the
+            // table's tag for its kind: the codec cannot drift from the
+            // engine vocabulary without this assertion failing.
+            for request in covering {
+                let payload = ClientFrame::Submit((*request).clone()).encode(1);
+                // Payload layout: u64 id + u8 opcode + u8 request tag.
+                assert_eq!(
+                    payload[9], tag,
+                    "kind {name} encoded with tag {} instead of {tag}",
+                    payload[9]
+                );
+                assert_eq!(wqrtq_engine::RequestKind::from_wire_tag(tag), Some(kind));
+            }
         }
     }
 

@@ -144,6 +144,15 @@ fn describe(label: &str, response: &Response, fig: &figure1::Figure1) {
             "{label}: penalty {:.4}, q′ {:?}, k′ {:?}",
             r.penalty, r.q_prime, r.k
         ),
+        Response::Plan(plan) => {
+            let best = plan.recommended();
+            println!(
+                "{label}: {} recommended at penalty {:.4} ({} alternatives)",
+                best.strategy.name(),
+                best.refinement.penalty,
+                plan.steps.len() - 1
+            );
+        }
         Response::Mutated { live_len } => {
             println!("{label}: mutation applied, {live_len} live points");
         }

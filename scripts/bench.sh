@@ -11,7 +11,11 @@
 #                         overlay vs the rebuild-per-mutation baseline;
 #   BENCH_server.json   — the TCP front door vs in-process submission:
 #                         connections × pipeline-depth sweep over the
-#                         wire protocol.
+#                         wire protocol;
+#   BENCH_whynot.json   — the unified why-not advisor: one plan request
+#                         vs the equivalent sequence of legacy calls
+#                         (explain per vector + all three refinements),
+#                         plus the streaming first-partial headstart.
 #
 # Every emitted report is validated (well-formed JSON, non-empty) before
 # the script moves on — a crashed or truncated bench run fails loudly
@@ -31,6 +35,7 @@
 #   cargo run --release -p wqrtq-bench --bin rank_bench -- --weights 2000
 #   cargo run --release -p wqrtq-bench --bin mutation_bench -- --n 200000 --ops 800
 #   cargo run --release -p wqrtq-bench --bin server_bench -- --connections 8 --depth 32
+#   cargo run --release -p wqrtq-bench --bin whynot_bench -- --n 20000 --rounds 24
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +46,7 @@ ENGINE_ARGS=(--workers "$WORKERS")
 RANK_ARGS=(--workers "$WORKERS")
 MUTATION_ARGS=(--workers "$WORKERS")
 SERVER_ARGS=(--workers "$WORKERS")
+WHYNOT_ARGS=(--workers "$WORKERS")
 if [[ "${1:-}" == "--smoke" ]]; then
     shift
     SMOKE=1
@@ -48,6 +54,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     RANK_ARGS+=(--n 3000 --weights 150 --repeats 3)
     MUTATION_ARGS+=(--n 5000 --ops 60)
     SERVER_ARGS+=(--n 3000 --requests 120 --connections 2 --depth 8)
+    WHYNOT_ARGS+=(--n 3000 --rounds 8 --samples 64 --query-samples 24)
 fi
 if [[ $# -gt 0 ]]; then
     echo "error: unknown arguments: $*" >&2
@@ -84,7 +91,8 @@ EOF
 }
 
 cargo build --release -p wqrtq-bench \
-    --bin engine_bench --bin rank_bench --bin mutation_bench --bin server_bench
+    --bin engine_bench --bin rank_bench --bin mutation_bench --bin server_bench \
+    --bin whynot_bench
 
 cargo run --release -p wqrtq-bench --bin engine_bench -- \
     --out BENCH_engine.json "${ENGINE_ARGS[@]}"
@@ -98,6 +106,9 @@ validate_json BENCH_mutation.json
 cargo run --release -p wqrtq-bench --bin server_bench -- \
     --out BENCH_server.json "${SERVER_ARGS[@]}"
 validate_json BENCH_server.json
+cargo run --release -p wqrtq-bench --bin whynot_bench -- \
+    --out BENCH_whynot.json "${WHYNOT_ARGS[@]}"
+validate_json BENCH_whynot.json
 
 if [[ "$SMOKE" == 1 ]]; then
     # Oracle-equivalence of the delta overlay with debug assertions off:
@@ -113,3 +124,5 @@ echo "--- BENCH_mutation.json ---"
 cat BENCH_mutation.json
 echo "--- BENCH_server.json ---"
 cat BENCH_server.json
+echo "--- BENCH_whynot.json ---"
+cat BENCH_whynot.json

@@ -57,11 +57,14 @@ pub use wqrtq_geom::{Point, Weight};
 /// assert!(!response.is_error());
 /// ```
 pub mod prelude {
+    pub use wqrtq_core::advisor::{
+        PenaltyBreakdown, RankedStep, RefinementPlan, StrategyKind, WhyNotOptions,
+    };
     pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
     pub use wqrtq_core::penalty::Tolerances;
     pub use wqrtq_engine::{
-        CatalogStats, DatasetEpoch, Engine, EngineBuilder, MetricsSnapshot, RefineStrategy,
-        Request, RequestKind, Response, WeightSet,
+        CatalogStats, DatasetEpoch, Engine, EngineBuilder, MetricsSnapshot, Plan, PlanDelta,
+        PlanExplanation, PlanStep, RefineStrategy, Request, RequestKind, Response, WeightSet,
     };
     pub use wqrtq_geom::{DeltaView, Point, Weight};
     pub use wqrtq_rtree::RTree;

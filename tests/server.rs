@@ -599,3 +599,287 @@ fn shutdown_drains_in_flight_work_before_closing() {
         })
         .is_error());
 }
+
+// ---------------------------------------------------------------------
+// Protocol v2: preamble negotiation, streaming plans, v1 coexistence.
+// ---------------------------------------------------------------------
+
+fn plan_request(dataset: &str) -> Request {
+    Request::WhyNot {
+        dataset: dataset.into(),
+        q: vec![4.0, 4.0],
+        k: 3,
+        why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+        options: wqrtq_engine::WhyNotOptions {
+            sample_size: 64,
+            query_samples: 24,
+            seed: 5,
+            ..wqrtq_engine::WhyNotOptions::default()
+        },
+    }
+}
+
+#[test]
+fn v2_preamble_negotiates_a_hello_and_v1_stays_silent() {
+    let server = serving_fixture();
+    let v2 = Client::connect_v2(server.local_addr()).unwrap();
+    assert_eq!(v2.version(), wqrtq_server::PROTOCOL_VERSION);
+    // A v1 connection gets no unsolicited frames: its first round trip
+    // answers the request it sent, nothing else.
+    let mut v1 = Client::connect(server.local_addr()).unwrap();
+    v1.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    v1.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn v2_plan_streams_partials_before_the_final_ranked_plan() {
+    let server = serving_fixture();
+    let mut client = Client::connect_v2(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let request = plan_request("p");
+    let mut deltas = Vec::new();
+    let plan = client
+        .submit_plan(&request, |delta| deltas.push(delta))
+        .unwrap();
+
+    // Partial order: every explanation precedes every strategy step,
+    // mirroring the advisor's execution order.
+    let first_step = deltas
+        .iter()
+        .position(|d| matches!(d, wqrtq_engine::PlanDelta::Step(_)))
+        .expect("steps streamed");
+    let explained: Vec<usize> = deltas
+        .iter()
+        .filter_map(|d| match d {
+            wqrtq_engine::PlanDelta::Explained { index, .. } => Some(*index),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(explained, vec![0, 1], "explanations stream first, in order");
+    assert!(first_step >= explained.len());
+    let streamed_steps: Vec<_> = deltas
+        .iter()
+        .filter_map(|d| match d {
+            wqrtq_engine::PlanDelta::Step(step) => Some(step.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(streamed_steps.len(), 3);
+
+    // The final plan is ranked, verified, and bit-identical to an
+    // in-process submission of the same request.
+    assert_eq!(plan.steps.len(), 3);
+    assert!(plan
+        .steps
+        .windows(2)
+        .all(|p| p[0].refinement.penalty <= p[1].refinement.penalty));
+    assert!(plan.steps.iter().all(|s| s.verified));
+    for step in &plan.steps {
+        assert!(
+            streamed_steps.contains(step),
+            "ranked step missing from the stream"
+        );
+    }
+    let direct = server.engine().submit(request);
+    assert_eq!(
+        ServerFrame::Reply(Response::Plan(plan)).encode(0),
+        ServerFrame::Reply(direct).encode(0),
+        "wire plan is not bit-identical to the in-process plan"
+    );
+
+    // A repeat of the same request is a cache hit: the plan arrives
+    // whole, with zero partials.
+    let mut repeat_deltas = Vec::new();
+    let cached = client
+        .submit_plan(&plan_request("p"), |delta| repeat_deltas.push(delta))
+        .unwrap();
+    assert!(repeat_deltas.is_empty(), "cache hits must not stream");
+    assert_eq!(cached.steps.len(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn v1_connections_refuse_plan_requests_with_a_typed_error() {
+    let server = serving_fixture();
+    let mut v1 = Client::connect(server.local_addr()).unwrap();
+    v1.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    match v1.submit(&plan_request("p")) {
+        Ok(Response::Error(msg)) => {
+            assert!(msg.contains("protocol v2"), "unexpected message: {msg}")
+        }
+        other => panic!("expected a typed error reply, got {other:?}"),
+    }
+    // The connection survives — the refusal is a reply, not a violation.
+    v1.ping().unwrap();
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_plan_options_over_the_wire_are_typed_engine_errors() {
+    let server = serving_fixture();
+    let mut client = Client::connect_v2(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let cases: Vec<(wqrtq_engine::WhyNotOptions, &str)> = vec![
+        (
+            wqrtq_engine::WhyNotOptions {
+                tol: wqrtq_engine::Tolerances {
+                    alpha: f64::NAN,
+                    beta: 0.5,
+                    gamma: 0.5,
+                    lambda: 0.5,
+                },
+                ..wqrtq_engine::WhyNotOptions::default()
+            },
+            "non-finite",
+        ),
+        (
+            wqrtq_engine::WhyNotOptions {
+                tol: wqrtq_engine::Tolerances {
+                    alpha: -1.0,
+                    beta: 2.0,
+                    gamma: 0.5,
+                    lambda: 0.5,
+                },
+                ..wqrtq_engine::WhyNotOptions::default()
+            },
+            "non-negative",
+        ),
+        (
+            wqrtq_engine::WhyNotOptions {
+                strategies: Vec::new(),
+                ..wqrtq_engine::WhyNotOptions::default()
+            },
+            "strategy set is empty",
+        ),
+    ];
+    for (options, needle) in cases {
+        let request = Request::WhyNot {
+            dataset: "p".into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9]],
+            options,
+        };
+        match client.submit_plan(&request, |_| panic!("rejected requests must not stream")) {
+            Err(ClientError::Server(msg)) => {
+                assert!(msg.contains(needle), "error `{msg}` lacks `{needle}`")
+            }
+            other => panic!("expected a typed server error, got {other:?}"),
+        }
+    }
+    // The connection took no damage from the rejections.
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn v2_streaming_and_v1_legacy_suite_coexist_on_one_server() {
+    let server = Server::builder().workers(2).bind("127.0.0.1:0").unwrap();
+    let engine = server.engine();
+    engine
+        .register_dataset("wire2", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    engine
+        .register_dataset("wire3", 3, scatter(300, 3, 42))
+        .unwrap();
+    engine
+        .register_dataset("dir2", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    engine
+        .register_dataset("dir3", 3, scatter(300, 3, 42))
+        .unwrap();
+    engine
+        .register_weights(
+            "wirepop",
+            customers().into_iter().map(wqrtq::Weight::new).collect(),
+        )
+        .unwrap();
+    engine
+        .register_weights(
+            "dirpop",
+            customers().into_iter().map(wqrtq::Weight::new).collect(),
+        )
+        .unwrap();
+
+    // A v2 client streams a plan on a second dataset name while the v1
+    // client walks the full legacy request suite — both against the
+    // same pool, both bit-identical to direct submission.
+    let addr = server.local_addr();
+    let streamer = std::thread::spawn(move || {
+        let mut v2 = Client::connect_v2(addr).unwrap();
+        v2.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut partials = 0usize;
+        let plan = v2
+            .submit_plan(&plan_request("wire2"), |_| partials += 1)
+            .unwrap();
+        (partials, plan)
+    });
+
+    let mut v1 = Client::connect(addr).unwrap();
+    v1.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    for (wire_req, direct_req) in all_kind_requests("wire2", "wire3", "wirepop")
+        .into_iter()
+        .zip(all_kind_requests("dir2", "dir3", "dirpop"))
+        // The mutation tail of the suite would perturb the twin dataset
+        // mid-plan; the read-only prefix is what coexistence is about.
+        .filter(|(w, _)| !w.kind().is_mutation())
+    {
+        let label = format!("{wire_req:?}");
+        let wire_resp = v1.submit(&wire_req).unwrap();
+        let direct_resp = engine.submit(direct_req);
+        assert_eq!(
+            ServerFrame::Reply(wire_resp).encode(0),
+            ServerFrame::Reply(direct_resp).encode(0),
+            "{label}: v1 responses diverged while v2 streamed"
+        );
+    }
+
+    let (partials, plan) = streamer.join().unwrap();
+    assert!(partials >= 5, "expected streamed partials, got {partials}");
+    assert_eq!(plan.steps.len(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn plain_submit_of_a_plan_request_keeps_a_v2_connection_in_sync() {
+    // submit() must absorb the streamed partials (only submit_plan
+    // observes them) — otherwise the first ReplyPart would desync every
+    // later round trip on the connection.
+    let server = serving_fixture();
+    let mut client = Client::connect_v2(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    match client.submit(&plan_request("p")).unwrap() {
+        Response::Plan(plan) => assert_eq!(plan.steps.len(), 3),
+        other => panic!("expected a plan, got {other:?}"),
+    }
+    // The connection took no damage: later round trips still pair up.
+    client.ping().unwrap();
+    match client.submit(&Request::TopK {
+        dataset: "p".into(),
+        weight: vec![0.5, 0.5],
+        k: 1,
+    }) {
+        Ok(Response::TopK(points)) => assert_eq!(points.len(), 1),
+        other => panic!("follow-up submit failed: {other:?}"),
+    }
+    // Engine-level failures still surface as Response::Error through
+    // submit(), exactly like on v1.
+    let mut bad = plan_request("p");
+    if let Request::WhyNot { dataset, .. } = &mut bad {
+        *dataset = "no-such-dataset".into();
+    }
+    match client.submit(&bad).unwrap() {
+        Response::Error(msg) => assert!(msg.contains("unknown dataset"), "{msg}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    client.ping().unwrap();
+    server.shutdown();
+}
