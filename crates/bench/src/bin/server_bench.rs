@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p wqrtq-bench --bin server_bench
 //! cargo run --release -p wqrtq-bench --bin server_bench -- --connections 8 --depth 32 --out BENCH_server.json
+//! cargo run --release -p wqrtq-bench --bin server_bench -- --stats-out STATS_server.json
 //! ```
 
 use std::io::Write;
@@ -11,6 +12,7 @@ use wqrtq_bench::server_bench::{compare, ServerBenchConfig};
 fn main() {
     let mut cfg = ServerBenchConfig::default();
     let mut out: Option<String> = None;
+    let mut stats_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -38,10 +40,11 @@ fn main() {
             }
             "--seed" => cfg.seed = value("--seed").parse().expect("--seed takes an integer"),
             "--out" => out = Some(value("--out")),
+            "--stats-out" => stats_out = Some(value("--stats-out")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: server_bench [--n N] [--dim D] [--workers W] [--connections C] \
-                     [--depth P] [--requests R] [--seed S] [--out FILE]"
+                     [--depth P] [--requests R] [--seed S] [--out FILE] [--stats-out FILE]"
                 );
                 return;
             }
@@ -83,5 +86,10 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),
+    }
+    if let Some(path) = stats_out {
+        let mut f = std::fs::File::create(&path).expect("create stats file");
+        writeln!(f, "{}", report.stats_json).expect("write stats snapshot");
+        eprintln!("wrote {path}");
     }
 }

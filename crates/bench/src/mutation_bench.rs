@@ -23,7 +23,7 @@
 
 use std::time::{Duration, Instant};
 use wqrtq_data::synthetic::independent;
-use wqrtq_engine::{Engine, Request, Response};
+use wqrtq_engine::{Engine, Histogram, Request, Response};
 
 /// Workload shape for the mutation comparison.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +65,11 @@ pub struct MutationTiming {
     pub ops: usize,
     /// Total wall-clock.
     pub elapsed: Duration,
+    /// Median per-operation latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-operation latency in microseconds (on this
+    /// mixed workload the tail is where rebuild stalls live).
+    pub p99_us: f64,
 }
 
 impl MutationTiming {
@@ -105,10 +110,15 @@ impl MutationComparison {
     pub fn to_json(&self) -> String {
         let timing = |t: &MutationTiming| {
             format!(
-                "{{\"ops\": {}, \"seconds\": {:.6}, \"ops_per_sec\": {:.1}}}",
+                concat!(
+                    "{{\"ops\": {}, \"seconds\": {:.6}, \"ops_per_sec\": {:.1}, ",
+                    "\"p50_us\": {:.3}, \"p99_us\": {:.3}}}"
+                ),
                 t.ops,
                 t.elapsed.as_secs_f64(),
-                t.ops_per_sec()
+                t.ops_per_sec(),
+                t.p50_us,
+                t.p99_us,
             )
         };
         format!(
@@ -269,8 +279,10 @@ fn run_overlay(cfg: &MutationBenchConfig, coords: &[f64], ops: &[Op]) -> (Mutati
         .register_dataset("bench", cfg.dim, coords.to_vec())
         .expect("register");
     engine.catalog().handle("bench").expect("warm index");
+    let latency = Histogram::new();
     let start = Instant::now();
     for op in ops {
+        let began = Instant::now();
         match op {
             Op::Append(rows) => {
                 let r = engine.submit(Request::Append {
@@ -304,11 +316,15 @@ fn run_overlay(cfg: &MutationBenchConfig, coords: &[f64], ops: &[Op]) -> (Mutati
                 assert!(!r.is_error(), "overlay explain failed");
             }
         }
+        latency.record_duration(began.elapsed());
     }
+    let snap = latency.snapshot();
     (
         MutationTiming {
             ops: ops.len(),
             elapsed: start.elapsed(),
+            p50_us: snap.quantile_micros(0.50),
+            p99_us: snap.quantile_micros(0.99),
         },
         engine,
     )
@@ -333,13 +349,19 @@ pub fn compare(cfg: &MutationBenchConfig) -> MutationComparison {
         .register_dataset("bench", cfg.dim, ds.coords.clone())
         .expect("register");
     baseline.engine.catalog().handle("bench").expect("warm");
+    let rebuild_latency = Histogram::new();
     let start = Instant::now();
     for op in &ops {
+        let began = Instant::now();
         baseline.apply(op, cfg.k);
+        rebuild_latency.record_duration(began.elapsed());
     }
+    let rebuild_snap = rebuild_latency.snapshot();
     let rebuild_timing = MutationTiming {
         ops: ops.len(),
         elapsed: start.elapsed(),
+        p50_us: rebuild_snap.quantile_micros(0.50),
+        p99_us: rebuild_snap.quantile_micros(0.99),
     };
 
     // Equivalence anchor: the final top-k *scores* must be identical
@@ -409,6 +431,10 @@ mod tests {
         assert!(json.contains("\"speedup_overlay_vs_rebuild\""));
         assert!(json.contains("\"rebuilds_avoided\""));
         assert!(json.contains("\"final_topk_scores_identical\": true"));
+        assert!(json.contains("\"p50_us\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(c.overlay.p99_us >= c.overlay.p50_us);
+        assert!(c.overlay.p50_us > 0.0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::time::{Duration, Instant};
 use wqrtq_data::synthetic::independent;
-use wqrtq_engine::{Engine, Request, Response, WeightSet};
+use wqrtq_engine::{Engine, Histogram, Request, Response, WeightSet};
 use wqrtq_geom::{Point, Weight};
 use wqrtq_query::brtopk::{
     bichromatic_reverse_topk_naive, bichromatic_reverse_topk_rta_legacy, rta_over_order,
@@ -73,6 +73,10 @@ pub struct PathTiming {
     pub requests: usize,
     /// Total wall-clock.
     pub elapsed: Duration,
+    /// Median per-request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency in microseconds.
+    pub p99_us: f64,
 }
 
 impl PathTiming {
@@ -128,10 +132,15 @@ impl RankComparison {
     pub fn to_json(&self) -> String {
         let path = |t: &PathTiming| {
             format!(
-                "{{\"requests\": {}, \"seconds_per_request\": {:.9}, \"rps\": {:.1}}}",
+                concat!(
+                    "{{\"requests\": {}, \"seconds_per_request\": {:.9}, \"rps\": {:.1}, ",
+                    "\"p50_us\": {:.3}, \"p99_us\": {:.3}}}"
+                ),
                 t.requests,
                 t.seconds_per_request(),
-                t.rps()
+                t.rps(),
+                t.p50_us,
+                t.p99_us,
             )
         };
         format!(
@@ -202,13 +211,19 @@ pub fn query_point(dim: usize, n: usize, k: usize) -> Vec<f64> {
 }
 
 fn time_requests(repeats: usize, mut f: impl FnMut(usize)) -> PathTiming {
+    let latency = Histogram::new();
     let start = Instant::now();
     for i in 0..repeats {
+        let began = Instant::now();
         f(i);
+        latency.record_duration(began.elapsed());
     }
+    let snap = latency.snapshot();
     PathTiming {
         requests: repeats,
         elapsed: start.elapsed(),
+        p50_us: snap.quantile_micros(0.50),
+        p99_us: snap.quantile_micros(0.99),
     }
 }
 
@@ -358,6 +373,10 @@ mod tests {
         assert!(json.contains("\"engine_workers_n\": {\"workers\": 2,"));
         assert!(json.contains("\"engine_workers_n_forced_shards\""));
         assert!(json.contains("\"results_bit_identical_to_naive\": true"));
+        assert!(json.contains("\"p50_us\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(c.flat_rta.p99_us >= c.flat_rta.p50_us);
+        assert!(c.flat_rta.p50_us > 0.0);
     }
 
     #[test]

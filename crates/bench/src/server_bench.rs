@@ -16,12 +16,15 @@
 //! The binary `server_bench` runs the comparison and emits a JSON
 //! report (`scripts/bench.sh` writes it to `BENCH_server.json`).
 
-use crate::engine_bench::Throughput;
+use crate::engine_bench::{throughput_json, Throughput};
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use wqrtq_data::synthetic::independent;
-use wqrtq_engine::{Engine, Request, Response, WeightSet};
+use wqrtq_engine::{
+    Engine, Histogram, HistogramSnapshot, Request, Response, ServerCounters, Stage, StatsSnapshot,
+    WeightSet,
+};
 use wqrtq_geom::Weight;
 use wqrtq_server::{Client, Server, ServerFrame};
 
@@ -83,6 +86,16 @@ pub struct ServerComparison {
     /// Whether the wire responses of the first sweep point matched an
     /// in-process replay bit for bit.
     pub wire_matches_inprocess: bool,
+    /// Time requests spent queued before a worker picked them up,
+    /// accumulated over the whole sweep (the server engine's QueueWait
+    /// stage histogram).
+    pub queue_wait: HistogramSnapshot,
+    /// Time workers spent executing, same scope (the Execute stage).
+    pub execute: HistogramSnapshot,
+    /// The server's full observability snapshot at the end of the sweep
+    /// (what a wire `Request::Stats` would have returned), rendered as
+    /// JSON for `server_bench --stats-out`.
+    pub stats_json: String,
 }
 
 impl ServerComparison {
@@ -128,12 +141,15 @@ impl ServerComparison {
             }
             sweep.push_str(&format!(
                 "    {{\"connections\": {}, \"depth\": {}, \"requests\": {}, \
-                 \"seconds\": {:.6}, \"rps\": {:.1}, \"busy_retries\": {}}}",
+                 \"seconds\": {:.6}, \"rps\": {:.1}, \"p50_us\": {:.3}, \
+                 \"p99_us\": {:.3}, \"busy_retries\": {}}}",
                 p.connections,
                 p.depth,
                 p.throughput.requests,
                 p.throughput.elapsed.as_secs_f64(),
                 p.throughput.rps(),
+                p.throughput.p50_us,
+                p.throughput.p99_us,
                 p.busy_retries,
             ));
         }
@@ -143,11 +159,12 @@ impl ServerComparison {
                 "  \"bench\": \"server_wire_vs_inprocess\",\n",
                 "  \"config\": {{\"n\": {}, \"dim\": {}, \"workers\": {}, \"connections\": {}, ",
                 "\"depth\": {}, \"requests_per_conn\": {}, \"seed\": {}}},\n",
-                "  \"in_process\": {{\"requests\": {}, \"seconds\": {:.6}, \"rps\": {:.1}}},\n",
+                "  \"in_process\": {},\n",
                 "  \"sweep\": [\n{}\n  ],\n",
                 "  \"best_wire_rps\": {:.1},\n",
                 "  \"wire_vs_inprocess\": {:.4},\n",
                 "  \"pipeline_scaling\": {:.4},\n",
+                "  \"stage_decomposition\": {{\"queue_wait\": {}, \"execute\": {}}},\n",
                 "  \"wire_matches_inprocess\": {}\n",
                 "}}"
             ),
@@ -158,13 +175,13 @@ impl ServerComparison {
             self.config.depth,
             self.config.requests_per_conn,
             self.config.seed,
-            self.in_process.requests,
-            self.in_process.elapsed.as_secs_f64(),
-            self.in_process.rps(),
+            throughput_json(&self.in_process),
             sweep,
             self.best_wire().throughput.rps(),
             self.wire_vs_inprocess(),
             self.pipeline_scaling(),
+            self.queue_wait.to_json(),
+            self.execute.to_json(),
             self.wire_matches_inprocess,
         )
     }
@@ -239,9 +256,10 @@ fn drive_connection(
     addr: std::net::SocketAddr,
     stream: &[Request],
     depth: usize,
+    latency: &Histogram,
 ) -> (Vec<Response>, u64) {
     let mut client = Client::connect(addr).expect("connect load generator");
-    let mut outstanding: HashMap<u64, usize> = HashMap::new();
+    let mut outstanding: HashMap<u64, (usize, Instant)> = HashMap::new();
     let mut responses: Vec<Option<Response>> = vec![None; stream.len()];
     let mut busy_retries = 0u64;
     let mut next = 0usize;
@@ -249,23 +267,25 @@ fn drive_connection(
     while done < stream.len() {
         while outstanding.len() < depth && next < stream.len() {
             let id = client.send_request(&stream[next]).expect("pipelined send");
-            outstanding.insert(id, next);
+            outstanding.insert(id, (next, Instant::now()));
             next += 1;
         }
         let (id, frame) = client.recv().expect("pipelined recv");
-        let slot = outstanding.remove(&id).expect("response for in-flight id");
+        let (slot, sent) = outstanding.remove(&id).expect("response for in-flight id");
         match frame {
             ServerFrame::Reply(response) => {
+                latency.record_duration(sent.elapsed());
                 responses[slot] = Some(response);
                 done += 1;
             }
             ServerFrame::Busy => {
                 // Backpressure: the request was refused, not executed.
                 // Re-send it (the admitted window has shrunk by one, so
-                // this cannot livelock the generator).
+                // this cannot livelock the generator). The latency clock
+                // restarts: the retry is a new request on the wire.
                 busy_retries += 1;
                 let id = client.send_request(&stream[slot]).expect("busy retry");
-                outstanding.insert(id, slot);
+                outstanding.insert(id, (slot, Instant::now()));
             }
             other => panic!("unexpected frame under load: {other:?}"),
         }
@@ -292,14 +312,16 @@ fn run_point(
     let streams: Vec<Vec<Request>> = (0..connections).map(|c| conn_stream(cfg, tag, c)).collect();
     let barrier = Arc::new(Barrier::new(connections + 1));
     let addr = server.local_addr();
+    let latency = Arc::new(Histogram::new());
     let handles: Vec<_> = streams
         .iter()
         .map(|stream| {
             let stream = stream.clone();
             let barrier = barrier.clone();
+            let latency = latency.clone();
             std::thread::spawn(move || {
                 barrier.wait();
-                drive_connection(addr, &stream, depth)
+                drive_connection(addr, &stream, depth, &latency)
             })
         })
         .collect();
@@ -316,10 +338,11 @@ fn run_point(
         SweepPoint {
             connections,
             depth,
-            throughput: Throughput {
-                requests: connections * cfg.requests_per_conn,
+            throughput: Throughput::with_latency(
+                connections * cfg.requests_per_conn,
                 elapsed,
-            },
+                &latency.snapshot(),
+            ),
             busy_retries,
         },
         first,
@@ -334,15 +357,16 @@ pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
     let baseline = Engine::builder().workers(cfg.workers).build();
     load_engine(cfg, &baseline, &ds.coords);
     let stream = conn_stream(cfg, usize::MAX, 0);
+    let baseline_latency = Histogram::new();
     let start = Instant::now();
     for request in &stream {
+        let began = Instant::now();
         let response = baseline.submit(request.clone());
+        baseline_latency.record_duration(began.elapsed());
         assert!(!response.is_error(), "baseline stream must serve cleanly");
     }
-    let in_process = Throughput {
-        requests: stream.len(),
-        elapsed: start.elapsed(),
-    };
+    let in_process =
+        Throughput::with_latency(stream.len(), start.elapsed(), &baseline_latency.snapshot());
 
     // The wire side: one server, one sweep.
     let server = Server::builder()
@@ -382,6 +406,27 @@ pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
         }
         sweep.push(point);
     }
+
+    // Capture the server-side view before shutdown: the stage
+    // decomposition (time queued vs time executing) and the full stats
+    // snapshot a wire `Request::Stats` would have returned.
+    let metrics = server.engine().metrics();
+    let queue_wait = metrics.stage_latency(Stage::QueueWait).clone();
+    let execute = metrics.stage_latency(Stage::Execute).clone();
+    let stats = server.stats();
+    let stats_json = StatsSnapshot {
+        metrics,
+        server: Some(ServerCounters {
+            connections_accepted: stats.connections_accepted,
+            connections_open: stats.connections_open as u64,
+            frames_in: stats.frames_in,
+            frames_out: stats.frames_out,
+            busy_rejections: stats.busy_rejections,
+            protocol_errors: stats.protocol_errors,
+            in_flight: stats.in_flight as u64,
+        }),
+    }
+    .to_json();
     server.shutdown();
 
     ServerComparison {
@@ -389,6 +434,9 @@ pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
         in_process,
         sweep,
         wire_matches_inprocess,
+        queue_wait,
+        execute,
+        stats_json,
     }
 }
 
@@ -416,13 +464,29 @@ mod tests {
         for p in &c.sweep {
             assert_eq!(p.throughput.requests, p.connections * 48);
             assert!(p.throughput.rps() > 0.0);
+            assert!(p.throughput.p50_us > 0.0);
+            assert!(p.throughput.p99_us >= p.throughput.p50_us);
         }
+        // Every request waits in the queue; only cache misses execute.
+        let served: u64 = c.sweep.iter().map(|p| p.throughput.requests as u64).sum();
+        assert!(c.queue_wait.count >= served);
+        assert!(c.execute.count > 0);
+        assert!(c.execute.count <= c.queue_wait.count);
         let json = c.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"wire_vs_inprocess\""));
         assert!(json.contains("\"pipeline_scaling\""));
         assert!(json.contains("\"wire_matches_inprocess\": true"));
         assert!(json.contains("\"sweep\""));
+        assert!(json.contains("\"p50_us\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"stage_decomposition\""));
+        assert!(json.contains("\"queue_wait\""));
+        assert!(json.contains("\"execute\""));
+        let stats = &c.stats_json;
+        assert!(stats.starts_with('{') && stats.ends_with('}'));
+        assert!(stats.contains("\"engine\""));
+        assert!(stats.contains("\"server\""));
     }
 
     #[test]

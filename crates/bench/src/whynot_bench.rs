@@ -27,7 +27,7 @@
 use std::time::{Duration, Instant};
 use wqrtq_core::advisor::WhyNotOptions;
 use wqrtq_data::synthetic::independent;
-use wqrtq_engine::{Engine, PlanDelta, RefineStrategy, Request, Response};
+use wqrtq_engine::{Engine, Histogram, PlanDelta, RefineStrategy, Request, Response};
 use wqrtq_geom::Weight;
 use wqrtq_query::rank::rank_of_point_scan;
 
@@ -76,6 +76,11 @@ pub struct WhyNotTiming {
     pub requests: usize,
     /// Total wall-clock.
     pub elapsed: Duration,
+    /// Median per-case latency in microseconds (a legacy case is the
+    /// whole explain + three-refines bundle).
+    pub p50_us: f64,
+    /// 99th-percentile per-case latency in microseconds.
+    pub p99_us: f64,
 }
 
 impl WhyNotTiming {
@@ -112,11 +117,16 @@ impl WhyNotComparison {
     pub fn to_json(&self) -> String {
         let timing = |t: &WhyNotTiming| {
             format!(
-                "{{\"rounds\": {}, \"requests\": {}, \"seconds\": {:.6}, \"cases_per_sec\": {:.1}}}",
+                concat!(
+                    "{{\"rounds\": {}, \"requests\": {}, \"seconds\": {:.6}, ",
+                    "\"cases_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}"
+                ),
                 t.rounds,
                 t.requests,
                 t.elapsed.as_secs_f64(),
-                t.cases_per_sec()
+                t.cases_per_sec(),
+                t.p50_us,
+                t.p99_us,
             )
         };
         format!(
@@ -247,8 +257,10 @@ pub fn compare(cfg: &WhyNotBenchConfig) -> WhyNotComparison {
     // pre-advisor recipe for "which refinement is cheapest?".
     let mut legacy_minima: Vec<f64> = Vec::with_capacity(cfg.rounds);
     let mut legacy_requests = 0usize;
+    let legacy_latency = Histogram::new();
     let legacy_start = Instant::now();
     for case in timed_cases {
+        let case_began = Instant::now();
         for w in &case.why_not {
             let r = engine.submit(Request::WhyNotExplain {
                 dataset: "bench".into(),
@@ -286,18 +298,24 @@ pub fn compare(cfg: &WhyNotBenchConfig) -> WhyNotComparison {
             }
         }
         legacy_minima.push(min);
+        legacy_latency.record_duration(case_began.elapsed());
     }
+    let legacy_snap = legacy_latency.snapshot();
     let legacy = WhyNotTiming {
         rounds: cfg.rounds,
         requests: legacy_requests,
         elapsed: legacy_start.elapsed(),
+        p50_us: legacy_snap.quantile_micros(0.50),
+        p99_us: legacy_snap.quantile_micros(0.99),
     };
 
     // Plan side: the same cases, one request each.
     let mut matches = true;
     let mut verified = true;
+    let plan_latency = Histogram::new();
     let plan_start = Instant::now();
     for (case, legacy_min) in timed_cases.iter().zip(&legacy_minima) {
+        let case_began = Instant::now();
         match engine.submit(plan_request(cfg, case)) {
             Response::Plan(plan) => {
                 matches &= plan.recommended().refinement.penalty.to_bits() == legacy_min.to_bits();
@@ -305,11 +323,15 @@ pub fn compare(cfg: &WhyNotBenchConfig) -> WhyNotComparison {
             }
             other => panic!("plan request failed: {other:?}"),
         }
+        plan_latency.record_duration(case_began.elapsed());
     }
+    let plan_snap = plan_latency.snapshot();
     let plan = WhyNotTiming {
         rounds: cfg.rounds,
         requests: cfg.rounds,
         elapsed: plan_start.elapsed(),
+        p50_us: plan_snap.quantile_micros(0.50),
+        p99_us: plan_snap.quantile_micros(0.99),
     };
 
     // Streaming latency: on a fresh (uncached) case, how much sooner
@@ -388,5 +410,9 @@ mod tests {
         assert!(json.contains("\"speedup_plan_vs_legacy_calls\""));
         assert!(json.contains("\"plan_matches_legacy_minimum\": true"));
         assert!(json.contains("\"plan_steps_verified\": true"));
+        assert!(json.contains("\"p50_us\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(c.plan.p99_us >= c.plan.p50_us);
+        assert!(c.plan.p50_us > 0.0);
     }
 }

@@ -192,6 +192,17 @@ pub enum AdvisorEvent<'a> {
     /// One refinement strategy finished (events arrive in execution
     /// order, *before* the final plan ranks them).
     Step(&'a RankedStep),
+    /// One advisor stage finished: wall-clock timing for validation
+    /// (`"validate"`), each explanation (`"explain"`), and each
+    /// strategy (its [`StrategyKind::name`]). Carries no plan content —
+    /// serving layers fold these into their stage metrics and skip them
+    /// when streaming partial plans.
+    StageTimed {
+        /// Stage label: `"validate"`, `"explain"`, or a strategy name.
+        stage: &'static str,
+        /// Wall-clock duration of the stage in nanoseconds.
+        nanos: u64,
+    },
 }
 
 /// Deduplicates a strategy selection into canonical execution order.
@@ -400,12 +411,25 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
         if strategies.is_empty() {
             return Err(WhyNotError::NoStrategies);
         }
+        let stage_nanos = |started: std::time::Instant| {
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        };
+        let started = std::time::Instant::now();
         let ranks = self.validate_why_not(why_not)?;
         let k_max = ranks.iter().copied().max().expect("non-empty why-not set");
+        emit(AdvisorEvent::StageTimed {
+            stage: "validate",
+            nanos: stage_nanos(started),
+        });
 
         let mut explanations = Vec::with_capacity(why_not.len());
         for (index, w) in why_not.iter().enumerate() {
+            let started = std::time::Instant::now();
             let explanation = self.explain(w, options.culprit_limit);
+            emit(AdvisorEvent::StageTimed {
+                stage: "explain",
+                nanos: stage_nanos(started),
+            });
             emit(AdvisorEvent::Explained {
                 index,
                 explanation: &explanation,
@@ -415,7 +439,12 @@ impl<T: Borrow<RTree>> Wqrtq<T> {
 
         let mut steps = Vec::with_capacity(strategies.len());
         for strategy in strategies {
+            let started = std::time::Instant::now();
             let step = self.refine_step(why_not, strategy, options, &ranks)?;
+            emit(AdvisorEvent::StageTimed {
+                stage: strategy.name(),
+                nanos: stage_nanos(started),
+            });
             emit(AdvisorEvent::Step(&step));
             steps.push(step);
         }
@@ -552,15 +581,26 @@ mod tests {
         let tree = fig_tree();
         let w = Wqrtq::new(&tree, &[4.0, 4.0], 3).unwrap();
         let mut trace = Vec::new();
+        let mut timed = Vec::new();
         let plan = w
-            .advise_with(&kevin_julia(), &WhyNotOptions::default(), |event| {
-                trace.push(match event {
-                    AdvisorEvent::Explained { index, .. } => format!("explain{index}"),
-                    AdvisorEvent::Step(step) => step.strategy.name().to_string(),
-                })
-            })
+            .advise_with(
+                &kevin_julia(),
+                &WhyNotOptions::default(),
+                |event| match event {
+                    AdvisorEvent::Explained { index, .. } => trace.push(format!("explain{index}")),
+                    AdvisorEvent::Step(step) => trace.push(step.strategy.name().to_string()),
+                    AdvisorEvent::StageTimed { stage, .. } => timed.push(stage),
+                },
+            )
             .unwrap();
         assert_eq!(trace, ["explain0", "explain1", "MQP", "MWK", "MQWK"]);
+        // Every stage reports its wall-clock: validation, one timing per
+        // explanation, one per strategy — each strictly before the
+        // content event it times.
+        assert_eq!(
+            timed,
+            ["validate", "explain", "explain", "MQP", "MWK", "MQWK"]
+        );
         assert_eq!(plan.steps.len(), 3);
     }
 

@@ -21,10 +21,18 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{Request, Response};
-use crate::worker::{Completion, Job, Pool, WorkerContext};
+use crate::worker::{Completion, Job, Pool, TraceContext, WorkerContext};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
+use std::time::Instant;
 use wqrtq_geom::Weight;
+use wqrtq_obs::{SlowRequest, TraceSnapshot, Tracer};
+
+/// Spans each worker's trace ring retains (oldest overwritten).
+const TRACE_RING_CAPACITY: usize = 256;
+/// Slowest requests the trace slow-log retains.
+const SLOW_LOG_CAPACITY: usize = 8;
 
 /// Configures an [`Engine`] before it spawns its workers.
 #[derive(Clone, Debug)]
@@ -33,6 +41,7 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     shard_limit: usize,
     overlay_limit: Option<usize>,
+    tracing: bool,
 }
 
 impl Default for EngineBuilder {
@@ -42,6 +51,7 @@ impl Default for EngineBuilder {
             cache_capacity: 256,
             shard_limit: std::thread::available_parallelism().map_or(1, |n| n.get()),
             overlay_limit: None,
+            tracing: true,
         }
     }
 }
@@ -95,11 +105,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether request tracing (stage spans, slow-request log) is
+    /// active (default true). Stage *histograms* always record — only
+    /// span collection is gated here. Disabling it is the overhead
+    /// baseline the benches compare against.
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
     /// Spawns the workers and returns the engine.
     pub fn build(self) -> Engine {
         let catalog = Arc::new(Catalog::new());
         let cache = Arc::new(ResultCache::new(self.cache_capacity));
         let metrics = Arc::new(Metrics::new());
+        // One ring shard per worker (workers hint with their own index)
+        // plus one for boundary threads (server read/write loops hint
+        // with the connection id, which lands anywhere).
+        let tracer = Arc::new(Tracer::new(
+            self.workers + 1,
+            TRACE_RING_CAPACITY,
+            SLOW_LOG_CAPACITY,
+            self.tracing,
+        ));
         let (queue_tx, queue_rx) = mpsc::channel();
         let pool = Pool::spawn(
             self.workers,
@@ -108,6 +136,7 @@ impl EngineBuilder {
                 catalog: catalog.clone(),
                 cache: cache.clone(),
                 metrics: metrics.clone(),
+                tracer: tracer.clone(),
                 // Workers re-enter the queue to fan one large bichromatic
                 // request across the pool as claimable shards.
                 queue: queue_tx.clone(),
@@ -120,6 +149,8 @@ impl EngineBuilder {
             catalog,
             cache,
             metrics,
+            tracer,
+            trace_ids: AtomicU64::new(1),
             overlay_limit: self.overlay_limit,
             queue: Some(queue_tx),
             pool: Some(pool),
@@ -139,6 +170,10 @@ pub struct Engine {
     catalog: Arc<Catalog>,
     cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
+    tracer: Arc<Tracer>,
+    /// Trace ids for in-process submissions (wire callers bring their
+    /// own, composed from connection and frame ids).
+    trace_ids: AtomicU64,
     overlay_limit: Option<usize>,
     queue: Option<Sender<Job>>,
     pool: Option<Pool>,
@@ -258,13 +293,35 @@ impl Engine {
     /// The completion must be quick and non-blocking — it runs on a pool
     /// worker, and blocking there stalls every queued request behind it.
     pub fn submit_with(&self, request: Request, complete: impl FnOnce(Response) + Send + 'static) {
-        self.metrics.record_async_submit();
+        self.submit_with_trace(request, self.next_trace_id(), complete);
+    }
+
+    /// [`Engine::submit_with`] under a caller-assigned trace id — the
+    /// wire boundary's entry point (the server composes
+    /// `connection id << 32 | frame id`, so a slow-log entry names the
+    /// exact frame on the exact connection).
+    pub fn submit_with_trace(
+        &self,
+        request: Request,
+        trace_id: u64,
+        complete: impl FnOnce(Response) + Send + 'static,
+    ) {
+        // Stats requests leave every counter untouched end to end, so
+        // the snapshot they return equals `Engine::metrics()` at the
+        // same quiesced point.
+        if !matches!(request, Request::Stats) {
+            self.metrics.record_async_submit();
+        }
         let queue = self.queue.as_ref().expect("pool alive while engine alive");
         queue
             .send(Job::Serve {
                 request,
                 reply: Completion::Callback(Box::new(complete)),
                 progress: None,
+                trace: TraceContext {
+                    trace_id,
+                    submitted: Instant::now(),
+                },
             })
             .expect("worker pool alive while engine alive");
     }
@@ -285,13 +342,31 @@ impl Engine {
         progress: impl FnMut(crate::request::PlanDelta) + Send + 'static,
         complete: impl FnOnce(Response) + Send + 'static,
     ) {
-        self.metrics.record_async_submit();
+        self.submit_with_progress_trace(request, self.next_trace_id(), progress, complete);
+    }
+
+    /// [`Engine::submit_with_progress`] under a caller-assigned trace
+    /// id (see [`Engine::submit_with_trace`]).
+    pub fn submit_with_progress_trace(
+        &self,
+        request: Request,
+        trace_id: u64,
+        progress: impl FnMut(crate::request::PlanDelta) + Send + 'static,
+        complete: impl FnOnce(Response) + Send + 'static,
+    ) {
+        if !matches!(request, Request::Stats) {
+            self.metrics.record_async_submit();
+        }
         let queue = self.queue.as_ref().expect("pool alive while engine alive");
         queue
             .send(Job::Serve {
                 request,
                 reply: Completion::Callback(Box::new(complete)),
                 progress: Some(Box::new(progress)),
+                trace: TraceContext {
+                    trace_id,
+                    submitted: Instant::now(),
+                },
             })
             .expect("worker pool alive while engine alive");
     }
@@ -304,7 +379,11 @@ impl Engine {
         if requests.is_empty() {
             return Vec::new();
         }
-        self.metrics.record_batch();
+        // A batch of nothing but Stats requests is not workload — it
+        // must observe the counters, not move them.
+        if requests.iter().any(|r| !matches!(r, Request::Stats)) {
+            self.metrics.record_batch();
+        }
         let n = requests.len();
         let (reply_tx, reply_rx) = mpsc::channel();
         let queue = self.queue.as_ref().expect("pool alive while engine alive");
@@ -317,6 +396,10 @@ impl Engine {
                         reply: reply_tx.clone(),
                     },
                     progress: None,
+                    trace: TraceContext {
+                        trace_id: self.next_trace_id(),
+                        submitted: Instant::now(),
+                    },
                 })
                 .expect("worker pool alive while engine alive");
         }
@@ -342,6 +425,27 @@ impl Engine {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics
             .snapshot(self.cache.stats(), self.catalog.stats())
+    }
+
+    /// The engine's tracer — boundary threads (the server's read and
+    /// write loops) record their admission and serialize spans here.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains the per-worker trace rings into one snapshot.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.drain()
+    }
+
+    /// The slowest requests seen so far (full span breakdown each),
+    /// slowest first.
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.tracer.slow_requests()
+    }
+
+    fn next_trace_id(&self) -> u64 {
+        self.trace_ids.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Number of worker threads.
@@ -844,6 +948,122 @@ mod tests {
             Response::TopK(points) => assert_eq!(points.len(), 1),
             other => panic!("expected TopK, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_request_returns_the_metrics_without_perturbing_them() {
+        let engine = figure1_engine(2);
+        engine.submit(Request::TopK {
+            dataset: "products".into(),
+            weight: vec![0.5, 0.5],
+            k: 3,
+        });
+        let before = engine.metrics();
+        let response = engine.submit(Request::Stats);
+        match &response {
+            Response::Stats(stats) => {
+                assert_eq!(stats.metrics, before, "snapshot equals Engine::metrics()");
+                assert!(
+                    stats.server.is_none(),
+                    "in-process callers get no server counters"
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Serving the stats request recorded nothing anywhere: a second
+        // observation — by either path — still matches.
+        assert_eq!(engine.metrics(), before);
+        match engine.submit(Request::Stats) {
+            Response::Stats(stats) => assert_eq!(stats.metrics, before),
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_histograms_cover_the_request_pipeline() {
+        use wqrtq_obs::Stage;
+        let engine = figure1_engine(2);
+        engine.submit(Request::TopK {
+            dataset: "products".into(),
+            weight: vec![0.5, 0.5],
+            k: 3,
+        });
+        engine.submit(Request::WhyNot {
+            dataset: "products".into(),
+            q: vec![4.0, 4.0],
+            k: 3,
+            why_not: vec![vec![0.1, 0.9]],
+            options: wqrtq_core::advisor::WhyNotOptions::default(),
+        });
+        let m = engine.metrics();
+        for stage in [
+            Stage::QueueWait,
+            Stage::Admission,
+            Stage::CacheLookup,
+            Stage::Execute,
+        ] {
+            assert_eq!(
+                m.stage_latency(stage).count,
+                2,
+                "both requests pass through {stage:?}"
+            );
+        }
+        assert_eq!(
+            m.stage_latency(Stage::IndexProbe).count,
+            1,
+            "only the top-k walks the index"
+        );
+        // validate + one explanation + three strategies.
+        assert_eq!(m.stage_latency(Stage::AdvisorStep).count, 5);
+    }
+
+    #[test]
+    fn tracing_yields_spans_and_a_slow_log_unless_disabled() {
+        let request = Request::TopK {
+            dataset: "products".into(),
+            weight: vec![0.5, 0.5],
+            k: 3,
+        };
+        let engine = figure1_engine(2);
+        engine.submit(request.clone());
+        let snap = engine.trace_snapshot();
+        assert!(!snap.spans.is_empty(), "traced engines retain spans");
+        let trace_id = snap.spans[0].trace_id;
+        assert!(snap.spans.iter().all(|s| s.trace_id == trace_id));
+        let slow = engine.slow_requests();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].trace_id, trace_id);
+        // The index probe nests inside the execute span.
+        let by_stage = |stage| {
+            slow[0]
+                .spans
+                .iter()
+                .find(|s| s.stage == stage)
+                .unwrap_or_else(|| panic!("missing {stage:?} span"))
+        };
+        let probe = by_stage(wqrtq_obs::Stage::IndexProbe);
+        let exec = by_stage(wqrtq_obs::Stage::Execute);
+        assert!(probe.duration_nanos <= exec.duration_nanos);
+        assert!(
+            probe.start_nanos + probe.duration_nanos <= exec.start_nanos + exec.duration_nanos,
+            "the probe ends within the execute span"
+        );
+
+        let untraced = Engine::builder().workers(2).tracing(false).build();
+        untraced
+            .register_dataset("products", 2, vec![2.0, 1.0, 6.0, 3.0])
+            .unwrap();
+        untraced.submit(request);
+        assert!(untraced.trace_snapshot().spans.is_empty());
+        assert!(untraced.slow_requests().is_empty());
+        // Stage histograms record regardless of tracing.
+        assert!(
+            untraced
+                .metrics()
+                .stage_latency(wqrtq_obs::Stage::Execute)
+                .count
+                > 0
+        );
     }
 
     #[test]

@@ -49,10 +49,18 @@ pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use catalog::{Catalog, CatalogStats, DatasetEpoch, DatasetHandle};
 pub use engine::{Engine, EngineBuilder};
 pub use error::EngineError;
-pub use metrics::{KindSnapshot, Metrics, MetricsSnapshot};
+pub use metrics::{
+    KindSnapshot, Metrics, MetricsSnapshot, ServerCounters, StageSnapshot, StatsSnapshot,
+};
+// Observability vocabulary (histograms, stages, spans) re-exported for
+// the same reason: one dependency gives serving layers the full surface.
 pub use request::{
     Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement, Request, RequestKind,
     Response, WeightSet, REQUEST_KIND_TABLE,
+};
+pub use wqrtq_obs::{
+    Histogram, HistogramSnapshot, SlowRequest, SpanRecord, Stage, TraceSnapshot, Tracer,
+    RELATIVE_ERROR_BOUND,
 };
 // Advisor vocabulary re-exported so serving layers (and the wire codec)
 // need only this crate for the full request surface.

@@ -14,6 +14,7 @@
 //! typed error before touching any index.
 
 use crate::error::EngineError;
+use crate::metrics::StatsSnapshot;
 use wqrtq_core::advisor::{PenaltyBreakdown, StrategyKind, WhyNotOptions};
 
 /// Upper bound on any sampling budget a request may carry
@@ -160,6 +161,13 @@ pub enum Request {
         /// Stable point ids to delete.
         ids: Vec<u32>,
     },
+    /// Fetches the engine's observability snapshot (per-kind and
+    /// per-stage latency histograms, cache/catalog/overlay counters) as
+    /// [`Response::Stats`]. Dataset-less and side-effect free: workers
+    /// serve it without touching the catalog, the cache, or the metrics
+    /// themselves, so the returned snapshot equals what
+    /// [`crate::Engine::metrics`] reports at the same quiesced point.
+    Stats,
 }
 
 /// Validates one weighting vector: finite, non-negative, some positive.
@@ -250,6 +258,8 @@ pub enum RequestKind {
     Append,
     /// [`Request::Delete`].
     Delete,
+    /// [`Request::Stats`].
+    Stats,
 }
 
 /// The **source-of-truth vocabulary table**: every request kind with its
@@ -264,7 +274,7 @@ pub enum RequestKind {
 /// Wire tags are **append-only**: tags 1–7 predate protocol v2 and must
 /// never be renumbered (v1 clients depend on them); new kinds take the
 /// next free tag regardless of their position in this table.
-pub const REQUEST_KIND_TABLE: [(RequestKind, &str, u8); 8] = [
+pub const REQUEST_KIND_TABLE: [(RequestKind, &str, u8); 9] = [
     (RequestKind::TopK, "topk", 1),
     (RequestKind::ReverseTopKMono, "rtopk-mono", 2),
     (RequestKind::ReverseTopKBi, "rtopk-bi", 3),
@@ -273,6 +283,7 @@ pub const REQUEST_KIND_TABLE: [(RequestKind, &str, u8); 8] = [
     (RequestKind::WhyNot, "whynot-plan", 8),
     (RequestKind::Append, "append", 6),
     (RequestKind::Delete, "delete", 7),
+    (RequestKind::Stats, "stats", 9),
 ];
 
 impl RequestKind {
@@ -341,10 +352,12 @@ impl Request {
             Request::WhyNot { .. } => RequestKind::WhyNot,
             Request::Append { .. } => RequestKind::Append,
             Request::Delete { .. } => RequestKind::Delete,
+            Request::Stats => RequestKind::Stats,
         }
     }
 
-    /// The catalog dataset this request runs against.
+    /// The catalog dataset this request runs against (empty for the
+    /// dataset-less [`Request::Stats`]).
     pub fn dataset(&self) -> &str {
         match self {
             Request::TopK { dataset, .. }
@@ -355,6 +368,7 @@ impl Request {
             | Request::WhyNot { dataset, .. }
             | Request::Append { dataset, .. }
             | Request::Delete { dataset, .. } => dataset,
+            Request::Stats => "",
         }
     }
 
@@ -423,6 +437,7 @@ impl Request {
             }
             Request::Append { points, .. } => check_finite(points, "appended points"),
             Request::Delete { .. } => Ok(()),
+            Request::Stats => Ok(()),
         }
     }
 
@@ -567,6 +582,9 @@ impl Request {
                     h.write_u64(*id as u64);
                 }
             }
+            Request::Stats => {
+                h.write_u64(9);
+            }
         }
         h.finish()
     }
@@ -693,6 +711,10 @@ pub enum Response {
         /// Live points after the mutation.
         live_len: usize,
     },
+    /// The observability snapshot answering a [`Request::Stats`]
+    /// (boxed: the histogram-bearing snapshot dwarfs every other
+    /// variant).
+    Stats(Box<StatsSnapshot>),
     /// The request failed; the batch continues.
     Error(String),
 }
@@ -809,7 +831,12 @@ mod tests {
         assert_eq!(r.kind(), RequestKind::TopK);
         assert_eq!(r.dataset(), "p");
         assert_eq!(r.kind().name(), "topk");
-        assert_eq!(RequestKind::ALL.len(), 8);
+        assert_eq!(RequestKind::ALL.len(), 9);
+        assert_eq!(Request::Stats.kind(), RequestKind::Stats);
+        assert_eq!(Request::Stats.dataset(), "");
+        assert!(Request::Stats.validate().is_ok());
+        assert!(!RequestKind::Stats.is_mutation());
+        assert_eq!(Request::Stats.fingerprint(), Request::Stats.fingerprint());
         for (i, k) in RequestKind::ALL.iter().enumerate() {
             assert_eq!(k.index(), i);
         }

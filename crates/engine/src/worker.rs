@@ -27,7 +27,7 @@
 use crate::cache::CacheKey;
 use crate::catalog::{Catalog, DatasetEpoch, DatasetHandle};
 use crate::error::EngineError;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StatsSnapshot};
 use crate::request::{
     Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement, Request, Response,
     WeightSet,
@@ -38,11 +38,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wqrtq_core::advisor::{AdvisorEvent, RankedStep, RefinementPlan, StrategyKind, WhyNotOptions};
 use wqrtq_core::explain::Explanation;
 use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 use wqrtq_geom::{DeltaView, Weight};
+use wqrtq_obs::{SpanRecord, Stage, Tracer};
 use wqrtq_query::brtopk::{rta_over_order_view, rta_sorted_order, RtaScratch, RtaStats};
 use wqrtq_query::topk::ViewBestFirst;
 use wqrtq_rtree::RTree;
@@ -58,6 +59,8 @@ pub(crate) struct WorkerContext {
     pub(crate) catalog: Arc<Catalog>,
     pub(crate) cache: Arc<ResultCache>,
     pub(crate) metrics: Arc<Metrics>,
+    /// Span sink: per-worker ring buffers plus the slow-request log.
+    pub(crate) tracer: Arc<Tracer>,
     /// Re-entrant handle to the work queue, used to enqueue shard jobs.
     /// Workers holding this sender keep the channel open, so shutdown is
     /// signalled with explicit [`Job::Shutdown`] sentinels instead of
@@ -106,6 +109,15 @@ pub(crate) enum Completion {
 /// contract as completions — quick and non-blocking.
 pub(crate) type ProgressFn = Box<dyn FnMut(PlanDelta) + Send>;
 
+/// Tracing identity of one queued request: the trace id assigned at the
+/// boundary (wire or `submit`) plus the submission instant, from which
+/// the worker derives the queue-wait span at pickup.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TraceContext {
+    pub(crate) trace_id: u64,
+    pub(crate) submitted: Instant,
+}
+
 /// One unit of queued work.
 pub(crate) enum Job {
     /// One request to serve.
@@ -115,6 +127,8 @@ pub(crate) enum Job {
         /// Partial-result observer ([`Request::WhyNot`] only; other
         /// kinds never emit).
         progress: Option<ProgressFn>,
+        /// Trace id + submit timestamp (queue-wait measurement).
+        trace: TraceContext,
     },
     /// One claimable shard of a parallelised bichromatic request.
     Shard(Arc<ShardTask>),
@@ -284,7 +298,7 @@ impl Pool {
                 let ctx = ctx.clone();
                 std::thread::Builder::new()
                     .name(format!("wqrtq-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &ctx))
+                    .spawn(move || worker_loop(i, &queue, &ctx))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -304,7 +318,7 @@ impl Pool {
     }
 }
 
-fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
+fn worker_loop(worker: usize, queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
     let mut scratch = WorkerScratch::default();
     loop {
         // Hold the queue lock only for the dequeue, never during work.
@@ -317,8 +331,9 @@ fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
                 request,
                 reply,
                 mut progress,
+                trace,
             } => {
-                let response = serve(ctx, &request, &mut scratch, &mut progress);
+                let response = serve(ctx, worker, trace, &request, &mut scratch, &mut progress);
                 match reply {
                     // A dropped reply receiver means the submitter gave
                     // up; keep draining the queue for other batches.
@@ -339,22 +354,110 @@ fn worker_loop(queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext) {
     }
 }
 
+/// Duration as saturating nanoseconds (the span/histogram unit).
+fn span_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-request span collector: buffers the stage spans of one request
+/// and flushes them (plus the slow-log entry) to the tracer in a single
+/// call at completion. Buffering is unconditional but tiny (≤ a dozen
+/// spans); when tracing is disabled the buffer stays empty and the
+/// flush is a no-op.
+pub(crate) struct SpanBuf {
+    trace_id: u64,
+    enabled: bool,
+    spans: Vec<SpanRecord>,
+}
+
+impl SpanBuf {
+    fn new(tracer: &Tracer, trace_id: u64) -> Self {
+        SpanBuf {
+            trace_id,
+            enabled: tracer.enabled(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records a stage that just finished (its start is reconstructed
+    /// from `now - duration`, so callers need no start bookkeeping).
+    fn push_ended(&mut self, tracer: &Tracer, stage: Stage, duration: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let nanos = span_nanos(duration);
+        self.spans.push(SpanRecord {
+            trace_id: self.trace_id,
+            stage,
+            start_nanos: tracer.now_nanos().saturating_sub(nanos),
+            duration_nanos: nanos,
+        });
+    }
+}
+
 /// Serves one request: cache probe → execute → cache fill → metrics.
 /// `progress` (when present) observes partial results of a
 /// [`Request::WhyNot`] as the advisor produces them; a cache hit skips
 /// it entirely (the plan arrives whole, no steps run).
 pub(crate) fn serve(
     ctx: &WorkerContext,
+    worker: usize,
+    trace: TraceContext,
     request: &Request,
     scratch: &mut WorkerScratch,
     progress: &mut Option<ProgressFn>,
 ) -> Response {
     let started = Instant::now();
+
+    // Stats short-circuits before any recording: the snapshot it
+    // returns must equal `Engine::metrics()` taken at the same quiesced
+    // point (the wire differential test asserts exactly that), so
+    // serving it must not perturb the counters it reports — no metrics,
+    // no stage histograms, no cache or catalog traffic.
+    if matches!(request, Request::Stats) {
+        return Response::Stats(Box::new(StatsSnapshot {
+            metrics: ctx.metrics.snapshot(ctx.cache.stats(), ctx.catalog.stats()),
+            server: None,
+        }));
+    }
+
+    let mut spans = SpanBuf::new(&ctx.tracer, trace.trace_id);
+    let queue_wait = started.saturating_duration_since(trace.submitted);
+    ctx.metrics.record_stage(Stage::QueueWait, queue_wait);
+    spans.push_ended(&ctx.tracer, Stage::QueueWait, queue_wait);
+
+    let response = serve_inner(ctx, request, scratch, progress, &mut spans, started);
+    if spans.enabled {
+        ctx.tracer.record_request(
+            worker,
+            request.fingerprint(),
+            span_nanos(started.elapsed()),
+            &spans.spans,
+        );
+    }
+    response
+}
+
+/// The body of [`serve`] past the queue-wait span: every early return
+/// funnels through here so the caller can flush the span buffer once.
+fn serve_inner(
+    ctx: &WorkerContext,
+    request: &Request,
+    scratch: &mut WorkerScratch,
+    progress: &mut Option<ProgressFn>,
+    spans: &mut SpanBuf,
+    started: Instant,
+) -> Response {
     let kind = request.kind();
 
     // Input firewall: reject non-finite coordinates and malformed
     // weighting vectors before touching any index or cache.
-    if let Err(e) = request.validate() {
+    let admission = Instant::now();
+    let validated = request.validate();
+    let admission_took = admission.elapsed();
+    ctx.metrics.record_stage(Stage::Admission, admission_took);
+    spans.push_ended(&ctx.tracer, Stage::Admission, admission_took);
+    if let Err(e) = validated {
         let response = Response::Error(e.to_string());
         ctx.metrics.record(kind, started.elapsed(), 0, false, true);
         return response;
@@ -380,11 +483,16 @@ pub(crate) fn serve(
             return response;
         }
     };
+    let lookup = Instant::now();
     let key = CacheKey {
         epoch: handle.epoch,
         fingerprint: request.fingerprint(),
     };
-    if let Some(response) = ctx.cache.get(&key) {
+    let cached = ctx.cache.get(&key);
+    let lookup_took = lookup.elapsed();
+    ctx.metrics.record_stage(Stage::CacheLookup, lookup_took);
+    spans.push_ended(&ctx.tracer, Stage::CacheLookup, lookup_took);
+    if let Some(response) = cached {
         ctx.metrics.record(kind, started.elapsed(), 0, true, false);
         return response;
     }
@@ -392,8 +500,9 @@ pub(crate) fn serve(
         ctx.metrics.record_delta_hit();
     }
 
+    let exec = Instant::now();
     let (response, index_nodes) = catch_unwind(AssertUnwindSafe(|| {
-        execute(ctx, &handle, request, scratch, progress)
+        execute(ctx, &handle, request, scratch, progress, spans)
     }))
     .unwrap_or_else(|panic| {
         let msg = panic
@@ -403,6 +512,9 @@ pub(crate) fn serve(
             .unwrap_or_else(|| "request panicked".to_string());
         (Response::Error(format!("request panicked: {msg}")), 0)
     });
+    let exec_took = exec.elapsed();
+    ctx.metrics.record_stage(Stage::Execute, exec_took);
+    spans.push_ended(&ctx.tracer, Stage::Execute, exec_took);
 
     if !response.is_error() {
         ctx.cache.insert(key, request.dataset(), response.clone());
@@ -503,6 +615,17 @@ fn execute_bichromatic(
     }
 }
 
+/// Times an index-walking kernel and records it as an
+/// [`Stage::IndexProbe`] stage (histogram + span).
+fn probe<T>(ctx: &WorkerContext, spans: &mut SpanBuf, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let out = f();
+    let took = started.elapsed();
+    ctx.metrics.record_stage(Stage::IndexProbe, took);
+    spans.push_ended(&ctx.tracer, Stage::IndexProbe, took);
+    out
+}
+
 /// Runs the algorithm behind a request. Returns the response plus the
 /// index nodes expanded (0 where the primitive does not report it).
 fn execute(
@@ -511,29 +634,32 @@ fn execute(
     request: &Request,
     scratch: &mut WorkerScratch,
     progress: &mut Option<ProgressFn>,
+    spans: &mut SpanBuf,
 ) -> (Response, usize) {
     match request {
         Request::TopK { weight, k, .. } => {
             if let Err(e) = check_dim(handle, weight) {
                 return (Response::Error(e.to_string()), 0);
             }
-            // The merged live traversal: identical to the plain
-            // best-first scan on un-mutated datasets, tombstone-skipping
-            // and delta-merging otherwise.
-            let mut bf = ViewBestFirst::new(&handle.index, &handle.view, weight);
-            // Cap the pre-allocation at the live size: `k` is
-            // caller-controlled, and an oversized with_capacity would
-            // abort (not unwind) on allocation failure, escaping the
-            // per-request panic isolation.
-            let mut out = Vec::with_capacity((*k).min(handle.live_len()));
-            while out.len() < *k {
-                match bf.next_entry() {
-                    Some(p) => out.push((p.id, p.score)),
-                    None => break,
+            probe(ctx, spans, || {
+                // The merged live traversal: identical to the plain
+                // best-first scan on un-mutated datasets, tombstone-skipping
+                // and delta-merging otherwise.
+                let mut bf = ViewBestFirst::new(&handle.index, &handle.view, weight);
+                // Cap the pre-allocation at the live size: `k` is
+                // caller-controlled, and an oversized with_capacity would
+                // abort (not unwind) on allocation failure, escaping the
+                // per-request panic isolation.
+                let mut out = Vec::with_capacity((*k).min(handle.live_len()));
+                while out.len() < *k {
+                    match bf.next_entry() {
+                        Some(p) => out.push((p.id, p.score)),
+                        None => break,
+                    }
                 }
-            }
-            let nodes = bf.nodes_visited();
-            (Response::TopK(out), nodes)
+                let nodes = bf.nodes_visited();
+                (Response::TopK(out), nodes)
+            })
         }
         Request::ReverseTopKMono {
             q,
@@ -546,38 +672,43 @@ fn execute(
                 return (Response::Error(e.to_string()), 0);
             }
             if handle.dim == 2 {
-                // The exact sweep needs a flat live buffer; un-mutated
-                // datasets reuse the base verbatim, overlays materialise
-                // their live rows (O(n), amortised by the sweep's own
-                // O(n log n)).
-                let live_coords;
-                let coords: &[f64] = if handle.view.is_plain() {
-                    &handle.coords
-                } else {
-                    live_coords = handle.view.materialize_row_major().0;
-                    &live_coords
-                };
-                let intervals = wqrtq_query::mrtopk::monochromatic_reverse_topk_2d(coords, q, *k)
-                    .into_iter()
-                    .map(|iv| (iv.lo, iv.hi))
-                    .collect();
-                (Response::MonoExact(intervals), 0)
+                probe(ctx, spans, || {
+                    // The exact sweep needs a flat live buffer; un-mutated
+                    // datasets reuse the base verbatim, overlays materialise
+                    // their live rows (O(n), amortised by the sweep's own
+                    // O(n log n)).
+                    let live_coords;
+                    let coords: &[f64] = if handle.view.is_plain() {
+                        &handle.coords
+                    } else {
+                        live_coords = handle.view.materialize_row_major().0;
+                        &live_coords
+                    };
+                    let intervals =
+                        wqrtq_query::mrtopk::monochromatic_reverse_topk_2d(coords, q, *k)
+                            .into_iter()
+                            .map(|iv| (iv.lo, iv.hi))
+                            .collect();
+                    (Response::MonoExact(intervals), 0)
+                })
             } else {
-                let est = wqrtq_query::mrtopk_nd::monochromatic_reverse_topk_sampled_view(
-                    &handle.index,
-                    &handle.view,
-                    q,
-                    *k,
-                    *samples,
-                    *seed,
-                );
-                (
-                    Response::MonoSampled {
-                        volume_fraction: est.volume_fraction,
-                        samples: est.samples,
-                    },
-                    0,
-                )
+                probe(ctx, spans, || {
+                    let est = wqrtq_query::mrtopk_nd::monochromatic_reverse_topk_sampled_view(
+                        &handle.index,
+                        &handle.view,
+                        q,
+                        *k,
+                        *samples,
+                        *seed,
+                    );
+                    (
+                        Response::MonoSampled {
+                            volume_fraction: est.volume_fraction,
+                            samples: est.samples,
+                        },
+                        0,
+                    )
+                })
             }
         }
         Request::ReverseTopKBi { weights, q, k, .. } => {
@@ -602,10 +733,12 @@ fn execute(
                 };
                 return (Response::Error(e.to_string()), 0);
             }
-            (
-                execute_bichromatic(ctx, handle, population, q, *k, scratch),
-                0,
-            )
+            probe(ctx, spans, || {
+                (
+                    execute_bichromatic(ctx, handle, population, q, *k, scratch),
+                    0,
+                )
+            })
         }
         Request::WhyNotExplain {
             weight, q, limit, ..
@@ -613,8 +746,9 @@ fn execute(
             if let Err(e) = check_dim(handle, weight).and_then(|()| check_dim(handle, q)) {
                 return (Response::Error(e.to_string()), 0);
             }
-            let (explanation, nodes) =
-                wqrtq_core::explain_view_with_stats(&handle.index, &handle.view, weight, q, *limit);
+            let (explanation, nodes) = probe(ctx, spans, || {
+                wqrtq_core::explain_view_with_stats(&handle.index, &handle.view, weight, q, *limit)
+            });
             (
                 Response::Explanation {
                     rank: explanation.rank,
@@ -670,19 +804,36 @@ fn execute(
                 Ok(w) => w.with_tolerances(options.tol),
                 Err(e) => return (Response::Error(e.to_string()), 0),
             };
-            let result = match progress {
-                Some(emit) => {
-                    wqrtq.advise_with(&why_not, options, |event| emit(delta_from_event(&event)))
+            // Every advisor event passes through `on_event` first, which
+            // peels off the timing events ([`AdvisorEvent::StageTimed`])
+            // into per-strategy `AdvisorStep` stage recordings; the
+            // remaining events become streamed plan deltas when the
+            // caller asked for progress.
+            let result = {
+                let mut on_event = |event: &AdvisorEvent<'_>| {
+                    if let AdvisorEvent::StageTimed { nanos, .. } = *event {
+                        let took = Duration::from_nanos(nanos);
+                        ctx.metrics.record_stage(Stage::AdvisorStep, took);
+                        spans.push_ended(&ctx.tracer, Stage::AdvisorStep, took);
+                    }
+                };
+                match progress {
+                    Some(emit) => wqrtq.advise_with(&why_not, options, |event| {
+                        on_event(&event);
+                        if let Some(delta) = delta_from_event(&event) {
+                            emit(delta);
+                        }
+                    }),
+                    None => wqrtq.advise_with(&why_not, options, |event| on_event(&event)),
                 }
-                None => wqrtq.advise(&why_not, options),
             };
             match result {
                 Ok(plan) => (Response::Plan(plan_from(plan)), 0),
                 Err(e) => (Response::Error(e.to_string()), 0),
             }
         }
-        Request::Append { .. } | Request::Delete { .. } => {
-            unreachable!("mutations are dispatched before snapshot resolution")
+        Request::Append { .. } | Request::Delete { .. } | Request::Stats => {
+            unreachable!("mutations and stats are dispatched before snapshot resolution")
         }
     }
 }
@@ -812,13 +963,16 @@ fn plan_from(plan: RefinementPlan) -> Plan {
     }
 }
 
-fn delta_from_event(event: &AdvisorEvent<'_>) -> PlanDelta {
+/// Maps an advisor event to the streamed plan delta it represents.
+/// Timing events carry no plan content and map to `None`.
+fn delta_from_event(event: &AdvisorEvent<'_>) -> Option<PlanDelta> {
     match event {
-        AdvisorEvent::Explained { index, explanation } => PlanDelta::Explained {
+        AdvisorEvent::Explained { index, explanation } => Some(PlanDelta::Explained {
             index: *index,
             explanation: plan_explanation_from(explanation),
-        },
-        AdvisorEvent::Step(step) => PlanDelta::Step(plan_step_from(step)),
+        }),
+        AdvisorEvent::Step(step) => Some(PlanDelta::Step(plan_step_from(step))),
+        AdvisorEvent::StageTimed { .. } => None,
     }
 }
 

@@ -1,0 +1,351 @@
+//! Lock-free log-linear latency histogram.
+//!
+//! Values (nanoseconds in practice, but any `u64`) are bucketed by a
+//! log-linear scheme: each power-of-two octave is split into
+//! `2^SUB_BITS = 32` equal-width sub-buckets, so a bucket's width never
+//! exceeds `1/32` of its lower bound and any recorded value is
+//! recoverable from its bucket within [`RELATIVE_ERROR_BOUND`] relative
+//! error. Values below 64 land in exact width-1 buckets. The whole
+//! range of `u64` fits in [`NUM_BUCKETS`] buckets (15 KiB of
+//! `AtomicU64`s), so recording is a single indexed `fetch_add` with no
+//! allocation, no locking and no resizing — safe to call from every
+//! worker thread concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize) * SUBS as usize + SUBS as usize;
+
+/// The guaranteed worst-case relative error of any value recovered from
+/// its bucket (estimate and true value share a bucket of relative width
+/// `≤ 1/32`).
+pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / SUBS as f64;
+
+/// Bucket index of a value. Monotone in `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        return value as usize;
+    }
+    let e = 63 - value.leading_zeros(); // >= SUB_BITS
+    let sub = ((value >> (e - SUB_BITS)) & (SUBS - 1)) as usize;
+    (e - SUB_BITS) as usize * SUBS as usize + SUBS as usize + sub
+}
+
+/// `[lo, hi)` bounds of bucket `index` (inverse of [`bucket_index`]).
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUBS as usize {
+        return (index as u64, index as u64 + 1);
+    }
+    let row = (index - SUBS as usize) / SUBS as usize; // e - SUB_BITS
+    let sub = ((index - SUBS as usize) % SUBS as usize) as u64;
+    let e = row as u32 + SUB_BITS;
+    let width = 1u64 << (e - SUB_BITS);
+    let lo = (1u64 << e) + sub * width;
+    (lo, lo.saturating_add(width))
+}
+
+/// The representative value reported for a bucket: its midpoint, which
+/// halves the worst-case error versus either bound.
+fn bucket_value(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    lo + (hi - lo) / 2
+}
+
+/// A concurrent latency histogram. See the module docs for the bucket
+/// scheme. All methods take `&self`; recording is wait-free.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy. Not a consistent cut under concurrent
+    /// recording (counts may straggle by a few), but exact once writers
+    /// quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i as u16, c));
+                count += c;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`], the form snapshots
+/// travel in (wire frames, JSON reports).
+///
+/// `buckets` holds only the non-zero `(bucket_index, count)` pairs,
+/// ascending by index — the canonical form, so two snapshots of equal
+/// content compare equal and re-encode bit-identically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (mean = `sum / count`).
+    pub sum: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+    /// Non-zero `(bucket_index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` (counts add, max takes the larger).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.cloned());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.cloned());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// values, within [`RELATIVE_ERROR_BOUND`] of the true order
+    /// statistic. `0` when empty. `quantile(1.0)` returns the exact
+    /// recorded maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(index as usize);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate in nanoseconds.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean in nanoseconds (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile in microseconds, for human-scale reports.
+    pub fn quantile_micros(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1_000.0
+    }
+
+    /// Renders the summary as a JSON object (hand-rolled; the workspace
+    /// is std-only): count, mean/p50/p90/p99/max in microseconds.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"count\": {}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, ",
+                "\"p90_us\": {:.3}, \"p99_us\": {:.3}, \"max_us\": {:.3}}}"
+            ),
+            self.count,
+            self.mean() as f64 / 1_000.0,
+            self.quantile_micros(0.50),
+            self.quantile_micros(0.90),
+            self.quantile_micros(0.99),
+            self.max as f64 / 1_000.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_invert_it() {
+        let mut probes: Vec<u64> = (0..200)
+            .chain((0..58).flat_map(|e| {
+                let base = 1u64 << (e + 6);
+                [base - 1, base, base + base / 3, base + base / 2]
+            }))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        probes.sort_unstable();
+        probes.dedup();
+        let mut last = 0usize;
+        for (n, &v) in probes.iter().enumerate() {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "{v} not in [{lo},{hi})"
+            );
+            if n > 0 {
+                assert!(i >= last, "index not monotone at {v}");
+            }
+            last = i;
+        }
+    }
+
+    #[test]
+    fn representative_value_is_within_the_relative_error_bound() {
+        for &v in &[1u64, 31, 32, 63, 64, 1000, 123_456, 987_654_321, 1 << 40] {
+            let rep = bucket_value(bucket_index(v));
+            let err = (rep as f64 - v as f64).abs();
+            assert!(
+                err <= (v as f64 * RELATIVE_ERROR_BOUND).max(1.0),
+                "value {v} recovered as {rep} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_mean_and_max_on_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms in 1µs steps
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.quantile(1.0), 1_000_000);
+        for (q, truth) in [(0.5, 500_000.0), (0.9, 900_000.0), (0.99, 990_000.0)] {
+            let est = s.quantile(q) as f64;
+            assert!(
+                (est - truth).abs() <= truth * RELATIVE_ERROR_BOUND,
+                "q{q}: {est} vs {truth}"
+            );
+        }
+        assert_eq!(s.mean(), 500_500);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [3u64, 77, 77, 4096, 1 << 33] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [77u64, 500, 1 << 33, 9] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(1 + t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.max, 7 * 10_000 + 10_000);
+        let total: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 80_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Observability primitives for the serving stack: lock-free
+//! log-linear-bucket latency histograms and span-based request tracing.
+//!
+//! The crate is deliberately dependency-free (std only) and knows
+//! nothing about requests, engines or wire protocols — it provides the
+//! two mechanisms the upper layers thread through every stage of the
+//! hot path:
+//!
+//! * [`Histogram`] — a fixed-size array of `AtomicU64` buckets indexed
+//!   by a log-linear scheme ([`RELATIVE_ERROR_BOUND`] bounded relative
+//!   error). Recording is one `fetch_add` plus two bookkeeping atomics;
+//!   snapshots are mergeable and answer p50/p90/p99/max.
+//! * [`Tracer`] — per-worker ring buffers of stage [`SpanRecord`]s with
+//!   a drainable [`TraceSnapshot`] and a bounded slow-request log
+//!   ([`SlowRequest`]). Recording never blocks: a contended ring shard
+//!   drops the span and counts it instead of waiting.
+//!
+//! The pipeline stage taxonomy lives here too ([`Stage`]) so the
+//! engine, the server and the benches agree on the decomposition.
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot, RELATIVE_ERROR_BOUND};
+pub use trace::{SlowRequest, SpanRecord, TraceSnapshot, Tracer};
+
+/// A stage of the request pipeline, shared vocabulary between the
+/// engine's stage histograms and the tracer's spans.
+///
+/// The discriminants are the wire encoding of the stage (the `Stats`
+/// response carries per-stage histograms) — append-only, like request
+/// kind tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Server-side admission: frame decode + admission-gauge acquire.
+    Admission = 0,
+    /// Queue wait: `submit` to worker pickup.
+    QueueWait = 1,
+    /// Result-cache lookup (hit or miss).
+    CacheLookup = 2,
+    /// Index traversal / rank-kernel execution inside `execute`.
+    IndexProbe = 3,
+    /// One why-not advisor stage (validate, explain, or one strategy).
+    AdvisorStep = 4,
+    /// The whole `execute` body, catalog view to response.
+    Execute = 5,
+    /// Server-side reply serialize + socket write/flush.
+    Serialize = 6,
+}
+
+impl Stage {
+    /// Every stage, in discriminant order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::CacheLookup,
+        Stage::IndexProbe,
+        Stage::AdvisorStep,
+        Stage::Execute,
+        Stage::Serialize,
+    ];
+
+    /// Number of stages (array-of-histograms length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name (JSON keys, display tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::QueueWait => "queue_wait",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::IndexProbe => "index_probe",
+            Stage::AdvisorStep => "advisor_step",
+            Stage::Execute => "execute",
+            Stage::Serialize => "serialize",
+        }
+    }
+
+    /// Position in [`Stage::ALL`] (equals the discriminant).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of the discriminant, for wire decoding.
+    pub fn from_tag(tag: u8) -> Option<Stage> {
+        Stage::ALL.get(tag as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_tags_roundtrip_and_stay_dense() {
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert_eq!(Stage::from_tag(i as u8), Some(stage));
+        }
+        assert_eq!(Stage::from_tag(Stage::COUNT as u8), None);
+    }
+}

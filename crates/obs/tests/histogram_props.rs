@@ -1,0 +1,48 @@
+//! Property tests for the log-linear histogram: every quantile of an
+//! arbitrary recorded multiset is recovered within the bucket scheme's
+//! relative-error bound, and merging snapshots never degrades it.
+
+use proptest::prelude::*;
+use wqrtq_obs::{Histogram, RELATIVE_ERROR_BOUND};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_quantile_is_recovered_within_the_bucket_error_bound(
+        values in proptest::collection::vec(1u64..5_000_000_000, 1..400),
+        split in 0usize..400,
+    ) {
+        // Record across two histograms and merge the snapshots, so the
+        // bound is checked on the merged form the engine actually
+        // reports (per-kind histograms folded together).
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let cut = split % values.len();
+        for (i, &v) in values.iter().enumerate() {
+            if i < cut {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for num in 0..=20 {
+            let q = num as f64 / 20.0;
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1] as f64;
+            let est = snap.quantile(q) as f64;
+            let tolerance = (truth * RELATIVE_ERROR_BOUND).max(1.0);
+            prop_assert!(
+                (est - truth).abs() <= tolerance,
+                "q={} estimated {} but true order statistic is {} (tolerance {})",
+                q, est, truth, tolerance
+            );
+        }
+    }
+}

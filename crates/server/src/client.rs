@@ -14,7 +14,7 @@ use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use wqrtq_engine::{Plan, PlanDelta, Request, Response};
+use wqrtq_engine::{Plan, PlanDelta, Request, Response, StatsSnapshot};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -350,6 +350,22 @@ impl Client {
             ServerFrame::Compacted { ran } => Ok(ran),
             ServerFrame::Reply(Response::Error(msg)) => Err(ClientError::Server(msg)),
             _ => Err(ClientError::Unexpected("expected a compaction ack")),
+        }
+    }
+
+    /// Fetches the server's observability snapshot: the engine's merged
+    /// metrics (per-kind latency histograms, pipeline-stage histograms,
+    /// cache and catalog counters) plus the serving layer's connection
+    /// counters.
+    ///
+    /// # Errors
+    /// [`ClientError::Busy`] under backpressure; transport/decoding
+    /// failures otherwise.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.submit(&Request::Stats)? {
+            Response::Stats(stats) => Ok(*stats),
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            _ => Err(ClientError::Unexpected("expected a stats reply")),
         }
     }
 

@@ -53,7 +53,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use wqrtq_engine::{Engine, Response};
+use wqrtq_engine::{Engine, Response, ServerCounters, SpanRecord, Stage};
 use wqrtq_geom::Weight;
 
 /// Writer-queue headroom beyond the admission capacity, reserved for
@@ -149,6 +149,9 @@ pub struct ConnectionStats {
     pub frames_out: u64,
     /// Submits refused with [`ServerFrame::Busy`].
     pub busy_rejections: u64,
+    /// Protocol violations charged to this connection (malformed or
+    /// oversized frames, reserved ids).
+    pub protocol_errors: u64,
     /// Requests of this connection currently in flight on the pool.
     pub in_flight: usize,
 }
@@ -200,6 +203,38 @@ struct Shared {
     next_conn_id: AtomicU64,
     conns: Mutex<Vec<ConnEntry>>,
     closed: ClosedTotals,
+}
+
+impl Shared {
+    /// Aggregate counters in wire [`ServerCounters`] form. Unlike
+    /// [`Server::stats`] this does **not** reap finished sessions — it
+    /// runs on pool completion threads, which must never join session
+    /// threads — so closed-but-unreaped connections are counted from
+    /// their live entries instead of the folded totals (each exactly
+    /// once either way).
+    fn server_counters(&self) -> ServerCounters {
+        let mut counters = ServerCounters {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_open: 0,
+            frames_in: self.closed.frames_in.load(Ordering::Relaxed),
+            frames_out: self.closed.frames_out.load(Ordering::Relaxed),
+            busy_rejections: self.closed.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.closed.protocol_errors.load(Ordering::Relaxed),
+            in_flight: self.admission.len() as u64,
+        };
+        let conns = self.conns.lock().expect("connection registry lock");
+        for entry in conns.iter() {
+            if !entry.state.closed.load(Ordering::Acquire) {
+                counters.connections_open += 1;
+            }
+            let c = &entry.state.counters;
+            counters.frames_in += c.frames_in.load(Ordering::Relaxed);
+            counters.frames_out += c.frames_out.load(Ordering::Relaxed);
+            counters.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
+            counters.protocol_errors += c.protocol_errors.load(Ordering::Relaxed);
+        }
+        counters
+    }
 }
 
 impl Shared {
@@ -447,6 +482,7 @@ impl Server {
                     frames_in: s.counters.frames_in.load(Ordering::Relaxed),
                     frames_out: s.counters.frames_out.load(Ordering::Relaxed),
                     busy_rejections: s.counters.busy_rejections.load(Ordering::Relaxed),
+                    protocol_errors: s.counters.protocol_errors.load(Ordering::Relaxed),
                     in_flight: s.in_flight.len(),
                 }
             })
@@ -587,9 +623,10 @@ fn session(shared: &Arc<Shared>, stream: TcpStream, state: &Arc<ConnState>) {
     // run so the registry entry is reaped.
     let writer = writer_stream.and_then(|out| {
         let state = state.clone();
+        let shared = shared.clone();
         std::thread::Builder::new()
             .name("wqrtq-conn-writer".into())
-            .spawn(move || writer_loop(out, rx, &state))
+            .spawn(move || writer_loop(out, rx, &state, &shared))
             .ok()
     });
     if writer.is_some() {
@@ -743,17 +780,27 @@ fn read_loop(
                             .into(),
                     )))
                 } else if shared.admission.try_acquire(shared.admission_capacity) {
+                    // Wire trace ids compose the connection and frame
+                    // identity, so a span in `Engine::trace_snapshot`
+                    // points back to one request of one client.
+                    let trace_id = (state.id << 32) | (id & 0xFFFF_FFFF);
+                    let admitted = shared.engine.tracer().now_nanos();
                     state.in_flight.acquire();
                     let reply_tx = tx.clone();
                     let partial_tx = tx.clone();
                     let conn = state.clone();
                     let shared_cb = shared.clone();
-                    let complete = move |response| {
+                    let complete = move |mut response: Response| {
                         // Admission is released *before* the reply is
                         // enqueued: once a client has read a response,
                         // its permit is guaranteed free, so a retry
                         // after draining can never spuriously see Busy.
                         shared_cb.admission.release();
+                        // Server counters exist only at this layer; the
+                        // engine leaves the slot empty for us to fill.
+                        if let Response::Stats(stats) = &mut response {
+                            stats.server = Some(shared_cb.server_counters());
+                        }
                         // Non-blocking by construction (the queue holds
                         // admission_capacity + slack slots): a full
                         // queue means the reader side is hopeless —
@@ -778,15 +825,32 @@ fn read_loop(
                         // slow reader fills the queue, partials are
                         // dropped — only the final reply dooms the
                         // connection on overflow.
-                        shared.engine.submit_with_progress(
+                        shared.engine.submit_with_progress_trace(
                             request,
+                            trace_id,
                             move |delta| {
                                 let _ = partial_tx.try_send((id, ServerFrame::ReplyPart(delta)));
                             },
                             complete,
                         );
                     } else {
-                        shared.engine.submit_with(request, complete);
+                        shared.engine.submit_with_trace(request, trace_id, complete);
+                    }
+                    // The admission span covers the gauge acquisition
+                    // and the hand-off to the pool — boundary cost a
+                    // worker-side span can never see. Recorded with the
+                    // connection id as the shard hint.
+                    let tracer = shared.engine.tracer();
+                    if tracer.enabled() {
+                        tracer.record(
+                            state.id as usize,
+                            SpanRecord {
+                                trace_id,
+                                stage: Stage::Admission,
+                                start_nanos: admitted,
+                                duration_nanos: tracer.now_nanos().saturating_sub(admitted),
+                            },
+                        );
                     }
                     None
                 } else {
@@ -836,10 +900,15 @@ fn register_weights(shared: &Shared, name: &str, weights: Vec<Vec<f64>>) -> Resu
 
 /// Owns the socket's write half: encodes and writes queued frames,
 /// flushing once per burst.
-fn writer_loop(stream: TcpStream, rx: Receiver<(u64, ServerFrame)>, state: &Arc<ConnState>) {
+fn writer_loop(
+    stream: TcpStream,
+    rx: Receiver<(u64, ServerFrame)>,
+    state: &Arc<ConnState>,
+    shared: &Arc<Shared>,
+) {
     let mut out = BufWriter::new(stream);
     while let Ok((id, message)) = rx.recv() {
-        if write_one(&mut out, id, &message, state).is_err() {
+        if write_one(&mut out, id, &message, state, shared).is_err() {
             // The peer stopped reading (or vanished). Doom the whole
             // connection so the reader unblocks too, then bail — queued
             // frames have nowhere to go.
@@ -849,7 +918,7 @@ fn writer_loop(stream: TcpStream, rx: Receiver<(u64, ServerFrame)>, state: &Arc<
         // Opportunistically batch whatever is already queued before
         // paying the flush.
         while let Ok((id, message)) = rx.try_recv() {
-            if write_one(&mut out, id, &message, state).is_err() {
+            if write_one(&mut out, id, &message, state, shared).is_err() {
                 state.doom();
                 return;
             }
@@ -866,8 +935,28 @@ fn write_one(
     id: u64,
     message: &ServerFrame,
     state: &Arc<ConnState>,
+    shared: &Arc<Shared>,
 ) -> std::io::Result<()> {
+    // The serialize span covers encoding plus the buffered write (the
+    // burst flush is shared across frames and stays unattributed).
+    // Control frames (pong, hello, busy) carry no request identity and
+    // are not traced.
+    let tracer = shared.engine.tracer();
+    let traced =
+        tracer.enabled() && matches!(message, ServerFrame::Reply(_) | ServerFrame::ReplyPart(_));
+    let started = if traced { tracer.now_nanos() } else { 0 };
     frame::write_frame(out, &message.encode(id))?;
+    if traced {
+        tracer.record(
+            state.id as usize,
+            SpanRecord {
+                trace_id: (state.id << 32) | (id & 0xFFFF_FFFF),
+                stage: Stage::Serialize,
+                start_nanos: started,
+                duration_nanos: tracer.now_nanos().saturating_sub(started),
+            },
+        );
+    }
     state.counters.frames_out.fetch_add(1, Ordering::Relaxed);
     Ok(())
 }

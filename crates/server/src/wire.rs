@@ -17,8 +17,10 @@
 
 use crate::frame::{ByteReader, ByteWriter, DecodeError};
 use wqrtq_engine::{
-    PenaltyBreakdown, Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement,
-    Request, RequestKind, Response, StrategyKind, Tolerances, WeightSet, WhyNotOptions,
+    CacheStats, CatalogStats, HistogramSnapshot, KindSnapshot, MetricsSnapshot, PenaltyBreakdown,
+    Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Refinement, Request, RequestKind,
+    Response, ServerCounters, Stage, StageSnapshot, StatsSnapshot, StrategyKind, Tolerances,
+    WeightSet, WhyNotOptions,
 };
 
 /// Reserved request id for connection-level errors that cannot be
@@ -378,6 +380,8 @@ fn encode_request(w: &mut ByteWriter, request: &Request) {
                 w.put_u64(u64::from(*id));
             }
         }
+        // Stats carries no body: the kind tag is the whole request.
+        Request::Stats => {}
     }
 }
 
@@ -533,6 +537,7 @@ fn decode_request(r: &mut ByteReader<'_>) -> Result<Request, DecodeError> {
                 .collect::<Result<_, _>>()?;
             Request::Delete { dataset, ids }
         }
+        RequestKind::Stats => Request::Stats,
     })
 }
 
@@ -546,6 +551,7 @@ const RESP_REFINEMENT: u8 = 6;
 const RESP_MUTATED: u8 = 7;
 const RESP_ERROR: u8 = 8;
 const RESP_PLAN: u8 = 9;
+const RESP_STATS: u8 = 10;
 
 // Plan-delta body tags (protocol v2 partial frames).
 const DELTA_EXPLAINED: u8 = 1;
@@ -605,6 +611,10 @@ fn encode_response(w: &mut ByteWriter, response: &Response) {
         Response::Plan(plan) => {
             w.put_u8(RESP_PLAN);
             encode_plan(w, plan);
+        }
+        Response::Stats(stats) => {
+            w.put_u8(RESP_STATS);
+            encode_stats(w, stats);
         }
         Response::Mutated { live_len } => {
             w.put_u8(RESP_MUTATED);
@@ -790,6 +800,162 @@ fn decode_plan_delta(r: &mut ByteReader<'_>) -> Result<PlanDelta, DecodeError> {
     })
 }
 
+// Histograms travel in their canonical sparse form (sorted, non-empty
+// buckets only) so a decode/encode round trip is bit-identical.
+fn encode_histogram(w: &mut ByteWriter, h: &HistogramSnapshot) {
+    w.put_u64(h.count);
+    w.put_u64(h.sum);
+    w.put_u64(h.max);
+    w.put_usize(h.buckets.len());
+    for &(index, count) in &h.buckets {
+        w.put_u64(u64::from(index));
+        w.put_u64(count);
+    }
+}
+
+fn decode_histogram(r: &mut ByteReader<'_>) -> Result<HistogramSnapshot, DecodeError> {
+    let count = r.take_u64("histogram count")?;
+    let sum = r.take_u64("histogram sum")?;
+    let max = r.take_u64("histogram max")?;
+    let buckets = r.take_count(16, "histogram bucket count")?;
+    let buckets = (0..buckets)
+        .map(|_| {
+            let index = r.take_u64("bucket index")?;
+            let index =
+                u16::try_from(index).map_err(|_| DecodeError::new("bucket index exceeds u16"))?;
+            Ok((index, r.take_u64("bucket value")?))
+        })
+        .collect::<Result<_, DecodeError>>()?;
+    Ok(HistogramSnapshot {
+        count,
+        sum,
+        max,
+        buckets,
+    })
+}
+
+fn encode_stats(w: &mut ByteWriter, stats: &StatsSnapshot) {
+    let m = &stats.metrics;
+    w.put_usize(m.per_kind.len());
+    for kind in &m.per_kind {
+        w.put_u8(kind.kind.wire_tag());
+        w.put_u64(kind.requests);
+        w.put_u64(kind.errors);
+        encode_histogram(w, &kind.latency);
+        w.put_u64(kind.index_nodes);
+        w.put_u64(kind.cache_hits);
+    }
+    w.put_usize(m.stages.len());
+    for stage in &m.stages {
+        w.put_u8(stage.stage.index() as u8);
+        encode_histogram(w, &stage.latency);
+    }
+    w.put_u64(m.batches);
+    w.put_u64(m.async_submits);
+    w.put_u64(m.scratch_reuses);
+    w.put_u64(m.parallel_shards);
+    w.put_u64(m.sharded_requests);
+    w.put_u64(m.delta_hits);
+    w.put_u64(m.catalog.index_builds);
+    w.put_u64(m.catalog.rebuilds_avoided);
+    w.put_u64(m.catalog.compactions);
+    w.put_u64(m.catalog.compactions_abandoned);
+    w.put_u64(m.cache.hits);
+    w.put_u64(m.cache.misses);
+    w.put_usize(m.cache.len);
+    w.put_usize(m.cache.capacity);
+    match &stats.server {
+        Some(counters) => {
+            w.put_u8(1);
+            w.put_u64(counters.connections_accepted);
+            w.put_u64(counters.connections_open);
+            w.put_u64(counters.frames_in);
+            w.put_u64(counters.frames_out);
+            w.put_u64(counters.busy_rejections);
+            w.put_u64(counters.protocol_errors);
+            w.put_u64(counters.in_flight);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn decode_stats(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, DecodeError> {
+    let kinds = r.take_count(35, "kind snapshot count")?;
+    let per_kind = (0..kinds)
+        .map(|_| {
+            let tag = r.take_u8("kind tag")?;
+            let kind = RequestKind::from_wire_tag(tag)
+                .ok_or_else(|| DecodeError::new("unknown kind tag"))?;
+            Ok(KindSnapshot {
+                kind,
+                requests: r.take_u64("kind requests")?,
+                errors: r.take_u64("kind errors")?,
+                latency: decode_histogram(r)?,
+                index_nodes: r.take_u64("kind index nodes")?,
+                cache_hits: r.take_u64("kind cache hits")?,
+            })
+        })
+        .collect::<Result<_, DecodeError>>()?;
+    let stages = r.take_count(33, "stage snapshot count")?;
+    let stages = (0..stages)
+        .map(|_| {
+            let tag = r.take_u8("stage tag")?;
+            let stage =
+                Stage::from_tag(tag).ok_or_else(|| DecodeError::new("unknown stage tag"))?;
+            Ok(StageSnapshot {
+                stage,
+                latency: decode_histogram(r)?,
+            })
+        })
+        .collect::<Result<_, DecodeError>>()?;
+    let batches = r.take_u64("batches")?;
+    let async_submits = r.take_u64("async submits")?;
+    let scratch_reuses = r.take_u64("scratch reuses")?;
+    let parallel_shards = r.take_u64("parallel shards")?;
+    let sharded_requests = r.take_u64("sharded requests")?;
+    let delta_hits = r.take_u64("delta hits")?;
+    let catalog = CatalogStats {
+        index_builds: r.take_u64("index builds")?,
+        rebuilds_avoided: r.take_u64("rebuilds avoided")?,
+        compactions: r.take_u64("compactions")?,
+        compactions_abandoned: r.take_u64("compactions abandoned")?,
+    };
+    let cache = CacheStats {
+        hits: r.take_u64("cache hits")?,
+        misses: r.take_u64("cache misses")?,
+        len: r.take_usize("cache len")?,
+        capacity: r.take_usize("cache capacity")?,
+    };
+    let server = match r.take_u8("server counters flag")? {
+        0 => None,
+        1 => Some(ServerCounters {
+            connections_accepted: r.take_u64("connections accepted")?,
+            connections_open: r.take_u64("connections open")?,
+            frames_in: r.take_u64("frames in")?,
+            frames_out: r.take_u64("frames out")?,
+            busy_rejections: r.take_u64("busy rejections")?,
+            protocol_errors: r.take_u64("protocol errors")?,
+            in_flight: r.take_u64("in flight")?,
+        }),
+        _ => return Err(DecodeError::new("invalid server counters flag")),
+    };
+    Ok(StatsSnapshot {
+        metrics: MetricsSnapshot {
+            per_kind,
+            stages,
+            batches,
+            async_submits,
+            scratch_reuses,
+            parallel_shards,
+            sharded_requests,
+            delta_hits,
+            catalog,
+            cache,
+        },
+        server,
+    })
+}
+
 fn decode_response(r: &mut ByteReader<'_>) -> Result<Response, DecodeError> {
     Ok(match r.take_u8("response tag")? {
         RESP_TOPK => {
@@ -842,6 +1008,7 @@ fn decode_response(r: &mut ByteReader<'_>) -> Result<Response, DecodeError> {
         }
         RESP_REFINEMENT => Response::Refinement(decode_refinement(r)?),
         RESP_PLAN => Response::Plan(decode_plan(r)?),
+        RESP_STATS => Response::Stats(Box::new(decode_stats(r)?)),
         RESP_MUTATED => Response::Mutated {
             live_len: r.take_usize("live length")?,
         },
@@ -944,7 +1111,82 @@ mod tests {
                 dataset: "p".into(),
                 ids: vec![0, 7, u32::MAX],
             },
+            Request::Stats,
         ]
+    }
+
+    fn sample_stats(server: Option<ServerCounters>) -> StatsSnapshot {
+        StatsSnapshot {
+            metrics: MetricsSnapshot {
+                per_kind: vec![
+                    KindSnapshot {
+                        kind: RequestKind::TopK,
+                        requests: 12,
+                        errors: 1,
+                        latency: HistogramSnapshot {
+                            count: 3,
+                            sum: 5_000,
+                            max: 3_000,
+                            buckets: vec![(160, 2), (197, 1)],
+                        },
+                        index_nodes: 44,
+                        cache_hits: 3,
+                    },
+                    KindSnapshot {
+                        kind: RequestKind::WhyNot,
+                        requests: 2,
+                        errors: 0,
+                        latency: HistogramSnapshot {
+                            count: 2,
+                            sum: 80_000,
+                            max: 65_000,
+                            buckets: vec![(320, 2)],
+                        },
+                        index_nodes: 900,
+                        cache_hits: 0,
+                    },
+                ],
+                stages: vec![
+                    StageSnapshot {
+                        stage: Stage::QueueWait,
+                        latency: HistogramSnapshot {
+                            count: 14,
+                            sum: 1_400,
+                            max: 600,
+                            buckets: vec![(31, 10), (40, 4)],
+                        },
+                    },
+                    StageSnapshot {
+                        stage: Stage::Execute,
+                        latency: HistogramSnapshot {
+                            count: 14,
+                            sum: 84_000,
+                            max: 65_000,
+                            buckets: vec![(256, 13), (320, 1)],
+                        },
+                    },
+                ],
+                batches: 2,
+                async_submits: 5,
+                scratch_reuses: 9,
+                parallel_shards: 4,
+                sharded_requests: 1,
+                delta_hits: 2,
+                catalog: CatalogStats {
+                    index_builds: 1,
+                    rebuilds_avoided: 2,
+                    compactions: 1,
+                    compactions_abandoned: 0,
+                },
+                cache: CacheStats {
+                    hits: 3,
+                    misses: 11,
+                    len: 4,
+                    capacity: 256,
+                },
+            },
+            server,
+        }
     }
 
     fn sample_plan() -> Plan {
@@ -1038,6 +1280,16 @@ mod tests {
                 penalty: 0.25,
             }),
             Response::Plan(sample_plan()),
+            Response::Stats(Box::new(sample_stats(None))),
+            Response::Stats(Box::new(sample_stats(Some(ServerCounters {
+                connections_accepted: 2,
+                connections_open: 1,
+                frames_in: 40,
+                frames_out: 39,
+                busy_rejections: 1,
+                protocol_errors: 1,
+                in_flight: 2,
+            })))),
             Response::Mutated { live_len: 8 },
             Response::Error("unknown dataset `nope`".into()),
         ]

@@ -156,6 +156,12 @@ fn describe(label: &str, response: &Response, fig: &figure1::Figure1) {
         Response::Mutated { live_len } => {
             println!("{label}: mutation applied, {live_len} live points");
         }
+        Response::Stats(stats) => {
+            println!(
+                "{label}: {} requests served",
+                stats.metrics.total_requests()
+            );
+        }
         Response::Error(e) => println!("{label}: ERROR {e}"),
     }
 }

@@ -17,6 +17,11 @@
 #                         (explain per vector + all three refinements),
 #                         plus the streaming first-partial headstart.
 #
+# The server bench additionally writes STATS_server.json — the server's
+# full observability snapshot (engine metrics + front-door counters, the
+# payload a wire `stats` request returns) after the sweep. Nightly CI
+# uploads it as an artifact.
+#
 # Every emitted report is validated (well-formed JSON, non-empty) before
 # the script moves on — a crashed or truncated bench run fails loudly
 # here instead of committing garbage for CI to compare against.
@@ -104,8 +109,9 @@ cargo run --release -p wqrtq-bench --bin mutation_bench -- \
     --out BENCH_mutation.json "${MUTATION_ARGS[@]}"
 validate_json BENCH_mutation.json
 cargo run --release -p wqrtq-bench --bin server_bench -- \
-    --out BENCH_server.json "${SERVER_ARGS[@]}"
+    --out BENCH_server.json --stats-out STATS_server.json "${SERVER_ARGS[@]}"
 validate_json BENCH_server.json
+validate_json STATS_server.json
 cargo run --release -p wqrtq-bench --bin whynot_bench -- \
     --out BENCH_whynot.json "${WHYNOT_ARGS[@]}"
 validate_json BENCH_whynot.json

@@ -9,6 +9,10 @@
 #   * truth checks — a top-level boolean metric (correctness guards like
 #     "wire responses matched in-process") must be true.
 #
+# Only the metrics named in the baselines file are read; reports may
+# grow new fields (percentiles, stage decompositions, ...) without
+# touching this gate.
+#
 # Usage:
 #   scripts/check_bench.sh                       # gate the reports in the repo root
 #   scripts/check_bench.sh --baselines FILE      # alternate baseline set

@@ -32,6 +32,7 @@ pub use wqrtq_data as data;
 pub use wqrtq_engine as engine;
 pub use wqrtq_geom as geom;
 pub use wqrtq_linalg as linalg;
+pub use wqrtq_obs as obs;
 pub use wqrtq_qp as qp;
 pub use wqrtq_query as query;
 pub use wqrtq_rtree as rtree;
@@ -63,8 +64,9 @@ pub mod prelude {
     pub use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
     pub use wqrtq_core::penalty::Tolerances;
     pub use wqrtq_engine::{
-        CatalogStats, DatasetEpoch, Engine, EngineBuilder, MetricsSnapshot, Plan, PlanDelta,
-        PlanExplanation, PlanStep, RefineStrategy, Request, RequestKind, Response, WeightSet,
+        CatalogStats, DatasetEpoch, Engine, EngineBuilder, HistogramSnapshot, MetricsSnapshot,
+        Plan, PlanDelta, PlanExplanation, PlanStep, RefineStrategy, Request, RequestKind, Response,
+        ServerCounters, SlowRequest, Stage, StatsSnapshot, TraceSnapshot, WeightSet,
     };
     pub use wqrtq_geom::{DeltaView, Point, Weight};
     pub use wqrtq_rtree::RTree;

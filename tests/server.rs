@@ -205,6 +205,81 @@ fn differential_loopback_wire_responses_bit_identical_to_direct_submit() {
     server.shutdown();
 }
 
+#[test]
+fn wire_stats_snapshot_equals_engine_metrics_when_quiesced() {
+    let server = Server::builder().workers(2).bind("127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    client.register_dataset("p", 2, &PRODUCTS_2D).unwrap();
+
+    // Traffic that populates histograms, cache counters, and an error.
+    for _ in 0..3 {
+        client
+            .submit(&Request::TopK {
+                dataset: "p".into(),
+                weight: vec![0.5, 0.5],
+                k: 2,
+            })
+            .unwrap();
+    }
+    match client
+        .submit(&Request::TopK {
+            dataset: "no-such-dataset".into(),
+            weight: vec![0.5, 0.5],
+            k: 1,
+        })
+        .unwrap()
+    {
+        Response::Error(_) => {}
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    // The blocking client has read every reply, so the pool is quiet:
+    // the snapshot a Stats request observes must equal what a direct
+    // `Engine::metrics()` call sees — histograms included, because the
+    // Stats request itself records nothing anywhere.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.metrics,
+        server.engine().metrics(),
+        "wire-decoded stats diverged from the in-process snapshot"
+    );
+    let counters = stats.server.expect("the server fills its counter slot");
+    assert_eq!(counters.connections_open, 1);
+    assert_eq!(counters.connections_accepted, 1);
+    assert_eq!(counters.in_flight, 0, "quiesced server has no in-flight");
+    assert!(counters.frames_in >= 6, "preamble-framed traffic counted");
+    assert_eq!(counters.protocol_errors, 0);
+
+    // Idempotence: asking again changes nothing (same per-kind counts,
+    // same bucket contents), so monitoring cannot skew what it reads.
+    let again = client.stats().unwrap();
+    assert_eq!(again.metrics, stats.metrics);
+
+    // The boundary threads traced the round trips: admission spans from
+    // the read loop, serialize spans from the writer, all tagged with
+    // this connection's id in the high half of the trace id.
+    let spans = server.engine().trace_snapshot().spans;
+    let conn_tagged = |s: &&wqrtq_engine::SpanRecord| s.trace_id >> 32 == 1;
+    assert!(
+        spans
+            .iter()
+            .filter(conn_tagged)
+            .any(|s| s.stage == wqrtq_engine::Stage::Admission),
+        "expected boundary admission spans"
+    );
+    assert!(
+        spans
+            .iter()
+            .filter(conn_tagged)
+            .any(|s| s.stage == wqrtq_engine::Stage::Serialize),
+        "expected boundary serialize spans"
+    );
+    server.shutdown();
+}
+
 /// A raw connection that speaks bytes, not the typed client.
 fn raw_conn(server: &Server) -> TcpStream {
     let stream = TcpStream::connect(server.local_addr()).unwrap();
