@@ -1,0 +1,51 @@
+//! A counting wrapper around the system allocator.
+//!
+//! The bench binaries register [`CountingAllocator`] as the global
+//! allocator so reports can include **allocations per request** — the
+//! number this workspace's arena/zero-copy work drives down. Counting
+//! is process-wide (in a loopback bench the load generator and the
+//! server share the process, so both sides are included) and costs one
+//! relaxed atomic increment per allocation.
+//!
+//! When the binary does not register the allocator (unit tests, other
+//! hosts), [`allocations`] stays at zero and reports render the ratio
+//! as zero rather than lying with a partial count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations observed since process start (zero unless a binary
+/// registered [`CountingAllocator`]).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The system allocator plus an allocation counter; see the module
+/// docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`, adding only a relaxed
+// counter bump on the allocating paths.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}

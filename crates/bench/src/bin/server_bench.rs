@@ -7,7 +7,13 @@
 //! ```
 
 use std::io::Write;
+use wqrtq_bench::alloc_count::CountingAllocator;
 use wqrtq_bench::server_bench::{compare, ServerBenchConfig};
+
+/// Count heap allocations so the report's `allocs_per_request` is a
+/// real number rather than zero (see `alloc_count`).
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let mut cfg = ServerBenchConfig::default();
@@ -64,11 +70,15 @@ fn main() {
     );
     for p in &report.sweep {
         eprintln!(
-            "wire c={:<2} depth={:<3}: {:>10.1} req/s  ({} busy retries)",
+            "wire c={:<2} depth={:<3}: {:>10.1} req/s  ({} busy retries, \
+             {:.1} frames/read, {:.1} frames/write, {:.0} allocs/req)",
             p.connections,
             p.depth,
             p.throughput.rps(),
-            p.busy_retries
+            p.busy_retries,
+            p.frames_per_read,
+            p.frames_per_write,
+            p.allocs_per_request,
         );
     }
     eprintln!(

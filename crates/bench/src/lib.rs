@@ -7,6 +7,7 @@
 //! in `benches/` track the same configurations at reduced scale plus the
 //! design-choice ablations called out in DESIGN.md.
 
+pub mod alloc_count;
 pub mod engine_bench;
 pub mod harness;
 pub mod mutation_bench;

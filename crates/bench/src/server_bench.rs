@@ -22,8 +22,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use wqrtq_data::synthetic::independent;
 use wqrtq_engine::{
-    Engine, Histogram, HistogramSnapshot, Request, Response, ServerCounters, Stage, StatsSnapshot,
-    WeightSet,
+    Engine, Histogram, HistogramSnapshot, Request, Response, ServerCounters, Stage, WeightSet,
 };
 use wqrtq_geom::Weight;
 use wqrtq_server::{Client, Server, ServerFrame};
@@ -53,7 +52,7 @@ impl Default for ServerBenchConfig {
             n: 20_000,
             dim: 3,
             workers: std::thread::available_parallelism().map_or(4, |p| p.get()),
-            connections: 4,
+            connections: 64,
             depth: 16,
             requests_per_conn: 500,
             seed: 2015,
@@ -72,6 +71,16 @@ pub struct SweepPoint {
     pub throughput: Throughput,
     /// Busy rejections retried by the load generator.
     pub busy_retries: u64,
+    /// Frames the server decoded per `read(2)` during this point (its
+    /// pipelining amortisation; 0 when counters were unavailable).
+    pub frames_per_read: f64,
+    /// Reply frames the server flushed per `write(2)`/`writev(2)`
+    /// during this point (its coalescing amortisation).
+    pub frames_per_write: f64,
+    /// Process-wide heap allocations per request during this point —
+    /// generator and server combined (loopback bench); zero unless the
+    /// binary registered [`crate::alloc_count::CountingAllocator`].
+    pub allocs_per_request: f64,
 }
 
 /// The wire vs in-process report.
@@ -86,12 +95,21 @@ pub struct ServerComparison {
     /// Whether the wire responses of the first sweep point matched an
     /// in-process replay bit for bit.
     pub wire_matches_inprocess: bool,
+    /// Worker-side admission/validation time, accumulated over the
+    /// whole sweep (the Admission stage histogram).
+    pub admission: HistogramSnapshot,
     /// Time requests spent queued before a worker picked them up,
     /// accumulated over the whole sweep (the server engine's QueueWait
     /// stage histogram).
     pub queue_wait: HistogramSnapshot,
     /// Time workers spent executing, same scope (the Execute stage).
     pub execute: HistogramSnapshot,
+    /// Reply-encode time on the completion path, same scope (the
+    /// Serialize stage histogram the serving layer records).
+    pub serialize: HistogramSnapshot,
+    /// The server's wire counters at the end of the sweep — the
+    /// syscall-amortisation numerators and denominators.
+    pub counters: ServerCounters,
     /// The server's full observability snapshot at the end of the sweep
     /// (what a wire `Request::Stats` would have returned), rendered as
     /// JSON for `server_bench --stats-out`.
@@ -142,7 +160,9 @@ impl ServerComparison {
             sweep.push_str(&format!(
                 "    {{\"connections\": {}, \"depth\": {}, \"requests\": {}, \
                  \"seconds\": {:.6}, \"rps\": {:.1}, \"p50_us\": {:.3}, \
-                 \"p99_us\": {:.3}, \"busy_retries\": {}}}",
+                 \"p99_us\": {:.3}, \"busy_retries\": {}, \
+                 \"frames_per_read\": {:.3}, \"frames_per_write\": {:.3}, \
+                 \"allocs_per_request\": {:.1}}}",
                 p.connections,
                 p.depth,
                 p.throughput.requests,
@@ -151,6 +171,9 @@ impl ServerComparison {
                 p.throughput.p50_us,
                 p.throughput.p99_us,
                 p.busy_retries,
+                p.frames_per_read,
+                p.frames_per_write,
+                p.allocs_per_request,
             ));
         }
         format!(
@@ -164,7 +187,11 @@ impl ServerComparison {
                 "  \"best_wire_rps\": {:.1},\n",
                 "  \"wire_vs_inprocess\": {:.4},\n",
                 "  \"pipeline_scaling\": {:.4},\n",
-                "  \"stage_decomposition\": {{\"queue_wait\": {}, \"execute\": {}}},\n",
+                "  \"stage_decomposition\": {{\"admission\": {}, \"queue_wait\": {}, ",
+                "\"execute\": {}, \"serialize\": {}}},\n",
+                "  \"syscall_amortization\": {{\"frames_in\": {}, \"read_syscalls\": {}, ",
+                "\"frames_per_read\": {:.3}, \"frames_out\": {}, \"write_syscalls\": {}, ",
+                "\"frames_per_write\": {:.3}}},\n",
                 "  \"wire_matches_inprocess\": {}\n",
                 "}}"
             ),
@@ -180,11 +207,62 @@ impl ServerComparison {
             self.best_wire().throughput.rps(),
             self.wire_vs_inprocess(),
             self.pipeline_scaling(),
+            self.admission.to_json(),
             self.queue_wait.to_json(),
             self.execute.to_json(),
+            self.serialize.to_json(),
+            self.counters.frames_in,
+            self.counters.read_syscalls,
+            ratio(self.counters.frames_in, self.counters.read_syscalls),
+            self.counters.frames_out,
+            self.counters.write_syscalls,
+            ratio(self.counters.frames_out, self.counters.write_syscalls),
             self.wire_matches_inprocess,
         )
     }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The sweep ladder: connections in {1, 4, 16, 64} up to the
+/// configured maximum (always including the maximum itself), each at
+/// depth 1 and the configured depth.
+fn sweep_grid(cfg: &ServerBenchConfig) -> Vec<(usize, usize)> {
+    let mut conns: Vec<usize> = [1, 4, 16, 64]
+        .into_iter()
+        .filter(|c| *c <= cfg.connections)
+        .collect();
+    if !conns.contains(&cfg.connections) {
+        conns.push(cfg.connections);
+    }
+    conns.sort_unstable();
+    let mut points = Vec::new();
+    for &connections in &conns {
+        for depth in [1, cfg.depth] {
+            if !points.contains(&(connections, depth)) {
+                points.push((connections, depth));
+            }
+        }
+    }
+    points
+}
+
+/// Fetches the server's wire counters the way any client would: over
+/// the wire. (The extra stats connection adds a frame and a few
+/// syscalls to the totals — noise against a sweep point's hundreds.)
+fn wire_counters(addr: std::net::SocketAddr) -> ServerCounters {
+    let mut client = Client::connect(addr).expect("connect stats probe");
+    client
+        .stats()
+        .expect("stats over the wire")
+        .server
+        .expect("wire stats carry server counters")
 }
 
 fn stream_weight(dim: usize, t: f64) -> Vec<f64> {
@@ -265,10 +343,19 @@ fn drive_connection(
     let mut next = 0usize;
     let mut done = 0usize;
     while done < stream.len() {
-        while outstanding.len() < depth && next < stream.len() {
-            let id = client.send_request(&stream[next]).expect("pipelined send");
-            outstanding.insert(id, (next, Instant::now()));
-            next += 1;
+        // Top up the window in bursts — one flush per refill, so the
+        // server sees (and batch-submits) runs of pipelined frames
+        // instead of one frame per segment. Refilling only once the
+        // window has half-drained keeps the bursts real in steady
+        // state rather than degenerating to single sends.
+        if next < stream.len() && outstanding.len() <= depth / 2 {
+            let take = (depth - outstanding.len()).min(stream.len() - next);
+            let burst: Vec<&Request> = stream[next..next + take].iter().collect();
+            let sent = Instant::now();
+            for id in client.send_request_batch(&burst).expect("burst send") {
+                outstanding.insert(id, (next, sent));
+                next += 1;
+            }
         }
         let (id, frame) = client.recv().expect("pipelined recv");
         let (slot, sent) = outstanding.remove(&id).expect("response for in-flight id");
@@ -344,6 +431,9 @@ fn run_point(
                 &latency.snapshot(),
             ),
             busy_retries,
+            frames_per_read: 0.0,
+            frames_per_write: 0.0,
+            allocs_per_request: 0.0,
         },
         first,
     )
@@ -353,10 +443,14 @@ fn run_point(
 pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
     let ds = independent(cfg.n, cfg.dim, cfg.seed);
 
-    // In-process baseline: its own engine, a sequential submit loop.
+    // In-process baseline: its own engine, a sequential submit loop,
+    // serving the *identical* stream the first wire sweep point serves
+    // (same tag ⇒ same weights ⇒ same per-request cost — the workload's
+    // cost is strongly weight-dependent, so a baseline on a different
+    // tag would compare against a different workload entirely).
     let baseline = Engine::builder().workers(cfg.workers).build();
     load_engine(cfg, &baseline, &ds.coords);
-    let stream = conn_stream(cfg, usize::MAX, 0);
+    let stream = conn_stream(cfg, 0, 0);
     let baseline_latency = Histogram::new();
     let start = Instant::now();
     for request in &stream {
@@ -376,23 +470,28 @@ pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
         .expect("bind loopback server");
     load_engine(cfg, server.engine(), &ds.coords);
 
-    // The four corners of the sweep, keeping first occurrences only
-    // (corners coincide when --connections or --depth is 1).
-    let mut points: Vec<(usize, usize)> = Vec::new();
-    for corner in [
-        (1, 1),
-        (1, cfg.depth),
-        (cfg.connections, 1),
-        (cfg.connections, cfg.depth),
-    ] {
-        if !points.contains(&corner) {
-            points.push(corner);
-        }
-    }
+    // The connection × depth grid: the {1, 4, 16, 64} ladder at serial
+    // and full pipeline depth (grid points coincide and collapse when
+    // --connections or --depth is small).
     let mut sweep = Vec::new();
     let mut wire_matches_inprocess = true;
-    for (tag, (connections, depth)) in points.into_iter().enumerate() {
-        let (point, first_responses) = run_point(cfg, &server, tag, connections, depth);
+    let mut prev = wire_counters(server.local_addr());
+    let mut prev_allocs = crate::alloc_count::allocations();
+    for (tag, (connections, depth)) in sweep_grid(cfg).into_iter().enumerate() {
+        let (mut point, first_responses) = run_point(cfg, &server, tag, connections, depth);
+        let counters = wire_counters(server.local_addr());
+        let allocs = crate::alloc_count::allocations();
+        point.frames_per_read = ratio(
+            counters.frames_in - prev.frames_in,
+            counters.read_syscalls - prev.read_syscalls,
+        );
+        point.frames_per_write = ratio(
+            counters.frames_out - prev.frames_out,
+            counters.write_syscalls - prev.write_syscalls,
+        );
+        point.allocs_per_request = ratio(allocs - prev_allocs, point.throughput.requests as u64);
+        prev = counters;
+        prev_allocs = allocs;
         if tag == 0 {
             // Replay the first point's stream on a fresh engine: the
             // wire answers must match in-process execution exactly.
@@ -408,25 +507,18 @@ pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
     }
 
     // Capture the server-side view before shutdown: the stage
-    // decomposition (time queued vs time executing) and the full stats
-    // snapshot a wire `Request::Stats` would have returned.
+    // decomposition (admission/queue/execute/serialize) from the
+    // engine's histograms, and the full stats snapshot exactly as a
+    // wire `Request::Stats` returns it (counters included).
+    let mut stats_client = Client::connect(server.local_addr()).expect("connect stats probe");
+    let snapshot = stats_client.stats().expect("final stats over the wire");
+    let counters = snapshot.server.expect("wire stats carry server counters");
+    let stats_json = snapshot.to_json();
     let metrics = server.engine().metrics();
+    let admission = metrics.stage_latency(Stage::Admission).clone();
     let queue_wait = metrics.stage_latency(Stage::QueueWait).clone();
     let execute = metrics.stage_latency(Stage::Execute).clone();
-    let stats = server.stats();
-    let stats_json = StatsSnapshot {
-        metrics,
-        server: Some(ServerCounters {
-            connections_accepted: stats.connections_accepted,
-            connections_open: stats.connections_open as u64,
-            frames_in: stats.frames_in,
-            frames_out: stats.frames_out,
-            busy_rejections: stats.busy_rejections,
-            protocol_errors: stats.protocol_errors,
-            in_flight: stats.in_flight as u64,
-        }),
-    }
-    .to_json();
+    let serialize = metrics.stage_latency(Stage::Serialize).clone();
     server.shutdown();
 
     ServerComparison {
@@ -434,8 +526,11 @@ pub fn compare(cfg: &ServerBenchConfig) -> ServerComparison {
         in_process,
         sweep,
         wire_matches_inprocess,
+        admission,
         queue_wait,
         execute,
+        serialize,
+        counters,
         stats_json,
     }
 }
@@ -472,6 +567,19 @@ mod tests {
         assert!(c.queue_wait.count >= served);
         assert!(c.execute.count > 0);
         assert!(c.execute.count <= c.queue_wait.count);
+        // The serving layer records admission (worker-side validation)
+        // and serialize (reply encode) for the same traffic.
+        assert!(c.admission.count > 0);
+        assert!(c.serialize.count >= served);
+        // Syscall amortisation: counters are live and every frame took
+        // at least one syscall-visible byte in each direction.
+        assert!(c.counters.read_syscalls > 0);
+        assert!(c.counters.write_syscalls > 0);
+        assert!(c.counters.frames_in >= served);
+        for p in &c.sweep {
+            assert!(p.frames_per_read > 0.0);
+            assert!(p.frames_per_write > 0.0);
+        }
         let json = c.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"wire_vs_inprocess\""));
@@ -481,8 +589,14 @@ mod tests {
         assert!(json.contains("\"p50_us\""));
         assert!(json.contains("\"p99_us\""));
         assert!(json.contains("\"stage_decomposition\""));
+        assert!(json.contains("\"admission\""));
         assert!(json.contains("\"queue_wait\""));
         assert!(json.contains("\"execute\""));
+        assert!(json.contains("\"serialize\""));
+        assert!(json.contains("\"syscall_amortization\""));
+        assert!(json.contains("\"frames_per_read\""));
+        assert!(json.contains("\"frames_per_write\""));
+        assert!(json.contains("\"allocs_per_request\""));
         let stats = &c.stats_json;
         assert!(stats.starts_with('{') && stats.ends_with('}'));
         assert!(stats.contains("\"engine\""));

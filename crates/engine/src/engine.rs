@@ -21,7 +21,7 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{Request, Response};
-use crate::worker::{Completion, Job, Pool, TraceContext, WorkerContext};
+use crate::worker::{Completion, Job, Pool, ServeManyTask, ServeUnit, TraceContext, WorkerContext};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -177,6 +177,38 @@ pub struct Engine {
     overlay_limit: Option<usize>,
     queue: Option<Sender<Job>>,
     pool: Option<Pool>,
+}
+
+/// One request of an [`Engine::submit_batch_with`] run: the request,
+/// the boundary-assigned trace id, and the completion its response is
+/// routed into (invoked on the worker thread that finished it).
+pub struct BatchSubmission {
+    request: Request,
+    trace_id: u64,
+    complete: Box<dyn FnOnce(Response) + Send + 'static>,
+}
+
+impl BatchSubmission {
+    /// Packages one request for batched submission.
+    pub fn new(
+        request: Request,
+        trace_id: u64,
+        complete: impl FnOnce(Response) + Send + 'static,
+    ) -> Self {
+        Self {
+            request,
+            trace_id,
+            complete: Box::new(complete),
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchSubmission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSubmission")
+            .field("trace_id", &self.trace_id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine {
@@ -369,6 +401,57 @@ impl Engine {
                 },
             })
             .expect("worker pool alive while engine alive");
+    }
+
+    /// Submits a run of pipelined requests in one queue operation, each
+    /// with its own caller-assigned trace id and completion (the same
+    /// contract as [`Engine::submit_with_trace`], amortised): the run is
+    /// wrapped in a single claimable task and `min(workers, len)` job
+    /// sentinels are enqueued, so a serving layer that decoded a burst
+    /// of frames pays one mpsc send per *worker that could help*, not
+    /// one per request — while idle workers still steal individual
+    /// items, so a fast request behind a slow one overtakes it exactly
+    /// as it would have under per-request submission.
+    ///
+    /// Completions run on worker threads and must be quick and
+    /// non-blocking, like every completion-routed path. Requests that
+    /// need progressive partial results ([`Request::WhyNot`] over wire
+    /// v2) should keep using [`Engine::submit_with_progress_trace`].
+    pub fn submit_batch_with(&self, items: Vec<BatchSubmission>) {
+        if items.is_empty() {
+            return;
+        }
+        for item in &items {
+            if !matches!(item.request, Request::Stats) {
+                self.metrics.record_async_submit();
+            }
+        }
+        let sends = self.worker_count().max(1).min(items.len());
+        let task = Arc::new(ServeManyTask::new(
+            items
+                .into_iter()
+                .map(|item| ServeUnit {
+                    request: item.request,
+                    trace_id: item.trace_id,
+                    complete: item.complete,
+                })
+                .collect(),
+        ));
+        let queue = self.queue.as_ref().expect("pool alive while engine alive");
+        for _ in 0..sends {
+            queue
+                .send(Job::ServeMany(task.clone()))
+                .expect("worker pool alive while engine alive");
+        }
+    }
+
+    /// Records one boundary-owned pipeline-stage observation into the
+    /// engine's stage histograms. Workers record the stages they own
+    /// (queue wait, cache lookup, execute); the layers in front of the
+    /// pool — the wire server's serialize path, an admission gate —
+    /// own stages the workers never see and report them here.
+    pub fn record_stage(&self, stage: wqrtq_obs::Stage, latency: std::time::Duration) {
+        self.metrics.record_stage(stage, latency);
     }
 
     /// Fans a batch across the worker pool and reassembles responses in

@@ -324,6 +324,12 @@ pub struct ServerCounters {
     pub protocol_errors: u64,
     /// Requests admitted but not yet completed.
     pub in_flight: u64,
+    /// `read(2)` calls the event loops issued across all connections —
+    /// `frames_in / read_syscalls` is the decode amortisation ratio.
+    pub read_syscalls: u64,
+    /// `write(2)`/`writev(2)` calls issued across all connections —
+    /// `frames_out / write_syscalls` is the reply-coalescing ratio.
+    pub write_syscalls: u64,
 }
 
 impl ServerCounters {
@@ -332,7 +338,8 @@ impl ServerCounters {
             concat!(
                 "{{\"connections_accepted\": {}, \"connections_open\": {}, ",
                 "\"frames_in\": {}, \"frames_out\": {}, \"busy_rejections\": {}, ",
-                "\"protocol_errors\": {}, \"in_flight\": {}}}"
+                "\"protocol_errors\": {}, \"in_flight\": {}, ",
+                "\"read_syscalls\": {}, \"write_syscalls\": {}}}"
             ),
             self.connections_accepted,
             self.connections_open,
@@ -341,6 +348,8 @@ impl ServerCounters {
             self.busy_rejections,
             self.protocol_errors,
             self.in_flight,
+            self.read_syscalls,
+            self.write_syscalls,
         )
     }
 }

@@ -130,6 +130,13 @@ pub(crate) enum Job {
         /// Trace id + submit timestamp (queue-wait measurement).
         trace: TraceContext,
     },
+    /// A claimable run of completion-routed requests
+    /// ([`crate::Engine::submit_batch_with`]). The submitter enqueues
+    /// `min(pool_size, len)` copies of the same task, so one mpsc send
+    /// covers many requests while idle workers can still steal items —
+    /// a fast request behind a slow one overtakes it exactly as it
+    /// would have as an individual [`Job::Serve`].
+    ServeMany(Arc<ServeManyTask>),
     /// One claimable shard of a parallelised bichromatic request.
     Shard(Arc<ShardTask>),
     /// A scheduled overlay merge for a dataset, run off the request
@@ -149,6 +156,50 @@ pub(crate) enum Job {
 #[derive(Debug, Default)]
 pub(crate) struct WorkerScratch {
     rta: RtaScratch,
+}
+
+/// One request of a [`Job::ServeMany`] run: the request, its boundary
+/// trace id, and the completion that routes its response.
+pub(crate) struct ServeUnit {
+    pub(crate) request: Request,
+    pub(crate) trace_id: u64,
+    pub(crate) complete: Box<dyn FnOnce(Response) + Send + 'static>,
+}
+
+/// A run of pipelined requests submitted in one go. Items are handed
+/// out exactly once through an atomic claim counter (same scheme as
+/// [`ShardTask`]): any worker that picks the job up drains whatever is
+/// left, so the run completes even if only one copy of the job is ever
+/// dequeued, and extra copies degrade to no-ops.
+pub(crate) struct ServeManyTask {
+    items: Vec<Mutex<Option<ServeUnit>>>,
+    next: AtomicUsize,
+    /// Shared submission instant — the whole run entered the queue in
+    /// one send, so every item's queue wait starts here.
+    pub(crate) submitted: Instant,
+}
+
+impl ServeManyTask {
+    pub(crate) fn new(units: Vec<ServeUnit>) -> Self {
+        Self {
+            items: units.into_iter().map(|u| Mutex::new(Some(u))).collect(),
+            next: AtomicUsize::new(0),
+            submitted: Instant::now(),
+        }
+    }
+
+    /// Claims the next unserved item, if any (each exactly once).
+    fn claim(&self) -> Option<ServeUnit> {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            let slot = self.items.get(i)?;
+            // The slot can only be empty if a previous claimer of this
+            // index panicked between claim and take — skip forward.
+            if let Some(unit) = slot.lock().expect("serve-many slot lock").take() {
+                return Some(unit);
+            }
+        }
+    }
 }
 
 /// A single bichromatic reverse top-k request split into claimable
@@ -341,6 +392,26 @@ fn worker_loop(worker: usize, queue: &Mutex<Receiver<Job>>, ctx: &WorkerContext)
                         let _ = reply.send((slot, response));
                     }
                     Completion::Callback(complete) => complete(response),
+                }
+            }
+            Job::ServeMany(task) => {
+                // Drain whatever the other copies of this task have not
+                // claimed yet; each item is a full serve + completion.
+                while let Some(unit) = task.claim() {
+                    let trace = TraceContext {
+                        trace_id: unit.trace_id,
+                        submitted: task.submitted,
+                    };
+                    let mut progress = None;
+                    let response = serve(
+                        ctx,
+                        worker,
+                        trace,
+                        &unit.request,
+                        &mut scratch,
+                        &mut progress,
+                    );
+                    (unit.complete)(response);
                 }
             }
             Job::Shard(task) => task.run_one(&mut scratch),

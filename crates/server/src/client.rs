@@ -195,6 +195,39 @@ impl Client {
         Ok(id)
     }
 
+    /// Writes a burst of `Submit` frames with **one** flush (and so,
+    /// typically, one `write(2)`) for the whole run, returning the
+    /// request ids in order. This is the pipelined load path: the
+    /// server decodes the burst from a single read and hands it to the
+    /// engine as one batch.
+    ///
+    /// # Errors
+    /// Propagates transport errors.
+    pub fn send_request_batch(&mut self, requests: &[&Request]) -> Result<Vec<u64>, ClientError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            let id = self.next_id;
+            self.next_id += 1;
+            frame::write_frame(&mut self.writer, &ClientFrame::encode_submit(id, request))?;
+            ids.push(id);
+        }
+        self.writer.flush()?;
+        Ok(ids)
+    }
+
+    /// Requests a kernel receive-buffer size (`SO_RCVBUF`) for this
+    /// connection's socket. A tuning and test knob — shrinking it makes
+    /// server-side backpressure observable without megabytes of kernel
+    /// buffering absorbing the backlog.
+    ///
+    /// # Errors
+    /// Propagates `setsockopt` errors.
+    #[cfg(unix)]
+    pub fn set_recv_buffer(&mut self, bytes: usize) -> io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        crate::poll::set_socket_buffers(self.reader.get_ref().as_raw_fd(), None, Some(bytes))
+    }
+
     /// Reads the frame answering `id`, surfacing protocol errors and id
     /// mismatches (pipelined traffic must use `send`/`recv` directly).
     fn recv_for(&mut self, id: u64) -> Result<ServerFrame, ClientError> {

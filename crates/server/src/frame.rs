@@ -122,6 +122,35 @@ pub fn read_frame(
     }
 }
 
+/// Splits the next complete frame off the front of a receive buffer
+/// without copying: returns `Ok(Some((consumed, payload_range)))` when
+/// `buf` starts with a whole frame (`consumed` = prefix + payload bytes,
+/// `payload_range` indexes the payload inside `buf`), `Ok(None)` when
+/// more bytes are needed. This is the nonblocking twin of
+/// [`read_frame`]: the event-loop server reads a burst into a reusable
+/// arena and decodes every complete frame in place.
+///
+/// # Errors
+/// [`FrameError::Oversized`] as soon as the 4-byte prefix announces a
+/// payload beyond `max_len` — before waiting for (or buffering) any of
+/// that payload.
+pub fn split_frame(
+    buf: &[u8],
+    max_len: usize,
+) -> Result<Option<(usize, std::ops::Range<usize>)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > max_len {
+        return Err(FrameError::Oversized { len, max: max_len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((4 + len, 4..4 + len)))
+}
+
 /// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF,
 /// returns `Ok(false)`) from "some bytes then EOF" (truncation).
 pub(crate) fn read_exact_or_clean_eof(
@@ -355,6 +384,38 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(vec![1u8, 0]), 64, &mut buf),
             Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn split_frame_extracts_whole_frames_and_waits_for_partials() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        // Whole first frame available.
+        let (consumed, payload) = split_frame(&wire, 1024).unwrap().unwrap();
+        assert_eq!(consumed, 9);
+        assert_eq!(&wire[payload], b"hello");
+        // Empty frame right behind it.
+        let (consumed2, payload2) = split_frame(&wire[consumed..], 1024).unwrap().unwrap();
+        assert_eq!(consumed2, 4);
+        assert!(payload2.is_empty());
+        // Every strict prefix of a frame is "need more bytes", never an
+        // error — partial reads must park, not kill the connection.
+        for cut in 0..wire.len().min(8) {
+            assert!(
+                split_frame(&wire[..cut], 1024).unwrap().is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_frame_rejects_oversized_prefix_without_buffering_payload() {
+        let wire = (u32::MAX).to_le_bytes();
+        assert!(matches!(
+            split_frame(&wire, 64),
+            Err(FrameError::Oversized { len, max: 64 }) if len == u32::MAX as usize
         ));
     }
 

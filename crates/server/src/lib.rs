@@ -50,6 +50,7 @@
 
 pub mod client;
 pub mod frame;
+mod poll;
 pub mod server;
 pub mod wire;
 

@@ -1,64 +1,116 @@
-//! The TCP serving front door: listener, per-connection sessions,
-//! bounded admission, and graceful shutdown.
+//! The TCP serving front door: an event-driven core multiplexing every
+//! connection onto a fixed set of poll loops, with bounded admission
+//! and graceful shutdown.
+//!
+//! ## Thread model
+//!
+//! The server runs a small number of **event-loop threads** (one by
+//! default on small hosts, see [`ServerBuilder::event_loops`]), each
+//! owning a readiness poller (`epoll` on Linux, `poll(2)` elsewhere —
+//! see `poll.rs`). Loop 0 additionally owns the listener; accepted
+//! sockets are handed round-robin across loops. Nothing blocks: all
+//! sockets are nonblocking, and a loop sleeps only in its poller.
+//! Cross-thread wakeups (a pool worker finished a response, shutdown
+//! was requested) go through a per-loop self-pipe.
+//!
+//! Compare the previous design of two dedicated OS threads per
+//! connection: the event loop spends no threads per connection, reads
+//! *bursts* of pipelined frames per syscall, and coalesces replies into
+//! vectored writes — the syscall and wake-up amortisation that closes
+//! most of the wire-vs-in-process throughput gap.
 //!
 //! ## Connection anatomy
 //!
-//! Each accepted connection gets two threads:
+//! Per connection the loop keeps a reusable **read arena**: a flat
+//! buffer that `read(2)` appends into, from which complete frames are
+//! split and decoded *in place* ([`crate::frame::split_frame`]) — no
+//! per-frame allocation, no copy between "read buffer" and "frame
+//! buffer". The preamble negotiates the protocol version
+//! ([`crate::frame::MAGIC`] → v1 legacy; [`crate::frame::MAGIC_V2`] →
+//! v2, acknowledged with [`ServerFrame::Hello`] and eligible for
+//! progressive [`ServerFrame::ReplyPart`] streaming on plan requests).
+//! Control operations (registration, compaction, ping) run inline on
+//! the loop thread; [`ClientFrame::Submit`] goes through the admission
+//! gauge and is **staged into a batch**: one poller wake-up that drains
+//! a burst of pipelined submits hands them to the engine in a single
+//! [`Engine::submit_batch_with`] call — one queue operation per worker
+//! that could help, not one per request — while idle workers still
+//! claim individual items, so cheap requests overtake expensive ones
+//! exactly as under per-request submission.
 //!
-//! * a **reader** that negotiates the protocol version from the
-//!   preamble ([`crate::frame::MAGIC`] → v1, unchanged legacy
-//!   behaviour; [`crate::frame::MAGIC_V2`] → v2, acknowledged with a
-//!   [`ServerFrame::Hello`] frame and eligible for progressive
-//!   [`ServerFrame::ReplyPart`] streaming on plan requests),
-//!   then decodes frames and dispatches them — control operations
-//!   (registration, compaction, ping) run inline; [`ClientFrame::Submit`]
-//!   goes through the admission gauge onto the engine pool via
-//!   [`Engine::submit_with`], so any number of requests can be in flight
-//!   per connection (pipelining) without parking a thread each;
-//! * a **writer** that drains a *bounded* queue of `(id, frame)` pairs
-//!   and owns the socket's write half exclusively, so concurrently
-//!   completing responses can never interleave bytes.
-//!
-//! Responses carry the client's request id and are enqueued by whichever
-//! pool worker finished them — out of submission order when a later
-//! request completes first.
+//! Completed responses are encoded on the pool worker that finished
+//! them (serialize time attributed there, not on the shared loop) and
+//! pushed onto the connection's reply queue; the loop drains the queue
+//! into vectored writes, so one `writev(2)` flushes many replies.
+//! Responses carry the client's request id and complete out of
+//! submission order when a later request finishes first.
 //!
 //! ## Backpressure, not buffering
 //!
 //! Admission is a global gauge with a hard capacity. When it is full, a
 //! `Submit` is answered with [`ServerFrame::Busy`] *immediately* and is
 //! never queued — the server's memory footprint is bounded by
-//! `admission_capacity`, not by what clients feel like sending. The
-//! writer queue is sized `admission_capacity + slack`, so completions
-//! always use a non-blocking `try_send`: a pool worker can never be
-//! blocked by a connection. If a client stops reading long enough for
-//! its writer queue to overflow anyway, the connection is killed rather
-//! than buffered — slow readers pay, not the pool.
+//! `admission_capacity`, not by what clients feel like sending. Each
+//! connection may hold at most `admission_capacity + slack` reply
+//! frames that the peer has not yet read off the socket; a client that
+//! stops reading long enough to overflow that backlog is killed rather
+//! than buffered (streamed [`ServerFrame::ReplyPart`] deltas are
+//! best-effort and silently dropped first). Slow readers pay, not the
+//! pool.
 //!
 //! ## Shutdown
 //!
-//! [`Server::shutdown`] (also run on drop) stops the accept loop, then
-//! half-closes every session's read side. Readers fall out of their
-//! loop, each session **drains its in-flight requests** (waits for the
-//! per-connection gauge to reach zero, so every accepted request's
-//! response is handed to the writer), the writer flushes its queue, and
-//! only then is the socket closed. Work the server said yes to is
-//! finished; work it never admitted was already refused with `Busy`.
+//! [`Server::shutdown`] (also run on drop) closes the listener, stops
+//! reading on every connection (frames already buffered are still
+//! served), **drains in-flight requests** — every admitted request's
+//! response is written out — then flushes and closes each socket. Work
+//! the server said yes to is finished; work it never admitted was
+//! already refused with `Busy`.
 
 use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_LEN, MAGIC, MAGIC_V2, PROTOCOL_VERSION};
+use crate::poll::{self, Event, Poller, WakeHandle, INTEREST_READ, INTEREST_WRITE};
 use crate::wire::{ClientFrame, ServerFrame, CONNECTION_ID};
-use std::io::{BufReader, BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use wqrtq_engine::{Engine, Response, ServerCounters, SpanRecord, Stage};
+use wqrtq_engine::{BatchSubmission, Engine, Request, Response, ServerCounters, SpanRecord, Stage};
 use wqrtq_geom::Weight;
 
-/// Writer-queue headroom beyond the admission capacity, reserved for
+/// Reply-backlog headroom beyond the admission capacity, reserved for
 /// control replies (pong, registered, compacted) and busy frames.
 const CONTROL_SLACK: usize = 16;
+
+/// Bytes requested per `read(2)`; also the arena's resting size.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Reads taken per readiness event before yielding to other
+/// connections (the poller is level-triggered, so remaining input
+/// re-arms immediately).
+const MAX_READS_PER_EVENT: usize = 8;
+
+/// Frames coalesced into one vectored write.
+const MAX_WRITE_SLICES: usize = 64;
+
+/// Reply backlog at which an intermediate completion wakes the loop
+/// anyway (see [`ConnShared::notify`]).
+const WAKE_BACKLOG: usize = 8;
+
+/// Arena capacity above which a drained buffer is shrunk back.
+const ARENA_SHRINK: usize = 1 << 20;
+
+/// Poller timeout: wakeups drive everything, the tick is a backstop.
+const LOOP_TICK_MS: i32 = 500;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+/// Sentinel for "not yet registered with a loop".
+const TOKEN_NONE: u64 = u64::MAX;
 
 /// A counting gauge with capacity-checked acquisition and a drain wait.
 #[derive(Debug, Default)]
@@ -76,11 +128,6 @@ impl Gauge {
         }
         *count += 1;
         true
-    }
-
-    /// Increments unconditionally.
-    fn acquire(&self) {
-        *self.count.lock().expect("gauge lock") += 1;
     }
 
     fn release(&self) {
@@ -111,28 +158,99 @@ struct ConnCounters {
     frames_out: AtomicU64,
     busy_rejections: AtomicU64,
     protocol_errors: AtomicU64,
+    read_syscalls: AtomicU64,
+    write_syscalls: AtomicU64,
 }
 
-/// Per-connection state shared between the reader, the writer, and the
+/// Per-loop state reachable from other threads: the wake pipe, the
+/// list of connections with fresh replies, and sockets handed over by
+/// the accepting loop.
+#[derive(Debug)]
+struct LoopShared {
+    waker: WakeHandle,
+    /// Deduplicates waker writes: one self-pipe byte per batch of
+    /// completions, not one per completion.
+    wake_pending: AtomicBool,
+    /// Tokens with fresh replies (or a fresh doom) to look at.
+    dirty: Mutex<Vec<u64>>,
+    /// Connections accepted by loop 0, awaiting registration here.
+    incoming: Mutex<Vec<(TcpStream, Arc<ConnShared>)>>,
+}
+
+impl LoopShared {
+    fn wake(&self) {
+        if !self.wake_pending.swap(true, Ordering::SeqCst) {
+            self.waker.wake();
+        }
+    }
+}
+
+/// Per-connection state shared between its event loop and the
 /// completions in flight on the pool.
 #[derive(Debug)]
-struct ConnState {
+struct ConnShared {
     id: u64,
     peer: Option<SocketAddr>,
     counters: ConnCounters,
-    /// Requests of this connection currently on the engine pool (or in
-    /// the writer queue); the session drains this to zero before closing.
-    in_flight: Gauge,
-    /// Socket handle used to tear the connection down from any thread.
-    control: TcpStream,
+    /// Requests of this connection currently on the engine pool; the
+    /// loop drains this to zero before closing a read-closed socket.
+    in_flight: AtomicUsize,
+    /// Encoded reply frames from pool completions, drained by the loop.
+    out: Mutex<VecDeque<Vec<u8>>>,
+    /// Frames queued (in `out` or the loop's write queue) but not yet
+    /// fully written to the socket.
+    backlog: AtomicUsize,
+    backlog_cap: usize,
+    /// Hard kill requested (reply overflow, transport failure): the
+    /// loop closes the socket without waiting for anything.
+    doomed: AtomicBool,
     closed: AtomicBool,
+    /// The loop this connection lives on.
+    home: Arc<LoopShared>,
+    token: AtomicU64,
 }
 
-impl ConnState {
-    /// Kills the connection from any thread: both socket halves are shut
-    /// down, so the reader and writer unblock with errors and tear down.
-    fn doom(&self) {
-        let _ = self.control.shutdown(Shutdown::Both);
+impl ConnShared {
+    /// Queues one encoded frame for the event loop to write. Does not
+    /// wake the loop — callers batch their own [`ConnShared::notify`].
+    ///
+    /// Overflow past the backlog cap means the peer has stopped reading
+    /// an entire admission window: best-effort frames (streamed plan
+    /// deltas) are dropped, anything else kills the connection.
+    fn push_frame(&self, bytes: Vec<u8>, best_effort: bool) {
+        if self.closed.load(Ordering::Acquire) || self.doomed.load(Ordering::Acquire) {
+            return;
+        }
+        let queued = self.backlog.fetch_add(1, Ordering::SeqCst);
+        if queued >= self.backlog_cap {
+            self.backlog.fetch_sub(1, Ordering::SeqCst);
+            if !best_effort {
+                self.doomed.store(true, Ordering::Release);
+            }
+            return;
+        }
+        self.out.lock().expect("reply queue lock").push_back(bytes);
+    }
+
+    /// Asks this connection's loop to look at it (write replies, check
+    /// doom, re-check close eligibility).
+    ///
+    /// The poller is only kicked when there is a reason to flush *now*:
+    /// the connection's last in-flight request completed, enough
+    /// replies accumulated to be worth a writev, or the connection is
+    /// doomed. Intermediate completions of a pipelined burst just stage
+    /// their frame — the final completion's wake flushes the whole
+    /// batch in one loop cycle instead of waking (and, on small hosts,
+    /// preempting the worker) once per reply.
+    fn notify(&self) {
+        let token = self.token.load(Ordering::Acquire);
+        self.home.dirty.lock().expect("dirty list lock").push(token);
+        if self.doomed.load(Ordering::Acquire)
+            || self.in_flight.load(Ordering::SeqCst) == 0
+            || self.backlog.load(Ordering::SeqCst) >= WAKE_BACKLOG
+        {
+            self.home.wake();
+        }
     }
 }
 
@@ -184,12 +302,9 @@ struct ClosedTotals {
     frames_out: AtomicU64,
     busy_rejections: AtomicU64,
     protocol_errors: AtomicU64,
+    read_syscalls: AtomicU64,
+    write_syscalls: AtomicU64,
     connections: AtomicU64,
-}
-
-struct ConnEntry {
-    state: Arc<ConnState>,
-    reader: Option<JoinHandle<()>>,
 }
 
 struct Shared {
@@ -198,20 +313,21 @@ struct Shared {
     admission_capacity: usize,
     max_frame_len: usize,
     max_connections: usize,
+    socket_send_buffer: Option<usize>,
+    socket_recv_buffer: Option<usize>,
     shutting_down: AtomicBool,
     accepted: AtomicU64,
     next_conn_id: AtomicU64,
-    conns: Mutex<Vec<ConnEntry>>,
+    conns: Mutex<Vec<Arc<ConnShared>>>,
     closed: ClosedTotals,
 }
 
 impl Shared {
     /// Aggregate counters in wire [`ServerCounters`] form. Unlike
-    /// [`Server::stats`] this does **not** reap finished sessions — it
-    /// runs on pool completion threads, which must never join session
-    /// threads — so closed-but-unreaped connections are counted from
-    /// their live entries instead of the folded totals (each exactly
-    /// once either way).
+    /// [`Server::stats`] this does **not** reap finished connections —
+    /// it runs on pool completion threads — so closed-but-unreaped
+    /// connections are counted from their live entries instead of the
+    /// folded totals (each exactly once either way).
     fn server_counters(&self) -> ServerCounters {
         let mut counters = ServerCounters {
             connections_accepted: self.accepted.load(Ordering::Relaxed),
@@ -220,57 +336,58 @@ impl Shared {
             frames_out: self.closed.frames_out.load(Ordering::Relaxed),
             busy_rejections: self.closed.busy_rejections.load(Ordering::Relaxed),
             protocol_errors: self.closed.protocol_errors.load(Ordering::Relaxed),
+            read_syscalls: self.closed.read_syscalls.load(Ordering::Relaxed),
+            write_syscalls: self.closed.write_syscalls.load(Ordering::Relaxed),
             in_flight: self.admission.len() as u64,
         };
         let conns = self.conns.lock().expect("connection registry lock");
-        for entry in conns.iter() {
-            if !entry.state.closed.load(Ordering::Acquire) {
+        for state in conns.iter() {
+            if !state.closed.load(Ordering::Acquire) {
                 counters.connections_open += 1;
             }
-            let c = &entry.state.counters;
+            let c = &state.counters;
             counters.frames_in += c.frames_in.load(Ordering::Relaxed);
             counters.frames_out += c.frames_out.load(Ordering::Relaxed);
             counters.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
             counters.protocol_errors += c.protocol_errors.load(Ordering::Relaxed);
+            counters.read_syscalls += c.read_syscalls.load(Ordering::Relaxed);
+            counters.write_syscalls += c.write_syscalls.load(Ordering::Relaxed);
         }
         counters
     }
-}
 
-impl Shared {
-    /// Removes finished sessions from the registry, joining their
-    /// threads and folding their counters into the closed totals.
+    /// Removes closed connections from the registry, folding their
+    /// counters into the closed totals. Join-free: connections are
+    /// loop-owned state, not threads.
     fn reap(&self) {
-        let mut finished = Vec::new();
-        {
-            let mut conns = self.conns.lock().expect("connection registry lock");
-            let mut i = 0;
-            while i < conns.len() {
-                if conns[i].state.closed.load(Ordering::Acquire) {
-                    finished.push(conns.swap_remove(i));
-                } else {
-                    i += 1;
-                }
+        let mut conns = self.conns.lock().expect("connection registry lock");
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].closed.load(Ordering::Acquire) {
+                let state = conns.swap_remove(i);
+                let c = &state.counters;
+                self.closed
+                    .frames_in
+                    .fetch_add(c.frames_in.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.closed
+                    .frames_out
+                    .fetch_add(c.frames_out.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.closed
+                    .busy_rejections
+                    .fetch_add(c.busy_rejections.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.closed
+                    .protocol_errors
+                    .fetch_add(c.protocol_errors.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.closed
+                    .read_syscalls
+                    .fetch_add(c.read_syscalls.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.closed
+                    .write_syscalls
+                    .fetch_add(c.write_syscalls.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.closed.connections.fetch_add(1, Ordering::Relaxed);
+            } else {
+                i += 1;
             }
-        }
-        for mut entry in finished {
-            if let Some(handle) = entry.reader.take() {
-                let _ = handle.join();
-            }
-            let c = &entry.state.counters;
-            self.closed
-                .frames_in
-                .fetch_add(c.frames_in.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.closed
-                .frames_out
-                .fetch_add(c.frames_out.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.closed
-                .busy_rejections
-                .fetch_add(c.busy_rejections.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.closed
-                .protocol_errors
-                .fetch_add(c.protocol_errors.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.closed.connections.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -283,6 +400,9 @@ pub struct ServerBuilder {
     admission_capacity: usize,
     max_frame_len: usize,
     max_connections: usize,
+    event_loops: Option<usize>,
+    socket_send_buffer: Option<usize>,
+    socket_recv_buffer: Option<usize>,
 }
 
 impl Default for ServerBuilder {
@@ -293,6 +413,9 @@ impl Default for ServerBuilder {
             admission_capacity: 256,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             max_connections: 1024,
+            event_loops: None,
+            socket_send_buffer: None,
+            socket_recv_buffer: None,
         }
     }
 }
@@ -338,9 +461,10 @@ impl ServerBuilder {
     }
 
     /// Maximum concurrent connections (default 1024). Each connection
-    /// costs two OS threads and up to one frame buffer; this cap bounds
-    /// connection-scoped resources the way `admission_capacity` bounds
-    /// pool work. Connections beyond the cap are closed immediately.
+    /// costs a read arena and a slot on an event loop — no threads;
+    /// this cap bounds connection-scoped resources the way
+    /// `admission_capacity` bounds pool work. Connections beyond the
+    /// cap are closed immediately.
     ///
     /// # Panics
     /// Panics if `limit` is zero.
@@ -350,16 +474,47 @@ impl ServerBuilder {
         self
     }
 
-    /// Binds the listener and starts accepting connections.
+    /// Event-loop threads multiplexing the connections (default: half
+    /// the available parallelism, clamped to 1..=4). Loop 0 also owns
+    /// the listener; accepted sockets spread round-robin.
+    ///
+    /// # Panics
+    /// Panics if `loops` is zero.
+    pub fn event_loops(mut self, loops: usize) -> Self {
+        assert!(loops > 0, "need at least one event loop");
+        self.event_loops = Some(loops);
+        self
+    }
+
+    /// Kernel send-buffer size requested (`SO_SNDBUF`) for accepted
+    /// sockets. A tuning and test knob: shrinking it makes slow-reader
+    /// backpressure observable without megabytes of kernel buffering in
+    /// the way. The kernel clamps and doubles the value; `None` (the
+    /// default) keeps the system's autotuned sizing.
+    pub fn socket_send_buffer(mut self, bytes: usize) -> Self {
+        self.socket_send_buffer = Some(bytes);
+        self
+    }
+
+    /// Kernel receive-buffer size requested (`SO_RCVBUF`) for accepted
+    /// sockets; see [`ServerBuilder::socket_send_buffer`].
+    pub fn socket_recv_buffer(mut self, bytes: usize) -> Self {
+        self.socket_recv_buffer = Some(bytes);
+        self
+    }
+
+    /// Binds the listener and starts the event loops.
     ///
     /// # Errors
-    /// Propagates socket errors (bind, local address lookup).
+    /// Propagates socket and poller errors (bind, local address lookup,
+    /// poller creation).
     pub fn bind(self, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
         let engine = self.engine.unwrap_or_else(|| match self.workers {
             Some(workers) => Engine::new(workers),
             None => Engine::builder().build(),
         });
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let engine = Arc::new(engine);
         let shared = Arc::new(Shared {
@@ -368,31 +523,76 @@ impl ServerBuilder {
             admission_capacity: self.admission_capacity,
             max_frame_len: self.max_frame_len,
             max_connections: self.max_connections,
+            socket_send_buffer: self.socket_send_buffer,
+            socket_recv_buffer: self.socket_recv_buffer,
             shutting_down: AtomicBool::new(false),
             accepted: AtomicU64::new(0),
             next_conn_id: AtomicU64::new(1),
             conns: Mutex::new(Vec::new()),
             closed: ClosedTotals::default(),
         });
-        let accept = {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name("wqrtq-accept".into())
-                .spawn(move || accept_loop(&shared, listener))
-                .expect("spawn accept thread")
-        };
+        let loop_count = self.event_loops.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| (n.get() / 2).clamp(1, 4))
+                .unwrap_or(1)
+        });
+        let mut loops = Vec::with_capacity(loop_count);
+        let mut wake_rxs = Vec::with_capacity(loop_count);
+        for _ in 0..loop_count {
+            let (waker, rx) = poll::wake_pair()?;
+            loops.push(Arc::new(LoopShared {
+                waker,
+                wake_pending: AtomicBool::new(false),
+                dirty: Mutex::new(Vec::new()),
+                incoming: Mutex::new(Vec::new()),
+            }));
+            wake_rxs.push(rx);
+        }
+        let mut handles = Vec::with_capacity(loop_count);
+        let mut listener = Some(listener);
+        for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
+            let poller = Poller::new()?;
+            poller.add(wake_rx.as_raw_fd(), TOKEN_WAKER, INTEREST_READ)?;
+            let listener = if index == 0 { listener.take() } else { None };
+            if let Some(listener) = &listener {
+                poller.add(listener.as_raw_fd(), TOKEN_LISTENER, INTEREST_READ)?;
+            }
+            let state = EventLoop {
+                shared: shared.clone(),
+                ls: loops[index].clone(),
+                peers: loops.clone(),
+                poller,
+                wake_rx,
+                listener,
+                conns: HashMap::new(),
+                next_token: TOKEN_FIRST_CONN,
+                rr: 0,
+                submit_buf: Vec::new(),
+                events: Vec::new(),
+                touched: Vec::new(),
+                draining: false,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wqrtq-loop-{index}"))
+                    .spawn(move || state.run())
+                    .expect("spawn event-loop thread"),
+            );
+        }
         Ok(Server {
             shared,
             engine,
             addr,
-            accept: Mutex::new(Some(accept)),
+            loops,
+            handles: Mutex::new(handles),
         })
     }
 }
 
 /// A TCP front door over a [`Engine`]: length-prefixed binary frames,
 /// per-connection pipelining, bounded admission with busy backpressure,
-/// and drain-before-close shutdown.
+/// and drain-before-close shutdown — served by a nonblocking event
+/// loop (see the module docs for the thread model).
 ///
 /// ```no_run
 /// use wqrtq_server::{Client, Server};
@@ -412,7 +612,8 @@ pub struct Server {
     shared: Arc<Shared>,
     engine: Arc<Engine>,
     addr: SocketAddr,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    loops: Vec<Arc<LoopShared>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -458,8 +659,8 @@ impl Server {
         };
         let conns = self.shared.conns.lock().expect("connection registry lock");
         stats.connections_open = conns.len();
-        for entry in conns.iter() {
-            let c = &entry.state.counters;
+        for state in conns.iter() {
+            let c = &state.counters;
             stats.frames_in += c.frames_in.load(Ordering::Relaxed);
             stats.frames_out += c.frames_out.load(Ordering::Relaxed);
             stats.busy_rejections += c.busy_rejections.load(Ordering::Relaxed);
@@ -474,56 +675,41 @@ impl Server {
         let conns = self.shared.conns.lock().expect("connection registry lock");
         conns
             .iter()
-            .map(|entry| {
-                let s = &entry.state;
-                ConnectionStats {
-                    id: s.id,
-                    peer: s.peer,
-                    frames_in: s.counters.frames_in.load(Ordering::Relaxed),
-                    frames_out: s.counters.frames_out.load(Ordering::Relaxed),
-                    busy_rejections: s.counters.busy_rejections.load(Ordering::Relaxed),
-                    protocol_errors: s.counters.protocol_errors.load(Ordering::Relaxed),
-                    in_flight: s.in_flight.len(),
-                }
+            .map(|s| ConnectionStats {
+                id: s.id,
+                peer: s.peer,
+                frames_in: s.counters.frames_in.load(Ordering::Relaxed),
+                frames_out: s.counters.frames_out.load(Ordering::Relaxed),
+                busy_rejections: s.counters.busy_rejections.load(Ordering::Relaxed),
+                protocol_errors: s.counters.protocol_errors.load(Ordering::Relaxed),
+                in_flight: s.in_flight.load(Ordering::SeqCst),
             })
             .collect()
     }
 
-    /// Gracefully shuts down: stop accepting, half-close every session's
-    /// read side, drain all in-flight work, flush and close every
-    /// connection. Idempotent; also runs on drop.
+    /// Gracefully shuts down: stop accepting, stop reading on every
+    /// connection, drain all in-flight work, flush and close every
+    /// socket. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The listener is non-blocking and the accept loop re-checks the
-        // flag on every poll tick, so it exits within one tick. A
-        // throwaway self-connect wakes it instantly when the loopback
-        // route allows it; when it does not (firewalled interface,
-        // wildcard binds on some platforms), the poll tick still
-        // guarantees termination.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept.lock().expect("accept handle lock").take() {
-            let _ = handle.join();
+        for ls in &self.loops {
+            ls.wake();
         }
-        // Half-close read sides: readers fall out of their loops, each
-        // session drains its in-flight work and flushes its writer.
-        let handles: Vec<JoinHandle<()>> = {
-            let mut conns = self.shared.conns.lock().expect("connection registry lock");
-            conns
-                .iter_mut()
-                .filter_map(|entry| {
-                    let _ = entry.state.control.shutdown(Shutdown::Read);
-                    entry.reader.take()
-                })
-                .collect()
-        };
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .expect("loop handle lock")
+            .drain(..)
+            .collect();
         for handle in handles {
             let _ = handle.join();
         }
         self.shared.reap();
-        // Every session waited for its own in-flight gauge, so the
-        // global admission gauge has drained with them.
+        // Loops exit once every connection has closed; doomed sockets
+        // may leave completions still running on the pool, so wait for
+        // the admission gauge to drain before declaring quiescence.
         self.shared.admission.wait_zero();
     }
 }
@@ -534,348 +720,828 @@ impl Drop for Server {
     }
 }
 
-/// How often the accept loop re-checks the shutdown flag when no
-/// connection is pending.
-const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+/// The reusable per-connection read buffer: `read(2)` appends at
+/// `filled`, frames are split off the front in place, and the
+/// unconsumed tail is compacted once per burst.
+#[derive(Debug, Default)]
+struct RecvArena {
+    buf: Vec<u8>,
+    filled: usize,
+}
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
-    // Non-blocking accept + poll tick: shutdown can never hang on a
-    // listener that no wake-up connection can reach.
-    if listener.set_nonblocking(true).is_err() {
-        return;
-    }
-    loop {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
+impl RecvArena {
+    /// Makes room for at least `n` more bytes after `filled`.
+    fn ensure_space(&mut self, n: usize) {
+        if self.buf.len() - self.filled < n {
+            self.buf.resize(self.filled + n, 0);
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.reap();
-                // The connection cap bounds threads and frame buffers
-                // the way admission bounds pool work; over-cap peers
-                // are dropped at the door.
-                let open = shared.conns.lock().expect("connection registry lock").len();
-                if open >= shared.max_connections {
-                    drop(stream);
-                    continue;
-                }
-                shared.accepted.fetch_add(1, Ordering::Relaxed);
-                spawn_session(shared, stream);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            // Other accept errors (peer vanished between SYN and accept,
-            // fd exhaustion) must neither kill the listener nor busy-spin
-            // a core while the condition persists.
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+    }
+
+    /// Discards the first `n` buffered bytes, compacting the tail.
+    fn consume_prefix(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.buf.copy_within(n..self.filled, 0);
+        self.filled -= n;
+        if self.filled == 0 && self.buf.capacity() > ARENA_SHRINK {
+            self.buf = Vec::new();
         }
     }
 }
 
-fn spawn_session(shared: &Arc<Shared>, stream: TcpStream) {
-    // Sockets accepted from a non-blocking listener inherit the mode on
-    // some platforms; sessions use blocking reads and writes.
-    if stream.set_nonblocking(false).is_err() {
-        return;
+/// Loop-local connection state.
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Negotiated protocol version; 0 until the preamble settles it.
+    version: u8,
+    arena: RecvArena,
+    /// Frames being written; the front one may be partially sent.
+    write_queue: VecDeque<Vec<u8>>,
+    head_written: usize,
+    /// No more input will be processed (peer EOF, protocol violation,
+    /// or shutdown); replies still drain before the close.
+    read_closed: bool,
+    /// The last write hit `EWOULDBLOCK`; wait for writability.
+    want_write: bool,
+    /// Interest currently registered with the poller.
+    registered: Option<u32>,
+}
+
+impl Conn {
+    fn desired_interest(&self) -> u32 {
+        let mut want = 0;
+        if !self.read_closed {
+            want |= INTEREST_READ;
+        }
+        if self.want_write {
+            want |= INTEREST_WRITE;
+        }
+        want
     }
-    let _ = stream.set_nodelay(true);
-    let control = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return, // socket already dead
-    };
-    let state = Arc::new(ConnState {
-        id: shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
-        peer: stream.peer_addr().ok(),
-        counters: ConnCounters::default(),
-        in_flight: Gauge::default(),
-        control,
-        closed: AtomicBool::new(false),
-    });
-    let reader = {
-        let shared = shared.clone();
-        let state = state.clone();
-        std::thread::Builder::new()
-            .name(format!("wqrtq-conn-{}", state.id))
-            .spawn(move || session(&shared, stream, &state))
-    };
-    match reader {
-        Ok(reader) => shared
+}
+
+/// One event-loop thread: a poller, its connections, and the per-cycle
+/// submit batch.
+struct EventLoop {
+    shared: Arc<Shared>,
+    ls: Arc<LoopShared>,
+    /// Every loop, indexed round-robin by the accepting loop.
+    peers: Vec<Arc<LoopShared>>,
+    poller: Poller,
+    wake_rx: UnixStream,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    rr: usize,
+    /// Submits staged during this wake-up, flushed to the engine in one
+    /// batched hand-off at the end of the cycle.
+    submit_buf: Vec<BatchSubmission>,
+    events: Vec<Event>,
+    /// Tokens to write/close-check at the end of the cycle.
+    touched: Vec<u64>,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        loop {
+            self.events.clear();
+            if self.poller.wait(&mut self.events, LOOP_TICK_MS).is_err() {
+                break;
+            }
+            let events = std::mem::take(&mut self.events);
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKER => self.on_wake(),
+                    token => {
+                        if ev.writable {
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                conn.want_write = false;
+                            }
+                        }
+                        if ev.readable {
+                            self.handle_readable(token);
+                        }
+                        self.touched.push(token);
+                    }
+                }
+            }
+            self.events = events;
+            if self.shared.shutting_down.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            // One engine hand-off for every submit this wake-up decoded
+            // — the batching that amortises queue wake-ups across a
+            // pipelined burst.
+            if !self.submit_buf.is_empty() {
+                let batch = std::mem::take(&mut self.submit_buf);
+                self.shared.engine.submit_batch_with(batch);
+            }
+            // Completions that landed while this cycle was busy are
+            // adopted here rather than through a poller round trip:
+            // one opportunistic drain saves a wake syscall per reply
+            // batch under load.
+            self.on_wake();
+            let mut touched = std::mem::take(&mut self.touched);
+            touched.sort_unstable();
+            touched.dedup();
+            for token in touched.drain(..) {
+                self.service(token);
+            }
+            self.touched = touched;
+            if !self.submit_buf.is_empty() {
+                let batch = std::mem::take(&mut self.submit_buf);
+                self.shared.engine.submit_batch_with(batch);
+            }
+            if self.draining
+                && self.conns.is_empty()
+                && self
+                    .ls
+                    .incoming
+                    .lock()
+                    .expect("incoming list lock")
+                    .is_empty()
+            {
+                break;
+            }
+        }
+    }
+
+    /// Drains the wake pipe and collects cross-thread work: dirty
+    /// connections and handed-over sockets.
+    fn on_wake(&mut self) {
+        // Clear the dedupe flag before draining: a notify racing this
+        // point writes a fresh byte and the next poll wakes again.
+        self.ls.wake_pending.store(false, Ordering::SeqCst);
+        poll::drain_wakes(&mut self.wake_rx);
+        let dirty = std::mem::take(&mut *self.ls.dirty.lock().expect("dirty list lock"));
+        self.touched.extend(dirty);
+        let incoming = std::mem::take(&mut *self.ls.incoming.lock().expect("incoming list lock"));
+        for (stream, state) in incoming {
+            self.register_conn(stream, state);
+        }
+    }
+
+    /// Accepts until the listener would block, spreading connections
+    /// across the loops.
+    fn accept_burst(&mut self) {
+        loop {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                // Transient accept errors (peer vanished between SYN
+                // and accept, fd exhaustion) must not kill the loop;
+                // level-triggered readiness retries anything pending.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        self.shared.reap();
+        // The connection cap bounds arenas and loop slots the way
+        // admission bounds pool work; over-cap peers are dropped at
+        // the door.
+        let open = self
+            .shared
             .conns
             .lock()
             .expect("connection registry lock")
-            .push(ConnEntry {
-                state,
-                reader: Some(reader),
-            }),
-        // Thread exhaustion: shed this connection, keep accepting — a
-        // panic here would silently kill the listener instead.
-        Err(_) => state.doom(),
-    }
-}
-
-/// Runs one connection to completion: read loop, then drain + flush.
-fn session(shared: &Arc<Shared>, stream: TcpStream, state: &Arc<ConnState>) {
-    let writer_stream = stream.try_clone().ok();
-    let (tx, rx) = sync_channel::<(u64, ServerFrame)>(shared.admission_capacity + CONTROL_SLACK);
-    // A writer that cannot start (dead socket, thread exhaustion) means
-    // the session serves nothing — but the epilogue below must still
-    // run so the registry entry is reaped.
-    let writer = writer_stream.and_then(|out| {
-        let state = state.clone();
-        let shared = shared.clone();
-        std::thread::Builder::new()
-            .name("wqrtq-conn-writer".into())
-            .spawn(move || writer_loop(out, rx, &state, &shared))
-            .ok()
-    });
-    if writer.is_some() {
-        // The read loop must not skip the drain/teardown epilogue below,
-        // whatever happens inside it — a leaked registry entry would
-        // inflate `connections_open` forever.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            read_loop(shared, &stream, state, &tx);
-        }));
-        if result.is_err() {
-            state
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            .len();
+        if open >= self.shared.max_connections {
+            drop(stream);
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if self.shared.socket_send_buffer.is_some() || self.shared.socket_recv_buffer.is_some() {
+            let _ = poll::set_socket_buffers(
+                stream.as_raw_fd(),
+                self.shared.socket_send_buffer,
+                self.shared.socket_recv_buffer,
+            );
+        }
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let home = self.peers[self.rr % self.peers.len()].clone();
+        self.rr += 1;
+        let state = Arc::new(ConnShared {
+            id: self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
+            peer: stream.peer_addr().ok(),
+            counters: ConnCounters::default(),
+            in_flight: AtomicUsize::new(0),
+            out: Mutex::new(VecDeque::new()),
+            backlog: AtomicUsize::new(0),
+            backlog_cap: self.shared.admission_capacity + CONTROL_SLACK,
+            doomed: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            home: home.clone(),
+            token: AtomicU64::new(TOKEN_NONE),
+        });
+        self.shared
+            .conns
+            .lock()
+            .expect("connection registry lock")
+            .push(state.clone());
+        if Arc::ptr_eq(&home, &self.ls) {
+            self.register_conn(stream, state);
+        } else {
+            home.incoming
+                .lock()
+                .expect("incoming list lock")
+                .push((stream, state));
+            home.wake();
         }
     }
-    // Drain: every admitted request must hand its response to the
-    // writer before the queue is torn down. Completions release the
-    // gauge after their try_send, so zero means nothing left to wait on.
-    state.in_flight.wait_zero();
-    drop(tx);
-    if let Some(writer) = writer {
-        let _ = writer.join();
+
+    fn register_conn(&mut self, stream: TcpStream, state: Arc<ConnShared>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        state.token.store(token, Ordering::Release);
+        let mut conn = Conn {
+            stream,
+            shared: state,
+            version: 0,
+            arena: RecvArena::default(),
+            write_queue: VecDeque::new(),
+            head_written: 0,
+            read_closed: self.draining,
+            want_write: false,
+            registered: None,
+        };
+        if !conn.read_closed {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.add(fd, token, INTEREST_READ).is_ok() {
+                conn.registered = Some(INTEREST_READ);
+            } else {
+                conn.shared.doomed.store(true, Ordering::Release);
+            }
+        }
+        self.conns.insert(token, conn);
+        // Immediate close check for the doomed / accepted-mid-shutdown
+        // cases.
+        self.touched.push(token);
     }
-    let _ = stream.shutdown(Shutdown::Both);
-    state.closed.store(true, Ordering::Release);
+
+    /// Reads a burst, splitting and dispatching every complete frame.
+    fn handle_readable(&mut self, token: u64) {
+        let Self {
+            conns,
+            submit_buf,
+            shared,
+            ..
+        } = self;
+        let Some(conn) = conns.get_mut(&token) else {
+            return;
+        };
+        if conn.read_closed || conn.shared.doomed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut eof = false;
+        let mut reads = 0;
+        while reads < MAX_READS_PER_EVENT {
+            conn.arena.ensure_space(READ_CHUNK);
+            let filled = conn.arena.filled;
+            let result = conn.stream.read(&mut conn.arena.buf[filled..]);
+            conn.shared
+                .counters
+                .read_syscalls
+                .fetch_add(1, Ordering::Relaxed);
+            match result {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    reads += 1;
+                    let space = conn.arena.buf.len() - conn.arena.filled;
+                    conn.arena.filled += n;
+                    // A panic while serving a frame must not take the
+                    // loop (and every other connection) down with it.
+                    let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        process_arena(shared, conn, submit_buf);
+                    }));
+                    if served.is_err() {
+                        conn.shared
+                            .counters
+                            .protocol_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.shared.doomed.store(true, Ordering::Release);
+                    }
+                    if conn.read_closed || conn.shared.doomed.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // A short read means the socket is (almost surely)
+                    // drained; skip the would-block confirmation
+                    // syscall. Level-triggered polling catches the
+                    // rare racing byte.
+                    if n < space {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transport failure: nothing to tell the peer, just
+                // drain in-flight replies and tear down.
+                Err(_) => {
+                    conn.read_closed = true;
+                    return;
+                }
+            }
+        }
+        if eof {
+            // A connection that closes without sending a byte (port
+            // scan, health probe) is not a protocol violation — just a
+            // goodbye. Dying mid-preamble is one; dying mid-frame is an
+            // abrupt disconnect (drain what was admitted, silently).
+            if conn.version == 0 && conn.arena.filled > 0 {
+                protocol_error(shared, conn, "bad connection preamble".into());
+            }
+            conn.read_closed = true;
+        }
+    }
+
+    /// End-of-cycle per-connection service: adopt completed replies,
+    /// write as much as the socket takes, close when eligible.
+    fn service(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if !conn.shared.doomed.load(Ordering::Acquire) {
+            flush_writes(conn);
+            let want = conn.desired_interest();
+            match (conn.registered, want) {
+                (Some(_), 0) => {
+                    let _ = self.poller.delete(conn.stream.as_raw_fd());
+                    conn.registered = None;
+                }
+                (Some(current), want)
+                    if current != want
+                        && self
+                            .poller
+                            .modify(conn.stream.as_raw_fd(), token, want)
+                            .is_ok() =>
+                {
+                    conn.registered = Some(want);
+                }
+                (None, want)
+                    if want != 0
+                        && self
+                            .poller
+                            .add(conn.stream.as_raw_fd(), token, want)
+                            .is_ok() =>
+                {
+                    conn.registered = Some(want);
+                }
+                _ => {}
+            }
+        }
+        let doomed = conn.shared.doomed.load(Ordering::Acquire);
+        // `in_flight` is read before `backlog`: completions push their
+        // reply (raising the backlog) before decrementing `in_flight`,
+        // so a zero read here means every admitted reply is visible.
+        let drained = conn.read_closed
+            && conn.shared.in_flight.load(Ordering::SeqCst) == 0
+            && conn.shared.backlog.load(Ordering::SeqCst) == 0;
+        if doomed || drained {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        if conn.registered.is_some() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        conn.shared.closed.store(true, Ordering::Release);
+    }
+
+    /// Shutdown entry: close the listener, serve frames already
+    /// buffered, then stop reading everywhere. Replies drain before
+    /// each close.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        let Self {
+            conns,
+            submit_buf,
+            shared,
+            touched,
+            ..
+        } = self;
+        for token in tokens {
+            if let Some(conn) = conns.get_mut(&token) {
+                if !conn.read_closed && !conn.shared.doomed.load(Ordering::Acquire) {
+                    process_arena(shared, conn, submit_buf);
+                }
+                conn.read_closed = true;
+                touched.push(token);
+            }
+        }
+    }
 }
 
-/// Decodes and dispatches frames until the client goes away, the stream
-/// errors, or a protocol violation kills the connection.
-fn read_loop(
-    shared: &Arc<Shared>,
-    stream: &TcpStream,
-    state: &Arc<ConnState>,
-    tx: &SyncSender<(u64, ServerFrame)>,
-) {
-    let mut reader = BufReader::new(stream);
-    let mut magic = [0u8; 4];
+/// Splits and serves every complete frame in the arena, consuming the
+/// processed prefix.
+fn process_arena(shared: &Arc<Shared>, conn: &mut Conn, submit_buf: &mut Vec<BatchSubmission>) {
     // Preamble negotiation: the client proposes a protocol version by
     // its magic; the server settles it. v1 connections behave exactly
     // as they always did (no reply, no streaming); v2 connections are
     // acknowledged with a Hello frame and receive progressive
     // ReplyPart frames for plan requests.
-    let version: u8 = match frame::read_exact_or_clean_eof(&mut reader, &mut magic) {
-        // A connection that closes without sending a byte (port scan,
-        // health probe, shutdown racing a fresh connect) is not a
-        // protocol violation — just a goodbye.
-        Ok(false) => return,
-        Ok(true) if magic == MAGIC => 1,
-        Ok(true) if magic == MAGIC_V2 => 2,
-        Ok(true) | Err(FrameError::Truncated) => {
-            state
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = tx.try_send((
-                CONNECTION_ID,
-                ServerFrame::ProtocolError("bad connection preamble".into()),
-            ));
+    if conn.version == 0 {
+        if conn.arena.filled < 4 {
             return;
         }
-        Err(_) => return, // transport failure: nothing to tell the peer
-    };
-    if version >= 2 {
-        // The negotiation ack is the connection's first frame; the
-        // queue is empty here, so the try_send cannot fail.
-        let _ = tx.try_send((
-            CONNECTION_ID,
-            ServerFrame::Hello {
-                version: PROTOCOL_VERSION,
-                max_frame_len: shared.max_frame_len as u64,
-            },
-        ));
+        let magic = [
+            conn.arena.buf[0],
+            conn.arena.buf[1],
+            conn.arena.buf[2],
+            conn.arena.buf[3],
+        ];
+        if magic == MAGIC {
+            conn.version = 1;
+        } else if magic == MAGIC_V2 {
+            conn.version = 2;
+            push_control(
+                shared,
+                conn,
+                CONNECTION_ID,
+                ServerFrame::Hello {
+                    version: PROTOCOL_VERSION,
+                    max_frame_len: shared.max_frame_len as u64,
+                },
+            );
+        } else {
+            protocol_error(shared, conn, "bad connection preamble".into());
+            return;
+        }
+        conn.arena.consume_prefix(4);
     }
-    let mut buf = Vec::new();
-    loop {
-        match frame::read_frame(&mut reader, shared.max_frame_len, &mut buf) {
-            Ok(true) => {}
-            // Clean EOF or half-close: the client is done sending but
-            // may still be reading — in-flight responses are drained by
-            // the session epilogue, not discarded.
-            Ok(false) => return,
-            Err(FrameError::Oversized { len, max }) => {
-                state
+    let mut cursor = 0;
+    while !conn.read_closed && !conn.shared.doomed.load(Ordering::Acquire) {
+        let window = &conn.arena.buf[cursor..conn.arena.filled];
+        match frame::split_frame(window, shared.max_frame_len) {
+            Ok(None) => break,
+            Ok(Some((consumed, payload))) => {
+                conn.shared
                     .counters
-                    .protocol_errors
+                    .frames_in
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = tx.try_send((
-                    CONNECTION_ID,
-                    ServerFrame::ProtocolError(format!(
-                        "frame payload of {len} bytes exceeds the {max}-byte limit"
-                    )),
-                ));
-                return;
-            }
-            // Abrupt disconnect mid-frame or transport failure: nothing
-            // to tell the peer, just drain and tear down.
-            Err(FrameError::Truncated | FrameError::Io(_)) => return,
-        }
-        state.counters.frames_in.fetch_add(1, Ordering::Relaxed);
-        let (id, message) = match ClientFrame::decode(&buf) {
-            Ok(decoded) => decoded,
-            Err(e) => {
-                state
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = tx.try_send((CONNECTION_ID, ServerFrame::ProtocolError(e.to_string())));
-                return;
-            }
-        };
-        // Id 0 is reserved for connection-level errors; a client using
-        // it could not tell its own reply from a fatal ProtocolError.
-        if id == CONNECTION_ID {
-            state
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            let _ = tx.try_send((
-                CONNECTION_ID,
-                ServerFrame::ProtocolError("request id 0 is reserved".into()),
-            ));
-            return;
-        }
-        let control_reply = match message {
-            ClientFrame::Ping => Some(ServerFrame::Pong),
-            ClientFrame::RegisterDataset { name, dim, coords } => {
-                Some(match shared.engine.register_dataset(&name, dim, coords) {
-                    Ok(()) => ServerFrame::Registered,
-                    Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
-                })
-            }
-            ClientFrame::RegisterWeights { name, weights } => {
-                Some(match register_weights(shared, &name, weights) {
-                    Ok(()) => ServerFrame::Registered,
-                    Err(msg) => ServerFrame::Reply(Response::Error(msg)),
-                })
-            }
-            ClientFrame::Compact { dataset } => Some(match shared.engine.compact(&dataset) {
-                Ok(ran) => ServerFrame::Compacted { ran },
-                Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
-            }),
-            ClientFrame::Submit(request) => {
-                // Plan requests stream partial frames a v1 client could
-                // not decode; refuse them with a typed (non-fatal)
-                // error instead of poisoning the connection.
-                if version < 2 && request.kind() == wqrtq_engine::RequestKind::WhyNot {
-                    Some(ServerFrame::Reply(Response::Error(
-                        "why-not plan requests require protocol v2 (connect with the WQR2 \
-                         preamble)"
-                            .into(),
-                    )))
-                } else if shared.admission.try_acquire(shared.admission_capacity) {
-                    // Wire trace ids compose the connection and frame
-                    // identity, so a span in `Engine::trace_snapshot`
-                    // points back to one request of one client.
-                    let trace_id = (state.id << 32) | (id & 0xFFFF_FFFF);
-                    let admitted = shared.engine.tracer().now_nanos();
-                    state.in_flight.acquire();
-                    let reply_tx = tx.clone();
-                    let partial_tx = tx.clone();
-                    let conn = state.clone();
-                    let shared_cb = shared.clone();
-                    let complete = move |mut response: Response| {
-                        // Admission is released *before* the reply is
-                        // enqueued: once a client has read a response,
-                        // its permit is guaranteed free, so a retry
-                        // after draining can never spuriously see Busy.
-                        shared_cb.admission.release();
-                        // Server counters exist only at this layer; the
-                        // engine leaves the slot empty for us to fill.
-                        if let Response::Stats(stats) = &mut response {
-                            stats.server = Some(shared_cb.server_counters());
-                        }
-                        // Non-blocking by construction (the queue holds
-                        // admission_capacity + slack slots): a full
-                        // queue means the reader side is hopeless —
-                        // kill the connection rather than drop a
-                        // response silently. The per-connection gauge
-                        // is released only after the send, because the
-                        // session's drain (gauge → zero, then tear down
-                        // the queue) must not race this enqueue.
-                        if reply_tx
-                            .try_send((id, ServerFrame::Reply(response)))
-                            .is_err()
-                        {
-                            conn.doom();
-                        }
-                        conn.in_flight.release();
-                    };
-                    if version >= 2 && request.kind() == wqrtq_engine::RequestKind::WhyNot {
-                        // Progressive partial frames ride the same
-                        // bounded writer queue ahead of the final
-                        // reply (same worker thread, so order is
-                        // guaranteed). They are best-effort: when a
-                        // slow reader fills the queue, partials are
-                        // dropped — only the final reply dooms the
-                        // connection on overflow.
-                        shared.engine.submit_with_progress_trace(
-                            request,
-                            trace_id,
-                            move |delta| {
-                                let _ = partial_tx.try_send((id, ServerFrame::ReplyPart(delta)));
-                            },
-                            complete,
-                        );
-                    } else {
-                        shared.engine.submit_with_trace(request, trace_id, complete);
+                let decoded = ClientFrame::decode(
+                    &conn.arena.buf[cursor + payload.start..cursor + payload.end],
+                );
+                cursor += consumed;
+                match decoded {
+                    Ok((id, message)) => dispatch(shared, conn, submit_buf, id, message),
+                    Err(e) => {
+                        protocol_error(shared, conn, e.to_string());
+                        break;
                     }
-                    // The admission span covers the gauge acquisition
-                    // and the hand-off to the pool — boundary cost a
-                    // worker-side span can never see. Recorded with the
-                    // connection id as the shard hint.
-                    let tracer = shared.engine.tracer();
-                    if tracer.enabled() {
-                        tracer.record(
-                            state.id as usize,
-                            SpanRecord {
-                                trace_id,
-                                stage: Stage::Admission,
-                                start_nanos: admitted,
-                                duration_nanos: tracer.now_nanos().saturating_sub(admitted),
-                            },
-                        );
-                    }
-                    None
-                } else {
-                    state
-                        .counters
-                        .busy_rejections
-                        .fetch_add(1, Ordering::Relaxed);
-                    Some(ServerFrame::Busy)
                 }
             }
-        };
-        if let Some(reply) = control_reply {
-            // Control replies ride the same bounded queue; a client that
-            // filled it with unread traffic loses the connection.
-            if tx.try_send((id, reply)).is_err() {
+            Err(FrameError::Oversized { len, max }) => {
+                protocol_error(
+                    shared,
+                    conn,
+                    format!("frame payload of {len} bytes exceeds the {max}-byte limit"),
+                );
+                break;
+            }
+            // split_frame never reports other variants on in-memory
+            // input, but stay total.
+            Err(_) => {
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+    conn.arena.consume_prefix(cursor);
+}
+
+/// Serves one decoded frame: control operations inline, submits through
+/// admission into the cycle's batch.
+fn dispatch(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    submit_buf: &mut Vec<BatchSubmission>,
+    id: u64,
+    message: ClientFrame,
+) {
+    // Id 0 is reserved for connection-level errors; a client using it
+    // could not tell its own reply from a fatal ProtocolError.
+    if id == CONNECTION_ID {
+        protocol_error(shared, conn, "request id 0 is reserved".into());
+        return;
+    }
+    match message {
+        ClientFrame::Ping => push_control(shared, conn, id, ServerFrame::Pong),
+        ClientFrame::RegisterDataset { name, dim, coords } => {
+            let reply = match shared.engine.register_dataset(&name, dim, coords) {
+                Ok(()) => ServerFrame::Registered,
+                Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
+            };
+            push_control(shared, conn, id, reply);
+        }
+        ClientFrame::RegisterWeights { name, weights } => {
+            let reply = match register_weights(shared, &name, weights) {
+                Ok(()) => ServerFrame::Registered,
+                Err(msg) => ServerFrame::Reply(Response::Error(msg)),
+            };
+            push_control(shared, conn, id, reply);
+        }
+        ClientFrame::Compact { dataset } => {
+            let reply = match shared.engine.compact(&dataset) {
+                Ok(ran) => ServerFrame::Compacted { ran },
+                Err(e) => ServerFrame::Reply(Response::Error(e.to_string())),
+            };
+            push_control(shared, conn, id, reply);
+        }
+        ClientFrame::Submit(request) => submit(shared, conn, submit_buf, id, request),
+    }
+}
+
+fn submit(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    submit_buf: &mut Vec<BatchSubmission>,
+    id: u64,
+    request: Request,
+) {
+    let is_plan = request.kind() == wqrtq_engine::RequestKind::WhyNot;
+    // Plan requests stream partial frames a v1 client could not decode;
+    // refuse them with a typed (non-fatal) error instead of poisoning
+    // the connection.
+    if conn.version < 2 && is_plan {
+        push_control(
+            shared,
+            conn,
+            id,
+            ServerFrame::Reply(Response::Error(
+                "why-not plan requests require protocol v2 (connect with the WQR2 \
+                 preamble)"
+                    .into(),
+            )),
+        );
+        return;
+    }
+    if !shared.admission.try_acquire(shared.admission_capacity) {
+        conn.shared
+            .counters
+            .busy_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        push_control(shared, conn, id, ServerFrame::Busy);
+        return;
+    }
+    // Wire trace ids compose the connection and frame identity, so a
+    // span in `Engine::trace_snapshot` points back to one request of
+    // one client.
+    let trace_id = (conn.shared.id << 32) | (id & 0xFFFF_FFFF);
+    let tracer = shared.engine.tracer();
+    let admitted = tracer.now_nanos();
+    conn.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    let complete = completion(shared.clone(), conn.shared.clone(), id, trace_id);
+    if conn.version >= 2 && is_plan {
+        // Progressive partial frames ride the same bounded reply
+        // backlog ahead of the final reply (same worker thread, so
+        // order is guaranteed). They are best-effort: when a slow
+        // reader fills the backlog, partials are dropped — only the
+        // final reply dooms the connection on overflow. Plan requests
+        // keep the dedicated progress path rather than the batch.
+        let shared_p = shared.clone();
+        let state = conn.shared.clone();
+        shared.engine.submit_with_progress_trace(
+            request,
+            trace_id,
+            move |delta| {
+                let bytes = encode_reply(
+                    &shared_p,
+                    &state,
+                    id,
+                    trace_id,
+                    ServerFrame::ReplyPart(delta),
+                );
+                state.push_frame(bytes, true);
+                state.notify();
+            },
+            complete,
+        );
+    } else {
+        submit_buf.push(BatchSubmission::new(request, trace_id, complete));
+    }
+    // The admission span covers the gauge acquisition and the staging
+    // into the batch — boundary cost a worker-side span can never see.
+    // Recorded with the connection id as the shard hint.
+    if tracer.enabled() {
+        tracer.record(
+            conn.shared.id as usize,
+            SpanRecord {
+                trace_id,
+                stage: Stage::Admission,
+                start_nanos: admitted,
+                duration_nanos: tracer.now_nanos().saturating_sub(admitted),
+            },
+        );
+    }
+}
+
+/// Builds the completion for one admitted request: runs on a pool
+/// worker, encodes the reply there, and queues it for the loop.
+fn completion(
+    shared: Arc<Shared>,
+    state: Arc<ConnShared>,
+    id: u64,
+    trace_id: u64,
+) -> impl FnOnce(Response) + Send + 'static {
+    move |mut response: Response| {
+        // Admission is released *before* the reply is enqueued: once a
+        // client has read a response, its permit is guaranteed free, so
+        // a retry after draining can never spuriously see Busy.
+        shared.admission.release();
+        // Server counters exist only at this layer; the engine leaves
+        // the slot empty for us to fill.
+        if let Response::Stats(stats) = &mut response {
+            stats.server = Some(shared.server_counters());
+        }
+        let is_stats = matches!(response, Response::Stats(_));
+        let started = std::time::Instant::now();
+        let bytes = encode_reply(&shared, &state, id, trace_id, ServerFrame::Reply(response));
+        // The stats reply serializes after the snapshot it carries was
+        // captured; recording it would make the engine's histograms
+        // diverge from that snapshot at quiescence.
+        if !is_stats {
+            shared
+                .engine
+                .record_stage(Stage::Serialize, started.elapsed());
+        }
+        // Push before dropping `in_flight`, notify after: the loop
+        // treats `in_flight == 0 && backlog == 0` as fully drained, and
+        // this ordering makes that check race-free.
+        state.push_frame(bytes, false);
+        state.in_flight.fetch_sub(1, Ordering::SeqCst);
+        state.notify();
+    }
+}
+
+/// Encodes one server frame into its wire bytes (length prefix
+/// included), recording the serialize span for traced frame types.
+fn encode_reply(
+    shared: &Arc<Shared>,
+    state: &ConnShared,
+    id: u64,
+    trace_id: u64,
+    message: ServerFrame,
+) -> Vec<u8> {
+    let tracer = shared.engine.tracer();
+    let traced =
+        tracer.enabled() && matches!(message, ServerFrame::Reply(_) | ServerFrame::ReplyPart(_));
+    let started = if traced { tracer.now_nanos() } else { 0 };
+    let bytes = encode_frame(id, &message);
+    if traced {
+        tracer.record(
+            state.id as usize,
+            SpanRecord {
+                trace_id,
+                stage: Stage::Serialize,
+                start_nanos: started,
+                duration_nanos: tracer.now_nanos().saturating_sub(started),
+            },
+        );
+    }
+    bytes
+}
+
+/// One wire frame, length prefix included, ready for the write queue.
+fn encode_frame(id: u64, message: &ServerFrame) -> Vec<u8> {
+    let payload = message.encode(id);
+    let mut bytes = Vec::with_capacity(4 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Queues a control reply (pong, hello, busy, registration acks, typed
+/// and protocol errors) produced on the loop thread itself.
+fn push_control(shared: &Arc<Shared>, conn: &mut Conn, id: u64, message: ServerFrame) {
+    let state = &conn.shared;
+    if state.doomed.load(Ordering::Acquire) {
+        return;
+    }
+    let queued = state.backlog.fetch_add(1, Ordering::SeqCst);
+    if queued >= state.backlog_cap {
+        // A client that filled an entire admission window of replies
+        // with unread traffic loses the connection.
+        state.backlog.fetch_sub(1, Ordering::SeqCst);
+        state.doomed.store(true, Ordering::Release);
+        return;
+    }
+    let trace_id = (state.id << 32) | (id & 0xFFFF_FFFF);
+    let bytes = encode_reply(shared, state, id, trace_id, message);
+    conn.write_queue.push_back(bytes);
+}
+
+/// Charges a protocol violation: counted, reported to the peer, and the
+/// connection stops reading (replies still drain, then it closes).
+fn protocol_error(shared: &Arc<Shared>, conn: &mut Conn, message: String) {
+    conn.shared
+        .counters
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
+    push_control(
+        shared,
+        conn,
+        CONNECTION_ID,
+        ServerFrame::ProtocolError(message),
+    );
+    conn.read_closed = true;
+}
+
+/// Adopts completed replies and writes the queue out with vectored
+/// writes until the socket would block.
+fn flush_writes(conn: &mut Conn) {
+    {
+        let mut out = conn.shared.out.lock().expect("reply queue lock");
+        while let Some(frame) = out.pop_front() {
+            conn.write_queue.push_back(frame);
+        }
+    }
+    while !conn.write_queue.is_empty() {
+        let mut slices: Vec<IoSlice<'_>> =
+            Vec::with_capacity(conn.write_queue.len().min(MAX_WRITE_SLICES));
+        let mut iter = conn.write_queue.iter();
+        let head = iter.next().expect("non-empty write queue");
+        slices.push(IoSlice::new(&head[conn.head_written..]));
+        for frame in iter.take(MAX_WRITE_SLICES - 1) {
+            slices.push(IoSlice::new(frame));
+        }
+        let result = conn.stream.write_vectored(&slices);
+        conn.shared
+            .counters
+            .write_syscalls
+            .fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(0) => {
+                conn.shared.doomed.store(true, Ordering::Release);
+                return;
+            }
+            Ok(mut written) => {
+                while written > 0 {
+                    let head_len = conn
+                        .write_queue
+                        .front()
+                        .expect("written bytes imply a queued frame")
+                        .len();
+                    let remaining = head_len - conn.head_written;
+                    if written >= remaining {
+                        conn.write_queue.pop_front();
+                        conn.head_written = 0;
+                        written -= remaining;
+                        conn.shared
+                            .counters
+                            .frames_out
+                            .fetch_add(1, Ordering::Relaxed);
+                        conn.shared.backlog.fetch_sub(1, Ordering::SeqCst);
+                    } else {
+                        conn.head_written += written;
+                        written = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                conn.want_write = true;
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // The peer stopped reading (or vanished): queued frames
+            // have nowhere to go.
+            Err(_) => {
+                conn.shared.doomed.store(true, Ordering::Release);
                 return;
             }
         }
     }
+    conn.want_write = false;
 }
 
 /// Validates and registers an inline weight population. The predicate
 /// matches every invariant [`Weight::new`] asserts — non-empty, entries
 /// finite and `>= -EPS`, sum within `1e-6` of 1 — so a hostile frame
-/// gets a typed error back instead of panicking the session thread, and
+/// gets a typed error back instead of panicking the loop thread, and
 /// wire registration accepts exactly what in-process registration does.
 fn register_weights(shared: &Shared, name: &str, weights: Vec<Vec<f64>>) -> Result<(), String> {
     let mut population = Vec::with_capacity(weights.len());
@@ -896,67 +1562,4 @@ fn register_weights(shared: &Shared, name: &str, weights: Vec<Vec<f64>>) -> Resu
         .engine
         .register_weights(name, population)
         .map_err(|e| e.to_string())
-}
-
-/// Owns the socket's write half: encodes and writes queued frames,
-/// flushing once per burst.
-fn writer_loop(
-    stream: TcpStream,
-    rx: Receiver<(u64, ServerFrame)>,
-    state: &Arc<ConnState>,
-    shared: &Arc<Shared>,
-) {
-    let mut out = BufWriter::new(stream);
-    while let Ok((id, message)) = rx.recv() {
-        if write_one(&mut out, id, &message, state, shared).is_err() {
-            // The peer stopped reading (or vanished). Doom the whole
-            // connection so the reader unblocks too, then bail — queued
-            // frames have nowhere to go.
-            state.doom();
-            return;
-        }
-        // Opportunistically batch whatever is already queued before
-        // paying the flush.
-        while let Ok((id, message)) = rx.try_recv() {
-            if write_one(&mut out, id, &message, state, shared).is_err() {
-                state.doom();
-                return;
-            }
-        }
-        if out.flush().is_err() {
-            state.doom();
-            return;
-        }
-    }
-}
-
-fn write_one(
-    out: &mut BufWriter<TcpStream>,
-    id: u64,
-    message: &ServerFrame,
-    state: &Arc<ConnState>,
-    shared: &Arc<Shared>,
-) -> std::io::Result<()> {
-    // The serialize span covers encoding plus the buffered write (the
-    // burst flush is shared across frames and stays unattributed).
-    // Control frames (pong, hello, busy) carry no request identity and
-    // are not traced.
-    let tracer = shared.engine.tracer();
-    let traced =
-        tracer.enabled() && matches!(message, ServerFrame::Reply(_) | ServerFrame::ReplyPart(_));
-    let started = if traced { tracer.now_nanos() } else { 0 };
-    frame::write_frame(out, &message.encode(id))?;
-    if traced {
-        tracer.record(
-            state.id as usize,
-            SpanRecord {
-                trace_id: (state.id << 32) | (id & 0xFFFF_FFFF),
-                stage: Stage::Serialize,
-                start_nanos: started,
-                duration_nanos: tracer.now_nanos().saturating_sub(started),
-            },
-        );
-    }
-    state.counters.frames_out.fetch_add(1, Ordering::Relaxed);
-    Ok(())
 }

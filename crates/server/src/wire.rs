@@ -874,6 +874,8 @@ fn encode_stats(w: &mut ByteWriter, stats: &StatsSnapshot) {
             w.put_u64(counters.busy_rejections);
             w.put_u64(counters.protocol_errors);
             w.put_u64(counters.in_flight);
+            w.put_u64(counters.read_syscalls);
+            w.put_u64(counters.write_syscalls);
         }
         None => w.put_u8(0),
     }
@@ -936,6 +938,8 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, DecodeError> {
             busy_rejections: r.take_u64("busy rejections")?,
             protocol_errors: r.take_u64("protocol errors")?,
             in_flight: r.take_u64("in flight")?,
+            read_syscalls: r.take_u64("read syscalls")?,
+            write_syscalls: r.take_u64("write syscalls")?,
         }),
         _ => return Err(DecodeError::new("invalid server counters flag")),
     };
@@ -1289,6 +1293,8 @@ mod tests {
                 busy_rejections: 1,
                 protocol_errors: 1,
                 in_flight: 2,
+                read_syscalls: 11,
+                write_syscalls: 9,
             })))),
             Response::Mutated { live_len: 8 },
             Response::Error("unknown dataset `nope`".into()),

@@ -958,3 +958,220 @@ fn plain_submit_of_a_plan_request_keeps_a_v2_connection_in_sync() {
     client.ping().unwrap();
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Event-loop edge states: frame reassembly across short reads, slow
+// readers overflowing the bounded reply backlog, latency of depth-1
+// round trips (the TCP_NODELAY regression canary), and multi-loop
+// operation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn depth_one_round_trips_stay_under_the_nagle_bound() {
+    // With TCP_NODELAY set on both ends a loopback ping round trip is
+    // tens of microseconds; if either side loses the nodelay call the
+    // Nagle/delayed-ACK interaction stretches it to ~40ms. The bound
+    // leaves two orders of magnitude of scheduler headroom.
+    let server = serving_fixture();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..5 {
+        client.ping().unwrap(); // warm-up
+    }
+    let mut rtts: Vec<Duration> = (0..50)
+        .map(|_| {
+            let started = Instant::now();
+            client.ping().unwrap();
+            started.elapsed()
+        })
+        .collect();
+    rtts.sort_unstable();
+    let p50 = rtts[rtts.len() / 2];
+    assert!(
+        p50 < Duration::from_millis(10),
+        "depth-1 ping p50 {p50:?} exceeds the nodelay regression bound"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn frames_split_across_reads_reassemble() {
+    // The read arena must stitch together a preamble and frames that
+    // arrive one fragment per read(2): prefix split from payload,
+    // payload split mid-way, and a second frame glued onto the tail
+    // fragment of the first.
+    let server = serving_fixture();
+    let mut stream = raw_conn(&server);
+    let trickle = |stream: &mut TcpStream, bytes: &[u8]| {
+        stream.write_all(bytes).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    trickle(&mut stream, &wqrtq_server::MAGIC[..2]);
+    trickle(&mut stream, &wqrtq_server::MAGIC[2..]);
+
+    let ping = ClientFrame::Ping.encode(1);
+    let mut framed = (ping.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&ping);
+    // Length prefix alone, then half the payload, then the rest.
+    trickle(&mut stream, &framed[..4]);
+    trickle(&mut stream, &framed[4..6]);
+    trickle(&mut stream, &framed[6..]);
+
+    // Two-and-a-half frames in one burst, completed by a second write.
+    let ping2 = ClientFrame::Ping.encode(2);
+    let ping3 = ClientFrame::Ping.encode(3);
+    let mut burst = (ping2.len() as u32).to_le_bytes().to_vec();
+    burst.extend_from_slice(&ping2);
+    burst.extend_from_slice(&(ping3.len() as u32).to_le_bytes());
+    burst.extend_from_slice(&ping3[..3]);
+    trickle(&mut stream, &burst);
+    trickle(&mut stream, &ping3[3..]);
+
+    for expect_id in 1..=3u64 {
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix).unwrap();
+        let len = u32::from_le_bytes(prefix) as usize;
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).unwrap();
+        match ServerFrame::decode(&payload).unwrap() {
+            (id, ServerFrame::Pong) => assert_eq!(id, expect_id),
+            other => panic!("expected pong {expect_id}, got {other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.frames_in, 3);
+    server.shutdown();
+}
+
+#[test]
+fn slow_reader_overflowing_the_reply_backlog_is_killed() {
+    // A client that stops reading replies gets its connection killed
+    // once the bounded reply backlog overflows — the server must not
+    // buffer unboundedly for a stalled peer, and the pool must keep
+    // serving everyone else. Tiny kernel buffers on both ends make the
+    // overflow reachable with a modest flood.
+    let server = Server::builder()
+        .workers(1)
+        .admission_capacity(1)
+        .socket_send_buffer(4096)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    server
+        .engine()
+        .register_dataset("p", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_recv_buffer(4096).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Flood pings without ever reading a pong. Control replies are not
+    // best-effort: overflowing the backlog dooms the connection, after
+    // which our writes start failing (reset) — both are fine.
+    let mut sent = 0u32;
+    for _ in 0..20_000 {
+        match client.send(&ClientFrame::Ping) {
+            Ok(_) => sent += 1,
+            Err(_) => break,
+        }
+    }
+    assert!(sent > 16, "flood too small to overflow the backlog");
+
+    // The connection dies without us ever reading.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        server.stats(); // reaps closed connections
+        if server.connection_stats().is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slow reader was never killed: {:?}",
+            server.connection_stats()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn multiple_event_loops_serve_connections_concurrently() {
+    // Connections spread round-robin across loops; cross-loop handoff,
+    // per-loop wakeups, and shared admission must all compose. Four
+    // threads hammer the same dataset and every reply must pair up.
+    let server = Server::builder()
+        .workers(2)
+        .event_loops(2)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    server
+        .engine()
+        .register_dataset("p", 2, PRODUCTS_2D.to_vec())
+        .unwrap();
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                for _ in 0..50 {
+                    match client
+                        .submit(&Request::TopK {
+                            dataset: "p".into(),
+                            weight: vec![0.5, 0.5],
+                            k: 2,
+                        })
+                        .unwrap()
+                    {
+                        Response::TopK(points) => assert_eq!(points.len(), 2),
+                        other => panic!("expected a top-k reply, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 4);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.busy_rejections, 0);
+    assert_eq!(stats.frames_in, 200);
+    assert_eq!(stats.frames_out, 200);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batch_submit_round_trips_every_reply() {
+    // send_request_batch writes a burst with one flush; the server
+    // decodes it from few reads and hands the engine one batch. Every
+    // id must come back exactly once (order may vary).
+    let server = serving_fixture();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let request = Request::TopK {
+        dataset: "p".into(),
+        weight: vec![0.5, 0.5],
+        k: 1,
+    };
+    let burst: Vec<&Request> = (0..32).map(|_| &request).collect();
+    let ids = client.send_request_batch(&burst).unwrap();
+    let mut pending: std::collections::HashSet<u64> = ids.into_iter().collect();
+    while !pending.is_empty() {
+        let (id, frame) = client.recv().unwrap();
+        assert!(pending.remove(&id), "duplicate or unknown reply id {id}");
+        match frame {
+            ServerFrame::Reply(Response::TopK(points)) => assert_eq!(points.len(), 1),
+            other => panic!("expected a top-k reply, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
