@@ -1,0 +1,88 @@
+//! Scale sweep for the two-tier data plane — emits `BENCH_scale.json`.
+//!
+//! Usage:
+//!   scale_bench [--ns 100000,1000000] [--dims 3,5,8] [--weights 240]
+//!               [--k 10] [--repeats 5] [--seed 2015] [--out FILE]
+//!               [--cells 100000:3,100000:5,1000000:3]
+//!
+//! `--cells` lists explicit `n:dim` pairs and overrides the `--ns` ×
+//! `--dims` cross product — an asymmetric sweep in one report. The 10M
+//! tier is opt-in: pass `--ns 100000,1000000,10000000`. CI smoke runs
+//! pass small `--ns/--dims` instead.
+
+use std::fs::File;
+use std::io::Write;
+use std::process::exit;
+use wqrtq_bench::{scale_bench, ScaleBenchConfig};
+
+fn parse_list(flag: &str, value: &str) -> Vec<usize> {
+    let parsed: Result<Vec<usize>, _> = value.split(',').map(str::parse).collect();
+    match parsed {
+        Ok(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!("error: {flag} expects a comma-separated list of integers, got {value:?}");
+            exit(2);
+        }
+    }
+}
+
+fn parse_cells(value: &str) -> Vec<(usize, usize)> {
+    let parsed: Option<Vec<(usize, usize)>> = value
+        .split(',')
+        .map(|pair| {
+            let (n, d) = pair.split_once(':')?;
+            Some((n.parse().ok()?, d.parse().ok()?))
+        })
+        .collect();
+    match parsed {
+        Some(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!("error: --cells expects comma-separated n:dim pairs, got {value:?}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = ScaleBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} expects a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--ns" => cfg.ns = parse_list("--ns", &value("--ns")),
+            "--dims" => cfg.dims = parse_list("--dims", &value("--dims")),
+            "--cells" => cfg.cells = parse_cells(&value("--cells")),
+            "--weights" => cfg.num_weights = value("--weights").parse().expect("--weights"),
+            "--k" => cfg.k = value("--k").parse().expect("--k"),
+            "--repeats" => cfg.repeats = value("--repeats").parse().expect("--repeats"),
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed"),
+            "--out" => out = Some(value("--out")),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                exit(2);
+            }
+        }
+    }
+
+    let report = scale_bench::run(&cfg);
+    eprint!("{}", report.summary());
+    if !report.bit_identical() {
+        eprintln!("error: two-tier plane diverged from the exact reference");
+        exit(1);
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let mut f = File::create(&path).expect("create report file");
+            f.write_all(json.as_bytes()).expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -13,6 +13,7 @@ pub mod harness;
 pub mod mutation_bench;
 pub mod params;
 pub mod rank_bench;
+pub mod scale_bench;
 pub mod server_bench;
 pub mod whynot_bench;
 
@@ -21,5 +22,6 @@ pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
 pub use mutation_bench::{MutationBenchConfig, MutationComparison};
 pub use params::{Config, DatasetKind, Profile};
 pub use rank_bench::{RankBenchConfig, RankComparison};
+pub use scale_bench::{ScaleBenchConfig, ScaleCell, ScaleReport, TierTiming};
 pub use server_bench::{ServerBenchConfig, ServerComparison, SweepPoint};
 pub use whynot_bench::{WhyNotBenchConfig, WhyNotComparison};

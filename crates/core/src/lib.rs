@@ -52,7 +52,7 @@ pub use explain::{
 };
 pub use framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 pub use incomparable::DominanceFrontier;
-pub use mqp::{mqp, mqp_view, MqpResult};
+pub use mqp::{mqp, mqp_masked, mqp_view, mqp_view_masked, MqpResult};
 pub use mqwk::{mqwk, mqwk_view, MqwkResult};
 pub use mwk::{mwk, mwk_view, MwkResult};
 pub use penalty::Tolerances;

@@ -13,7 +13,7 @@ use crate::penalty::query_point_penalty;
 use crate::safe_region::SafeRegion;
 use wqrtq_geom::{DeltaView, Weight};
 use wqrtq_qp::{solve, QpProblem};
-use wqrtq_rtree::RTree;
+use wqrtq_rtree::{DominanceIndex, RTree};
 
 /// Result of the MQP refinement.
 #[derive(Clone, Debug)]
@@ -68,6 +68,46 @@ pub fn mqp_view(
         });
     }
     let region = SafeRegion::build_view(tree, view, q, k, why_not)?;
+    optimise_over(region, q, why_not)
+}
+
+/// [`mqp`] consulting a [`DominanceIndex`] built from `tree` during the
+/// constraint-finding phase. Bit-identical to [`mqp`]: the safe region's
+/// thresholds survive masking exactly, and the QP sees the same problem.
+pub fn mqp_masked(
+    tree: &RTree,
+    dom: &DominanceIndex,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+) -> Result<MqpResult, WhyNotError> {
+    if q.len() != tree.dim() {
+        return Err(WhyNotError::DimensionMismatch {
+            expected: tree.dim(),
+            got: q.len(),
+        });
+    }
+    let region = SafeRegion::build_masked(tree, dom, q, k, why_not)?;
+    optimise_over(region, q, why_not)
+}
+
+/// [`mqp_view`] consulting a [`DominanceIndex`] built from the view's
+/// *base* tree; bit-identical to [`mqp_view`].
+pub fn mqp_view_masked(
+    tree: &RTree,
+    view: &DeltaView,
+    dom: &DominanceIndex,
+    q: &[f64],
+    k: usize,
+    why_not: &[Weight],
+) -> Result<MqpResult, WhyNotError> {
+    if q.len() != tree.dim() {
+        return Err(WhyNotError::DimensionMismatch {
+            expected: tree.dim(),
+            got: q.len(),
+        });
+    }
+    let region = SafeRegion::build_view_masked(tree, view, dom, q, k, why_not)?;
     optimise_over(region, q, why_not)
 }
 

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use wqrtq_geom::{DeltaView, FlatPoints, Weight};
-use wqrtq_rtree::RTree;
+use wqrtq_rtree::{DominanceIndex, RTree};
 
 /// The versions of one dataset snapshot. Any mutation strictly increases
 /// one component (appends bump `delta`, deletes bump `tombstones`,
@@ -84,6 +84,11 @@ pub struct DatasetHandle {
     /// The delta overlay this request must answer against (plain when
     /// the dataset has not mutated since its base was built).
     pub view: DeltaView,
+    /// The k-dominance exclusion mask over the base tree, built lazily
+    /// per base generation next to the index. `None` when the catalog
+    /// was configured with the pre-filter off (the differential-oracle
+    /// opt-out) — serving paths then take the unmasked kernels.
+    pub dom: Option<Arc<DominanceIndex>>,
 }
 
 impl DatasetHandle {
@@ -114,6 +119,11 @@ struct DatasetEntry {
     /// Built exactly once per base generation; replaced wholesale on
     /// re-registration / compaction.
     index: Arc<OnceLock<BuiltIndex>>,
+    /// The dominance mask of this base generation, built lazily after
+    /// the index (its own `OnceLock`, so mask construction never blocks
+    /// callers that only need the tree). Replaced wholesale together
+    /// with the index — the mask describes exactly one base epoch.
+    dom: Arc<OnceLock<Arc<DominanceIndex>>>,
 }
 
 impl DatasetEntry {
@@ -129,6 +139,7 @@ impl DatasetEntry {
             dead_rows: Arc::new(Vec::new()),
             dead_ids: Arc::new(Vec::new()),
             index: Arc::new(OnceLock::new()),
+            dom: Arc::new(OnceLock::new()),
         }
     }
 
@@ -176,16 +187,44 @@ pub struct CatalogStats {
     /// Compaction attempts abandoned because the dataset mutated while
     /// the merge was running (the next mutation re-triggers).
     pub compactions_abandoned: u64,
+    /// Dominance masks actually built (lazy first-use per base
+    /// generation). Deliberately separate from `index_builds`, whose
+    /// exact values the overlay-serving gates assert.
+    pub mask_builds: u64,
+    /// Points skipped by the k-dominance pre-filter across all masked
+    /// traversals (cumulative across base generations).
+    pub prefilter_skips: u64,
+    /// Quantized blocks the two-tier scan had to rescore in exact `f64`
+    /// because the `f32` bounds straddled the threshold (cumulative
+    /// across base generations).
+    pub quantized_fallbacks: u64,
 }
 
 /// Thread-safe catalog of datasets and weight populations.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     inner: RwLock<CatalogInner>,
+    /// Build the k-dominance exclusion mask per base generation and hand
+    /// it to serving snapshots.
+    prefilter: bool,
+    /// Build the quantized `f32` mirror tier of every flat store.
+    quantized: bool,
     index_builds: AtomicU64,
     rebuilds_avoided: AtomicU64,
     compactions: AtomicU64,
     compactions_abandoned: AtomicU64,
+    mask_builds: AtomicU64,
+    /// Skip/fallback tallies of retired base generations (folded in when
+    /// compaction or re-registration replaces an entry, so the stats
+    /// stay monotone across rebuilds).
+    retired_prefilter_skips: AtomicU64,
+    retired_quantized_fallbacks: AtomicU64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::with_config(true, true)
+    }
 }
 
 /// Validates that every coordinate is finite (the request boundary's
@@ -195,9 +234,42 @@ fn check_finite(points: &[f64]) -> Result<(), EngineError> {
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty catalog with both data-plane tiers enabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty catalog with the two data-plane tiers individually
+    /// switched: `prefilter` gates the k-dominance exclusion mask,
+    /// `quantized` gates the `f32` block-scan tier. Turning both off
+    /// yields the exact-`f64`, unmasked reference plane the differential
+    /// oracles compare against.
+    pub fn with_config(prefilter: bool, quantized: bool) -> Self {
+        Self {
+            inner: RwLock::default(),
+            prefilter,
+            quantized,
+            index_builds: AtomicU64::new(0),
+            rebuilds_avoided: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compactions_abandoned: AtomicU64::new(0),
+            mask_builds: AtomicU64::new(0),
+            retired_prefilter_skips: AtomicU64::new(0),
+            retired_quantized_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds a replaced entry's tier counters into the retired tallies
+    /// (call before dropping the entry's built index / mask).
+    fn retire_entry_counters(&self, entry: &DatasetEntry) {
+        if let Some((_, flat)) = entry.index.get() {
+            self.retired_quantized_fallbacks
+                .fetch_add(flat.tier_totals().quantized_fallbacks, Ordering::Relaxed);
+        }
+        if let Some(dom) = entry.dom.get() {
+            self.retired_prefilter_skips
+                .fetch_add(dom.skips(), Ordering::Relaxed);
+        }
     }
 
     /// Registers (or replaces) a dataset from a flat `n × dim` buffer.
@@ -220,7 +292,13 @@ impl Catalog {
         }
         check_finite(&coords)?;
         let mut inner = self.inner.write().expect("catalog lock");
-        let base_epoch = inner.datasets.get(name).map_or(1, |e| e.base_epoch + 1);
+        let base_epoch = match inner.datasets.get(name) {
+            Some(old) => {
+                self.retire_entry_counters(old);
+                old.base_epoch + 1
+            }
+            None => 1,
+        };
         inner.datasets.insert(
             name.to_string(),
             DatasetEntry::fresh(dim, coords, base_epoch),
@@ -405,7 +483,7 @@ impl Catalog {
     /// losers would be discarded.
     pub fn handle(&self, name: &str) -> Result<DatasetHandle, EngineError> {
         // Snapshot everything consistent under the read lock.
-        let (entry_snapshot, once) = {
+        let (entry_snapshot, once, dom_once) = {
             let inner = self.inner.read().expect("catalog lock");
             let entry = inner
                 .datasets
@@ -422,6 +500,7 @@ impl Catalog {
                     entry.dead_ids.clone(),
                 ),
                 entry.index.clone(),
+                entry.dom.clone(),
             )
         };
         let (coords, dim, epoch, delta_rows, delta_ids, dead_rows, dead_ids) = entry_snapshot;
@@ -430,10 +509,26 @@ impl Catalog {
                 self.index_builds.fetch_add(1, Ordering::Relaxed);
                 (
                     Arc::new(RTree::bulk_load(dim, &coords)),
-                    Arc::new(FlatPoints::from_row_major(dim, &coords)),
+                    Arc::new(FlatPoints::from_row_major_with(
+                        dim,
+                        &coords,
+                        self.quantized,
+                    )),
                 )
             })
             .clone();
+        // The mask rides its own OnceLock on the same base generation:
+        // built at most once per generation, outside the catalog lock,
+        // and counted separately from index builds (overlay gates assert
+        // exact `index_builds` values).
+        let dom = self.prefilter.then(|| {
+            dom_once
+                .get_or_init(|| {
+                    self.mask_builds.fetch_add(1, Ordering::Relaxed);
+                    Arc::new(DominanceIndex::build(&index))
+                })
+                .clone()
+        });
         let view = DeltaView::new(flat.clone(), delta_rows, delta_ids, dead_rows, dead_ids);
         Ok(DatasetHandle {
             coords,
@@ -442,6 +537,7 @@ impl Catalog {
             index,
             flat,
             view,
+            dom,
         })
     }
 
@@ -488,7 +584,11 @@ impl Catalog {
         live_coords.extend_from_slice(&delta_rows);
         let built: BuiltIndex = (
             Arc::new(RTree::bulk_load(dim, &live_coords)),
-            Arc::new(FlatPoints::from_row_major(dim, &live_coords)),
+            Arc::new(FlatPoints::from_row_major_with(
+                dim,
+                &live_coords,
+                self.quantized,
+            )),
         );
         self.index_builds.fetch_add(1, Ordering::Relaxed);
 
@@ -501,6 +601,9 @@ impl Catalog {
             self.compactions_abandoned.fetch_add(1, Ordering::Relaxed);
             return Ok(false);
         }
+        // The stale generation's mask dies with it (the fresh entry's
+        // OnceLock rebuilds lazily); keep its telemetry.
+        self.retire_entry_counters(entry);
         let base_epoch = entry.base_epoch + 1;
         let mut fresh = DatasetEntry::fresh(entry.dim, live_coords, base_epoch);
         let once = OnceLock::new();
@@ -558,13 +661,32 @@ impl Catalog {
             .is_some_and(|e| e.index.get().is_some())
     }
 
-    /// Point-in-time mutation/build counters.
+    /// Point-in-time mutation/build counters. The two-tier tallies sum
+    /// the live entries' counters (read under the catalog lock) with the
+    /// retired tallies of replaced base generations, so they are
+    /// monotone across compactions and re-registrations.
     pub fn stats(&self) -> CatalogStats {
+        let (mut prefilter_skips, mut quantized_fallbacks) = (0u64, 0u64);
+        {
+            let inner = self.inner.read().expect("catalog lock");
+            for entry in inner.datasets.values() {
+                if let Some((_, flat)) = entry.index.get() {
+                    quantized_fallbacks += flat.tier_totals().quantized_fallbacks;
+                }
+                if let Some(dom) = entry.dom.get() {
+                    prefilter_skips += dom.skips();
+                }
+            }
+        }
         CatalogStats {
             index_builds: self.index_builds.load(Ordering::Relaxed),
             rebuilds_avoided: self.rebuilds_avoided.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             compactions_abandoned: self.compactions_abandoned.load(Ordering::Relaxed),
+            mask_builds: self.mask_builds.load(Ordering::Relaxed),
+            prefilter_skips: prefilter_skips + self.retired_prefilter_skips.load(Ordering::Relaxed),
+            quantized_fallbacks: quantized_fallbacks
+                + self.retired_quantized_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -773,6 +895,52 @@ mod tests {
         c.register("b", 1, vec![1.0]).unwrap();
         c.register("a", 1, vec![2.0]).unwrap();
         assert_eq!(c.dataset_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn mask_builds_lazily_and_separately_from_the_index() {
+        let c = Catalog::new();
+        c.register("sq", 2, unit_square()).unwrap();
+        let h = c.handle("sq").unwrap();
+        assert!(h.flat.is_quantized(), "default catalog quantizes");
+        let dom = h.dom.expect("default catalog builds the mask");
+        assert_eq!(dom.counts().len(), 4);
+        let s = c.stats();
+        assert_eq!((s.index_builds, s.mask_builds), (1, 1));
+        // A second handle shares the same mask — still one build each.
+        let h2 = c.handle("sq").unwrap();
+        assert!(Arc::ptr_eq(&dom, h2.dom.as_ref().unwrap()));
+        let s = c.stats();
+        assert_eq!((s.index_builds, s.mask_builds), (1, 1));
+    }
+
+    #[test]
+    fn tiers_off_catalog_serves_the_exact_reference_plane() {
+        let c = Catalog::with_config(false, false);
+        c.register("sq", 2, unit_square()).unwrap();
+        let h = c.handle("sq").unwrap();
+        assert!(h.dom.is_none(), "prefilter off: no mask");
+        assert!(!h.flat.is_quantized(), "quantized off: exact f64 only");
+        let s = c.stats();
+        assert_eq!(s.mask_builds, 0);
+        assert_eq!(s.prefilter_skips, 0);
+        assert_eq!(s.quantized_fallbacks, 0);
+    }
+
+    #[test]
+    fn compaction_retires_the_mask_with_its_base_generation() {
+        let c = Catalog::new();
+        c.register("sq", 2, unit_square()).unwrap();
+        let dom1 = c.handle("sq").unwrap().dom.unwrap();
+        c.append("sq", &[0.5, 0.5]).unwrap();
+        let epoch = c.epoch("sq").unwrap();
+        assert!(c.compact_if("sq", epoch).unwrap());
+        // The fresh base generation rebuilds its mask lazily, on demand.
+        assert_eq!(c.stats().mask_builds, 1);
+        let dom2 = c.handle("sq").unwrap().dom.unwrap();
+        assert!(!Arc::ptr_eq(&dom1, &dom2), "new base, new mask");
+        assert_eq!(dom2.counts().len(), 5);
+        assert_eq!(c.stats().mask_builds, 2);
     }
 
     #[test]

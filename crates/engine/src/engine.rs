@@ -42,6 +42,8 @@ pub struct EngineBuilder {
     shard_limit: usize,
     overlay_limit: Option<usize>,
     tracing: bool,
+    prefilter: bool,
+    quantized: bool,
 }
 
 impl Default for EngineBuilder {
@@ -52,6 +54,8 @@ impl Default for EngineBuilder {
             shard_limit: std::thread::available_parallelism().map_or(1, |n| n.get()),
             overlay_limit: None,
             tracing: true,
+            prefilter: true,
+            quantized: true,
         }
     }
 }
@@ -114,9 +118,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether the k-dominance pre-filter is built and consulted
+    /// (default true). Turning it off removes the exclusion mask from
+    /// every serving path — the opt-out the differential oracles use to
+    /// obtain the unmasked reference plane. Verdicts are bit-identical
+    /// either way.
+    pub fn prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
+    }
+
+    /// Whether the flat stores carry the quantized `f32` block tier
+    /// (default true). Off means every block scan runs exact `f64`
+    /// arithmetic directly — the other half of the differential-oracle
+    /// opt-out. Counts are bit-identical either way.
+    pub fn quantized(mut self, enabled: bool) -> Self {
+        self.quantized = enabled;
+        self
+    }
+
     /// Spawns the workers and returns the engine.
     pub fn build(self) -> Engine {
-        let catalog = Arc::new(Catalog::new());
+        let catalog = Arc::new(Catalog::with_config(self.prefilter, self.quantized));
         let cache = Arc::new(ResultCache::new(self.cache_capacity));
         let metrics = Arc::new(Metrics::new());
         // One ring shard per worker (workers hint with their own index)
@@ -647,6 +670,90 @@ mod tests {
         assert_eq!(m.total_requests(), 5);
         assert_eq!(m.batches, 1);
         assert!(m.total_index_nodes() > 0, "TopK/Explain report index work");
+    }
+
+    #[test]
+    fn two_tier_plane_is_bit_identical_to_the_exact_oracle() {
+        let scatter = |n: usize, seed: u64| -> Vec<f64> {
+            let mut v = Vec::with_capacity(n * 3);
+            let mut s = seed | 1;
+            for _ in 0..n * 3 {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.push((s >> 11) as f64 / (1u64 << 53) as f64 * 100.0);
+            }
+            v
+        };
+        // Above the flat-scan cutoff so the masked RTA path runs too.
+        let coords = scatter(3000, 9);
+        let weights: Vec<Vec<f64>> = (0..96)
+            .map(|i| {
+                let a = (i as f64 + 1.0) / 97.0;
+                vec![a, (1.0 - a) * 0.7, (1.0 - a) * 0.3]
+            })
+            .collect();
+        let tiered = Engine::builder().workers(2).build();
+        let oracle = Engine::builder()
+            .workers(2)
+            .prefilter(false)
+            .quantized(false)
+            .build();
+        for e in [&tiered, &oracle] {
+            e.register_dataset("d", 3, coords.clone()).unwrap();
+        }
+        let q = vec![50.0, 50.0, 50.0];
+        let reqs = |k: usize| {
+            vec![
+                Request::ReverseTopKBi {
+                    dataset: "d".into(),
+                    weights: WeightSet::Inline(weights.clone()),
+                    q: q.clone(),
+                    k,
+                },
+                Request::TopK {
+                    dataset: "d".into(),
+                    weight: vec![0.2, 0.5, 0.3],
+                    k,
+                },
+                Request::WhyNotExplain {
+                    dataset: "d".into(),
+                    weight: vec![0.6, 0.2, 0.2],
+                    q: q.clone(),
+                    limit: 8,
+                },
+            ]
+        };
+        for k in [1usize, 5, 20] {
+            assert_eq!(
+                tiered.submit_batch(reqs(k)),
+                oracle.submit_batch(reqs(k)),
+                "pre-mutation, k={k}"
+            );
+        }
+        // Identical mutation streams: the mask built at the old base
+        // must keep correcting through the epoch triple.
+        for e in [&tiered, &oracle] {
+            e.append_points("d", &scatter(40, 11)).unwrap();
+            e.delete_points("d", &[3, 77, 2040]).unwrap();
+        }
+        for k in [1usize, 5, 20] {
+            assert_eq!(
+                tiered.submit_batch(reqs(k)),
+                oracle.submit_batch(reqs(k)),
+                "post-mutation, k={k}"
+            );
+        }
+        let mt = tiered.metrics();
+        assert_eq!(mt.catalog.mask_builds, 1, "one mask per base generation");
+        assert!(
+            mt.catalog.prefilter_skips > 0,
+            "the pre-filter must actually skip points"
+        );
+        let mo = oracle.metrics();
+        assert_eq!(mo.catalog.mask_builds, 0);
+        assert_eq!(mo.catalog.prefilter_skips, 0);
+        assert_eq!(mo.catalog.quantized_fallbacks, 0);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub enum EngineError {
     /// nothing to run, so there can be no recommendation.
     EmptyStrategySet,
     /// A sampling budget exceeds the serving cap
-    /// ([`crate::request::MAX_SAMPLE_BUDGET`]): the samplers allocate
+    /// (`MAX_SAMPLE_BUDGET` in the request module): the samplers allocate
     /// and loop proportionally to it, so an unbounded wire value could
     /// pin a pool worker or abort the process on allocation.
     SampleBudgetTooLarge {

@@ -280,7 +280,9 @@ impl MetricsSnapshot {
                 "\"delta_hits\": {}, ",
                 "\"cache\": {{\"hits\": {}, \"misses\": {}, \"len\": {}, \"capacity\": {}}}, ",
                 "\"catalog\": {{\"index_builds\": {}, \"rebuilds_avoided\": {}, ",
-                "\"compactions\": {}, \"compactions_abandoned\": {}}}, ",
+                "\"compactions\": {}, \"compactions_abandoned\": {}, ",
+                "\"mask_builds\": {}, \"prefilter_skips\": {}, ",
+                "\"quantized_fallbacks\": {}}}, ",
                 "\"per_kind\": [{}], \"stages\": {{{}}}}}"
             ),
             self.total_requests(),
@@ -298,6 +300,9 @@ impl MetricsSnapshot {
             self.catalog.rebuilds_avoided,
             self.catalog.compactions,
             self.catalog.compactions_abandoned,
+            self.catalog.mask_builds,
+            self.catalog.prefilter_skips,
+            self.catalog.quantized_fallbacks,
             kinds.join(", "),
             stages.join(", "),
         )
@@ -405,6 +410,13 @@ impl std::fmt::Display for MetricsSnapshot {
             self.catalog.index_builds,
             self.catalog.compactions,
             self.catalog.compactions_abandoned,
+        )?;
+        writeln!(
+            f,
+            "  two-tier: {} mask builds, {} prefilter skips, {} quantized fallbacks",
+            self.catalog.mask_builds,
+            self.catalog.prefilter_skips,
+            self.catalog.quantized_fallbacks,
         )?;
         writeln!(
             f,

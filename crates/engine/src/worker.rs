@@ -44,9 +44,9 @@ use wqrtq_core::explain::Explanation;
 use wqrtq_core::framework::{RefinedQuery, Wqrtq, WqrtqAnswer};
 use wqrtq_geom::{DeltaView, Weight};
 use wqrtq_obs::{SpanRecord, Stage, Tracer};
-use wqrtq_query::brtopk::{rta_over_order_view, rta_sorted_order, RtaScratch, RtaStats};
+use wqrtq_query::brtopk::{rta_over_order_view_masked, rta_sorted_order, RtaScratch, RtaStats};
 use wqrtq_query::topk::ViewBestFirst;
-use wqrtq_rtree::RTree;
+use wqrtq_rtree::{DominanceIndex, RTree};
 
 /// A bichromatic request is fanned across the pool only when each shard
 /// still gets at least this many weights — below that, sharding overhead
@@ -208,6 +208,9 @@ pub(crate) struct ShardTask {
     tree: Arc<RTree>,
     /// The overlay every shard's verdicts must account for.
     view: DeltaView,
+    /// The snapshot's k-dominance mask (`None` with the pre-filter off);
+    /// shard verdicts are bit-identical with or without it.
+    dom: Option<Arc<DominanceIndex>>,
     weights: Arc<Vec<Weight>>,
     /// Similarity order over all weights (computed once by the origin).
     order: Vec<usize>,
@@ -234,6 +237,7 @@ impl ShardTask {
     fn new(
         tree: Arc<RTree>,
         view: DeltaView,
+        dom: Option<Arc<DominanceIndex>>,
         weights: Arc<Vec<Weight>>,
         q: Vec<f64>,
         k: usize,
@@ -249,6 +253,7 @@ impl ShardTask {
         Self {
             tree,
             view,
+            dom,
             weights,
             order,
             ranges,
@@ -277,13 +282,14 @@ impl ShardTask {
     fn run_shard(&self, i: usize, scratch: &mut RtaScratch) {
         let (lo, hi) = self.ranges[i];
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            rta_over_order_view(
+            rta_over_order_view_masked(
                 &self.tree,
                 &self.view,
                 &self.weights,
                 &self.order[lo..hi],
                 &self.q,
                 self.k,
+                self.dom.as_deref(),
                 scratch,
             )
         }))
@@ -629,8 +635,22 @@ fn execute_bichromatic(
     // the same sweep shape.
     const FLAT_SCAN_MAX_POINTS: usize = 2048;
     if handle.flat.len() <= FLAT_SCAN_MAX_POINTS {
+        // The mask rides the flat sweep too: `k_eff` inside the masked
+        // test never exceeds `k + tombstones`, so one usability check
+        // covers every weight (saturated counts stay sound).
+        let mask = handle
+            .dom
+            .as_deref()
+            .filter(|d| d.usable_for(k + handle.view.tombstone_len()))
+            .map(DominanceIndex::counts);
         let members = (0..population.len())
-            .filter(|&i| handle.view.is_in_topk(population[i].as_slice(), q, k))
+            .filter(|&i| {
+                let w = population[i].as_slice();
+                match mask {
+                    Some(counts) => handle.view.is_in_topk_masked(w, q, k, counts),
+                    None => handle.view.is_in_topk(w, q, k),
+                }
+            })
             .collect();
         return Response::ReverseTopKBi(members);
     }
@@ -646,13 +666,14 @@ fn execute_bichromatic(
         .max(1);
     if shards <= 1 {
         let order = rta_sorted_order(&population);
-        let (mut members, _) = rta_over_order_view(
+        let (mut members, _) = rta_over_order_view_masked(
             &handle.index,
             &handle.view,
             &population,
             &order,
             q,
             k,
+            handle.dom.as_deref(),
             &mut scratch.rta,
         );
         members.sort_unstable();
@@ -662,6 +683,7 @@ fn execute_bichromatic(
     let task = Arc::new(ShardTask::new(
         handle.index.clone(),
         handle.view.clone(),
+        handle.dom.clone(),
         population,
         q.to_vec(),
         k,

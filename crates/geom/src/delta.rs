@@ -257,6 +257,45 @@ impl DeltaView {
         self.base.count_better_than_capped(w, sq, cap) < cap
     }
 
+    /// Membership test `q ∈ TOPk(w)` consulting a dominance mask:
+    /// `mask_counts[id]` is the (saturated) number of points strictly
+    /// dominating base row `id`, as built by `wqrtq-rtree`'s
+    /// `DominanceIndex` over this view's base.
+    ///
+    /// Bit-identical to [`DeltaView::is_in_topk`] whenever the mask was
+    /// built from this base: a masked point has `k_eff = (k − d_add) + D`
+    /// dominators (D = tombstones), of which at least the adjusted cap
+    /// are live and score no higher, so skipping it can never flip the
+    /// verdict. Delta rows are never masked (they are not in the base)
+    /// and the tombstone correction stays unmasked, which pairs with the
+    /// base kernel counting masked points wholesale on clearly-better
+    /// blocks. Falls back to the unmasked test when any weight entry is
+    /// negative (the dominance argument needs monotone scoring).
+    ///
+    /// # Panics
+    /// Panics if `q` has the wrong dimensionality or the mask is
+    /// shorter than the base.
+    pub fn is_in_topk_masked(&self, w: &[f64], q: &[f64], k: usize, mask_counts: &[u16]) -> bool {
+        if k == 0 {
+            return false;
+        }
+        if w.iter().any(|&x| x < 0.0) {
+            return self.is_in_topk(w, q, k);
+        }
+        assert_eq!(q.len(), self.dim(), "query dimension mismatch");
+        let sq = dot(w, q);
+        let d_add = self.count_better_delta(w, sq);
+        if d_add >= k {
+            return false; // the delta alone outranks q
+        }
+        let d_dead = self.count_better_dead(w, sq);
+        let cap = k - d_add + d_dead;
+        let k_eff = k - d_add + self.tombstone_len();
+        self.base
+            .count_better_than_capped_masked(w, sq, cap, mask_counts, k_eff)
+            < cap
+    }
+
     /// Materialises the live rows in **canonical order** — surviving
     /// base rows ascending by id, then surviving appended rows in append
     /// order — returning the row-major buffer plus the stable id of each
@@ -360,6 +399,41 @@ mod tests {
                 assert_eq!(v.is_in_topk(&w, &q, k), k > 0 && naive < k, "w {w:?} k {k}");
             }
         }
+    }
+
+    #[test]
+    fn masked_membership_matches_unmasked_under_mutation() {
+        // Brute-force dominator counts over the *base* (the mask is an
+        // epoch artifact: deletes are absorbed by k_eff, appends never
+        // join the mask until compaction).
+        let base_rows = fig_points();
+        let rows: Vec<&[f64]> = base_rows.chunks_exact(2).collect();
+        let counts: Vec<u16> = rows
+            .iter()
+            .map(|p| {
+                rows.iter()
+                    .filter(|q| q.iter().zip(*p).all(|(a, b)| a <= b) && *q != p)
+                    .count() as u16
+            })
+            .collect();
+        let v = overlaid();
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.9, 0.1], [0.3, 0.7]] {
+            for q in [[4.0, 4.0], [2.0, 1.0], [9.0, 9.0], [0.1, 0.1]] {
+                for k in 0..=8 {
+                    assert_eq!(
+                        v.is_in_topk_masked(&w, &q, k, &counts),
+                        v.is_in_topk(&w, &q, k),
+                        "w {w:?} q {q:?} k {k}"
+                    );
+                }
+            }
+        }
+        // A (validation-tolerated) negative weight entry falls back.
+        let wneg = [1.0 + 1e-9, -1e-9];
+        assert_eq!(
+            v.is_in_topk_masked(&wneg, &[4.0, 4.0], 3, &counts),
+            v.is_in_topk(&wneg, &[4.0, 4.0], 3)
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use crate::rank::is_in_topk;
 use wqrtq_geom::{count_better_rows, score, DeltaView, Point, Weight};
-use wqrtq_rtree::{search::CulpritBuf, ProbeScratch, RTree};
+use wqrtq_rtree::{search::CulpritBuf, DominanceIndex, ProbeScratch, RTree};
 
 /// Work counters exposed by the RTA implementations for the ablation
 /// benchmarks (`ablation_rta_vs_naive`).
@@ -64,6 +64,9 @@ pub struct RtaScratch {
     pool_ids: Vec<u32>,
     /// Culprits collected by the current probe (merged into the pool).
     fresh: CulpritBuf,
+    /// Whether any RTA has run on this scratch (culprit-plane requests
+    /// allocate nothing at all, so capacity alone can't signal warmth).
+    warm: bool,
 }
 
 impl RtaScratch {
@@ -72,10 +75,11 @@ impl RtaScratch {
         Self::default()
     }
 
-    /// Whether the scratch has warmed-up capacity to reuse (serving
+    /// Whether the scratch has already served a request — subsequent
+    /// requests reuse its buffers instead of allocating (serving
     /// metrics count these as buffer-reuse hits).
     pub fn is_warm(&self) -> bool {
-        self.pool.capacity() > 0
+        self.warm || self.pool.capacity() > 0
     }
 }
 
@@ -157,10 +161,103 @@ pub fn rta_over_order(
     k: usize,
     scratch: &mut RtaScratch,
 ) -> (Vec<usize>, RtaStats) {
+    rta_over_order_masked(tree, weights, order, q, k, None, scratch)
+}
+
+/// [`rta_over_order`] with an optional [`DominanceIndex`] pre-filter:
+/// the seed traversal and every membership probe skip points (and whole
+/// subtrees) that `k` other points dominate. Verdicts are bit-identical
+/// to the unmasked run — masked points can never flip a membership
+/// outcome — though the prune/verify split in [`RtaStats`] may shift
+/// (the culprit pool is filled from whichever points the probes actually
+/// visit). Passing `None`, a mask whose build cap is below `k`, or
+/// weights with negative entries degrades gracefully to the unmasked
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn rta_over_order_masked(
+    tree: &RTree,
+    weights: &[Weight],
+    order: &[usize],
+    q: &[f64],
+    k: usize,
+    dom: Option<&DominanceIndex>,
+    scratch: &mut RtaScratch,
+) -> (Vec<usize>, RtaStats) {
     let mut stats = RtaStats::default();
     let mut result = Vec::new();
     if order.is_empty() || k == 0 {
         return (result, stats);
+    }
+    scratch.warm = true;
+    let dom = dom.filter(|d| d.usable_for(k));
+    // Culprit-plane fast path: a point with ≥ k dominators can never be
+    // a top-k member or a culprit, so every verdict is a capped count
+    // over the compact k-skyband — no tree probes at all. A rolling
+    // culprit pool still fronts the plane: most outranked weights are
+    // rejected by re-scoring ~2k recent culprit rows (a dozen FLOPs),
+    // and whenever the plane does rule a weight out, the pool is
+    // refreshed with culprits sampled from the same skyband, so it
+    // tracks the sorted weight walk. Weights with negative entries
+    // (where the dominance argument fails) fall back to an exact
+    // unmasked probe individually.
+    if let Some(d) = dom {
+        if d.plane_usable_for(k) {
+            let dim = tree.dim();
+            let pool_points_cap = 2 * k;
+            scratch.pool.clear();
+            scratch.pool_ids.clear();
+            for &idx in order {
+                let w = &weights[idx];
+                let sq = w.score(q);
+                // Pool rows are distinct dataset points (ids here are
+                // plane-local indices, never mixed with the tree path's
+                // dataset ids — both pools are per-request), so k of
+                // them beating q prove it out.
+                if scratch.pool_ids.len() >= k && count_better_rows(&scratch.pool, w, sq) >= k {
+                    stats.buffer_prunes += 1;
+                    continue;
+                }
+                match d.plane_outranked(w.as_slice(), sq, k) {
+                    Some(outranked) => {
+                        stats.buffer_prunes += 1;
+                        if outranked {
+                            // Refresh the pool with culprits sampled
+                            // from the same skyband (id-deduplicated,
+                            // recency-bounded — the exact discipline of
+                            // the tree path's probe-fed pool).
+                            scratch.fresh.clear();
+                            d.plane_culprits_into(w.as_slice(), sq, k, 2 * k, &mut scratch.fresh);
+                            for (i, &id) in scratch.fresh.ids.iter().enumerate() {
+                                if scratch.pool_ids.contains(&id) {
+                                    continue;
+                                }
+                                scratch.pool_ids.push(id);
+                                scratch.pool.extend_from_slice(
+                                    &scratch.fresh.coords[i * dim..(i + 1) * dim],
+                                );
+                            }
+                            if scratch.pool_ids.len() > pool_points_cap {
+                                let excess = scratch.pool_ids.len() - pool_points_cap;
+                                scratch.pool_ids.drain(0..excess);
+                                scratch.pool.drain(0..excess * dim);
+                            }
+                        } else {
+                            result.push(idx);
+                        }
+                    }
+                    None => {
+                        stats.tree_verifications += 1;
+                        if tree
+                            .probe_topk_membership(w.as_slice(), sq, k, &mut scratch.probe, None)
+                            .in_topk
+                        {
+                            result.push(idx);
+                        }
+                    }
+                }
+            }
+            return (result, stats);
+        }
     }
     let dim = tree.dim();
     // The pool keeps at most 2k recent culprits: enough slack that the
@@ -173,12 +270,19 @@ pub fn rta_over_order(
     // Seed: the first weight's exact top-k both decides its membership
     // (q is in iff fewer than k of the k best strictly beat it — every
     // other point scores no better than the k-th) and fills the pool.
+    // A masked traversal emits the same k scores bit-for-bit, so the
+    // seeded verdict is unchanged.
     let first = order[0];
     let w0 = &weights[first];
     let sq0 = w0.score(q);
     stats.tree_verifications += 1;
     let mut seeded_better = 0usize;
-    let mut bf = tree.best_first(w0);
+    let mut bf = match dom {
+        Some(d) if !w0.as_slice().iter().any(|&x| x < 0.0) => {
+            tree.best_first_masked(w0.as_slice(), d, k)
+        }
+        _ => tree.best_first(w0),
+    };
     for _ in 0..k {
         match bf.next_entry() {
             Some(r) => {
@@ -209,8 +313,20 @@ pub fn rta_over_order(
 
         stats.tree_verifications += 1;
         scratch.fresh.clear();
-        let probe =
-            tree.probe_topk_membership(w, sq, k, &mut scratch.probe, Some(&mut scratch.fresh));
+        let probe = match dom {
+            Some(d) => tree.probe_topk_membership_masked(
+                w.as_slice(),
+                sq,
+                k,
+                k,
+                d,
+                &mut scratch.probe,
+                Some(&mut scratch.fresh),
+            ),
+            None => {
+                tree.probe_topk_membership(w, sq, k, &mut scratch.probe, Some(&mut scratch.fresh))
+            }
+        };
         if probe.in_topk {
             result.push(idx);
         }
@@ -258,14 +374,36 @@ pub fn rta_over_order_view(
     k: usize,
     scratch: &mut RtaScratch,
 ) -> (Vec<usize>, RtaStats) {
+    rta_over_order_view_masked(tree, view, weights, order, q, k, None, scratch)
+}
+
+/// [`rta_over_order_view`] with an optional [`DominanceIndex`]
+/// pre-filter over the *base* index. The exclusion threshold per weight
+/// is the probe's count target plus the view's tombstone count, so each
+/// skipped point keeps enough *live* dominators to make the verdict
+/// bit-identical (see `DominanceIndex`'s module docs for the deletion
+/// argument). `None` or an insufficient build cap degrades to the
+/// unmasked path per weight.
+#[allow(clippy::too_many_arguments)]
+pub fn rta_over_order_view_masked(
+    tree: &RTree,
+    view: &DeltaView,
+    weights: &[Weight],
+    order: &[usize],
+    q: &[f64],
+    k: usize,
+    dom: Option<&DominanceIndex>,
+    scratch: &mut RtaScratch,
+) -> (Vec<usize>, RtaStats) {
     if view.is_plain() {
-        return rta_over_order(tree, weights, order, q, k, scratch);
+        return rta_over_order_masked(tree, weights, order, q, k, dom, scratch);
     }
     let mut stats = RtaStats::default();
     let mut result = Vec::new();
     if order.is_empty() || k == 0 {
         return (result, stats);
     }
+    scratch.warm = true;
     let dim = tree.dim();
     let pool_points_cap = 2 * k;
     scratch.pool.clear();
@@ -288,16 +426,43 @@ pub fn rta_over_order_view(
             continue;
         }
 
-        stats.tree_verifications += 1;
         let d_dead = view.count_better_dead(w.as_slice(), sq);
+        // Culprit-plane fast path: every base point better than q —
+        // live or tombstoned — either sits in the k-skyband plane or
+        // has `cap` dominators that do, so a capped plane count with
+        // `cap = need_live_base + d_dead` decides the verdict exactly.
+        if let Some(d) = dom {
+            let cap = need_live_base + d_dead;
+            if let Some(outranked) = d.plane_outranked(w.as_slice(), sq, cap) {
+                stats.buffer_prunes += 1;
+                if !outranked {
+                    result.push(idx);
+                }
+                continue;
+            }
+        }
+
+        stats.tree_verifications += 1;
         scratch.fresh.clear();
-        let probe = tree.probe_topk_membership(
-            w.as_slice(),
-            sq,
-            need_live_base + d_dead,
-            &mut scratch.probe,
-            Some(&mut scratch.fresh),
-        );
+        let k_eff = need_live_base + view.tombstone_len();
+        let probe = match dom.filter(|d| d.usable_for(k_eff)) {
+            Some(d) => tree.probe_topk_membership_masked(
+                w.as_slice(),
+                sq,
+                need_live_base + d_dead,
+                k_eff,
+                d,
+                &mut scratch.probe,
+                Some(&mut scratch.fresh),
+            ),
+            None => tree.probe_topk_membership(
+                w.as_slice(),
+                sq,
+                need_live_base + d_dead,
+                &mut scratch.probe,
+                Some(&mut scratch.fresh),
+            ),
+        };
         if probe.in_topk {
             result.push(idx);
         }
@@ -582,8 +747,89 @@ mod tests {
         assert_eq!(res, vec![1, 2]); // Tony, Anna
     }
 
+    #[test]
+    fn masked_rta_matches_unmasked_on_paper_example() {
+        let tree = fig_tree();
+        let dom = DominanceIndex::build(&tree);
+        let weights = fig_customers();
+        let order = rta_sorted_order(&weights);
+        let mut scratch = RtaScratch::new();
+        let (mut got, _) = rta_over_order_masked(
+            &tree,
+            &weights,
+            &order,
+            &[4.0, 4.0],
+            3,
+            Some(&dom),
+            &mut scratch,
+        );
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]); // Tony, Anna
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn masked_rta_matches_unmasked_with_ties_and_mutation(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 5..120),
+            extra in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..10),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            k in 1usize..8,
+            nw in 1usize..16,
+            del_stride in 2usize..5,
+            tie_copies in 0usize..4,
+        ) {
+            use std::sync::Arc;
+            use wqrtq_geom::FlatPoints;
+            // Duplicates of q tie at the boundary under every weight.
+            let mut all = pts.clone();
+            for _ in 0..tie_copies {
+                all.push(q);
+            }
+            let flat: Vec<f64> = all.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let dom = DominanceIndex::build(&tree);
+            let weights: Vec<Weight> = (0..nw)
+                .map(|i| Weight::from_first_2d((i as f64 + 0.5) / nw as f64))
+                .collect();
+            let order = rta_sorted_order(&weights);
+            let qv = [q.0, q.1];
+
+            // Plain RTA: masked vs unmasked verdicts.
+            let mut s1 = RtaScratch::new();
+            let mut s2 = RtaScratch::new();
+            let (mut plain, _) = rta_over_order(&tree, &weights, &order, &qv, k, &mut s1);
+            let (mut masked, _) =
+                rta_over_order_masked(&tree, &weights, &order, &qv, k, Some(&dom), &mut s2);
+            plain.sort_unstable();
+            masked.sort_unstable();
+            prop_assert_eq!(&plain, &masked);
+
+            // View RTA over a mutated overlay: masked vs unmasked.
+            let dead_ids: Vec<u32> = (0..all.len() as u32).step_by(del_stride).collect();
+            let dead_rows: Vec<f64> = dead_ids
+                .iter()
+                .flat_map(|&i| [all[i as usize].0, all[i as usize].1])
+                .collect();
+            let view = DeltaView::new(
+                Arc::new(FlatPoints::from_row_major(2, &flat)),
+                Arc::new(extra.iter().flat_map(|(a, b)| [*a, *b]).collect()),
+                Arc::new((0..extra.len() as u32).map(|i| all.len() as u32 + i).collect()),
+                Arc::new(dead_rows),
+                Arc::new(dead_ids),
+            );
+            let mut s3 = RtaScratch::new();
+            let mut s4 = RtaScratch::new();
+            let (mut vplain, _) =
+                rta_over_order_view(&tree, &view, &weights, &order, &qv, k, &mut s3);
+            let (mut vmasked, _) = rta_over_order_view_masked(
+                &tree, &view, &weights, &order, &qv, k, Some(&dom), &mut s4,
+            );
+            vplain.sort_unstable();
+            vmasked.sort_unstable();
+            prop_assert_eq!(&vplain, &vmasked);
+        }
 
         #[test]
         fn view_rta_matches_rebuilt_naive(

@@ -17,7 +17,7 @@
 //!   oracle it is validated against.
 
 use wqrtq_geom::{score, DeltaView, FlatPoints};
-use wqrtq_rtree::{ProbeScratch, RTree};
+use wqrtq_rtree::{DominanceIndex, ProbeScratch, RTree};
 
 /// Exact rank of `q` under `w` using counted R-tree pruning.
 pub fn rank_of_point(tree: &RTree, w: &[f64], q: &[f64]) -> usize {
@@ -129,6 +129,87 @@ pub fn is_in_topk_view_with_stats(
     }
     let cap = k - d_add + view.count_better_dead(w, s);
     let probe = tree.probe_topk_membership(w, s, cap, scratch, None);
+    (probe.in_topk, probe.nodes_visited)
+}
+
+/// [`is_in_topk_scratch`] consulting a [`DominanceIndex`] built from
+/// `tree`: bit-identical verdicts, with masked points and all-masked
+/// subtrees skipped. Falls back to the unmasked probe when the mask's
+/// build cap cannot certify exclusion at `k`.
+pub fn is_in_topk_masked(
+    tree: &RTree,
+    dom: &DominanceIndex,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> bool {
+    if k == 0 {
+        return false;
+    }
+    let s = score(w, q);
+    // Culprit-plane fast path: a capped count over the k-skyband plane
+    // decides the verdict without touching the index (see
+    // `DominanceIndex::plane_outranked` for the dominance argument).
+    if let Some(outranked) = dom.plane_outranked(w, s, k) {
+        return !outranked;
+    }
+    if !dom.usable_for(k) {
+        return tree.probe_topk_membership(w, s, k, scratch, None).in_topk;
+    }
+    tree.probe_topk_membership_masked(w, s, k, k, dom, scratch, None)
+        .in_topk
+}
+
+/// [`is_in_topk_view`] consulting a [`DominanceIndex`] built from the
+/// view's *base* tree. Deletes inflate the exclusion threshold
+/// (`k_eff = adjusted cap + tombstones`, so every exclusion still has
+/// cap-many live dominators); appends never join the mask. Bit-identical
+/// to the unmasked path — the differential proptests below prove it.
+pub fn is_in_topk_view_masked(
+    tree: &RTree,
+    view: &DeltaView,
+    dom: &DominanceIndex,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> bool {
+    is_in_topk_view_masked_with_stats(tree, view, dom, w, q, k, scratch).0
+}
+
+/// [`is_in_topk_view_masked`], additionally reporting the index nodes
+/// expanded.
+pub fn is_in_topk_view_masked_with_stats(
+    tree: &RTree,
+    view: &DeltaView,
+    dom: &DominanceIndex,
+    w: &[f64],
+    q: &[f64],
+    k: usize,
+    scratch: &mut ProbeScratch,
+) -> (bool, usize) {
+    if k == 0 {
+        return (false, 0);
+    }
+    let s = score(w, q);
+    let d_add = view.count_better_delta(w, s);
+    if d_add >= k {
+        return (false, 0);
+    }
+    let cap = k - d_add + view.count_better_dead(w, s);
+    // Culprit-plane fast path over the base: dead better points are
+    // counted by the plane too, so the inflated cap decides the live
+    // verdict exactly (see `rta_over_order_view_masked`).
+    if let Some(outranked) = dom.plane_outranked(w, s, cap) {
+        return (!outranked, 0);
+    }
+    let k_eff = k - d_add + view.tombstone_len();
+    let probe = if dom.usable_for(k_eff) {
+        tree.probe_topk_membership_masked(w, s, cap, k_eff, dom, scratch, None)
+    } else {
+        tree.probe_topk_membership(w, s, cap, scratch, None)
+    };
     (probe.in_topk, probe.nodes_visited)
 }
 
@@ -286,6 +367,61 @@ mod tests {
         pts.iter().flat_map(|(a, b)| [*a, *b]).collect()
     }
 
+    #[test]
+    fn masked_membership_matches_unmasked_on_paper_data() {
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let dom = DominanceIndex::build(&t);
+        let mut scratch = ProbeScratch::new();
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.3, 0.7], [0.9, 0.1]] {
+            for q in [[4.0, 4.0], [1.0, 1.0], [9.0, 9.0]] {
+                for k in 0..=8 {
+                    assert_eq!(
+                        is_in_topk_masked(&t, &dom, &w, &q, k, &mut scratch),
+                        is_in_topk(&t, &w, &q, k),
+                        "w {w:?} q {q:?} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_view_membership_matches_unmasked_on_overlay() {
+        let (tree, view, live) = overlaid_fig();
+        let dom = DominanceIndex::build(&tree);
+        let mut scratch = ProbeScratch::new();
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.3, 0.7], [0.9, 0.1]] {
+            for q in [[4.0, 4.0], [1.0, 1.0], [0.4, 0.6], [9.0, 9.0]] {
+                let oracle = rank_of_point_scan(&live, &w, &q);
+                for k in 0..=9 {
+                    assert_eq!(
+                        is_in_topk_view_masked(&tree, &view, &dom, &w, &q, k, &mut scratch),
+                        k > 0 && oracle <= k,
+                        "w {w:?} q {q:?} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_membership_falls_back_when_cap_too_small() {
+        // A mask built with cap = 1 cannot certify exclusion for k ≥ 2;
+        // the wrapper must fall back to the unmasked probe, never panic
+        // or misclassify.
+        let t = RTree::bulk_load_with_fanout(2, &fig_points(), 4);
+        let dom = DominanceIndex::build_with_cap(&t, 1);
+        let mut scratch = ProbeScratch::new();
+        for k in 1..=6 {
+            for w in [[0.5, 0.5], [0.1, 0.9]] {
+                assert_eq!(
+                    is_in_topk_masked(&t, &dom, &w, &[4.0, 4.0], k, &mut scratch),
+                    is_in_topk(&t, &w, &[4.0, 4.0], k),
+                );
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
@@ -375,6 +511,64 @@ mod tests {
                 oracle <= k
             );
             prop_assert_eq!(view.is_in_topk(&w, &qv, k), oracle <= k);
+        }
+
+        #[test]
+        fn masked_view_membership_matches_unmasked_under_mutation(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 4..200),
+            extra in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..12),
+            q in (0.0f64..10.0, 0.0f64..10.0),
+            raw in (0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..12,
+            del_stride in 2usize..6,
+            tie_copies in 0usize..4,
+        ) {
+            // Same overlay construction as view_primitives_match_rebuilt_oracle,
+            // plus exact copies of q in the base so ties sit right at the
+            // masked/unmasked boundary.
+            let flat = with_boundary_ties(pts.clone(), q, tie_copies);
+            let n_base = flat.len() / 2;
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let dom = DominanceIndex::build(&tree);
+            let base = Arc::new(FlatPoints::from_row_major(2, &flat));
+            let dead_ids: Vec<u32> = (0..n_base as u32).step_by(del_stride).collect();
+            let dead_rows: Vec<f64> = dead_ids
+                .iter()
+                .flat_map(|&i| [flat[2 * i as usize], flat[2 * i as usize + 1]])
+                .collect();
+            let delta_rows: Vec<f64> = extra.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let delta_ids: Vec<u32> =
+                (0..extra.len() as u32).map(|i| n_base as u32 + i).collect();
+            let view = DeltaView::new(
+                base,
+                Arc::new(delta_rows),
+                Arc::new(delta_ids),
+                Arc::new(dead_rows),
+                Arc::new(dead_ids),
+            );
+            let s = raw.0 + raw.1;
+            let w = [raw.0 / s, raw.1 / s];
+            let qv = [q.0, q.1];
+            let mut scratch = ProbeScratch::new();
+            // The query point itself probes the tie boundary; also probe a
+            // handful of dataset points.
+            let mut queries = vec![qv];
+            for p in flat.chunks_exact(2).take(6) {
+                queries.push([p[0], p[1]]);
+            }
+            for qq in &queries {
+                let unmasked = is_in_topk_view(&tree, &view, &w, qq, k, &mut scratch);
+                prop_assert_eq!(
+                    is_in_topk_view_masked(&tree, &view, &dom, &w, qq, k, &mut scratch),
+                    unmasked,
+                    "view masked vs unmasked, q {:?} k {}", qq, k
+                );
+                prop_assert_eq!(
+                    is_in_topk_masked(&tree, &dom, &w, qq, k, &mut scratch),
+                    is_in_topk_scratch(&tree, &w, qq, k, &mut scratch),
+                    "plain masked vs unmasked, q {:?} k {}", qq, k
+                );
+            }
         }
 
         #[test]

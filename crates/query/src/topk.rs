@@ -7,7 +7,7 @@
 //! benchmarks.
 
 use wqrtq_geom::{score, DeltaView};
-use wqrtq_rtree::{search::BestFirst, RTree};
+use wqrtq_rtree::{search::BestFirst, DominanceIndex, RTree};
 
 /// The top `k`-th point of a weighting vector — the constraint generator
 /// of MQP (Lemma 2/3: a refined `q′` with `f(w, q′) ≤ f(w, p_k)` enters
@@ -63,6 +63,36 @@ pub fn kth_point(tree: &RTree, w: &[f64], k: usize) -> Option<KthPoint> {
     })
 }
 
+/// [`kth_point`] consulting a [`DominanceIndex`] built from `tree`:
+/// points with at least `k` strict dominators (and subtrees of nothing
+/// else) are skipped — they can never hold the top `k`-th *score*. The
+/// returned score is bit-identical to the unmasked selection; the point
+/// identity may differ among exact score ties (every consumer of the
+/// k-th point — the safe-region constraint planes, the QP thresholds —
+/// depends only on the score). Falls back to the unmasked traversal for
+/// negative weights or when the mask's build cap is too small for `k`.
+pub fn kth_point_masked(
+    tree: &RTree,
+    dom: &DominanceIndex,
+    w: &[f64],
+    k: usize,
+) -> Option<KthPoint> {
+    assert!(k >= 1, "k must be at least 1");
+    if w.iter().any(|&x| x < 0.0) || !dom.usable_for(k) {
+        return kth_point(tree, w, k);
+    }
+    let mut it = tree.best_first_masked(w, dom, k);
+    let mut last = None;
+    for _ in 0..k {
+        last = Some(it.next_entry()?);
+    }
+    last.map(|r| KthPoint {
+        id: r.id,
+        score: r.score,
+        coords: r.coords.to_vec(),
+    })
+}
+
 /// One live point produced by [`ViewBestFirst`] in ascending score order.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ViewRanked<'a> {
@@ -99,6 +129,27 @@ impl<'a> ViewBestFirst<'a> {
     /// Starts a merged traversal. `tree` must be the index built over
     /// `view`'s base rows.
     pub fn new(tree: &'a RTree, view: &'a DeltaView, w: &[f64]) -> Self {
+        Self::with_base(tree.best_first(w), view, w)
+    }
+
+    /// [`ViewBestFirst::new`] with the *base* traversal consulting a
+    /// [`DominanceIndex`]: masked base points are never surfaced.
+    /// Appended rows are always live and tombstones are skipped as ever.
+    /// `k_eff` must be inflated by the view's tombstone count (a masked
+    /// point's dominators may since have died); callers must check
+    /// `dom.usable_for(k_eff)` and weight non-negativity and fall back
+    /// to [`ViewBestFirst::new`] otherwise.
+    pub fn new_masked(
+        tree: &'a RTree,
+        view: &'a DeltaView,
+        dom: &'a DominanceIndex,
+        k_eff: usize,
+        w: &[f64],
+    ) -> Self {
+        Self::with_base(tree.best_first_masked(w, dom, k_eff), view, w)
+    }
+
+    fn with_base(bf: BestFirst<'a>, view: &'a DeltaView, w: &[f64]) -> Self {
         let dim = view.dim();
         let mut delta: Vec<(f64, u32)> = view
             .delta_rows()
@@ -108,7 +159,7 @@ impl<'a> ViewBestFirst<'a> {
             .collect();
         delta.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Self {
-            bf: tree.best_first(w),
+            bf,
             view,
             delta,
             next_delta: 0,
@@ -179,6 +230,37 @@ pub fn topk_view(tree: &RTree, view: &DeltaView, w: &[f64], k: usize) -> Vec<(u3
 pub fn kth_point_view(tree: &RTree, view: &DeltaView, w: &[f64], k: usize) -> Option<KthPoint> {
     assert!(k >= 1, "k must be at least 1");
     let mut it = ViewBestFirst::new(tree, view, w);
+    let mut last = None;
+    for _ in 0..k {
+        last = Some(it.next_entry()?);
+    }
+    last.map(|r| KthPoint {
+        id: r.id,
+        score: r.score,
+        coords: r.coords.to_vec(),
+    })
+}
+
+/// [`kth_point_view`] consulting a [`DominanceIndex`] built from the
+/// view's *base* tree. The exclusion threshold is `k` plus the view's
+/// tombstone count, so every skipped point still has `k` *live*
+/// dominators scoring no worse — the k-th live score is bit-identical
+/// to the unmasked selection (identity may differ among exact ties).
+/// Falls back to the unmasked traversal for negative weights or when
+/// the mask's build cap is too small.
+pub fn kth_point_view_masked(
+    tree: &RTree,
+    view: &DeltaView,
+    dom: &DominanceIndex,
+    w: &[f64],
+    k: usize,
+) -> Option<KthPoint> {
+    assert!(k >= 1, "k must be at least 1");
+    let k_eff = k + view.tombstone_len();
+    if w.iter().any(|&x| x < 0.0) || !dom.usable_for(k_eff) {
+        return kth_point_view(tree, view, w, k);
+    }
+    let mut it = ViewBestFirst::new_masked(tree, view, dom, k_eff, w);
     let mut last = None;
     for _ in 0..k {
         last = Some(it.next_entry()?);
@@ -306,8 +388,85 @@ mod tests {
         }
     }
 
+    #[test]
+    fn masked_kth_score_matches_unmasked_with_tie_dense_data() {
+        // A 5×5 grid plus exact duplicates of every grid point: lots of
+        // dominated points (masked at small k) and lots of exact score
+        // ties. The k-th *score* must survive masking bit-for-bit.
+        let mut pts = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                pts.extend([x as f64, y as f64]);
+                pts.extend([x as f64, y as f64]);
+            }
+        }
+        let t = RTree::bulk_load_with_fanout(2, &pts, 8);
+        let dom = DominanceIndex::build(&t);
+        for w in [[0.5, 0.5], [0.1, 0.9], [1.0, 0.0]] {
+            for k in 1..=pts.len() / 2 {
+                let masked = kth_point_masked(&t, &dom, &w, k).unwrap();
+                let exact = kth_point(&t, &w, k).unwrap();
+                assert_eq!(masked.score, exact.score, "w {w:?} k {k}");
+            }
+            assert!(kth_point_masked(&t, &dom, &w, pts.len() / 2 + 1).is_none());
+        }
+        assert!(dom.skips() > 0);
+    }
+
+    #[test]
+    fn masked_view_kth_score_matches_unmasked() {
+        let (tree, view) = overlaid_fig();
+        let dom = DominanceIndex::build(&tree);
+        for w in [[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]] {
+            for k in 1..=view.live_len() {
+                let masked = kth_point_view_masked(&tree, &view, &dom, &w, k).unwrap();
+                let exact = kth_point_view(&tree, &view, &w, k).unwrap();
+                assert_eq!(masked.score, exact.score, "w {w:?} k {k}");
+            }
+            assert!(kth_point_view_masked(&tree, &view, &dom, &w, view.live_len() + 1).is_none());
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn masked_kth_matches_unmasked_under_mutation(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 4..150),
+            extra in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..10),
+            raw in (0.01f64..1.0, 0.01f64..1.0),
+            k in 1usize..12,
+            del_stride in 2usize..5,
+        ) {
+            let flat: Vec<f64> = pts.iter().flat_map(|(a, b)| [*a, *b]).collect();
+            let tree = RTree::bulk_load_with_fanout(2, &flat, 8);
+            let dom = DominanceIndex::build(&tree);
+            let dead_ids: Vec<u32> = (0..pts.len() as u32).step_by(del_stride).collect();
+            let dead_rows: Vec<f64> = dead_ids
+                .iter()
+                .flat_map(|&i| [pts[i as usize].0, pts[i as usize].1])
+                .collect();
+            let view = DeltaView::new(
+                Arc::new(FlatPoints::from_row_major(2, &flat)),
+                Arc::new(extra.iter().flat_map(|(a, b)| [*a, *b]).collect()),
+                Arc::new((0..extra.len() as u32).map(|i| pts.len() as u32 + i).collect()),
+                Arc::new(dead_rows),
+                Arc::new(dead_ids),
+            );
+            let s = raw.0 + raw.1;
+            let w = [raw.0 / s, raw.1 / s];
+            match (kth_point_masked(&tree, &dom, &w, k), kth_point(&tree, &w, k)) {
+                (Some(m), Some(e)) => prop_assert_eq!(m.score, e.score),
+                (m, e) => prop_assert_eq!(m.is_none(), e.is_none()),
+            }
+            match (
+                kth_point_view_masked(&tree, &view, &dom, &w, k),
+                kth_point_view(&tree, &view, &w, k),
+            ) {
+                (Some(m), Some(e)) => prop_assert_eq!(m.score, e.score),
+                (m, e) => prop_assert_eq!(m.is_none(), e.is_none()),
+            }
+        }
 
         #[test]
         fn view_topk_matches_rebuilt_scan(

@@ -20,17 +20,23 @@
 //!   bounds that stops as soon as either membership outcome is proven,
 //!   with an allocation-free reusable [`ProbeScratch`];
 //! * [`RTree::split_by_dominance`] — the pruned traversal behind
-//!   `FindIncom` (Algorithm 2, lines 20–29).
+//!   `FindIncom` (Algorithm 2, lines 20–29);
+//! * [`DominanceIndex`] — the build-time k-dominance pre-filter:
+//!   per-point dominator counts plus per-subtree minima, consulted by
+//!   [`RTree::probe_topk_membership_masked`] to skip points and whole
+//!   subtrees that can never decide a top-k verdict.
 //!
 //! Node fanout defaults to 64 entries (~4 KiB per node at d = 3 and two
 //! `f64` corners per entry), mirroring the paper's 4096-byte pages.
 
 pub mod bulk;
+pub mod mask;
 pub mod node;
 pub mod search;
 pub mod stats;
 pub mod tree;
 
+pub use mask::{DominanceIndex, CULPRIT_PLANE_K, CULPRIT_PLANE_TIERS, DEFAULT_DOMINANCE_CAP};
 pub use node::{Node, NodeId};
 pub use search::{BestFirst, CulpritBuf, ProbeResult, ProbeScratch};
 pub use stats::TraversalStats;

@@ -35,22 +35,45 @@ pub struct BestFirst<'a> {
     weight: Vec<f64>,
     heap: BinaryHeap<Reverse<(OrdF64, HeapItem)>>,
     nodes_visited: usize,
+    /// `(index, k_eff)`: skip points with ≥ `k_eff` strict dominators.
+    mask: Option<(&'a crate::DominanceIndex, usize)>,
 }
 
 impl<'a> BestFirst<'a> {
     fn new(tree: &'a RTree, weight: Vec<f64>) -> Self {
+        Self::with_mask(tree, weight, None)
+    }
+
+    fn with_mask(
+        tree: &'a RTree,
+        weight: Vec<f64>,
+        mask: Option<(&'a crate::DominanceIndex, usize)>,
+    ) -> Self {
         assert_eq!(weight.len(), tree.dim(), "weight dimension mismatch");
         let mut heap = BinaryHeap::new();
         if !tree.is_empty() {
             let root = tree.root_id();
-            let bound = tree.node(root).mbr().min_score(&weight);
-            heap.push(Reverse((OrdF64(bound), HeapItem::Node(root))));
+            let excluded = match mask {
+                Some((dom, k_eff)) => dom.node_excluded(root, k_eff),
+                None => false,
+            };
+            if excluded {
+                // Unreachable for k_eff ≥ 1 (a Pareto-minimal point has
+                // zero dominators), but cheap to keep sound.
+                if let Some((dom, _)) = mask {
+                    dom.note_skips(tree.len() as u64);
+                }
+            } else {
+                let bound = tree.node(root).mbr().min_score(&weight);
+                heap.push(Reverse((OrdF64(bound), HeapItem::Node(root))));
+            }
         }
         Self {
             tree,
             weight,
             heap,
             nodes_visited: 0,
+            mask,
         }
     }
 
@@ -76,9 +99,16 @@ impl<'a> BestFirst<'a> {
                 }
                 HeapItem::Node(node_id) => {
                     self.nodes_visited += 1;
+                    let mut skipped = 0u64;
                     match self.tree.node(node_id) {
                         Node::Leaf { ids, coords, .. } => {
                             for (slot, &id) in ids.iter().enumerate() {
+                                if let Some((dom, k_eff)) = self.mask {
+                                    if dom.is_excluded(id, k_eff) {
+                                        skipped += 1;
+                                        continue;
+                                    }
+                                }
                                 let p = &coords[slot * dim..(slot + 1) * dim];
                                 let s = score(&self.weight, p);
                                 self.heap.push(Reverse((
@@ -93,9 +123,20 @@ impl<'a> BestFirst<'a> {
                         }
                         Node::Internal { children, .. } => {
                             for &c in children {
+                                if let Some((dom, k_eff)) = self.mask {
+                                    if dom.node_excluded(c, k_eff) {
+                                        skipped += self.tree.node(c).count() as u64;
+                                        continue;
+                                    }
+                                }
                                 let b = self.tree.node(c).mbr().min_score(&self.weight);
                                 self.heap.push(Reverse((OrdF64(b), HeapItem::Node(c))));
                             }
+                        }
+                    }
+                    if skipped > 0 {
+                        if let Some((dom, _)) = self.mask {
+                            dom.note_skips(skipped);
                         }
                     }
                 }
@@ -206,6 +247,35 @@ impl RTree {
         BestFirst::new(self, weight.to_vec())
     }
 
+    /// [`RTree::best_first`] consulting a [`crate::DominanceIndex`]:
+    /// points with at least `k_eff` strict dominators are never emitted,
+    /// and subtrees whose every point is masked are never descended.
+    ///
+    /// For non-negative `weight` and `k ≤ k_eff ≤ dom.cap()` the first
+    /// `k` emitted *scores* equal those of the unmasked traversal
+    /// bit-for-bit (each masked point has ≥ `k_eff` dominators scoring no
+    /// worse, so the k-th order statistic is unchanged); identities may
+    /// differ among exact score ties. Callers must check
+    /// `dom.usable_for(k_eff)` and weight non-negativity themselves and
+    /// fall back to [`RTree::best_first`] otherwise.
+    ///
+    /// # Panics
+    /// Panics if `weight.len() != dim` or the index was built from a
+    /// structurally different tree.
+    pub fn best_first_masked<'a>(
+        &'a self,
+        weight: &[f64],
+        dom: &'a crate::DominanceIndex,
+        k_eff: usize,
+    ) -> BestFirst<'a> {
+        assert_eq!(
+            dom.node_slots(),
+            self.nodes.len(),
+            "dominance index does not match this tree"
+        );
+        BestFirst::with_mask(self, weight.to_vec(), Some((dom, k_eff)))
+    }
+
     /// Counts points whose score under `weight` is below `threshold`
     /// (strictly below when `strict`, else `≤`). Sub-trees entirely below
     /// contribute their cached counts; sub-trees entirely above are pruned.
@@ -296,7 +366,59 @@ impl RTree {
         threshold: f64,
         k: usize,
         scratch: &mut ProbeScratch,
+        culprits: Option<&mut CulpritBuf>,
+    ) -> ProbeResult {
+        self.probe_impl(weight, threshold, k, scratch, culprits, None)
+    }
+
+    /// [`RTree::probe_topk_membership`] consulting a
+    /// [`crate::DominanceIndex`] built from this tree: subtrees whose
+    /// every point has at least `k_eff` strict dominators are skipped
+    /// without descending, as are masked points in scanned leaves, while
+    /// wholesale-counted subtrees still count everything.
+    ///
+    /// The verdict (`in_topk`) is bit-identical to the unmasked probe
+    /// whenever the mask soundness conditions hold: non-negative
+    /// `weight`, `k ≤ k_eff ≤ dom.cap()`, and `k_eff` inflated by the
+    /// live-view tombstone count (see `DominanceIndex`'s module docs).
+    /// `better` may undercount — use only for verdicts. Callers are
+    /// responsible for checking `dom.usable_for(k_eff)` and falling back
+    /// to the unmasked probe otherwise; this method falls back on its
+    /// own when `weight` has a negative entry.
+    ///
+    /// # Panics
+    /// Panics if `weight.len() != dim` or the index was built from a
+    /// structurally different tree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_topk_membership_masked(
+        &self,
+        weight: &[f64],
+        threshold: f64,
+        k: usize,
+        k_eff: usize,
+        dom: &crate::DominanceIndex,
+        scratch: &mut ProbeScratch,
+        culprits: Option<&mut CulpritBuf>,
+    ) -> ProbeResult {
+        if weight.iter().any(|&x| x < 0.0) {
+            return self.probe_impl(weight, threshold, k, scratch, culprits, None);
+        }
+        assert_eq!(
+            dom.node_slots(),
+            self.nodes.len(),
+            "dominance index does not match this tree"
+        );
+        self.probe_impl(weight, threshold, k, scratch, culprits, Some((dom, k_eff)))
+    }
+
+    fn probe_impl(
+        &self,
+        weight: &[f64],
+        threshold: f64,
+        k: usize,
+        scratch: &mut ProbeScratch,
         mut culprits: Option<&mut CulpritBuf>,
+        mask: Option<(&crate::DominanceIndex, usize)>,
     ) -> ProbeResult {
         assert_eq!(weight.len(), self.dim(), "weight dimension mismatch");
         let mut result = ProbeResult {
@@ -314,61 +436,93 @@ impl RTree {
         let dim = self.dim();
         let heap = &mut scratch.heap;
         heap.clear();
+        let mut skipped = 0u64;
+        let excluded = |node: NodeId| match mask {
+            Some((dom, k_eff)) => dom.node_excluded(node, k_eff),
+            None => false,
+        };
         let root = self.root_id();
+        if excluded(root) {
+            // Every point is masked: the better-set must be empty (a
+            // non-empty one would contain unmasked points), so q is in.
+            if let Some((dom, _)) = mask {
+                dom.note_skips(self.len() as u64);
+            }
+            result.in_topk = true;
+            return result;
+        }
         heap.push(Reverse((
             OrdF64(self.node(root).mbr().min_score(weight)),
             root,
         )));
-        while let Some(Reverse((OrdF64(lo), node_id))) = heap.pop() {
-            if lo >= threshold {
-                // Best-first order: every remaining subtree scores ≥ lo,
-                // so `better` is exact and q's rank is better + 1 ≤ k.
-                result.in_topk = true;
-                return result;
-            }
-            let node = self.node(node_id);
-            let mbr = node.mbr();
-            if mbr.is_empty() {
-                continue;
-            }
-            result.nodes_visited += 1;
-            if mbr.max_score(weight) < threshold {
-                // Whole subtree strictly better: count without expanding.
-                result.better += node.count();
-                if result.better >= k {
-                    return result;
+        'probe: {
+            while let Some(Reverse((OrdF64(lo), node_id))) = heap.pop() {
+                if lo >= threshold {
+                    // Best-first order: every remaining subtree scores ≥ lo,
+                    // so `better` is exact and q's rank is better + 1 ≤ k.
+                    result.in_topk = true;
+                    break 'probe;
                 }
-                continue;
-            }
-            match node {
-                Node::Leaf { ids, coords, .. } => {
-                    for (p, &id) in coords.chunks_exact(dim).zip(ids) {
-                        if score(weight, p) < threshold {
-                            result.better += 1;
-                            if let Some(out) = culprits.as_deref_mut() {
-                                if out.len() < k {
-                                    out.ids.push(id);
-                                    out.coords.extend_from_slice(p);
+                let node = self.node(node_id);
+                let mbr = node.mbr();
+                if mbr.is_empty() {
+                    continue;
+                }
+                result.nodes_visited += 1;
+                if mbr.max_score(weight) < threshold {
+                    // Whole subtree strictly better: count without
+                    // expanding (masked points included — wholesale
+                    // overcounts are verdict-safe).
+                    result.better += node.count();
+                    if result.better >= k {
+                        break 'probe;
+                    }
+                    continue;
+                }
+                match node {
+                    Node::Leaf { ids, coords, .. } => {
+                        for (p, &id) in coords.chunks_exact(dim).zip(ids) {
+                            if let Some((dom, k_eff)) = mask {
+                                if dom.is_excluded(id, k_eff) {
+                                    skipped += 1;
+                                    continue;
                                 }
                             }
-                            if result.better >= k {
-                                return result;
+                            if score(weight, p) < threshold {
+                                result.better += 1;
+                                if let Some(out) = culprits.as_deref_mut() {
+                                    if out.len() < k {
+                                        out.ids.push(id);
+                                        out.coords.extend_from_slice(p);
+                                    }
+                                }
+                                if result.better >= k {
+                                    break 'probe;
+                                }
+                            }
+                        }
+                    }
+                    Node::Internal { children, .. } => {
+                        for &c in children {
+                            if excluded(c) {
+                                skipped += self.node(c).count() as u64;
+                                continue;
+                            }
+                            let b = self.node(c).mbr().min_score(weight);
+                            if b < threshold {
+                                heap.push(Reverse((OrdF64(b), c)));
                             }
                         }
                     }
                 }
-                Node::Internal { children, .. } => {
-                    for &c in children {
-                        let b = self.node(c).mbr().min_score(weight);
-                        if b < threshold {
-                            heap.push(Reverse((OrdF64(b), c)));
-                        }
-                    }
-                }
             }
+            // Heap exhausted: the count is exact (masked skips can only
+            // remove points a sound mask proves irrelevant) and below k.
+            result.in_topk = true;
         }
-        // Heap exhausted: the count is exact and below k.
-        result.in_topk = true;
+        if let Some((dom, _)) = mask {
+            dom.note_skips(skipped);
+        }
         result
     }
 

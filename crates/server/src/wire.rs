@@ -860,6 +860,9 @@ fn encode_stats(w: &mut ByteWriter, stats: &StatsSnapshot) {
     w.put_u64(m.catalog.rebuilds_avoided);
     w.put_u64(m.catalog.compactions);
     w.put_u64(m.catalog.compactions_abandoned);
+    w.put_u64(m.catalog.mask_builds);
+    w.put_u64(m.catalog.prefilter_skips);
+    w.put_u64(m.catalog.quantized_fallbacks);
     w.put_u64(m.cache.hits);
     w.put_u64(m.cache.misses);
     w.put_usize(m.cache.len);
@@ -921,6 +924,9 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, DecodeError> {
         rebuilds_avoided: r.take_u64("rebuilds avoided")?,
         compactions: r.take_u64("compactions")?,
         compactions_abandoned: r.take_u64("compactions abandoned")?,
+        mask_builds: r.take_u64("mask builds")?,
+        prefilter_skips: r.take_u64("prefilter skips")?,
+        quantized_fallbacks: r.take_u64("quantized fallbacks")?,
     };
     let cache = CacheStats {
         hits: r.take_u64("cache hits")?,
@@ -1181,6 +1187,9 @@ mod tests {
                     rebuilds_avoided: 2,
                     compactions: 1,
                     compactions_abandoned: 0,
+                    mask_builds: 1,
+                    prefilter_skips: 4321,
+                    quantized_fallbacks: 17,
                 },
                 cache: CacheStats {
                     hits: 3,

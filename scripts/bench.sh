@@ -15,7 +15,12 @@
 #   BENCH_whynot.json   — the unified why-not advisor: one plan request
 #                         vs the equivalent sequence of legacy calls
 #                         (explain per vector + all three refinements),
-#                         plus the streaming first-partial headstart.
+#                         plus the streaming first-partial headstart;
+#   BENCH_scale.json    — the two-tier data plane at scale: membership
+#                         probes, flat count kernels and the RTA sweep
+#                         with the dominance mask + quantized tier on vs
+#                         off, per (n, dim) cell (10-M cells are opt-in:
+#                         run scale_bench directly with --ns 10000000).
 #
 # The server bench additionally writes STATS_server.json — the server's
 # full observability snapshot (engine metrics + front-door counters, the
@@ -41,6 +46,7 @@
 #   cargo run --release -p wqrtq-bench --bin mutation_bench -- --n 200000 --ops 800
 #   cargo run --release -p wqrtq-bench --bin server_bench -- --connections 8 --depth 32
 #   cargo run --release -p wqrtq-bench --bin whynot_bench -- --n 20000 --rounds 24
+#   cargo run --release -p wqrtq-bench --bin scale_bench -- --ns 10000000 --dims 3
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,6 +58,11 @@ RANK_ARGS=(--workers "$WORKERS")
 MUTATION_ARGS=(--workers "$WORKERS")
 SERVER_ARGS=(--workers "$WORKERS")
 WHYNOT_ARGS=(--workers "$WORKERS")
+# scale_bench exercises the shared kernels directly (no engine pool), so
+# it takes no --workers; the full sweep covers 100 K across dims plus
+# the 1-M gate cell at d = 3 (the cell the committed speedup floors
+# guard — the largest-n cell at d = 3 in the report).
+SCALE_ARGS=(--cells 100000:3,100000:5,100000:8,1000000:3)
 if [[ "${1:-}" == "--smoke" ]]; then
     shift
     SMOKE=1
@@ -60,6 +71,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     MUTATION_ARGS+=(--n 5000 --ops 60)
     SERVER_ARGS+=(--n 3000 --requests 120 --connections 2 --depth 8)
     WHYNOT_ARGS+=(--n 3000 --rounds 8 --samples 64 --query-samples 24)
+    SCALE_ARGS=(--ns 20000 --dims 3 --weights 60 --repeats 2)
 fi
 if [[ $# -gt 0 ]]; then
     echo "error: unknown arguments: $*" >&2
@@ -97,7 +109,7 @@ EOF
 
 cargo build --release -p wqrtq-bench \
     --bin engine_bench --bin rank_bench --bin mutation_bench --bin server_bench \
-    --bin whynot_bench
+    --bin whynot_bench --bin scale_bench
 
 cargo run --release -p wqrtq-bench --bin engine_bench -- \
     --out BENCH_engine.json "${ENGINE_ARGS[@]}"
@@ -115,6 +127,9 @@ validate_json STATS_server.json
 cargo run --release -p wqrtq-bench --bin whynot_bench -- \
     --out BENCH_whynot.json "${WHYNOT_ARGS[@]}"
 validate_json BENCH_whynot.json
+cargo run --release -p wqrtq-bench --bin scale_bench -- \
+    --out BENCH_scale.json "${SCALE_ARGS[@]}"
+validate_json BENCH_scale.json
 
 if [[ "$SMOKE" == 1 ]]; then
     # Oracle-equivalence of the delta overlay with debug assertions off:
@@ -132,3 +147,5 @@ echo "--- BENCH_server.json ---"
 cat BENCH_server.json
 echo "--- BENCH_whynot.json ---"
 cat BENCH_whynot.json
+echo "--- BENCH_scale.json ---"
+cat BENCH_scale.json

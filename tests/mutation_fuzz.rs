@@ -260,8 +260,17 @@ fn run_fuzz(dim: usize, seed: u64) {
             }
         }
 
-        // Checkpoint: rebuild the oracle from scratch and compare.
-        let oracle = Engine::builder().workers(1).build();
+        // Checkpoint: rebuild the oracle from scratch and compare. The
+        // oracle runs with both data-plane tiers off (no dominance mask,
+        // no quantized mirror), so the comparison simultaneously proves
+        // the overlay decomposition AND the two-tier fast path
+        // bit-identical to the exact f64 reference — including rounds
+        // where appends/deletes have moved the mask's epoch.
+        let oracle = Engine::builder()
+            .workers(1)
+            .prefilter(false)
+            .quantized(false)
+            .build();
         oracle.register_dataset("d", dim, model.flat()).unwrap();
         let ids = model.id_table();
         let battery = query_battery(dim, &mut rng);
@@ -344,7 +353,11 @@ fn sharded_rta_over_overlay_matches_oracle() {
     }
     overlay.delete_points("d", &victims).unwrap();
 
-    let oracle = Engine::builder().workers(1).build();
+    let oracle = Engine::builder()
+        .workers(1)
+        .prefilter(false)
+        .quantized(false)
+        .build();
     oracle.register_dataset("d", 2, model.flat()).unwrap();
 
     let population: Vec<Vec<f64>> = (0..400)
@@ -367,6 +380,16 @@ fn sharded_rta_over_overlay_matches_oracle() {
     let m = overlay.metrics();
     assert!(m.sharded_requests > 0, "the parallel path must have run");
     assert_eq!(m.catalog.index_builds, 1, "no rebuild despite mutations");
+    assert_eq!(m.catalog.mask_builds, 1, "one mask per base generation");
+    assert!(
+        m.catalog.prefilter_skips > 0,
+        "the sharded RTA must have consulted the mask"
+    );
+    assert_eq!(
+        oracle.metrics().catalog.mask_builds,
+        0,
+        "the oracle plane must stay unmasked"
+    );
 }
 
 #[test]

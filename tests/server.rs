@@ -1138,7 +1138,19 @@ fn multiple_event_loops_serve_connections_concurrently() {
     for handle in handles {
         handle.join().unwrap();
     }
-    let stats = server.stats();
+    // A client can read its last reply a hair before the loop thread
+    // publishes the matching counter bump, so give the stats a moment
+    // to settle before asserting on them.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        let stats = server.stats();
+        if (stats.frames_in >= 200 && stats.frames_out >= 200)
+            || std::time::Instant::now() >= deadline
+        {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
     assert_eq!(stats.connections_accepted, 4);
     assert_eq!(stats.protocol_errors, 0);
     assert_eq!(stats.busy_rejections, 0);
