@@ -1,0 +1,84 @@
+//! WAL-overhead and recovery-replay benchmark, as a JSON report.
+//!
+//! ```text
+//! cargo run --release -p wqrtq-bench --bin durability_bench
+//! cargo run --release -p wqrtq-bench --bin durability_bench -- --ops 5000 --replay-records 200000 --out BENCH_durability.json
+//! ```
+
+use std::io::Write;
+use wqrtq_bench::durability_bench::{compare, DurabilityBenchConfig};
+
+fn main() {
+    let mut cfg = DurabilityBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--n" => cfg.n = value("--n").parse().expect("--n takes an integer"),
+            "--dim" => cfg.dim = value("--dim").parse().expect("--dim takes an integer"),
+            "--ops" => cfg.ops = value("--ops").parse().expect("--ops takes an integer"),
+            "--append-rows" => {
+                cfg.append_rows = value("--append-rows")
+                    .parse()
+                    .expect("--append-rows takes an integer")
+            }
+            "--workers" => {
+                cfg.workers = value("--workers")
+                    .parse()
+                    .expect("--workers takes an integer")
+            }
+            "--replay-records" => {
+                cfg.replay_records = value("--replay-records")
+                    .parse()
+                    .expect("--replay-records takes an integer")
+            }
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed takes an integer"),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: durability_bench [--n N] [--dim D] [--ops O] \
+                     [--append-rows R] [--workers P] [--replay-records M] \
+                     [--seed S] [--out FILE]"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!(
+        "durability bench: |P| = {}, d = {}, {} mutations ({} rows/append), \
+         {} replay records, {} workers",
+        cfg.n, cfg.dim, cfg.ops, cfg.append_rows, cfg.replay_records, cfg.workers
+    );
+    let report = compare(&cfg);
+    eprintln!(
+        "in-memory    : {:>10.1} mutations/s\n\
+         wal buffered : {:>10.1} mutations/s  ({:.2}x of in-memory)\n\
+         wal fsync    : {:>10.1} mutations/s  ({:.2}x of in-memory)\n\
+         recovery     : {:>10.2} ms per 100k records ({} replayed in {:.3}s)\n\
+         bit-identical: {}",
+        report.in_memory.ops_per_sec(),
+        report.wal_buffered.ops_per_sec(),
+        report.wal_vs_inmemory(),
+        report.wal_fsync.ops_per_sec(),
+        report.wal_fsync_vs_inmemory(),
+        report.recovery.ms_per_100k(),
+        report.recovery.records_replayed,
+        report.recovery.elapsed.as_secs_f64(),
+        report.recovered_bit_identical,
+    );
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            writeln!(f, "{json}").expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -8,6 +8,7 @@
 //! design-choice ablations called out in DESIGN.md.
 
 pub mod alloc_count;
+pub mod durability_bench;
 pub mod engine_bench;
 pub mod harness;
 pub mod mutation_bench;
@@ -17,6 +18,7 @@ pub mod scale_bench;
 pub mod server_bench;
 pub mod whynot_bench;
 
+pub use durability_bench::{DurabilityBenchConfig, DurabilityComparison};
 pub use engine_bench::{compare, EngineBenchConfig, EngineComparison};
 pub use harness::{prepare, run_algorithm, Algorithm, Measurement, Prepared};
 pub use mutation_bench::{MutationBenchConfig, MutationComparison};

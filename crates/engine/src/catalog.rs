@@ -27,11 +27,36 @@
 //! the stale entry was evicted yet.
 
 use crate::error::EngineError;
+use crate::storage::{
+    CatalogState, DatasetState, Durability, StorageError, WalRecord, WalRecordRef, WeightSetState,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use wqrtq_geom::{DeltaView, FlatPoints, Weight};
 use wqrtq_rtree::{DominanceIndex, RTree};
+
+/// A storage failure surfaced through the engine's error vocabulary.
+fn durability_err(e: StorageError) -> EngineError {
+    EngineError::Durability {
+        reason: e.to_string(),
+    }
+}
+
+/// Rebuilds a [`Weight`] from persisted components without panicking:
+/// [`Weight::new`] asserts its invariants, so a damaged image must be
+/// rejected as a typed error first.
+fn weight_from_state(w: Vec<f64>) -> Result<Weight, EngineError> {
+    let valid = !w.is_empty()
+        && w.iter().all(|x| x.is_finite() && *x >= -1e-9)
+        && (w.iter().sum::<f64>() - 1.0).abs() < 1e-6;
+    if !valid {
+        return Err(EngineError::Durability {
+            reason: "recovered weight vector violates its invariants".to_string(),
+        });
+    }
+    Ok(Weight::new(w))
+}
 
 /// The versions of one dataset snapshot. Any mutation strictly increases
 /// one component (appends bump `delta`, deletes bump `tombstones`,
@@ -198,6 +223,16 @@ pub struct CatalogStats {
     /// because the `f32` bounds straddled the threshold (cumulative
     /// across base generations).
     pub quantized_fallbacks: u64,
+    /// WAL records appended by the attached durability layer (0 when
+    /// the engine runs without a `data_dir`).
+    pub wal_appends: u64,
+    /// Snapshots installed (at compaction and explicit checkpoints).
+    pub snapshot_writes: u64,
+    /// Recoveries performed: 1 after resuming pre-existing durable
+    /// state, 0 for a fresh data directory or an in-memory engine.
+    pub recoveries: u64,
+    /// WAL records replayed by the last recovery.
+    pub wal_replayed: u64,
 }
 
 /// Thread-safe catalog of datasets and weight populations.
@@ -219,6 +254,11 @@ pub struct Catalog {
     /// stay monotone across rebuilds).
     retired_prefilter_skips: AtomicU64,
     retired_quantized_fallbacks: AtomicU64,
+    /// The durability layer, attached once (after recovery replay, so
+    /// replayed mutations are not logged twice). `None` for in-memory
+    /// engines — every hook below is then a single branch, leaving the
+    /// default path untouched.
+    durability: OnceLock<Arc<Durability>>,
 }
 
 impl Default for Catalog {
@@ -256,7 +296,20 @@ impl Catalog {
             mask_builds: AtomicU64::new(0),
             retired_prefilter_skips: AtomicU64::new(0),
             retired_quantized_fallbacks: AtomicU64::new(0),
+            durability: OnceLock::new(),
         }
+    }
+
+    /// Attaches the durability layer. Must happen strictly after any
+    /// recovery replay — mutations made before the attach are never
+    /// logged (that is what makes replay idempotent).
+    ///
+    /// # Panics
+    /// Panics if a layer is already attached.
+    pub(crate) fn attach_durability(&self, d: Arc<Durability>) {
+        self.durability
+            .set(d)
+            .expect("durability layer attached exactly once");
     }
 
     /// Folds a replaced entry's tier counters into the retired tallies
@@ -293,16 +346,39 @@ impl Catalog {
         check_finite(&coords)?;
         let mut inner = self.inner.write().expect("catalog lock");
         let base_epoch = match inner.datasets.get(name) {
-            Some(old) => {
-                self.retire_entry_counters(old);
-                old.base_epoch + 1
-            }
+            Some(old) => old.base_epoch + 1,
             None => 1,
         };
-        inner.datasets.insert(
+        let prev = inner.datasets.insert(
             name.to_string(),
             DatasetEntry::fresh(dim, coords, base_epoch),
         );
+        if let Some(d) = self.durability.get() {
+            let entry = inner.datasets.get(name).expect("just inserted");
+            let logged = d.log(WalRecordRef::Register {
+                name,
+                dim: dim as u64,
+                coords: &entry.base_coords,
+            });
+            if let Err(e) = logged {
+                // Unlogged means undone: restore the previous entry so
+                // the in-memory and durable states cannot diverge.
+                match prev {
+                    Some(p) => {
+                        inner.datasets.insert(name.to_string(), p);
+                    }
+                    None => {
+                        inner.datasets.remove(name);
+                    }
+                }
+                return Err(durability_err(e));
+            }
+        }
+        // Retire the replaced generation's tier counters only once the
+        // replacement is committed (logged or log-free).
+        if let Some(p) = &prev {
+            self.retire_entry_counters(p);
+        }
         Ok(())
     }
 
@@ -331,6 +407,7 @@ impl Catalog {
         if next_id + rows > u32::MAX as u64 {
             return Err(EngineError::DatasetFull);
         }
+        let saved = (entry.delta_rows.clone(), entry.delta_ids.clone());
         let mut delta_rows = (*entry.delta_rows).clone();
         let mut delta_ids = (*entry.delta_ids).clone();
         delta_rows.extend_from_slice(points);
@@ -338,6 +415,13 @@ impl Catalog {
         entry.delta_rows = Arc::new(delta_rows);
         entry.delta_ids = Arc::new(delta_ids);
         entry.appends += rows;
+        if let Some(d) = self.durability.get() {
+            if let Err(e) = d.log(WalRecordRef::Append { name, points }) {
+                (entry.delta_rows, entry.delta_ids) = saved;
+                entry.appends -= rows;
+                return Err(durability_err(e));
+            }
+        }
         let live = entry.live_len();
         if entry.index.get().is_some() {
             self.rebuilds_avoided.fetch_add(1, Ordering::Relaxed);
@@ -389,6 +473,12 @@ impl Catalog {
             return Err(EngineError::UnknownPointId { id });
         }
 
+        let saved = (
+            entry.delta_rows.clone(),
+            entry.delta_ids.clone(),
+            entry.dead_rows.clone(),
+            entry.dead_ids.clone(),
+        );
         if !delta_victims.is_empty() {
             let keep = entry.delta_ids.len() - delta_victims.len();
             let mut delta_rows = Vec::with_capacity(keep * dim);
@@ -433,6 +523,18 @@ impl Catalog {
             entry.dead_ids = Arc::new(dead_ids);
         }
         entry.deletes += ids.len() as u64;
+        if let Some(d) = self.durability.get() {
+            if let Err(e) = d.log(WalRecordRef::Delete { name, ids }) {
+                (
+                    entry.delta_rows,
+                    entry.delta_ids,
+                    entry.dead_rows,
+                    entry.dead_ids,
+                ) = saved;
+                entry.deletes -= ids.len() as u64;
+                return Err(durability_err(e));
+            }
+        }
         let live = entry.live_len();
         if entry.index.get().is_some() {
             self.rebuilds_avoided.fetch_add(1, Ordering::Relaxed);
@@ -460,6 +562,17 @@ impl Catalog {
         inner
             .weight_sets
             .insert(name.to_string(), Arc::new(weights));
+        if let Some(d) = self.durability.get() {
+            let ws = inner.weight_sets.get(name).expect("just inserted");
+            let logged = d.log(WalRecordRef::RegisterWeights {
+                name,
+                weights: ws.as_slice(),
+            });
+            if let Err(e) = logged {
+                inner.weight_sets.remove(name);
+                return Err(durability_err(e));
+            }
+        }
         Ok(())
     }
 
@@ -601,6 +714,16 @@ impl Catalog {
             self.compactions_abandoned.fetch_add(1, Ordering::Relaxed);
             return Ok(false);
         }
+        if let Some(d) = self.durability.get() {
+            // Log the merge *before* installing it: a Compact record that
+            // cannot be made durable abandons the merge (the overlay and
+            // its trigger survive untouched), so the WAL always carries
+            // the record for any installed base.
+            if let Err(e) = d.log(WalRecordRef::Compact { name }) {
+                self.compactions_abandoned.fetch_add(1, Ordering::Relaxed);
+                return Err(durability_err(e));
+            }
+        }
         // The stale generation's mask dies with it (the fresh entry's
         // OnceLock rebuilds lazily); keep its telemetry.
         self.retire_entry_counters(entry);
@@ -611,6 +734,16 @@ impl Catalog {
         fresh.index = Arc::new(once);
         *entry = fresh;
         self.compactions.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.durability.get() {
+            // Snapshot the post-merge catalog while the write lock still
+            // excludes concurrent mutations, so the image and the WAL
+            // reset inside the checkpoint agree on `last_lsn`. A failed
+            // checkpoint is deliberately tolerated: the previous snapshot
+            // plus the full WAL (including the Compact record just
+            // logged) still recover this exact state.
+            let state = Self::export_state_locked(&inner, d.last_lsn());
+            let _ = d.checkpoint(&state);
+        }
         Ok(true)
     }
 
@@ -661,6 +794,155 @@ impl Catalog {
             .is_some_and(|e| e.index.get().is_some())
     }
 
+    /// Exports the complete catalog image under an already-held lock.
+    /// The caller supplies the WAL position the image covers; datasets
+    /// and weight populations are sorted by name so the same state
+    /// always encodes to the same bytes.
+    fn export_state_locked(inner: &CatalogInner, last_lsn: u64) -> CatalogState {
+        let mut datasets: Vec<DatasetState> = inner
+            .datasets
+            .iter()
+            .map(|(name, e)| DatasetState {
+                name: name.clone(),
+                dim: e.dim as u64,
+                base_epoch: e.base_epoch,
+                appends: e.appends,
+                deletes: e.deletes,
+                base_coords: (*e.base_coords).clone(),
+                delta_rows: (*e.delta_rows).clone(),
+                delta_ids: (*e.delta_ids).clone(),
+                dead_rows: (*e.dead_rows).clone(),
+                dead_ids: (*e.dead_ids).clone(),
+            })
+            .collect();
+        datasets.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut weight_sets: Vec<WeightSetState> = inner
+            .weight_sets
+            .iter()
+            .map(|(name, ws)| WeightSetState {
+                name: name.clone(),
+                weights: ws.iter().map(|w| w.as_slice().to_vec()).collect(),
+            })
+            .collect();
+        weight_sets.sort_by(|a, b| a.name.cmp(&b.name));
+        CatalogState {
+            last_lsn,
+            datasets,
+            weight_sets,
+        }
+    }
+
+    /// Installs a recovered snapshot image wholesale. Runs once at
+    /// startup, before any traffic and strictly before the durability
+    /// layer is attached — nothing here is logged (again).
+    ///
+    /// # Errors
+    /// [`EngineError::Durability`] when the image violates an invariant
+    /// the live catalog could never have produced — damage the CRC
+    /// cannot see, e.g. a buffer length that disagrees with its ids.
+    pub(crate) fn restore_state(&self, state: CatalogState) -> Result<(), EngineError> {
+        let broken = |reason: &str| EngineError::Durability {
+            reason: format!("recovered snapshot is inconsistent: {reason}"),
+        };
+        let mut inner = self.inner.write().expect("catalog lock");
+        for d in state.datasets {
+            let dim = usize::try_from(d.dim).unwrap_or(0);
+            if dim == 0 {
+                return Err(broken("zero dimensionality"));
+            }
+            if !d.base_coords.len().is_multiple_of(dim) {
+                return Err(broken("ragged base coordinates"));
+            }
+            if d.delta_rows.len() != d.delta_ids.len() * dim {
+                return Err(broken("delta rows disagree with delta ids"));
+            }
+            if d.dead_rows.len() != d.dead_ids.len() * dim {
+                return Err(broken("tombstone rows disagree with tombstone ids"));
+            }
+            if !d.dead_ids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(broken("tombstone ids not strictly ascending"));
+            }
+            let entry = DatasetEntry {
+                dim,
+                base_coords: Arc::new(d.base_coords),
+                base_epoch: d.base_epoch,
+                appends: d.appends,
+                deletes: d.deletes,
+                delta_rows: Arc::new(d.delta_rows),
+                delta_ids: Arc::new(d.delta_ids),
+                dead_rows: Arc::new(d.dead_rows),
+                dead_ids: Arc::new(d.dead_ids),
+                index: Arc::new(OnceLock::new()),
+                dom: Arc::new(OnceLock::new()),
+            };
+            inner.datasets.insert(d.name, entry);
+        }
+        for ws in state.weight_sets {
+            let weights = ws
+                .weights
+                .into_iter()
+                .map(weight_from_state)
+                .collect::<Result<Vec<Weight>, EngineError>>()?;
+            inner.weight_sets.insert(ws.name, Arc::new(weights));
+        }
+        Ok(())
+    }
+
+    /// Replays one WAL record onto the catalog. Runs only during
+    /// recovery, strictly before the durability layer is attached, so
+    /// the replayed mutation is not logged a second time.
+    ///
+    /// # Errors
+    /// Propagates the underlying mutation error — any failure means the
+    /// durable log is inconsistent with the catalog's invariants.
+    pub(crate) fn apply_replay(&self, rec: WalRecord) -> Result<(), EngineError> {
+        match rec {
+            WalRecord::Register { name, dim, coords } => {
+                let dim = usize::try_from(dim).map_err(|_| EngineError::Durability {
+                    reason: "replayed register has an impossible dimensionality".to_string(),
+                })?;
+                self.register(&name, dim, coords)
+            }
+            WalRecord::Append { name, points } => self.append(&name, &points).map(|_| ()),
+            WalRecord::Delete { name, ids } => self.delete(&name, &ids).map(|_| ()),
+            WalRecord::RegisterWeights { name, weights } => {
+                let weights = weights
+                    .into_iter()
+                    .map(weight_from_state)
+                    .collect::<Result<Vec<Weight>, EngineError>>()?;
+                self.register_weights(&name, weights)
+            }
+            WalRecord::Compact { name } => {
+                // A logged Compact means the merge installed at exactly
+                // this point in the mutation order; the replayed catalog
+                // is in the same pre-merge state, so compacting at the
+                // current epoch reproduces the same base generation.
+                let epoch = self.epoch(&name)?;
+                self.compact_if(&name, epoch).map(|_| ())
+            }
+        }
+    }
+
+    /// Writes a full snapshot now and resets the WAL, returning whether
+    /// one was written (`false` means the engine has no durability
+    /// layer, which makes this a no-op).
+    ///
+    /// # Errors
+    /// [`EngineError::Durability`] when the snapshot cannot be
+    /// installed; the previous snapshot and the full WAL remain intact.
+    pub fn checkpoint(&self) -> Result<bool, EngineError> {
+        let Some(d) = self.durability.get() else {
+            return Ok(false);
+        };
+        // The *write* lock excludes concurrent mutations between the
+        // state export and the WAL reset inside the checkpoint — the
+        // image and its `last_lsn` stay consistent.
+        let inner = self.inner.write().expect("catalog lock");
+        let state = Self::export_state_locked(&inner, d.last_lsn());
+        d.checkpoint(&state).map_err(durability_err)?;
+        Ok(true)
+    }
+
     /// Point-in-time mutation/build counters. The two-tier tallies sum
     /// the live entries' counters (read under the catalog lock) with the
     /// retired tallies of replaced base generations, so they are
@@ -678,6 +960,7 @@ impl Catalog {
                 }
             }
         }
+        let durability = self.durability.get().map(|d| d.stats()).unwrap_or_default();
         CatalogStats {
             index_builds: self.index_builds.load(Ordering::Relaxed),
             rebuilds_avoided: self.rebuilds_avoided.load(Ordering::Relaxed),
@@ -687,6 +970,10 @@ impl Catalog {
             prefilter_skips: prefilter_skips + self.retired_prefilter_skips.load(Ordering::Relaxed),
             quantized_fallbacks: quantized_fallbacks
                 + self.retired_quantized_fallbacks.load(Ordering::Relaxed),
+            wal_appends: durability.wal_appends,
+            snapshot_writes: durability.snapshot_writes,
+            recoveries: durability.recoveries,
+            wal_replayed: durability.wal_replayed,
         }
     }
 }

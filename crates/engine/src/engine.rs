@@ -21,7 +21,9 @@ use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{Request, Response};
+use crate::storage::{DiskBackend, Durability, FsyncPolicy};
 use crate::worker::{Completion, Job, Pool, ServeManyTask, ServeUnit, TraceContext, WorkerContext};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -44,6 +46,8 @@ pub struct EngineBuilder {
     tracing: bool,
     prefilter: bool,
     quantized: bool,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 impl Default for EngineBuilder {
@@ -56,6 +60,8 @@ impl Default for EngineBuilder {
             tracing: true,
             prefilter: true,
             quantized: true,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -137,9 +143,68 @@ impl EngineBuilder {
         self
     }
 
+    /// Persist the catalog in `dir`: every mutation appends to a WAL
+    /// there before it is acknowledged, compaction installs snapshots,
+    /// and [`EngineBuilder::try_build`] recovers whatever state the
+    /// directory holds. Without a data directory (the default) the
+    /// engine is purely in-memory and pays zero durability cost.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// When WAL appends are forced to stable storage (default
+    /// [`FsyncPolicy::Always`]: no acknowledged mutation is ever lost).
+    /// Only meaningful together with [`EngineBuilder::data_dir`].
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
     /// Spawns the workers and returns the engine.
+    ///
+    /// # Panics
+    /// Panics if a configured data directory cannot be opened or
+    /// recovered — use [`EngineBuilder::try_build`] to handle that as a
+    /// typed error instead.
     pub fn build(self) -> Engine {
+        self.try_build().expect("engine build")
+    }
+
+    /// Spawns the workers and returns the engine. With a data directory
+    /// configured, first recovers: the latest snapshot is restored, the
+    /// WAL's valid records beyond it are replayed in log order (a torn
+    /// tail after a crash is truncated silently), and the WAL resumes
+    /// appending exactly where the last valid record ended.
+    ///
+    /// # Errors
+    /// [`EngineError::Durability`] when the data directory cannot be
+    /// opened, its images are structurally corrupt, or the recovered
+    /// state violates a catalog invariant.
+    pub fn try_build(self) -> Result<Engine, EngineError> {
         let catalog = Arc::new(Catalog::with_config(self.prefilter, self.quantized));
+        if let Some(dir) = &self.data_dir {
+            let durability_err = |e: crate::storage::StorageError| EngineError::Durability {
+                reason: e.to_string(),
+            };
+            let backend = DiskBackend::open(dir).map_err(|e| EngineError::Durability {
+                reason: format!("cannot open data dir {}: {e}", dir.display()),
+            })?;
+            let recovered =
+                Durability::open(Box::new(backend), self.fsync).map_err(durability_err)?;
+            if let Some(state) = recovered.state {
+                catalog.restore_state(state)?;
+            }
+            for rec in recovered.records {
+                catalog.apply_replay(rec)?;
+            }
+            // Attach only now: the replay above must not log again.
+            catalog.attach_durability(Arc::new(recovered.durability));
+        }
+        Ok(self.spawn(catalog))
+    }
+
+    fn spawn(self, catalog: Arc<Catalog>) -> Engine {
         let cache = Arc::new(ResultCache::new(self.cache_capacity));
         let metrics = Arc::new(Metrics::new());
         // One ring shard per worker (workers hint with their own index)
@@ -329,6 +394,19 @@ impl Engine {
     /// See [`Catalog::register_weights`].
     pub fn register_weights(&self, name: &str, weights: Vec<Weight>) -> Result<(), EngineError> {
         self.catalog.register_weights(name, weights)
+    }
+
+    /// Writes a full snapshot of the catalog now and resets the WAL
+    /// (recovery then starts from this image instead of replaying the
+    /// whole log). Returns `false` — doing nothing — for an engine
+    /// without a data directory. Compaction checkpoints automatically;
+    /// this entry point exists for shutdown hooks and tests.
+    ///
+    /// # Errors
+    /// [`EngineError::Durability`] when the snapshot cannot be
+    /// installed; the previous snapshot and full WAL stay intact.
+    pub fn checkpoint(&self) -> Result<bool, EngineError> {
+        self.catalog.checkpoint()
     }
 
     /// Serves one request on the pool.

@@ -74,6 +74,13 @@ pub enum EngineError {
     DatasetFull,
     /// The worker pool has shut down and can no longer serve requests.
     PoolShutdown,
+    /// The durability layer failed: a mutation could not be made durable
+    /// (the in-memory change was rolled back — unlogged means undone), or
+    /// recovery found durable state violating a catalog invariant.
+    Durability {
+        /// The underlying storage failure, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -123,6 +130,7 @@ impl fmt::Display for EngineError {
                 write!(f, "dataset exhausted the u32 point-id space")
             }
             EngineError::PoolShutdown => write!(f, "worker pool has shut down"),
+            EngineError::Durability { reason } => write!(f, "durability failure: {reason}"),
         }
     }
 }

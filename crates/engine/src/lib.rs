@@ -43,6 +43,7 @@ mod engine;
 mod error;
 mod metrics;
 mod request;
+pub mod storage;
 mod worker;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
@@ -52,6 +53,7 @@ pub use error::EngineError;
 pub use metrics::{
     KindSnapshot, Metrics, MetricsSnapshot, ServerCounters, StageSnapshot, StatsSnapshot,
 };
+pub use storage::{FsyncPolicy, StorageError};
 // Observability vocabulary (histograms, stages, spans) re-exported for
 // the same reason: one dependency gives serving layers the full surface.
 pub use request::{

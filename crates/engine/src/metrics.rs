@@ -282,7 +282,9 @@ impl MetricsSnapshot {
                 "\"catalog\": {{\"index_builds\": {}, \"rebuilds_avoided\": {}, ",
                 "\"compactions\": {}, \"compactions_abandoned\": {}, ",
                 "\"mask_builds\": {}, \"prefilter_skips\": {}, ",
-                "\"quantized_fallbacks\": {}}}, ",
+                "\"quantized_fallbacks\": {}, ",
+                "\"wal_appends\": {}, \"snapshot_writes\": {}, ",
+                "\"recoveries\": {}, \"wal_replayed\": {}}}, ",
                 "\"per_kind\": [{}], \"stages\": {{{}}}}}"
             ),
             self.total_requests(),
@@ -303,6 +305,10 @@ impl MetricsSnapshot {
             self.catalog.mask_builds,
             self.catalog.prefilter_skips,
             self.catalog.quantized_fallbacks,
+            self.catalog.wal_appends,
+            self.catalog.snapshot_writes,
+            self.catalog.recoveries,
+            self.catalog.wal_replayed,
             kinds.join(", "),
             stages.join(", "),
         )
@@ -417,6 +423,14 @@ impl std::fmt::Display for MetricsSnapshot {
             self.catalog.mask_builds,
             self.catalog.prefilter_skips,
             self.catalog.quantized_fallbacks,
+        )?;
+        writeln!(
+            f,
+            "  durability: {} wal appends, {} snapshots, {} recoveries ({} records replayed)",
+            self.catalog.wal_appends,
+            self.catalog.snapshot_writes,
+            self.catalog.recoveries,
+            self.catalog.wal_replayed,
         )?;
         writeln!(
             f,

@@ -1,0 +1,265 @@
+//! Snapshot format: one full catalog image, written atomically.
+//!
+//! ```text
+//! +----------+--------------+-----------+---------------------+
+//! | "WQSN"   | version: u8  | crc: u32  | body (rest of file) |
+//! +----------+--------------+-----------+---------------------+
+//! ```
+//!
+//! The body carries the WAL position the image covers (`last_lsn` —
+//! recovery replays only records beyond it) and the complete catalog
+//! state: every dataset's base coordinates *and* its live overlay
+//! (delta memtable + tombstones) *and* its monotone `appends`/`deletes`
+//! counters, plus every weight population. Persisting the counters is
+//! what lets recovery resume the **exact epoch triple**: `appends` is
+//! also the delta id allocator, and it is not derivable from the live
+//! delta ids once rows have been deleted.
+//!
+//! Snapshots are never written in place — the backend writes a temp
+//! file, fsyncs, and renames over the old image, so a crash mid-snapshot
+//! leaves the previous (snapshot, WAL) pair fully intact. Unlike the
+//! WAL, a snapshot that fails its CRC is **structural corruption**, not
+//! a torn tail: the atomic install means no partially written snapshot
+//! can ever be observed, so damage here is a typed error, never silently
+//! dropped state.
+
+use wqrtq_codec::{crc32, ByteReader, ByteWriter, DecodeError};
+
+/// Snapshot file magic (`WQSN` — WQRTQ snapshot).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"WQSN";
+
+/// Snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// One dataset's complete durable state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetState {
+    /// Dataset name.
+    pub name: String,
+    /// Dimensionality.
+    pub dim: u64,
+    /// Base generation counter.
+    pub base_epoch: u64,
+    /// Appends since the base was built (monotone; the delta id
+    /// allocator).
+    pub appends: u64,
+    /// Deletes since the base was built (monotone).
+    pub deletes: u64,
+    /// Flat row-major base coordinates.
+    pub base_coords: Vec<f64>,
+    /// Live appended rows (row-major, parallel to `delta_ids`).
+    pub delta_rows: Vec<f64>,
+    /// Ids of the live appended rows.
+    pub delta_ids: Vec<u32>,
+    /// Coordinates of tombstoned base rows (parallel to `dead_ids`).
+    pub dead_rows: Vec<f64>,
+    /// Ids of tombstoned base rows, sorted ascending.
+    pub dead_ids: Vec<u32>,
+}
+
+/// One immutable weight population.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightSetState {
+    /// Population name.
+    pub name: String,
+    /// One weighting vector per customer.
+    pub weights: Vec<Vec<f64>>,
+}
+
+/// A complete catalog image at one WAL position.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CatalogState {
+    /// The highest LSN this image covers; recovery replays only WAL
+    /// records with a strictly greater LSN.
+    pub last_lsn: u64,
+    /// Every dataset, sorted by name (deterministic bytes).
+    pub datasets: Vec<DatasetState>,
+    /// Every weight population, sorted by name.
+    pub weight_sets: Vec<WeightSetState>,
+}
+
+fn put_ids(w: &mut ByteWriter, ids: &[u32]) {
+    w.put_usize(ids.len());
+    for &id in ids {
+        w.put_u64(u64::from(id));
+    }
+}
+
+fn take_ids(r: &mut ByteReader<'_>, what: &'static str) -> Result<Vec<u32>, DecodeError> {
+    let n = r.take_count(8, what)?;
+    (0..n)
+        .map(|_| {
+            let id = r.take_u64(what)?;
+            u32::try_from(id).map_err(|_| DecodeError::new(what))
+        })
+        .collect()
+}
+
+impl CatalogState {
+    /// Encodes the image into a complete snapshot file (header + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.last_lsn);
+        w.put_usize(self.datasets.len());
+        for d in &self.datasets {
+            w.put_str(&d.name);
+            w.put_u64(d.dim);
+            w.put_u64(d.base_epoch);
+            w.put_u64(d.appends);
+            w.put_u64(d.deletes);
+            w.put_f64s(&d.base_coords);
+            w.put_f64s(&d.delta_rows);
+            put_ids(&mut w, &d.delta_ids);
+            w.put_f64s(&d.dead_rows);
+            put_ids(&mut w, &d.dead_ids);
+        }
+        w.put_usize(self.weight_sets.len());
+        for ws in &self.weight_sets {
+            w.put_str(&ws.name);
+            w.put_usize(ws.weights.len());
+            for weight in &ws.weights {
+                w.put_f64s(weight);
+            }
+        }
+        let body = w.into_vec();
+        let mut file = Vec::with_capacity(9 + body.len());
+        file.extend_from_slice(&SNAPSHOT_MAGIC);
+        file.push(SNAPSHOT_VERSION);
+        file.extend_from_slice(&crc32::checksum(&body).to_le_bytes());
+        file.extend_from_slice(&body);
+        file
+    }
+
+    /// Decodes a snapshot file.
+    ///
+    /// # Errors
+    /// [`super::StorageError::SnapshotCorrupt`] on a bad magic, an
+    /// unsupported version, a CRC mismatch, or an undecodable body —
+    /// snapshots are installed atomically, so any of these means the
+    /// image is damaged, not half-written.
+    pub fn decode(file: &[u8]) -> Result<Self, super::StorageError> {
+        use super::StorageError;
+        if file.len() < 9 || file[..4] != SNAPSHOT_MAGIC {
+            return Err(StorageError::SnapshotCorrupt {
+                reason: "bad snapshot magic",
+            });
+        }
+        if file[4] != SNAPSHOT_VERSION {
+            return Err(StorageError::SnapshotCorrupt {
+                reason: "unsupported snapshot version",
+            });
+        }
+        let crc = u32::from_le_bytes([file[5], file[6], file[7], file[8]]);
+        let body = &file[9..];
+        if crc32::checksum(body) != crc {
+            return Err(StorageError::SnapshotCorrupt {
+                reason: "snapshot crc mismatch",
+            });
+        }
+        Self::decode_body(body).map_err(|_| StorageError::SnapshotCorrupt {
+            reason: "snapshot body undecodable",
+        })
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = ByteReader::new(body);
+        let last_lsn = r.take_u64("snapshot lsn")?;
+        let n = r.take_count(1, "snapshot dataset count")?;
+        let mut datasets = Vec::with_capacity(n);
+        for _ in 0..n {
+            datasets.push(DatasetState {
+                name: r.take_str("snapshot dataset name")?,
+                dim: r.take_u64("snapshot dim")?,
+                base_epoch: r.take_u64("snapshot base epoch")?,
+                appends: r.take_u64("snapshot appends")?,
+                deletes: r.take_u64("snapshot deletes")?,
+                base_coords: r.take_f64s("snapshot base coords")?,
+                delta_rows: r.take_f64s("snapshot delta rows")?,
+                delta_ids: take_ids(&mut r, "snapshot delta ids")?,
+                dead_rows: r.take_f64s("snapshot dead rows")?,
+                dead_ids: take_ids(&mut r, "snapshot dead ids")?,
+            });
+        }
+        let w = r.take_count(1, "snapshot weight-set count")?;
+        let mut weight_sets = Vec::with_capacity(w);
+        for _ in 0..w {
+            let name = r.take_str("snapshot weight-set name")?;
+            let count = r.take_count(8, "snapshot weight count")?;
+            let weights = (0..count)
+                .map(|_| r.take_f64s("snapshot weight vector"))
+                .collect::<Result<Vec<Vec<f64>>, DecodeError>>()?;
+            weight_sets.push(WeightSetState { name, weights });
+        }
+        r.finish()?;
+        Ok(Self {
+            last_lsn,
+            datasets,
+            weight_sets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> CatalogState {
+        CatalogState {
+            last_lsn: 41,
+            datasets: vec![DatasetState {
+                name: "p".into(),
+                dim: 2,
+                base_epoch: 3,
+                appends: 7,
+                deletes: 2,
+                base_coords: vec![0.1, -0.0, 2.5, 3.5],
+                delta_rows: vec![9.0, 9.5],
+                delta_ids: vec![6],
+                dead_rows: vec![0.1, -0.0],
+                dead_ids: vec![0],
+            }],
+            weight_sets: vec![WeightSetState {
+                name: "cust".into(),
+                weights: vec![vec![0.5, 0.5], vec![1.0, 0.0]],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let state = sample_state();
+        let file = state.encode();
+        let back = CatalogState::decode(&file).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(
+            back.datasets[0].base_coords[1].to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_never_a_panic() {
+        let file = sample_state().encode();
+        // Bad magic.
+        let mut bad = file.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            CatalogState::decode(&bad),
+            Err(crate::storage::StorageError::SnapshotCorrupt { .. })
+        ));
+        // Unsupported version.
+        let mut bad = file.clone();
+        bad[4] = 99;
+        assert!(CatalogState::decode(&bad).is_err());
+        // Any single corrupted body byte must trip the CRC.
+        for idx in [9, 17, file.len() - 1] {
+            let mut bad = file.clone();
+            bad[idx] ^= 0x01;
+            assert!(CatalogState::decode(&bad).is_err(), "byte {idx}");
+        }
+        // Truncations anywhere must fail cleanly too.
+        for cut in 0..file.len() {
+            assert!(CatalogState::decode(&file[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

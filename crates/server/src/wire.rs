@@ -863,6 +863,10 @@ fn encode_stats(w: &mut ByteWriter, stats: &StatsSnapshot) {
     w.put_u64(m.catalog.mask_builds);
     w.put_u64(m.catalog.prefilter_skips);
     w.put_u64(m.catalog.quantized_fallbacks);
+    w.put_u64(m.catalog.wal_appends);
+    w.put_u64(m.catalog.snapshot_writes);
+    w.put_u64(m.catalog.recoveries);
+    w.put_u64(m.catalog.wal_replayed);
     w.put_u64(m.cache.hits);
     w.put_u64(m.cache.misses);
     w.put_usize(m.cache.len);
@@ -927,6 +931,10 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<StatsSnapshot, DecodeError> {
         mask_builds: r.take_u64("mask builds")?,
         prefilter_skips: r.take_u64("prefilter skips")?,
         quantized_fallbacks: r.take_u64("quantized fallbacks")?,
+        wal_appends: r.take_u64("wal appends")?,
+        snapshot_writes: r.take_u64("snapshot writes")?,
+        recoveries: r.take_u64("recoveries")?,
+        wal_replayed: r.take_u64("wal replayed")?,
     };
     let cache = CacheStats {
         hits: r.take_u64("cache hits")?,
@@ -1190,6 +1198,10 @@ mod tests {
                     mask_builds: 1,
                     prefilter_skips: 4321,
                     quantized_fallbacks: 17,
+                    wal_appends: 57,
+                    snapshot_writes: 3,
+                    recoveries: 1,
+                    wal_replayed: 12,
                 },
                 cache: CacheStats {
                     hits: 3,

@@ -20,7 +20,11 @@
 #                         probes, flat count kernels and the RTA sweep
 #                         with the dominance mask + quantized tier on vs
 #                         off, per (n, dim) cell (10-M cells are opt-in:
-#                         run scale_bench directly with --ns 10000000).
+#                         run scale_bench directly with --ns 10000000);
+#   BENCH_durability.json — WAL logging overhead vs the in-memory
+#                         mutation path (buffered and per-record fsync),
+#                         recovery replay speed per 100k WAL records,
+#                         and the recovered-bit-identical truth guard.
 #
 # The server bench additionally writes STATS_server.json — the server's
 # full observability snapshot (engine metrics + front-door counters, the
@@ -47,6 +51,7 @@
 #   cargo run --release -p wqrtq-bench --bin server_bench -- --connections 8 --depth 32
 #   cargo run --release -p wqrtq-bench --bin whynot_bench -- --n 20000 --rounds 24
 #   cargo run --release -p wqrtq-bench --bin scale_bench -- --ns 10000000 --dims 3
+#   cargo run --release -p wqrtq-bench --bin durability_bench -- --ops 5000 --replay-records 200000
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +63,7 @@ RANK_ARGS=(--workers "$WORKERS")
 MUTATION_ARGS=(--workers "$WORKERS")
 SERVER_ARGS=(--workers "$WORKERS")
 WHYNOT_ARGS=(--workers "$WORKERS")
+DURABILITY_ARGS=(--workers "$WORKERS")
 # scale_bench exercises the shared kernels directly (no engine pool), so
 # it takes no --workers; the full sweep covers 100 K across dims plus
 # the 1-M gate cell at d = 3 (the cell the committed speedup floors
@@ -72,6 +78,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     SERVER_ARGS+=(--n 3000 --requests 120 --connections 2 --depth 8)
     WHYNOT_ARGS+=(--n 3000 --rounds 8 --samples 64 --query-samples 24)
     SCALE_ARGS=(--ns 20000 --dims 3 --weights 60 --repeats 2)
+    DURABILITY_ARGS+=(--n 3000 --ops 400 --replay-records 5000)
 fi
 if [[ $# -gt 0 ]]; then
     echo "error: unknown arguments: $*" >&2
@@ -109,7 +116,7 @@ EOF
 
 cargo build --release -p wqrtq-bench \
     --bin engine_bench --bin rank_bench --bin mutation_bench --bin server_bench \
-    --bin whynot_bench --bin scale_bench
+    --bin whynot_bench --bin scale_bench --bin durability_bench
 
 cargo run --release -p wqrtq-bench --bin engine_bench -- \
     --out BENCH_engine.json "${ENGINE_ARGS[@]}"
@@ -130,11 +137,17 @@ validate_json BENCH_whynot.json
 cargo run --release -p wqrtq-bench --bin scale_bench -- \
     --out BENCH_scale.json "${SCALE_ARGS[@]}"
 validate_json BENCH_scale.json
+cargo run --release -p wqrtq-bench --bin durability_bench -- \
+    --out BENCH_durability.json "${DURABILITY_ARGS[@]}"
+validate_json BENCH_durability.json
 
 if [[ "$SMOKE" == 1 ]]; then
     # Oracle-equivalence of the delta overlay with debug assertions off:
     # the differential fuzz at reduced rounds, in release mode.
     WQRTQ_FUZZ_ROUNDS=3 cargo test -q --release --test mutation_fuzz
+    # Crash-recovery equivalence under random WAL kill-points, likewise
+    # with debug assertions off.
+    WQRTQ_FUZZ_ROUNDS=3 cargo test -q --release --test recovery_fuzz
 fi
 
 echo "--- BENCH_engine.json ---"
@@ -149,3 +162,5 @@ echo "--- BENCH_whynot.json ---"
 cat BENCH_whynot.json
 echo "--- BENCH_scale.json ---"
 cat BENCH_scale.json
+echo "--- BENCH_durability.json ---"
+cat BENCH_durability.json

@@ -1,0 +1,555 @@
+//! Durability integration proofs.
+//!
+//! * **Differential recovery** — a durable engine is mutated, dropped,
+//!   and reopened from its data directory; the recovered catalog must
+//!   answer *every request kind* bit-identically to a never-restarted
+//!   in-memory oracle that saw the identical mutation stream, and must
+//!   resume the exact epoch triple (the `appends` counter doubles as
+//!   the delta id allocator, so an off-by-one here corrupts ids
+//!   silently — only the triple proves the allocator survived).
+//! * **Torn writes** — the WAL truncated at *every* byte offset must
+//!   recover the longest valid record prefix, silently, and resume
+//!   appending.
+//! * **Corrupt corpus** — bad record magic, flipped CRC bytes,
+//!   impossible length fields, mid-record truncation, duplicate LSNs,
+//!   and snapshot damage each either recover a valid prefix or fail
+//!   with a typed [`StorageError`]; none may panic.
+//! * **Server restart** — a TCP server over a durable engine keeps its
+//!   datasets across a full stop/start cycle with no re-registration.
+
+use std::path::PathBuf;
+use wqrtq::engine::storage::{
+    Durability, FsyncPolicy, MemBackend, StorageBackend, StorageError, WalRecordRef, RECORD_MAGIC,
+};
+use wqrtq::engine::{Engine, Request, Response, WeightSet};
+use wqrtq::prelude::RefineStrategy;
+use wqrtq_server::{Client, Server};
+
+/// A unique temp directory per test (removed on drop, best-effort).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "wqrtq-durability-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable(dir: &std::path::Path) -> Engine {
+    Engine::builder()
+        .workers(2)
+        .overlay_limit(usize::MAX) // deterministic: no background merges
+        .data_dir(dir)
+        .build()
+}
+
+fn in_memory() -> Engine {
+    Engine::builder()
+        .workers(2)
+        .overlay_limit(usize::MAX)
+        .build()
+}
+
+/// Every request kind against dataset `d` / population `pop`, with
+/// fixed parameters so both engines receive identical bytes.
+fn query_battery() -> Vec<Request> {
+    let q = vec![4.0, 4.0];
+    let mut batch = vec![
+        Request::TopK {
+            dataset: "d".into(),
+            weight: vec![0.4, 0.6],
+            k: 4,
+        },
+        Request::ReverseTopKMono {
+            dataset: "d".into(),
+            q: q.clone(),
+            k: 3,
+            samples: 0,
+            seed: 0,
+        },
+        Request::ReverseTopKBi {
+            dataset: "d".into(),
+            weights: WeightSet::Named("pop".into()),
+            q: q.clone(),
+            k: 3,
+        },
+        Request::ReverseTopKBi {
+            dataset: "d".into(),
+            weights: WeightSet::Inline(vec![vec![0.25, 0.75], vec![0.8, 0.2]]),
+            q: q.clone(),
+            k: 2,
+        },
+        Request::WhyNotExplain {
+            dataset: "d".into(),
+            weight: vec![0.1, 0.9],
+            q: q.clone(),
+            limit: 8,
+        },
+        Request::WhyNot {
+            dataset: "d".into(),
+            q: q.clone(),
+            k: 3,
+            why_not: vec![vec![0.1, 0.9], vec![0.9, 0.1]],
+            options: wqrtq::prelude::WhyNotOptions::default(),
+        },
+    ];
+    for strategy in [
+        RefineStrategy::Mqp,
+        RefineStrategy::Mwk {
+            sample_size: 40,
+            seed: 9,
+        },
+        RefineStrategy::Mqwk {
+            sample_size: 30,
+            query_samples: 10,
+            seed: 5,
+        },
+    ] {
+        batch.push(Request::WhyNotRefine {
+            dataset: "d".into(),
+            q: q.clone(),
+            k: 3,
+            why_not: vec![vec![0.15, 0.85]],
+            strategy,
+        });
+    }
+    batch
+}
+
+/// The mutation stream both twins receive: registration, appends,
+/// deletes spanning base and delta rows, a weight population, a
+/// re-registered second dataset, and a manual compaction.
+fn mutate(e: &Engine) {
+    e.register_dataset(
+        "d",
+        2,
+        vec![
+            2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+        ],
+    )
+    .unwrap();
+    e.register_weights(
+        "pop",
+        vec![
+            wqrtq::Weight::new(vec![0.1, 0.9]),
+            wqrtq::Weight::new(vec![0.5, 0.5]),
+            wqrtq::Weight::new(vec![0.9, 0.1]),
+        ],
+    )
+    .unwrap();
+    e.append_points("d", &[4.5, 4.5, 0.5, 9.5]).unwrap(); // ids 7, 8
+    e.delete_points("d", &[2, 7]).unwrap(); // one base, one delta row
+    e.append_points("d", &[3.3, 3.7]).unwrap(); // id 9 (allocator past 8)
+                                                // A second dataset exercising register-replace and compaction.
+    e.register_dataset("e", 2, vec![1.0, 1.0, 2.0, 2.0])
+        .unwrap();
+    e.register_dataset("e", 2, vec![5.0, 5.0, 6.0, 6.0, 7.0, 7.0])
+        .unwrap();
+    e.append_points("e", &[8.0, 8.0]).unwrap();
+    e.delete_points("e", &[0]).unwrap();
+    assert!(e.compact("e").unwrap());
+    e.append_points("e", &[9.0, 9.0]).unwrap();
+}
+
+#[test]
+fn recovered_engine_answers_every_kind_bit_identically_and_resumes_the_epoch_triple() {
+    let dir = TempDir::new("differential");
+    let oracle = in_memory();
+    mutate(&oracle);
+
+    {
+        let e = durable(dir.path());
+        mutate(&e);
+        // Graceful drop: the WAL syncs, nothing is lost.
+    }
+    let recovered = durable(dir.path());
+
+    // Exact epoch triples — base, appends, AND tombstones.
+    for name in ["d", "e"] {
+        assert_eq!(
+            recovered.catalog().epoch(name).unwrap(),
+            oracle.catalog().epoch(name).unwrap(),
+            "epoch triple of `{name}` must survive the restart"
+        );
+    }
+    // The id allocator must have survived: appending after recovery
+    // allocates the same id on both sides.
+    for e in [&recovered, &oracle] {
+        e.append_points("d", &[1.1, 8.8]).unwrap();
+    }
+    assert_eq!(
+        recovered.submit_batch(query_battery()),
+        oracle.submit_batch(query_battery()),
+        "recovered catalog must answer bit-identically"
+    );
+
+    let stats = recovered.metrics().catalog;
+    assert_eq!(stats.recoveries, 1, "one recovery must be counted");
+    assert!(stats.wal_replayed > 0, "the WAL must actually replay");
+}
+
+#[test]
+fn checkpoint_resets_the_wal_and_recovery_reads_the_snapshot() {
+    let dir = TempDir::new("checkpoint");
+    let oracle = in_memory();
+    mutate(&oracle);
+    {
+        let e = durable(dir.path());
+        mutate(&e);
+        assert!(e.checkpoint().unwrap(), "durable engines checkpoint");
+        assert!(!in_memory().checkpoint().unwrap(), "in-memory is a no-op");
+    }
+    let wal = std::fs::metadata(dir.path().join("wal.log")).unwrap();
+    assert_eq!(wal.len(), 0, "checkpoint must retire the log");
+
+    let recovered = durable(dir.path());
+    assert_eq!(
+        recovered.submit_batch(query_battery()),
+        oracle.submit_batch(query_battery()),
+        "snapshot-only recovery must be bit-identical too"
+    );
+    let stats = recovered.metrics().catalog;
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(stats.wal_replayed, 0, "nothing left to replay");
+    for name in ["d", "e"] {
+        assert_eq!(
+            recovered.catalog().epoch(name).unwrap(),
+            oracle.catalog().epoch(name).unwrap()
+        );
+    }
+}
+
+#[test]
+fn compaction_checkpoints_automatically() {
+    let dir = TempDir::new("autocheckpoint");
+    let e = durable(dir.path());
+    e.register_dataset("d", 2, vec![1.0, 2.0, 3.0, 4.0])
+        .unwrap();
+    e.append_points("d", &[5.0, 6.0]).unwrap();
+    assert!(e.compact("d").unwrap());
+    let stats = e.metrics().catalog;
+    assert_eq!(stats.snapshot_writes, 1, "compaction installs a snapshot");
+    let wal = std::fs::metadata(dir.path().join("wal.log")).unwrap();
+    assert_eq!(wal.len(), 0, "the merged history is retired");
+    drop(e);
+    let recovered = durable(dir.path());
+    assert_eq!(
+        recovered.catalog().epoch("d").unwrap(),
+        wqrtq::engine::DatasetEpoch::fresh(2)
+    );
+}
+
+#[test]
+fn fsync_policies_all_survive_a_graceful_restart() {
+    for (tag, policy) in [
+        ("always", FsyncPolicy::Always),
+        ("group", FsyncPolicy::EveryN(8)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let dir = TempDir::new(tag);
+        let oracle = in_memory();
+        mutate(&oracle);
+        {
+            let e = Engine::builder()
+                .workers(2)
+                .overlay_limit(usize::MAX)
+                .data_dir(dir.path())
+                .fsync(policy)
+                .build();
+            mutate(&e);
+            // Graceful drop syncs the log even under `Never`.
+        }
+        let recovered = durable(dir.path());
+        assert_eq!(
+            recovered.submit_batch(query_battery()),
+            oracle.submit_batch(query_battery()),
+            "policy {policy:?} must lose nothing on graceful shutdown"
+        );
+    }
+}
+
+/// Logs a deterministic record stream through a fresh [`Durability`]
+/// over the given backend.
+fn log_stream(backend: MemBackend, n: usize) -> Durability {
+    let recovered = Durability::open(Box::new(backend), FsyncPolicy::Always).unwrap();
+    assert!(recovered.records.is_empty());
+    let d = recovered.durability;
+    for i in 0..n {
+        let coords = vec![i as f64, i as f64 + 0.5];
+        d.log(WalRecordRef::Register {
+            name: "t",
+            dim: 2,
+            coords: &coords,
+        })
+        .unwrap();
+    }
+    d
+}
+
+#[test]
+fn wal_truncated_at_every_byte_offset_recovers_the_longest_valid_prefix() {
+    let backend = MemBackend::new();
+    let d = log_stream(backend.clone(), 5);
+    drop(d);
+    let full = backend.wal_len();
+
+    // Record boundaries: scan the intact image once.
+    let image = backend.wal_bytes().unwrap();
+    let boundaries = {
+        let mut ends = vec![0usize];
+        let mut at = 0usize;
+        while at < image.len() {
+            let len =
+                u32::from_le_bytes([image[at + 4], image[at + 5], image[at + 6], image[at + 7]])
+                    as usize;
+            at += 12 + len;
+            ends.push(at);
+        }
+        ends
+    };
+    assert_eq!(*boundaries.last().unwrap(), full);
+
+    for cut in 0..=full {
+        let torn = MemBackend::new();
+        torn.mutate_wal(|wal| *wal = image[..cut].to_vec());
+        let recovered = Durability::open(Box::new(torn.clone()), FsyncPolicy::Always)
+            .unwrap_or_else(|e| panic!("cut {cut}: torn tail must not error, got {e}"));
+        let expect = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        assert_eq!(
+            recovered.records.len(),
+            expect,
+            "cut {cut}: longest valid prefix"
+        );
+        assert_eq!(
+            torn.wal_len(),
+            boundaries[expect],
+            "cut {cut}: the torn tail is physically removed"
+        );
+        // Appending must resume cleanly after any cut.
+        recovered
+            .durability
+            .log(WalRecordRef::Compact { name: "t" })
+            .unwrap();
+    }
+}
+
+#[test]
+fn corrupt_wal_corpus_recovers_or_fails_typed_never_panics() {
+    let image = {
+        let backend = MemBackend::new();
+        log_stream(backend.clone(), 3);
+        backend.wal_bytes().unwrap()
+    };
+    let reopen = |f: &dyn Fn(&mut Vec<u8>)| {
+        let b = MemBackend::new();
+        b.mutate_wal(|wal| {
+            *wal = image.clone();
+            f(wal);
+        });
+        Durability::open(Box::new(b), FsyncPolicy::Always)
+    };
+
+    // Bad magic on the second record: the first survives, the damaged
+    // tail is treated as torn and dropped.
+    let second = {
+        let len = u32::from_le_bytes([image[4], image[5], image[6], image[7]]) as usize;
+        12 + len
+    };
+    let r = reopen(&|wal: &mut Vec<u8>| wal[second] ^= 0xFF).unwrap();
+    assert_eq!(r.records.len(), 1);
+
+    // Flipped CRC byte: same torn-tail treatment.
+    let r = reopen(&|wal: &mut Vec<u8>| wal[second + 8] ^= 0x01).unwrap();
+    assert_eq!(r.records.len(), 1);
+
+    // Flipped payload byte: the CRC catches it.
+    let r = reopen(&|wal: &mut Vec<u8>| wal[second + 12] ^= 0x01).unwrap();
+    assert_eq!(r.records.len(), 1);
+
+    // Impossible length field: torn, not a crash or a huge allocation.
+    let r = reopen(&|wal: &mut Vec<u8>| {
+        wal[second + 4..second + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+    })
+    .unwrap();
+    assert_eq!(r.records.len(), 1);
+
+    // Mid-record truncation of the last record.
+    let r = reopen(&|wal: &mut Vec<u8>| {
+        let n = wal.len();
+        wal.truncate(n - 3);
+    })
+    .unwrap();
+    assert_eq!(r.records.len(), 2);
+
+    // Duplicate LSN (a record byte-copied over its successor): this is
+    // structural damage no crash produces — a typed error, not a
+    // silent prefix.
+    let r = reopen(&|wal: &mut Vec<u8>| {
+        let first = wal[..second].to_vec();
+        wal.splice(second.., first);
+    });
+    assert!(
+        matches!(r, Err(StorageError::NonMonotonicLsn { .. })),
+        "duplicate LSN must be typed, got {r:?}"
+    );
+
+    // CRC-valid garbage payload: framing is intact, decode fails typed.
+    let mut forged = RECORD_MAGIC.to_vec();
+    let payload = [0xAB, 0xCD, 0xEF];
+    forged.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    forged.extend_from_slice(&wqrtq_codec::crc32::checksum(&payload).to_le_bytes());
+    forged.extend_from_slice(&payload);
+    let r = reopen(&move |wal: &mut Vec<u8>| *wal = forged.clone());
+    assert!(
+        matches!(r, Err(StorageError::WalCorrupt { .. })),
+        "undecodable-but-checksummed payload must be typed, got {r:?}"
+    );
+}
+
+#[test]
+fn a_compact_record_in_the_wal_replays_the_merge() {
+    // A crash between compaction's WAL record and its snapshot install
+    // leaves a bare Compact record behind. Craft that WAL directly (the
+    // engine path always checkpoints right after) and recover over it:
+    // replay must re-run the merge and land on the same base epoch.
+    let dir = TempDir::new("compactreplay");
+    {
+        let backend = wqrtq::engine::storage::DiskBackend::open(dir.path()).unwrap();
+        let d = Durability::open(Box::new(backend), FsyncPolicy::Always)
+            .unwrap()
+            .durability;
+        d.log(WalRecordRef::Register {
+            name: "d",
+            dim: 2,
+            coords: &[1.0, 2.0, 3.0, 4.0],
+        })
+        .unwrap();
+        d.log(WalRecordRef::Append {
+            name: "d",
+            points: &[5.0, 6.0],
+        })
+        .unwrap();
+        d.log(WalRecordRef::Compact { name: "d" }).unwrap();
+        d.log(WalRecordRef::Append {
+            name: "d",
+            points: &[7.0, 8.0],
+        })
+        .unwrap();
+    }
+    let e = durable(dir.path());
+    assert_eq!(e.metrics().catalog.wal_replayed, 4);
+    let epoch = e.catalog().epoch("d").unwrap();
+    assert_eq!(
+        (epoch.base, epoch.delta, epoch.tombstones),
+        (2, 1, 0),
+        "the merge bumped the base and the post-merge append sits in the overlay"
+    );
+    match e.submit(Request::TopK {
+        dataset: "d".into(),
+        weight: vec![0.5, 0.5],
+        k: 4,
+    }) {
+        Response::TopK(points) => assert_eq!(points.len(), 4),
+        other => panic!("expected TopK, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_snapshot_is_a_typed_error_never_a_panic() {
+    let dir = TempDir::new("badsnap");
+    {
+        let e = durable(dir.path());
+        e.register_dataset("d", 2, vec![1.0, 2.0]).unwrap();
+        e.checkpoint().unwrap();
+    }
+    let snap = dir.path().join("catalog.snap");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let n = bytes.len();
+    bytes[n / 2] ^= 0x01;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let err = Engine::builder()
+        .data_dir(dir.path())
+        .try_build()
+        .expect_err("a damaged snapshot must refuse to build");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("durability failure"),
+        "typed durability error expected, got: {msg}"
+    );
+}
+
+#[test]
+fn server_restart_keeps_its_datasets() {
+    let dir = TempDir::new("server");
+    let addr = {
+        let server = Server::builder()
+            .engine(durable(dir.path()))
+            .bind("127.0.0.1:0")
+            .unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .register_dataset(
+                "d",
+                2,
+                &[
+                    2.0, 1.0, 6.0, 3.0, 1.0, 9.0, 9.0, 3.0, 7.0, 5.0, 5.0, 8.0, 3.0, 7.0,
+                ],
+            )
+            .unwrap();
+        client
+            .register_weights("pop", &[vec![0.1, 0.9], vec![0.5, 0.5], vec![0.3, 0.7]])
+            .unwrap();
+        let r = client
+            .submit(&Request::Append {
+                dataset: "d".into(),
+                points: vec![4.5, 4.5],
+            })
+            .unwrap();
+        assert_eq!(r, Response::Mutated { live_len: 8 });
+        server.shutdown();
+        addr
+    };
+    let _ = addr;
+
+    // A brand-new server process-equivalent: same directory, no
+    // re-registration — the catalog must simply be there.
+    let server = Server::builder()
+        .engine(durable(dir.path()))
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let r = client
+        .submit(&Request::ReverseTopKBi {
+            dataset: "d".into(),
+            weights: WeightSet::Named("pop".into()),
+            q: vec![4.0, 4.0],
+            k: 3,
+        })
+        .unwrap();
+    assert_eq!(r, Response::ReverseTopKBi(vec![1, 2]));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.metrics.catalog.recoveries, 1);
+    // Register + weights + append, one record each.
+    assert_eq!(stats.metrics.catalog.wal_replayed, 3);
+    server.shutdown();
+}
