@@ -30,22 +30,35 @@ pub struct CountingAllocator;
 // SAFETY: defers every operation to `System`, adding only a relaxed
 // counter bump on the allocating paths.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: `unsafe fn` per the `GlobalAlloc` contract — the caller
+    // guarantees `layout` has non-zero size; we add no requirements.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's contract unchanged to `System`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `alloc`; the caller guarantees `layout`
+    // has non-zero size.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's contract unchanged to `System`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: `unsafe fn` per the `GlobalAlloc` contract — the caller
+    // guarantees `ptr` came from this allocator with `layout`, and that
+    // `new_size` is non-zero; we add no requirements.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's contract unchanged to `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: `unsafe fn` per the `GlobalAlloc` contract — the caller
+    // guarantees `ptr` came from this allocator with `layout`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwards the caller's contract unchanged to `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -13,9 +13,9 @@ const TABLE: [u32; 256] = build_table();
 
 const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    let mut i = 0u32;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = i;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 {
@@ -25,7 +25,7 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        table[i as usize] = crc;
         i += 1;
     }
     table
@@ -35,7 +35,7 @@ const fn build_table() -> [u32; 256] {
 pub fn checksum(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }

@@ -309,12 +309,16 @@ impl Catalog {
     pub(crate) fn attach_durability(&self, d: Arc<Durability>) {
         self.durability
             .set(d)
+            // lint: allow(no-panic) — the documented `# Panics`
+            // contract: attaching twice is an engine-construction bug.
             .expect("durability layer attached exactly once");
     }
 
     /// Folds a replaced entry's tier counters into the retired tallies
     /// (call before dropping the entry's built index / mask).
     fn retire_entry_counters(&self, entry: &DatasetEntry) {
+        // ordering: Relaxed — monotonic stats tallies read only by
+        // `stats()`; no data is published through them.
         if let Some((_, flat)) = entry.index.get() {
             self.retired_quantized_fallbacks
                 .fetch_add(flat.tier_totals().quantized_fallbacks, Ordering::Relaxed);
@@ -354,6 +358,8 @@ impl Catalog {
             DatasetEntry::fresh(dim, coords, base_epoch),
         );
         if let Some(d) = self.durability.get() {
+            // lint: allow(no-panic) — the insert is two lines up and the
+            // write lock is still held.
             let entry = inner.datasets.get(name).expect("just inserted");
             let logged = d.log(WalRecordRef::Register {
                 name,
@@ -424,6 +430,8 @@ impl Catalog {
         }
         let live = entry.live_len();
         if entry.index.get().is_some() {
+            // ordering: Relaxed — monotonic stats counter, read only by
+            // `stats()`.
             self.rebuilds_avoided.fetch_add(1, Ordering::Relaxed);
         }
         Ok(live)
@@ -537,6 +545,8 @@ impl Catalog {
         }
         let live = entry.live_len();
         if entry.index.get().is_some() {
+            // ordering: Relaxed — monotonic stats counter, read only by
+            // `stats()`.
             self.rebuilds_avoided.fetch_add(1, Ordering::Relaxed);
         }
         Ok(live)
@@ -563,6 +573,8 @@ impl Catalog {
             .weight_sets
             .insert(name.to_string(), Arc::new(weights));
         if let Some(d) = self.durability.get() {
+            // lint: allow(no-panic) — the insert is two lines up and the
+            // write lock is still held.
             let ws = inner.weight_sets.get(name).expect("just inserted");
             let logged = d.log(WalRecordRef::RegisterWeights {
                 name,
@@ -619,6 +631,8 @@ impl Catalog {
         let (coords, dim, epoch, delta_rows, delta_ids, dead_rows, dead_ids) = entry_snapshot;
         let (index, flat) = once
             .get_or_init(|| {
+                // ordering: Relaxed — monotonic stats counter; the
+                // OnceLock provides the once-only synchronization.
                 self.index_builds.fetch_add(1, Ordering::Relaxed);
                 (
                     Arc::new(RTree::bulk_load(dim, &coords)),
@@ -637,6 +651,8 @@ impl Catalog {
         let dom = self.prefilter.then(|| {
             dom_once
                 .get_or_init(|| {
+                    // ordering: Relaxed — monotonic stats counter; the
+                    // OnceLock provides the once-only synchronization.
                     self.mask_builds.fetch_add(1, Ordering::Relaxed);
                     Arc::new(DominanceIndex::build(&index))
                 })
@@ -703,6 +719,8 @@ impl Catalog {
                 self.quantized,
             )),
         );
+        // ordering: Relaxed — monotonic stats counter, read only by
+        // `stats()`.
         self.index_builds.fetch_add(1, Ordering::Relaxed);
 
         let mut inner = self.inner.write().expect("catalog lock");
@@ -711,6 +729,8 @@ impl Catalog {
             .get_mut(name)
             .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
         if entry.epoch() != epoch {
+            // ordering: Relaxed — monotonic stats counter, read only by
+            // `stats()`.
             self.compactions_abandoned.fetch_add(1, Ordering::Relaxed);
             return Ok(false);
         }
@@ -720,6 +740,7 @@ impl Catalog {
             // its trigger survive untouched), so the WAL always carries
             // the record for any installed base.
             if let Err(e) = d.log(WalRecordRef::Compact { name }) {
+                // ordering: Relaxed — monotonic stats counter.
                 self.compactions_abandoned.fetch_add(1, Ordering::Relaxed);
                 return Err(durability_err(e));
             }
@@ -730,9 +751,13 @@ impl Catalog {
         let base_epoch = entry.base_epoch + 1;
         let mut fresh = DatasetEntry::fresh(entry.dim, live_coords, base_epoch);
         let once = OnceLock::new();
+        // lint: allow(no-panic) — `once` was created on the previous
+        // line; the first `set` on a fresh OnceLock cannot fail.
         once.set(built).expect("fresh OnceLock");
         fresh.index = Arc::new(once);
         *entry = fresh;
+        // ordering: Relaxed — monotonic stats counter; installation of
+        // the merged base is published by the catalog write lock above.
         self.compactions.fetch_add(1, Ordering::Relaxed);
         if let Some(d) = self.durability.get() {
             // Snapshot the post-merge catalog while the write lock still
@@ -961,6 +986,10 @@ impl Catalog {
             }
         }
         let durability = self.durability.get().map(|d| d.stats()).unwrap_or_default();
+        // ordering: Relaxed — stats snapshot reads of monotonic
+        // counters; monitoring tolerates momentarily-stale values and
+        // tests that assert exact counts synchronize via join/lock
+        // happens-before edges first.
         CatalogStats {
             index_builds: self.index_builds.load(Ordering::Relaxed),
             rebuilds_avoided: self.rebuilds_avoided.load(Ordering::Relaxed),

@@ -168,6 +168,8 @@ impl EngineBuilder {
     /// recovered — use [`EngineBuilder::try_build`] to handle that as a
     /// typed error instead.
     pub fn build(self) -> Engine {
+        // lint: allow(no-panic) — the documented `# Panics` contract of
+        // this convenience constructor; `try_build` is the typed path.
         self.try_build().expect("engine build")
     }
 
@@ -305,6 +307,25 @@ impl Engine {
         EngineBuilder::default()
     }
 
+    /// The live job queue. Lifecycle invariant: `queue` is `Some` from
+    /// construction until `Drop` takes it to stop the pool, so every
+    /// `&self` caller observes it alive.
+    fn live_queue(&self) -> &Sender<Job> {
+        // lint: allow(no-panic) — lifecycle invariant above: `Drop` is
+        // the only taker, and it owns the last `&mut self`.
+        self.queue.as_ref().expect("pool alive while engine alive")
+    }
+
+    /// Enqueues one job on the worker pool.
+    fn enqueue(&self, job: Job) {
+        self.live_queue()
+            .send(job)
+            // lint: allow(no-panic) — a send fails only once every
+            // worker (receiver) exited, and workers only exit after
+            // `Drop` takes the sender; unreachable through `&self`.
+            .expect("worker pool alive while engine alive");
+    }
+
     /// An engine with `workers` threads and default cache capacity.
     pub fn new(workers: usize) -> Self {
         Self::builder().workers(workers).build()
@@ -346,11 +367,10 @@ impl Engine {
     /// # Errors
     /// See [`Catalog::append`].
     pub fn append_points(&self, name: &str, points: &[f64]) -> Result<usize, EngineError> {
-        let queue = self.queue.as_ref().expect("pool alive while engine alive");
         crate::worker::mutate(
             &self.catalog,
             &self.cache,
-            queue,
+            self.live_queue(),
             self.overlay_limit,
             name,
             |catalog| catalog.append(name, points),
@@ -365,11 +385,10 @@ impl Engine {
     /// # Errors
     /// See [`Catalog::delete`].
     pub fn delete_points(&self, name: &str, ids: &[u32]) -> Result<usize, EngineError> {
-        let queue = self.queue.as_ref().expect("pool alive while engine alive");
         crate::worker::mutate(
             &self.catalog,
             &self.cache,
-            queue,
+            self.live_queue(),
             self.overlay_limit,
             name,
             |catalog| catalog.delete(name, ids),
@@ -413,6 +432,9 @@ impl Engine {
     pub fn submit(&self, request: Request) -> Response {
         self.submit_batch(vec![request])
             .pop()
+            // lint: allow(no-panic) — `submit_batch` returns exactly
+            // one response per submitted request by contract (and its
+            // own tests).
             .expect("one response per request")
     }
 
@@ -445,18 +467,15 @@ impl Engine {
         if !matches!(request, Request::Stats) {
             self.metrics.record_async_submit();
         }
-        let queue = self.queue.as_ref().expect("pool alive while engine alive");
-        queue
-            .send(Job::Serve {
-                request,
-                reply: Completion::Callback(Box::new(complete)),
-                progress: None,
-                trace: TraceContext {
-                    trace_id,
-                    submitted: Instant::now(),
-                },
-            })
-            .expect("worker pool alive while engine alive");
+        self.enqueue(Job::Serve {
+            request,
+            reply: Completion::Callback(Box::new(complete)),
+            progress: None,
+            trace: TraceContext {
+                trace_id,
+                submitted: Instant::now(),
+            },
+        });
     }
 
     /// [`Engine::submit_with`], additionally observing **partial
@@ -490,18 +509,15 @@ impl Engine {
         if !matches!(request, Request::Stats) {
             self.metrics.record_async_submit();
         }
-        let queue = self.queue.as_ref().expect("pool alive while engine alive");
-        queue
-            .send(Job::Serve {
-                request,
-                reply: Completion::Callback(Box::new(complete)),
-                progress: Some(Box::new(progress)),
-                trace: TraceContext {
-                    trace_id,
-                    submitted: Instant::now(),
-                },
-            })
-            .expect("worker pool alive while engine alive");
+        self.enqueue(Job::Serve {
+            request,
+            reply: Completion::Callback(Box::new(complete)),
+            progress: Some(Box::new(progress)),
+            trace: TraceContext {
+                trace_id,
+                submitted: Instant::now(),
+            },
+        });
     }
 
     /// Submits a run of pipelined requests in one queue operation, each
@@ -538,11 +554,8 @@ impl Engine {
                 })
                 .collect(),
         ));
-        let queue = self.queue.as_ref().expect("pool alive while engine alive");
         for _ in 0..sends {
-            queue
-                .send(Job::ServeMany(task.clone()))
-                .expect("worker pool alive while engine alive");
+            self.enqueue(Job::ServeMany(task.clone()));
         }
     }
 
@@ -570,22 +583,19 @@ impl Engine {
         }
         let n = requests.len();
         let (reply_tx, reply_rx) = mpsc::channel();
-        let queue = self.queue.as_ref().expect("pool alive while engine alive");
         for (slot, request) in requests.into_iter().enumerate() {
-            queue
-                .send(Job::Serve {
-                    request,
-                    reply: Completion::Batch {
-                        slot,
-                        reply: reply_tx.clone(),
-                    },
-                    progress: None,
-                    trace: TraceContext {
-                        trace_id: self.next_trace_id(),
-                        submitted: Instant::now(),
-                    },
-                })
-                .expect("worker pool alive while engine alive");
+            self.enqueue(Job::Serve {
+                request,
+                reply: Completion::Batch {
+                    slot,
+                    reply: reply_tx.clone(),
+                },
+                progress: None,
+                trace: TraceContext {
+                    trace_id: self.next_trace_id(),
+                    submitted: Instant::now(),
+                },
+            });
         }
         drop(reply_tx);
         let mut responses: Vec<Option<Response>> = vec![None; n];
@@ -629,6 +639,8 @@ impl Engine {
     }
 
     fn next_trace_id(&self) -> u64 {
+        // ordering: Relaxed — unique-id ticket; fetch_add is atomic at
+        // any ordering, and nothing is published through the counter.
         self.trace_ids.fetch_add(1, Ordering::Relaxed)
     }
 

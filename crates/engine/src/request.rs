@@ -308,6 +308,9 @@ impl RequestKind {
         REQUEST_KIND_TABLE
             .iter()
             .find(|(kind, _, _)| *kind == self)
+            // lint: allow(no-panic) — table completeness is asserted by
+            // `kind_table_is_the_single_source_of_truth` and the
+            // drift lint.
             .expect("every kind has a table row")
     }
 
@@ -336,6 +339,9 @@ impl RequestKind {
         REQUEST_KIND_TABLE
             .iter()
             .position(|(kind, _, _)| *kind == self)
+            // lint: allow(no-panic) — table completeness is asserted by
+            // `kind_table_is_the_single_source_of_truth` and the
+            // drift lint.
             .expect("every kind has a table row")
     }
 }

@@ -244,6 +244,9 @@ impl Durability {
     /// # Errors
     /// [`StorageError::OversizedRecord`] /  [`StorageError::Io`].
     pub fn log(&self, rec: WalRecordRef<'_>) -> Result<u64, StorageError> {
+        // ordering: Relaxed — LSN ticket; callers serialize under the
+        // catalog write lock (see doc comment), which is the
+        // happens-before edge, so the counter only needs atomicity.
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
         let framed = rec.encode(lsn);
         let payload_len = framed.len() - record::RECORD_HEADER_LEN;
@@ -257,6 +260,10 @@ impl Durability {
             FsyncPolicy::Always => true,
             FsyncPolicy::Never => false,
             FsyncPolicy::EveryN(n) => {
+                // ordering: Relaxed — fsync cadence heuristic under the
+                // same catalog-lock serialization as the LSN ticket; an
+                // off-by-one sync costs one extra fsync, never
+                // durability.
                 let pending = self.unsynced.fetch_add(1, Ordering::Relaxed) + 1;
                 if pending >= n.max(1) {
                     self.unsynced.store(0, Ordering::Relaxed);
@@ -267,6 +274,8 @@ impl Durability {
             }
         };
         self.backend.wal_append(&framed, sync)?;
+        // ordering: Relaxed — monotonic stats counter, read only by
+        // `stats()`.
         self.wal_appends.fetch_add(1, Ordering::Relaxed);
         Ok(lsn)
     }
@@ -281,17 +290,23 @@ impl Durability {
     /// at worst the old snapshot plus the full WAL remain.
     pub fn checkpoint(&self, state: &CatalogState) -> Result<(), StorageError> {
         self.backend.install_checkpoint(&state.encode())?;
+        // ordering: Relaxed — monotonic stats counter, read only by
+        // `stats()`.
         self.snapshot_writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// The highest LSN allocated so far (0 before any append).
     pub fn last_lsn(&self) -> u64 {
+        // ordering: Relaxed — read under the same catalog-lock
+        // serialization as the `log()` ticket allocation.
         self.next_lsn.load(Ordering::Relaxed) - 1
     }
 
     /// Point-in-time durability counters.
     pub fn stats(&self) -> DurabilityStats {
+        // ordering: Relaxed — stats snapshot of monotonic counters;
+        // monitoring tolerates momentarily-stale values.
         DurabilityStats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),

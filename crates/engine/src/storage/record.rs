@@ -168,6 +168,10 @@ impl WalRecordRef<'_> {
         let payload = w.into_vec();
         let mut framed = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
         framed.extend_from_slice(&RECORD_MAGIC);
+        // lint: allow(narrowing-cast) — any record that reaches the WAL
+        // passed the `MAX_WAL_RECORD_LEN` (1 GiB) check in
+        // `Durability::log`, so the length fits in u32; an oversized
+        // encode is rejected there before these bytes are written.
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32::checksum(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
@@ -253,17 +257,26 @@ pub fn scan_wal(image: &[u8]) -> Result<WalReadout, DecodeError> {
     let mut pos = 0usize;
     let mut torn = false;
     while pos < image.len() {
+        // lint: allow(no-panic) — loop guard: `pos < image.len()`, and
+        // `pos` only advances by fully-validated record lengths.
         let rest = &image[pos..];
+        // lint: allow(no-panic) — short-circuit: `rest[..4]` is reached
+        // only after `rest.len() >= RECORD_HEADER_LEN` (= 12) holds.
         if rest.len() < RECORD_HEADER_LEN || rest[..4] != RECORD_MAGIC {
             torn = true;
             break;
         }
+        // lint: allow(no-panic) — header bytes 4..12 are in bounds: the
+        // check above guarantees `rest.len() >= RECORD_HEADER_LEN` (12).
         let len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]) as usize;
+        // lint: allow(no-panic) — same bound as the line above.
         let crc = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
         if len > MAX_WAL_RECORD_LEN || rest.len() < RECORD_HEADER_LEN + len {
             torn = true;
             break;
         }
+        // lint: allow(no-panic) — the torn-write check above guarantees
+        // `rest.len() >= RECORD_HEADER_LEN + len`.
         let payload = &rest[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len];
         if crc32::checksum(payload) != crc {
             torn = true;

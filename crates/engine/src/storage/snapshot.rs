@@ -139,17 +139,23 @@ impl CatalogState {
     /// image is damaged, not half-written.
     pub fn decode(file: &[u8]) -> Result<Self, super::StorageError> {
         use super::StorageError;
+        // lint: allow(no-panic) — short-circuit: `file[..4]` is reached
+        // only after `file.len() >= 9` holds.
         if file.len() < 9 || file[..4] != SNAPSHOT_MAGIC {
             return Err(StorageError::SnapshotCorrupt {
                 reason: "bad snapshot magic",
             });
         }
+        // lint: allow(no-panic) — header bytes 0..9 are in bounds after
+        // the `file.len() >= 9` check above.
         if file[4] != SNAPSHOT_VERSION {
             return Err(StorageError::SnapshotCorrupt {
                 reason: "unsupported snapshot version",
             });
         }
+        // lint: allow(no-panic) — same `file.len() >= 9` bound.
         let crc = u32::from_le_bytes([file[5], file[6], file[7], file[8]]);
+        // lint: allow(no-panic) — same `file.len() >= 9` bound.
         let body = &file[9..];
         if crc32::checksum(body) != crc {
             return Err(StorageError::SnapshotCorrupt {

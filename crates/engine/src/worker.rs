@@ -191,6 +191,9 @@ impl ServeManyTask {
     /// Claims the next unserved item, if any (each exactly once).
     fn claim(&self) -> Option<ServeUnit> {
         loop {
+            // ordering: SeqCst — exactly-once claim ticket shared by
+            // every worker; the single total order over fetch_add is
+            // what guarantees no index is handed out twice.
             let i = self.next.fetch_add(1, Ordering::SeqCst);
             let slot = self.items.get(i)?;
             // The slot can only be empty if a previous claimer of this
@@ -274,6 +277,8 @@ impl ShardTask {
 
     /// Claims the next unexecuted shard index, if any.
     fn claim(&self) -> Option<usize> {
+        // ordering: SeqCst — exactly-once shard ticket, same contract
+        // as `ServeMany::claim`.
         let i = self.next.fetch_add(1, Ordering::SeqCst);
         (i < self.ranges.len()).then_some(i)
     }
@@ -325,6 +330,9 @@ impl ShardTask {
         let mut members = Vec::new();
         let mut stats = RtaStats::default();
         for slot in state.results.iter() {
+            // lint: allow(no-panic) — the condvar wait above returns
+            // only when `recorded == shard_count`, and each shard fills
+            // its slot before incrementing `recorded`.
             match slot.as_ref().expect("every shard recorded") {
                 Ok((part, s)) => {
                     members.extend_from_slice(part);
@@ -356,6 +364,9 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("wqrtq-worker-{i}"))
                     .spawn(move || worker_loop(i, &queue, &ctx))
+                    // lint: allow(no-panic) — one-time pool
+                    // construction; an engine without workers cannot
+                    // serve anything.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -926,6 +937,9 @@ fn execute(
             }
         }
         Request::Append { .. } | Request::Delete { .. } | Request::Stats => {
+            // lint: allow(no-panic) — `worker_loop` routes mutations and
+            // stats to their own paths before snapshot resolution; this
+            // arm exists only to keep the match exhaustive.
             unreachable!("mutations and stats are dispatched before snapshot resolution")
         }
     }
@@ -952,6 +966,8 @@ fn apply_mutation(ctx: &WorkerContext, request: &Request) -> Result<usize, Engin
             dataset,
             |catalog| catalog.delete(dataset, ids),
         ),
+        // lint: allow(no-panic) — the single caller matches on
+        // mutation kinds before calling; exhaustiveness arm only.
         _ => unreachable!("apply_mutation called on a query request"),
     }
 }

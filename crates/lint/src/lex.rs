@@ -1,0 +1,485 @@
+//! A lightweight, comment- and literal-aware Rust lexer for rule
+//! scanning.
+//!
+//! The checker does not need a parse tree — every rule is phrased over
+//! tokens, comments, and brace structure. What it *does* need, and what
+//! a naive `grep` cannot deliver, is to never mistake the inside of a
+//! string literal or a comment for code (and vice versa). This module
+//! produces, per source line:
+//!
+//! * `code` — the line with comments removed and the *contents* of
+//!   string/char literals blanked to spaces (the delimiting quotes
+//!   survive, so `.expect("…")` still scans as an `expect` call with a
+//!   literal argument). The masked line is char-for-char the same
+//!   length as the raw line, so a column found in one indexes the
+//!   other.
+//! * `comment` — the concatenated text of every comment fragment on
+//!   the line (line comments and block-comment slices alike).
+//! * `depth_start` / `depth_end` — brace depth entering and leaving the
+//!   line, computed over masked code only.
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` or
+//!   `#[test]` item's brace block.
+//!
+//! Handled literal forms: `//` and nested `/* */` comments, `"…"` and
+//! `b"…"` strings with escapes, raw strings `r"…"`/`r#"…"#`/`br#"…"#`
+//! (any hash count), char and byte-char literals (`'a'`, `b'\n'`,
+//! `'\u{1F600}'`), and lifetimes (`'static` is not a char literal).
+
+/// One classified source line. See the module docs for field semantics.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The raw line, exactly as read (no trailing newline).
+    pub raw: String,
+    /// The masked line: comments stripped, literal contents blanked.
+    pub code: String,
+    /// All comment text on the line, concatenated and trimmed.
+    pub comment: String,
+    /// Brace depth entering the line.
+    pub depth_start: u32,
+    /// Brace depth after the line.
+    pub depth_end: u32,
+    /// Inside a `#[cfg(test)]` / `#[test]` brace block.
+    pub in_test: bool,
+}
+
+/// A lexed source file: the classified lines, in order.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// Classified lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    /// Inside a string literal; `raw_hashes` is `Some(n)` for raw
+    /// strings (escapes inert, closed by `"` + n `#`s) and `None` for
+    /// cooked strings (backslash escapes).
+    Str {
+        raw_hashes: Option<u32>,
+    },
+}
+
+/// Lexes `source` into classified lines.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut masked: Vec<char> = Vec::with_capacity(n);
+    let mut is_comment: Vec<bool> = Vec::with_capacity(n);
+
+    let push = |m: &mut Vec<char>, f: &mut Vec<bool>, c: char, comment: bool| {
+        m.push(c);
+        f.push(comment);
+    };
+
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < n {
+        let c = chars[i];
+        match state {
+            State::Code => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    state = State::LineComment;
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    i += 1;
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(1);
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    push(&mut masked, &mut is_comment, '"', false);
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                        // Byte-char literal `b'x'`: mask like a char
+                        // literal so `b'{'` cannot corrupt brace depth.
+                        push(&mut masked, &mut is_comment, 'b', false);
+                        if let Some(end) = char_literal_end(&chars, i + 1) {
+                            push(&mut masked, &mut is_comment, '\'', false);
+                            for _ in (i + 2)..end {
+                                push(&mut masked, &mut is_comment, ' ', false);
+                            }
+                            push(&mut masked, &mut is_comment, '\'', false);
+                            i = end + 1;
+                        } else {
+                            i += 1;
+                        }
+                    } else if let Some((hashes, skip)) = raw_string_prefix(&chars, i) {
+                        // Blank the prefix, keep the opening quote (the
+                        // last consumed char) visible.
+                        for _ in 0..skip - 1 {
+                            push(&mut masked, &mut is_comment, ' ', false);
+                        }
+                        push(&mut masked, &mut is_comment, '"', false);
+                        state = State::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                        i += skip;
+                    } else {
+                        push(&mut masked, &mut is_comment, c, false);
+                        i += 1;
+                    }
+                } else if c == '\'' && !prev_is_ident(&chars, i) {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        push(&mut masked, &mut is_comment, '\'', false);
+                        for _ in (i + 1)..end {
+                            push(&mut masked, &mut is_comment, ' ', false);
+                        }
+                        push(&mut masked, &mut is_comment, '\'', false);
+                        i = end + 1;
+                    } else {
+                        // A lifetime: keep the tick; the ident chars
+                        // that follow remain code.
+                        push(&mut masked, &mut is_comment, '\'', false);
+                        i += 1;
+                    }
+                } else {
+                    push(&mut masked, &mut is_comment, c, false);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    push(&mut masked, &mut is_comment, '\n', false);
+                } else {
+                    push(&mut masked, &mut is_comment, ' ', true);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(depth + 1);
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    i += 2;
+                } else if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    i += 2;
+                } else if c == '\n' {
+                    push(&mut masked, &mut is_comment, '\n', false);
+                    i += 1;
+                } else {
+                    push(&mut masked, &mut is_comment, ' ', true);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' && i + 1 < n {
+                        push(&mut masked, &mut is_comment, ' ', false);
+                        if chars[i + 1] != '\n' {
+                            push(&mut masked, &mut is_comment, ' ', false);
+                        } else {
+                            push(&mut masked, &mut is_comment, '\n', false);
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Code;
+                        push(&mut masked, &mut is_comment, '"', false);
+                        i += 1;
+                    } else {
+                        let m = if c == '\n' { '\n' } else { ' ' };
+                        push(&mut masked, &mut is_comment, m, false);
+                        i += 1;
+                    }
+                }
+                Some(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        push(&mut masked, &mut is_comment, '"', false);
+                        for _ in 0..hashes {
+                            push(&mut masked, &mut is_comment, ' ', false);
+                        }
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        let m = if c == '\n' { '\n' } else { ' ' };
+                        push(&mut masked, &mut is_comment, m, false);
+                        i += 1;
+                    }
+                }
+            },
+        }
+    }
+
+    split_lines(&chars, &masked, &is_comment)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` starts a **raw** string (`r"`, `r#"`, `br#"`, …),
+/// returns `(hash_count, chars_consumed_through_opening_quote)`.
+/// Cooked byte strings (`b"…"`) return `None`: the later `"` opens a
+/// normal string state so backslash escapes stay handled.
+fn raw_string_prefix(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j >= chars.len() || chars[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == '"' {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+}
+
+/// If `chars[i]` (a `'`) opens a char literal, returns the index of the
+/// closing `'`. Returns `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if chars[i + 1] == '\\' {
+        // Escaped char: scan to the closing quote (handles \u{…}).
+        let mut j = i + 2;
+        while j < n && chars[j] != '\'' && chars[j] != '\n' {
+            j += 1;
+        }
+        return if j < n && chars[j] == '\'' {
+            Some(j)
+        } else {
+            None
+        };
+    }
+    // Unescaped: 'x' is a char literal iff the very next char closes it.
+    if i + 2 < n && chars[i + 1] != '\'' && chars[i + 2] == '\'' {
+        return Some(i + 2);
+    }
+    None
+}
+
+fn split_lines(raw: &[char], masked: &[char], is_comment: &[bool]) -> LexedFile {
+    debug_assert_eq!(raw.len(), masked.len());
+    let mut lines = Vec::new();
+    let mut depth: u32 = 0;
+
+    // cfg(test)/#[test] region tracking: an attribute arms `pending`;
+    // the next item line that opens a brace block starts a region at
+    // that line's entry depth, ending when depth returns to it.
+    let mut pending_test_attr = false;
+    let mut test_region_depth: Option<u32> = None;
+
+    let bounds: Vec<(usize, usize)> = {
+        let mut b = Vec::new();
+        let mut start = 0usize;
+        for (k, &c) in raw.iter().enumerate() {
+            if c == '\n' {
+                b.push((start, k));
+                start = k + 1;
+            }
+        }
+        if start < raw.len() {
+            b.push((start, raw.len()));
+        }
+        b
+    };
+
+    for (start, end) in bounds {
+        let raw_line: String = raw[start..end].iter().collect();
+        let code_line: String = masked[start..end].iter().collect();
+        let mut comment = String::new();
+        for k in start..end {
+            if is_comment[k] {
+                comment.push(raw[k]);
+            }
+        }
+        let comment = comment.trim().to_string();
+
+        let depth_start = depth;
+        for c in code_line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        let depth_end = depth;
+
+        let in_region_before = test_region_depth.is_some();
+        let trimmed = code_line.trim();
+        let mut single_line_test_item = false;
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[test]") {
+            pending_test_attr = true;
+        } else if pending_test_attr && test_region_depth.is_none() && !trimmed.is_empty() {
+            if depth_end > depth_start {
+                test_region_depth = Some(depth_start);
+                pending_test_attr = false;
+            } else if trimmed.ends_with(';') {
+                // Item without a body (`mod tests;`) — nothing to span.
+                pending_test_attr = false;
+            } else if trimmed.contains('{') && trimmed.contains('}') {
+                // A one-line item (`fn t() { … }`): this line alone is
+                // the region.
+                single_line_test_item = true;
+                pending_test_attr = false;
+            }
+            // Otherwise (multi-line signature) stay armed.
+        }
+
+        let in_test = in_region_before || test_region_depth.is_some() || single_line_test_item;
+        if let Some(d) = test_region_depth {
+            if depth_end <= d {
+                test_region_depth = None;
+            }
+        }
+
+        lines.push(Line {
+            raw: raw_line,
+            code: code_line,
+            comment,
+            depth_start,
+            depth_end,
+            in_test,
+        });
+    }
+    LexedFile { lines }
+}
+
+/// Byte columns (into the masked line) where `token` occurs as a whole
+/// word — neither neighbour is an identifier character.
+pub fn find_token(code: &str, token: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let tlen = token.len();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = at + tlen >= bytes.len() || !is_ident_byte(bytes[at + tlen]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + tlen.max(1);
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extracts the contents of every complete `"…"` literal on a line, by
+/// pairing quote columns found in the masked line with the raw text.
+pub fn string_literals(line: &Line) -> Vec<String> {
+    let code: Vec<char> = line.code.chars().collect();
+    let raw: Vec<char> = line.raw.chars().collect();
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, &c) in code.iter().enumerate() {
+        if c == '"' {
+            match open.take() {
+                None => open = Some(i),
+                Some(s) => {
+                    if i > s + 1 && i <= raw.len() {
+                        out.push(raw[s + 1..i].iter().collect());
+                    } else {
+                        out.push(String::new());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let f = lex("let x = \"unsafe // not code\"; // unsafe trailing\nunsafe {}\n");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("unsafe trailing"));
+        assert!(f.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let f = lex("let a = r#\"panic!() \"quoted\" inside\"#; let b = b\"panic!\";\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("let b"));
+    }
+
+    #[test]
+    fn byte_string_escapes() {
+        let f = lex("let a = b\"\\\"\"; let live = 1;\n");
+        assert!(f.lines[0].code.contains("let live = 1"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\"'; let y = 1; // ok\n");
+        assert!(f.lines[0].code.contains("'a"), "lifetimes survive masking");
+        assert!(f.lines[1].code.contains("let y = 1"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_depth() {
+        let f = lex("fn a() { /* outer /* inner */ still comment */ b(); }\nfn c() {\n}\n");
+        assert!(f.lines[0].code.contains("b();"));
+        assert!(!f.lines[0].code.contains("comment"));
+        assert_eq!(f.lines[0].depth_end, 0);
+        assert_eq!(f.lines[1].depth_end, 1);
+        assert_eq!(f.lines[2].depth_end, 0);
+    }
+
+    #[test]
+    fn cfg_test_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "body of the test module is test code");
+        assert!(f.lines[4].in_test, "closing brace still in region");
+        assert!(!f.lines[5].in_test, "region ends after the brace");
+    }
+
+    #[test]
+    fn single_line_test_fn() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() {}\n";
+        let f = lex(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(find_token("x.unwrap_or(1)", "unwrap"), Vec::<usize>::new());
+        assert_eq!(find_token("x.unwrap()", "unwrap").len(), 1);
+    }
+
+    #[test]
+    fn string_literal_extraction() {
+        let f = lex("let m = x.expect(\"catalog lock\");\n");
+        assert_eq!(
+            string_literals(&f.lines[0]),
+            vec!["catalog lock".to_string()]
+        );
+    }
+}

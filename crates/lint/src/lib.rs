@@ -1,0 +1,196 @@
+//! `wqrtq-lint` — the workspace invariant checker.
+//!
+//! The repo's correctness story is mechanical everywhere else —
+//! bit-identical differential fuzzes, a perf gate, crash-recovery
+//! soaks — but the invariants those proofs *rest on* (SAFETY contracts
+//! on `unsafe`, memory-ordering choices, panic-freedom on the event
+//! loop and the storage write path, codec cast discipline, vocabulary
+//! tables that live in two places) were only enforced by review. This
+//! crate closes that gap with a std-only, source-level analysis pass:
+//! a lightweight lexer ([`lex`]) that never confuses strings/comments
+//! with code, a rule engine ([`rules`]) with mandatory-justification
+//! waivers, a cross-file drift checker ([`drift`]), and an embedded
+//! known-bad corpus ([`corpus`]) proving every rule trips.
+//!
+//! Run it as `wqrtq-lint` (see `scripts/lint.sh`), or drive the same
+//! passes in-process — the binary, the `--self-test` mode, and the
+//! `cargo test` suite all share these functions.
+
+pub mod corpus;
+pub mod drift;
+pub mod lex;
+pub mod rules;
+
+use rules::{SourceFile, Violation};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a full workspace pass.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Surviving violations (waivers already applied), sorted by
+    /// file/line.
+    pub violations: Vec<Violation>,
+    /// Justified waivers that suppressed a violation.
+    pub waivers_used: usize,
+}
+
+impl LintReport {
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"waivers_used\": {},\n", self.waivers_used));
+        s.push_str(&format!(
+            "  \"violation_count\": {},\n",
+            self.violations.len()
+        ));
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Loads every lintable source in the workspace rooted at `root`:
+/// `.rs` files under `crates/`, `src/`, `tests/`, and `examples/`
+/// (skipping `vendor/` and any `target/`), plus `DESIGN.md`.
+pub fn load_workspace(root: &Path) -> io::Result<(Vec<SourceFile>, Option<String>)> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let design = fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok((files, design))
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let source = fs::read_to_string(&path)?;
+            out.push(SourceFile {
+                path: rel_path(root, &path),
+                lexed: lex::lex(&source),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Runs the full rule set over pre-loaded sources.
+pub fn run(files: &[SourceFile], design_md: Option<String>) -> LintReport {
+    let mut waivers = Vec::new();
+    let mut violations = Vec::new();
+    for f in files {
+        waivers.extend(rules::collect_waivers(f));
+        rules::check_file(f, &mut violations);
+    }
+    drift::check_drift(files, &drift::DriftDocs { design_md }, &mut violations);
+    let (mut violations, waivers_used) = rules::apply_waivers(files, waivers, violations);
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintReport {
+        files_scanned: files.len(),
+        violations,
+        waivers_used,
+    }
+}
+
+/// Convenience: load + run over a workspace root.
+pub fn run_on_workspace(root: &Path) -> io::Result<LintReport> {
+    let (files, design) = load_workspace(root)?;
+    Ok(run(&files, design))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real workspace must lint clean — this is the same invariant
+    /// the CI lint job enforces through `scripts/lint.sh`, kept under
+    /// `cargo test` so a violation fails the tier-1 suite too.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run_on_workspace(&root).expect("workspace read");
+        assert!(report.files_scanned > 40, "walker found the workspace");
+        let rendered: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+            .collect();
+        assert!(
+            report.violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+
+    #[test]
+    fn json_report_escapes() {
+        let report = LintReport {
+            files_scanned: 1,
+            waivers_used: 0,
+            violations: vec![rules::Violation {
+                rule: "no-panic",
+                file: "a \"b\".rs".into(),
+                line: 3,
+                message: "line1\nline2".into(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\\\"b\\\""));
+        assert!(json.contains("line1\\nline2"));
+    }
+}

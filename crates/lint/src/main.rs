@@ -1,0 +1,106 @@
+//! `wqrtq-lint` — workspace invariant checker CLI.
+//!
+//! ```text
+//! wqrtq-lint [--root DIR] [--json FILE] [--self-test] [--quiet]
+//! ```
+//!
+//! * default mode: lints the workspace (cwd or `--root`), prints
+//!   `file:line: [rule] message` diagnostics plus a summary, optionally
+//!   writes the JSON report, exits 1 on any violation;
+//! * `--self-test`: runs the embedded known-bad corpus — every rule
+//!   must trip on its bad twin and stay silent on its fixed/waived
+//!   twin — and exits 1 if any rule failed to fire.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file path"),
+            },
+            "--self-test" => self_test = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: wqrtq-lint [--root DIR] [--json FILE] [--self-test] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if self_test {
+        let failures = wqrtq_lint::corpus::run_all();
+        let cases = wqrtq_lint::corpus::CORPUS.len();
+        if failures.is_empty() {
+            println!(
+                "self-test: all {cases} corpus cases pass — every rule trips on its \
+                 known-bad twin and stays silent on the fixed twin"
+            );
+            return ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            eprintln!("self-test FAILURE: {f}");
+        }
+        eprintln!("self-test: {}/{} cases failed", failures.len(), cases);
+        return ExitCode::FAILURE;
+    }
+
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        return usage(&format!(
+            "`{}` does not look like the workspace root (need Cargo.toml + crates/); \
+             pass --root",
+            root.display()
+        ));
+    }
+
+    let report = match wqrtq_lint::run_on_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to read workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !quiet {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+    }
+    println!(
+        "wqrtq-lint: {} files scanned, {} violation(s), {} justified waiver(s) in effect",
+        report.files_scanned,
+        report.violations.len(),
+        report.waivers_used
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: wqrtq-lint [--root DIR] [--json FILE] [--self-test] [--quiet]");
+    ExitCode::from(2)
+}

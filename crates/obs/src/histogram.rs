@@ -83,6 +83,8 @@ impl Histogram {
 
     /// Records one value.
     pub fn record(&self, value: u64) {
+        // ordering: Relaxed — independent monotonic tallies; readers
+        // take an inconsistent-cut snapshot by design (see `snapshot`).
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
@@ -97,6 +99,9 @@ impl Histogram {
     /// recording (counts may straggle by a few), but exact once writers
     /// quiesce.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed — monitoring reads; the doc contract above
+        // promises exactness only after writers quiesce, and quiescence
+        // (thread join / channel recv) carries the happens-before edge.
         let mut buckets = Vec::new();
         let mut count = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {

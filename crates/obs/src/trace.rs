@@ -175,6 +175,8 @@ impl Tracer {
         match self.shards[shard_hint % self.shards.len()].try_lock() {
             Ok(mut ring) => ring.push(span),
             Err(_) => {
+                // ordering: Relaxed — monotonic drop tally, read only by
+                // `drain()` snapshots.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -200,12 +202,16 @@ impl Tracer {
     /// Admits the request to the slow log if it beats the current
     /// floor. Non-slow requests return after one atomic load.
     fn offer_slow(&self, fingerprint: u64, total_nanos: u64, spans: &[SpanRecord]) {
+        // ordering: Relaxed — admission heuristic: a stale floor admits
+        // (or skips) a borderline request, and the authoritative
+        // ranking happens under the `slow` mutex below.
         if total_nanos <= self.slow_floor.load(Ordering::Relaxed) {
             return;
         }
         // A contended slow log drops the candidate rather than stall
         // the worker; the floor check already filters the common case.
         let Ok(mut slow) = self.slow.try_lock() else {
+            // ordering: Relaxed — monotonic drop tally.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
@@ -219,6 +225,8 @@ impl Tracer {
         slow.sort_by_key(|s| std::cmp::Reverse(s.total_nanos));
         slow.truncate(self.slow_capacity);
         if slow.len() == self.slow_capacity {
+            // ordering: Relaxed — publishes only the heuristic floor
+            // value itself; readers re-check under the mutex.
             self.slow_floor
                 .store(slow.last().map_or(0, |s| s.total_nanos), Ordering::Relaxed);
         }
@@ -235,6 +243,7 @@ impl Tracer {
         }
         TraceSnapshot {
             spans,
+            // ordering: Relaxed — monitoring read of a monotonic tally.
             dropped: self.dropped.load(Ordering::Relaxed),
         }
     }

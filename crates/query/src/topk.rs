@@ -191,6 +191,8 @@ impl<'a> ViewBestFirst<'a> {
             (None, None) => return None,
         };
         if take_base {
+            // lint: allow(no-panic) — `take_base` is only true in match
+            // arms where `self.pending` is `Some`.
             let p = self.pending.take().expect("pending base entry");
             Some(ViewRanked {
                 id: p.id,
@@ -198,6 +200,8 @@ impl<'a> ViewBestFirst<'a> {
                 coords: p.coords,
             })
         } else {
+            // lint: allow(no-panic) — `take_base` is only false in match
+            // arms where `delta_head` is `Some`.
             let (ds, slot) = delta_head.expect("pending delta entry");
             self.next_delta += 1;
             Some(ViewRanked {

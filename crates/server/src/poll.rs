@@ -167,6 +167,10 @@ mod unix_impl {
             let Some(bytes) = bytes else { continue };
             let value = i32::try_from(bytes)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "buffer too large"))?;
+            // SAFETY: `value` is a live stack i32 and the passed length
+            // is exactly `size_of::<i32>()`, so the kernel reads only
+            // memory we own; `fd` validity is the caller's invariant and
+            // a stale fd yields an errno, not UB.
             let rc = unsafe {
                 sys::setsockopt(
                     fd,
@@ -224,6 +228,8 @@ mod unix_impl {
     #[cfg(target_os = "linux")]
     impl Poller {
         pub(crate) fn new() -> io::Result<Self> {
+            // SAFETY: `epoll_create1` takes no pointers; failure is
+            // reported through the return value checked below.
             let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
             if epfd < 0 {
                 return Err(io::Error::last_os_error());
@@ -242,6 +248,9 @@ mod unix_impl {
                 events: interest_to_epoll(interest),
                 data: token,
             };
+            // SAFETY: `ev` is a live stack struct for the duration of
+            // the call; `epfd` is owned by this Poller until Drop, and a
+            // bad `fd` yields an errno, not UB.
             let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
             if rc != 0 {
                 return Err(io::Error::last_os_error());
@@ -267,6 +276,9 @@ mod unix_impl {
         pub(crate) fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
             const MAX_EVENTS: usize = 256;
             let mut raw = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            // SAFETY: `raw` holds MAX_EVENTS initialized entries and the
+            // kernel writes at most the MAX_EVENTS we pass, so the write
+            // stays inside the array; `epfd` is owned until Drop.
             let n = unsafe {
                 sys::epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
             };
@@ -289,6 +301,8 @@ mod unix_impl {
     #[cfg(target_os = "linux")]
     impl Drop for Poller {
         fn drop(&mut self) {
+            // SAFETY: `epfd` was created in `new` and is closed exactly
+            // once, here — no other owner remains at Drop.
             unsafe { sys::close(self.epfd) };
         }
     }
@@ -358,6 +372,9 @@ mod unix_impl {
                     revents: 0,
                 })
                 .collect();
+            // SAFETY: `fds` is a live Vec and the length we pass is its
+            // exact element count, so the kernel's revents writes stay
+            // in bounds.
             let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
             if n < 0 {
                 let e = io::Error::last_os_error();

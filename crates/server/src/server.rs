@@ -132,6 +132,9 @@ impl Gauge {
 
     fn release(&self) {
         let mut count = self.count.lock().expect("gauge lock");
+        // lint: allow(no-panic) — acquire/release are strictly paired by
+        // the admission permit's scope; an underflow is a permit
+        // accounting bug worth crashing loudly on.
         *count = count.checked_sub(1).expect("gauge underflow");
         if *count == 0 {
             self.zero.notify_all();
@@ -179,6 +182,10 @@ struct LoopShared {
 
 impl LoopShared {
     fn wake(&self) {
+        // ordering: SeqCst — wake-dedupe handshake with the loop's
+        // `swap(false)` after polling: both swaps must sit in one total
+        // order with the dirty-list push, or a completion could observe
+        // a stale `true`, skip the syscall, and strand a wakeup.
         if !self.wake_pending.swap(true, Ordering::SeqCst) {
             self.waker.wake();
         }
@@ -221,6 +228,10 @@ impl ConnShared {
         if self.closed.load(Ordering::Acquire) || self.doomed.load(Ordering::Acquire) {
             return;
         }
+        // ordering: SeqCst — backlog admission ticket raced by pool
+        // completions and the loop's writer; the reserve/undo pair and
+        // the loop's decrements share one total order so the cap can
+        // never be overshot by concurrent reservers.
         let queued = self.backlog.fetch_add(1, Ordering::SeqCst);
         if queued >= self.backlog_cap {
             self.backlog.fetch_sub(1, Ordering::SeqCst);
@@ -245,6 +256,10 @@ impl ConnShared {
     fn notify(&self) {
         let token = self.token.load(Ordering::Acquire);
         self.home.dirty.lock().expect("dirty list lock").push(token);
+        // ordering: SeqCst — the wake-or-not decision must observe
+        // in_flight/backlog in the same total order the loop's own
+        // SeqCst updates use; a weaker read here could skip the final
+        // wake of a pipelined burst and leave staged replies unflushed.
         if self.doomed.load(Ordering::Acquire)
             || self.in_flight.load(Ordering::SeqCst) == 0
             || self.backlog.load(Ordering::SeqCst) >= WAKE_BACKLOG
@@ -329,6 +344,11 @@ impl Shared {
     /// connections are counted from their live entries instead of the
     /// folded totals (each exactly once either way).
     fn server_counters(&self) -> ServerCounters {
+        // ordering: Relaxed — monitoring snapshot of monotonic tallies;
+        // a live connection's counters may straggle by an in-progress
+        // request, which stats consumers tolerate. Exactness for closed
+        // connections comes from the `closed` Acquire load below pairing
+        // with the loop's Release store after its final counter writes.
         let mut counters = ServerCounters {
             connections_accepted: self.accepted.load(Ordering::Relaxed),
             connections_open: 0,
@@ -360,9 +380,16 @@ impl Shared {
     /// counters into the closed totals. Join-free: connections are
     /// loop-owned state, not threads.
     fn reap(&self) {
+        // ordering: Relaxed merges are exact here — the `closed` Acquire
+        // load below pairs with the owning loop's Release store, which
+        // happens after its last counter write, so every Relaxed tally
+        // of a closed connection is visible before it is folded in.
         let mut conns = self.conns.lock().expect("connection registry lock");
         let mut i = 0;
         while i < conns.len() {
+            // lint: allow(no-panic) — `i < conns.len()` is the loop
+            // guard and `swap_remove` only shrinks the vec after `i` is
+            // re-checked.
             if conns[i].closed.load(Ordering::Acquire) {
                 let state = conns.swap_remove(i);
                 let c = &state.counters;
@@ -559,6 +586,9 @@ impl ServerBuilder {
             }
             let state = EventLoop {
                 shared: shared.clone(),
+                // lint: allow(no-panic) — `loops` and `wake_rxs` are
+                // built with identical lengths a few lines up, and
+                // `index` enumerates the latter.
                 ls: loops[index].clone(),
                 peers: loops.clone(),
                 poller,
@@ -576,6 +606,9 @@ impl ServerBuilder {
                 std::thread::Builder::new()
                     .name(format!("wqrtq-loop-{index}"))
                     .spawn(move || state.run())
+                    // lint: allow(no-panic) — one-time bind()-path
+                    // setup, not the event loop: failing to spawn the
+                    // loop thread leaves nothing to serve with.
                     .expect("spawn event-loop thread"),
             );
         }
@@ -648,6 +681,9 @@ impl Server {
     /// Aggregate counters over live and closed connections.
     pub fn stats(&self) -> ServerStats {
         self.shared.reap();
+        // ordering: Relaxed — monitoring snapshot of monotonic tallies;
+        // closed-connection exactness comes from `reap`'s Acquire edge,
+        // live counters may straggle by an in-progress request.
         let mut stats = ServerStats {
             connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
             in_flight: self.shared.admission.len(),
@@ -672,6 +708,9 @@ impl Server {
     /// Point-in-time counters for every live connection.
     pub fn connection_stats(&self) -> Vec<ConnectionStats> {
         self.shared.reap();
+        // ordering: Relaxed — per-connection monitoring snapshot, same
+        // contract as `stats()`; the SeqCst in_flight read joins the
+        // admission ticket's total order so it never exceeds the cap.
         let conns = self.shared.conns.lock().expect("connection registry lock");
         conns
             .iter()
@@ -691,6 +730,9 @@ impl Server {
     /// connection, drain all in-flight work, flush and close every
     /// socket. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
+        // ordering: SeqCst — once-only shutdown latch; every loop reads
+        // it with SeqCst in the same total order as the wake handshake,
+        // so a woken loop cannot miss the flag that caused the wake.
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -830,6 +872,7 @@ impl EventLoop {
                 }
             }
             self.events = events;
+            // ordering: SeqCst — shutdown latch read; see `shutdown()`.
             if self.shared.shutting_down.load(Ordering::SeqCst) && !self.draining {
                 self.begin_drain();
             }
@@ -875,6 +918,10 @@ impl EventLoop {
     fn on_wake(&mut self) {
         // Clear the dedupe flag before draining: a notify racing this
         // point writes a fresh byte and the next poll wakes again.
+        // ordering: SeqCst — the store must order before this cycle's
+        // dirty-list drain in the same total order as `wake()`'s swap,
+        // or a racing notify could be deduped against a wake that
+        // already consumed its work.
         self.ls.wake_pending.store(false, Ordering::SeqCst);
         poll::drain_wakes(&mut self.wake_rx);
         let dirty = std::mem::take(&mut *self.ls.dirty.lock().expect("dirty list lock"));
@@ -889,6 +936,7 @@ impl EventLoop {
     /// across the loops.
     fn accept_burst(&mut self) {
         loop {
+            // ordering: SeqCst — shutdown latch read; see `shutdown()`.
             if self.shared.shutting_down.load(Ordering::SeqCst) {
                 return;
             }
@@ -931,10 +979,16 @@ impl EventLoop {
                 self.shared.socket_recv_buffer,
             );
         }
+        // ordering: Relaxed — monotonic accept tally, read only by
+        // stats snapshots.
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(no-panic) — `% self.peers.len()` keeps the index
+        // in bounds, and the loop set is non-empty by construction.
         let home = self.peers[self.rr % self.peers.len()].clone();
         self.rr += 1;
         let state = Arc::new(ConnShared {
+            // ordering: Relaxed — unique-id ticket; fetch_add is atomic
+            // at any ordering.
             id: self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
             peer: stream.peer_addr().ok(),
             counters: ConnCounters::default(),
@@ -1011,7 +1065,11 @@ impl EventLoop {
         while reads < MAX_READS_PER_EVENT {
             conn.arena.ensure_space(READ_CHUNK);
             let filled = conn.arena.filled;
+            // lint: allow(no-panic) — `ensure_space` just grew the
+            // arena, so `filled <= buf.len()` and the range is valid.
             let result = conn.stream.read(&mut conn.arena.buf[filled..]);
+            // ordering: Relaxed — monotonic syscall tally, read only by
+            // stats snapshots.
             conn.shared
                 .counters
                 .read_syscalls
@@ -1031,6 +1089,8 @@ impl EventLoop {
                         process_arena(shared, conn, submit_buf);
                     }));
                     if served.is_err() {
+                        // ordering: Relaxed tally; the doom flag's
+                        // Release store is what publishes the failure.
                         conn.shared
                             .counters
                             .protocol_errors
@@ -1109,6 +1169,9 @@ impl EventLoop {
         // `in_flight` is read before `backlog`: completions push their
         // reply (raising the backlog) before decrementing `in_flight`,
         // so a zero read here means every admitted reply is visible.
+        // ordering: SeqCst — close-eligibility check; joins the same
+        // total order as the completion-side SeqCst updates (see the
+        // comment above) so no admitted reply can be missed.
         let drained = conn.read_closed
             && conn.shared.in_flight.load(Ordering::SeqCst) == 0
             && conn.shared.backlog.load(Ordering::SeqCst) == 0;
@@ -1168,12 +1231,9 @@ fn process_arena(shared: &Arc<Shared>, conn: &mut Conn, submit_buf: &mut Vec<Bat
         if conn.arena.filled < 4 {
             return;
         }
-        let magic = [
-            conn.arena.buf[0],
-            conn.arena.buf[1],
-            conn.arena.buf[2],
-            conn.arena.buf[3],
-        ];
+        // lint: allow(no-panic) — guarded by the `filled < 4` early
+        // return just above.
+        let magic = &conn.arena.buf[..4];
         if magic == MAGIC {
             conn.version = 1;
         } else if magic == MAGIC_V2 {
@@ -1195,17 +1255,24 @@ fn process_arena(shared: &Arc<Shared>, conn: &mut Conn, submit_buf: &mut Vec<Bat
     }
     let mut cursor = 0;
     while !conn.read_closed && !conn.shared.doomed.load(Ordering::Acquire) {
+        // lint: allow(no-panic) — `cursor` only advances by `consumed`,
+        // which `split_frame` bounds by the window it was handed, so
+        // `cursor <= filled <= buf.len()` throughout.
         let window = &conn.arena.buf[cursor..conn.arena.filled];
         match frame::split_frame(window, shared.max_frame_len) {
             Ok(None) => break,
             Ok(Some((consumed, payload))) => {
+                // ordering: Relaxed — monotonic frame tally, read only
+                // by stats snapshots.
                 conn.shared
                     .counters
                     .frames_in
                     .fetch_add(1, Ordering::Relaxed);
-                let decoded = ClientFrame::decode(
-                    &conn.arena.buf[cursor + payload.start..cursor + payload.end],
-                );
+                // lint: allow(no-panic) — `payload` is a sub-range of
+                // the window `split_frame` was handed, offset back into
+                // the same buffer.
+                let bytes = &conn.arena.buf[cursor + payload.start..cursor + payload.end];
+                let decoded = ClientFrame::decode(bytes);
                 cursor += consumed;
                 match decoded {
                     Ok((id, message)) => dispatch(shared, conn, submit_buf, id, message),
@@ -1301,6 +1368,8 @@ fn submit(
         return;
     }
     if !shared.admission.try_acquire(shared.admission_capacity) {
+        // ordering: Relaxed — monotonic busy tally, read only by stats
+        // snapshots.
         conn.shared
             .counters
             .busy_rejections
@@ -1314,6 +1383,9 @@ fn submit(
     let trace_id = (conn.shared.id << 32) | (id & 0xFFFF_FFFF);
     let tracer = shared.engine.tracer();
     let admitted = tracer.now_nanos();
+    // ordering: SeqCst — in_flight joins the close-eligibility total
+    // order: the increment must be globally visible before the reply
+    // can decrement, or the loop could observe 0/0 and close early.
     conn.shared.in_flight.fetch_add(1, Ordering::SeqCst);
     let complete = completion(shared.clone(), conn.shared.clone(), id, trace_id);
     if conn.version >= 2 && is_plan {
@@ -1392,6 +1464,8 @@ fn completion(
         // Push before dropping `in_flight`, notify after: the loop
         // treats `in_flight == 0 && backlog == 0` as fully drained, and
         // this ordering makes that check race-free.
+        // ordering: SeqCst — see the close-eligibility comment in
+        // `service`; the decrement must order after the backlog raise.
         state.push_frame(bytes, false);
         state.in_flight.fetch_sub(1, Ordering::SeqCst);
         state.notify();
@@ -1442,6 +1516,8 @@ fn push_control(shared: &Arc<Shared>, conn: &mut Conn, id: u64, message: ServerF
     if state.doomed.load(Ordering::Acquire) {
         return;
     }
+    // ordering: SeqCst — same backlog reserve/undo protocol as
+    // `ConnShared::push_frame`.
     let queued = state.backlog.fetch_add(1, Ordering::SeqCst);
     if queued >= state.backlog_cap {
         // A client that filled an entire admission window of replies
@@ -1458,6 +1534,8 @@ fn push_control(shared: &Arc<Shared>, conn: &mut Conn, id: u64, message: ServerF
 /// Charges a protocol violation: counted, reported to the peer, and the
 /// connection stops reading (replies still drain, then it closes).
 fn protocol_error(shared: &Arc<Shared>, conn: &mut Conn, message: String) {
+    // ordering: Relaxed — monotonic violation tally, read only by stats
+    // snapshots.
     conn.shared
         .counters
         .protocol_errors
@@ -1484,12 +1562,17 @@ fn flush_writes(conn: &mut Conn) {
         let mut slices: Vec<IoSlice<'_>> =
             Vec::with_capacity(conn.write_queue.len().min(MAX_WRITE_SLICES));
         let mut iter = conn.write_queue.iter();
+        // lint: allow(no-panic) — the `!is_empty()` loop guard holds.
         let head = iter.next().expect("non-empty write queue");
+        // lint: allow(no-panic) — `head_written` is always a partial
+        // offset into the current head frame (reset on pop).
         slices.push(IoSlice::new(&head[conn.head_written..]));
         for frame in iter.take(MAX_WRITE_SLICES - 1) {
             slices.push(IoSlice::new(frame));
         }
         let result = conn.stream.write_vectored(&slices);
+        // ordering: Relaxed — monotonic syscall tally, read only by
+        // stats snapshots.
         conn.shared
             .counters
             .write_syscalls
@@ -1504,6 +1587,9 @@ fn flush_writes(conn: &mut Conn) {
                     let head_len = conn
                         .write_queue
                         .front()
+                        // lint: allow(no-panic) — the kernel cannot
+                        // report more bytes written than the queued
+                        // slices it was handed.
                         .expect("written bytes imply a queued frame")
                         .len();
                     let remaining = head_len - conn.head_written;
@@ -1511,6 +1597,9 @@ fn flush_writes(conn: &mut Conn) {
                         conn.write_queue.pop_front();
                         conn.head_written = 0;
                         written -= remaining;
+                        // ordering: Relaxed frame tally; the SeqCst
+                        // backlog decrement joins the reserve/undo and
+                        // close-eligibility total order.
                         conn.shared
                             .counters
                             .frames_out

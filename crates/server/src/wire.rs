@@ -27,6 +27,36 @@ use wqrtq_engine::{
 /// attributed to a parsed request (bad magic, malformed frame).
 pub const CONNECTION_ID: u64 = 0;
 
+/// Wire coverage table for [`wqrtq_engine::EngineError`].
+///
+/// Typed engine errors cross the wire *rendered*: the serving loop folds
+/// them into [`Response::Error`] (a `RESP_ERROR` frame carrying the
+/// `Display` text), so the wire format never needs a per-variant tag —
+/// but that also means nothing in the type system notices when a new
+/// variant is added without a conformance check. This table is that
+/// check's anchor: `wqrtq-lint` (the `drift` rule) cross-references it
+/// against the `EngineError` declaration, and the
+/// `every_engine_error_round_trips_as_an_error_frame` test below proves
+/// each listed variant survives encode → decode as a decodable error
+/// frame with its message intact.
+pub const ENGINE_ERROR_VARIANTS: [&str; 15] = [
+    "UnknownDataset",
+    "UnknownWeightSet",
+    "DimensionMismatch",
+    "ZeroDimension",
+    "RaggedCoordinates",
+    "WeightSetExists",
+    "NonFiniteInput",
+    "InvalidWeight",
+    "InvalidTolerances",
+    "EmptyStrategySet",
+    "SampleBudgetTooLarge",
+    "UnknownPointId",
+    "DatasetFull",
+    "PoolShutdown",
+    "Durability",
+];
+
 // Client → server opcodes.
 const OP_SUBMIT: u8 = 0x01;
 const OP_REGISTER_DATASET: u8 = 0x02;
@@ -1468,5 +1498,67 @@ mod tests {
         w.put_u64(1);
         w.put_u8(0x02);
         assert!(ServerFrame::decode(&w.into_vec()).is_err());
+    }
+
+    /// One constructed value per [`EngineError`] variant, in the
+    /// [`ENGINE_ERROR_VARIANTS`] order.
+    fn all_engine_errors() -> Vec<wqrtq_engine::EngineError> {
+        use wqrtq_engine::EngineError;
+        vec![
+            EngineError::UnknownDataset("nope".into()),
+            EngineError::UnknownWeightSet("nobody".into()),
+            EngineError::DimensionMismatch {
+                expected: 3,
+                got: 2,
+            },
+            EngineError::ZeroDimension,
+            EngineError::RaggedCoordinates { dim: 3, len: 7 },
+            EngineError::WeightSetExists("customers".into()),
+            EngineError::NonFiniteInput { field: "q" },
+            EngineError::InvalidWeight { field: "weight" },
+            EngineError::InvalidTolerances {
+                reason: "alpha + beta must equal 1",
+            },
+            EngineError::EmptyStrategySet,
+            EngineError::SampleBudgetTooLarge {
+                field: "samples",
+                max: 1 << 20,
+            },
+            EngineError::UnknownPointId { id: 42 },
+            EngineError::DatasetFull,
+            EngineError::PoolShutdown,
+            EngineError::Durability {
+                reason: "wal append failed".into(),
+            },
+        ]
+    }
+
+    /// The conformance test behind [`ENGINE_ERROR_VARIANTS`]: every
+    /// typed engine error, rendered the way the serving loop renders it,
+    /// survives the wire as a decodable error frame with its message
+    /// intact. Constructing each variant here also pins the table to the
+    /// enum — adding a variant without extending both trips the `drift`
+    /// lint and this test's length assertion.
+    #[test]
+    fn every_engine_error_round_trips_as_an_error_frame() {
+        let errors = all_engine_errors();
+        assert_eq!(
+            errors.len(),
+            ENGINE_ERROR_VARIANTS.len(),
+            "conformance corpus must cover every listed variant"
+        );
+        for (err, variant) in errors.iter().zip(ENGINE_ERROR_VARIANTS) {
+            let debug = format!("{err:?}");
+            assert!(
+                debug.starts_with(variant),
+                "corpus order drifted: expected `{variant}`, got `{debug}`"
+            );
+            let msg = err.to_string();
+            assert!(!msg.is_empty(), "{variant} renders an empty message");
+            let payload = ServerFrame::Reply(Response::Error(msg.clone())).encode(9);
+            let (id, frame) = ServerFrame::decode(&payload).expect("error frame decodes");
+            assert_eq!(id, 9);
+            assert_eq!(frame, ServerFrame::Reply(Response::Error(msg)));
+        }
     }
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Workspace invariant gate: builds wqrtq-lint and runs it over the repo.
+#
+# Three steps, in order:
+#   1. `wqrtq-lint --self-test` — the embedded known-good/known-bad
+#      corpus must trip every rule, proving the linter can actually
+#      fail before its verdict on the workspace is trusted;
+#   2. the workspace pass — zero violations required; every waiver in
+#      effect carries a written justification (a blanket waiver is
+#      itself a violation);
+#   3. the JSON report lands in lint_report.json for CI artifact upload
+#      and offline inspection.
+#
+# Usage:
+#   scripts/lint.sh              # self-test + workspace gate
+#   scripts/lint.sh --json FILE  # alternate report path
+#
+# Exit codes: 0 clean, 1 violations found, 2 usage error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REPORT="lint_report.json"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --json)
+            REPORT="${2:?--json needs a file}"
+            shift 2
+            ;;
+        *)
+            echo "error: unknown argument $1 (see the header of $0)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "== 1/2: lint self-test (every rule must trip on its known-bad twin) =="
+cargo run --release -q -p wqrtq-lint -- --self-test
+
+echo
+echo "== 2/2: workspace invariant pass =="
+cargo run --release -q -p wqrtq-lint -- --root . --json "$REPORT"

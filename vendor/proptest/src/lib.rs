@@ -23,14 +23,34 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig { cases: capped(64) }
     }
 }
 
 impl ProptestConfig {
-    /// A configuration requiring `cases` successful cases.
+    /// A configuration requiring `cases` successful cases (subject to
+    /// the [`WQRTQ_PROPTEST_CASES`](capped) cap).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: capped(cases),
+        }
+    }
+}
+
+/// Applies the `WQRTQ_PROPTEST_CASES` environment cap, mirroring real
+/// proptest's `PROPTEST_CASES` override. It is a *cap*, not a
+/// replacement — explicit `with_cases(n)` still runs fewer cases when
+/// it asks for fewer — so sanitizer/interpreter runs (TSan ~20x
+/// slower, Miri far more) can trim every property in the workspace
+/// without touching each call site. Unset or unparsable means no cap;
+/// a floor of 1 keeps every property exercised at least once.
+fn capped(cases: u32) -> u32 {
+    match std::env::var("WQRTQ_PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(cap) => cases.min(cap.max(1)),
+            Err(_) => cases,
+        },
+        Err(_) => cases,
     }
 }
 
@@ -448,5 +468,20 @@ mod tests {
             ProptestConfig::with_cases(4),
             |_| Err(TestCaseError::Reject),
         );
+    }
+
+    #[test]
+    fn env_cap_bounds_cases() {
+        // The cap algebra, not the env: set_var would race the other
+        // tests in this binary. A cap shrinks, never grows, and floors
+        // at one case.
+        for (asked, cap, want) in [(64u32, 8u32, 8u32), (4, 8, 4), (64, 0, 1)] {
+            assert_eq!(asked.min(cap.max(1)), want, "ask {asked} cap {cap}");
+        }
+        // And with the variable genuinely unset, `capped` is identity.
+        if std::env::var("WQRTQ_PROPTEST_CASES").is_err() {
+            assert_eq!(crate::capped(64), 64);
+            assert_eq!(crate::capped(4), 4);
+        }
     }
 }
